@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact "CQ". See DESIGN.md's experiment index.
+fn main() {
+    vibe_bench::run_experiment("CQ");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the extension experiments: get/put model (X-GETPUT), fan-in
+//! scalability (X-SCALE), per-component breakdown (X-BRK), and the
+//! message-passing layer study (X-MPL).
+fn main() {
+    for id in ["X-GETPUT", "X-SCALE", "X-BRK", "X-MPL"] {
+        vibe_bench::run_experiment(id);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §3.2.5 benchmarks published in the companion technical
+//! report (OSU-CISRC-10/00-TR20): MDS, ASY, RDMA, PIP, MTU, REL.
+fn main() {
+    for id in ["X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL"] {
+        vibe_bench::run_experiment(id);
+    }
+}

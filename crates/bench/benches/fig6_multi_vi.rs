@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact "F6". See DESIGN.md's experiment index.
+fn main() {
+    vibe_bench::run_experiment("F6");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact "F7". See DESIGN.md's experiment index.
+fn main() {
+    vibe_bench::run_experiment("F7");
+}

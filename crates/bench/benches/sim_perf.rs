@@ -1,0 +1,177 @@
+//! Criterion wall-clock benchmarks of the simulator itself: event-queue
+//! throughput, baton hand-off cost, fabric delivery, and the full VIA data
+//! path. These are the only benches measuring *host* time — everything
+//! else in this crate reports *virtual* time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fabric::{NetParams, NodeId, San};
+use simkit::{Sim, SimDuration, WaitMode};
+use via::{Cluster, Descriptor, Discriminator, MemAttributes, Profile, ViAttributes};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simkit");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_and_run_10k_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let count = Arc::new(AtomicU64::new(0));
+            for i in 0..10_000u64 {
+                let count = Arc::clone(&count);
+                sim.call_in(SimDuration::from_nanos(i % 977), move |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            let report = sim.run();
+            assert_eq!(count.load(Ordering::Relaxed), 10_000);
+            report.events
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("simkit-process");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("baton_1k_sleeps", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.spawn("p", None, |ctx| {
+                for _ in 0..1_000 {
+                    ctx.sleep(SimDuration::from_nanos(50));
+                }
+            });
+            sim.run_to_completion().events
+        });
+    });
+    g.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("deliver_1k_frames", |b| {
+        b.iter_batched(
+            || {
+                let sim = Sim::new();
+                let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+                let count = Arc::new(AtomicU64::new(0));
+                let c2 = Arc::clone(&count);
+                san.attach(
+                    NodeId(1),
+                    Arc::new(move |_, _| {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                (sim, san, count)
+            },
+            |(sim, san, count)| {
+                for _ in 0..1_000 {
+                    san.send(NodeId(0), NodeId(1), 1024, Box::new(()));
+                }
+                sim.run();
+                assert_eq!(count.load(Ordering::Relaxed), 1_000);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_via_datapath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("via");
+    g.sample_size(20);
+    for (name, profile) in [
+        ("mvia", Profile::mvia()),
+        ("bvia", Profile::bvia()),
+        ("clan", Profile::clan()),
+    ] {
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(format!("{name}_100_pingpongs_4B"), |b| {
+            b.iter(|| {
+                let sim = Sim::new();
+                let cluster = Cluster::new(sim.clone(), profile.clone(), 2, 1);
+                let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+                {
+                    let pb = pb.clone();
+                    sim.spawn("server", Some(pb.cpu()), move |ctx| {
+                        let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+                        let buf = pb.malloc(64);
+                        let mh = pb.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
+                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64)).unwrap();
+                        pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+                        for i in 0..100 {
+                            vi.recv_wait(ctx, WaitMode::Poll);
+                            if i < 99 {
+                                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64)).unwrap();
+                            }
+                            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4)).unwrap();
+                            vi.send_wait(ctx, WaitMode::Poll);
+                        }
+                    });
+                }
+                {
+                    let pa = pa.clone();
+                    sim.spawn("client", Some(pa.cpu()), move |ctx| {
+                        let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+                        pa.connect(ctx, &vi, NodeId(1), Discriminator(1), None).unwrap();
+                        let buf = pa.malloc(64);
+                        let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
+                        for _ in 0..100 {
+                            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64)).unwrap();
+                            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4)).unwrap();
+                            vi.recv_wait(ctx, WaitMode::Poll);
+                            vi.send_wait(ctx, WaitMode::Poll);
+                        }
+                    });
+                }
+                sim.run_to_completion().events
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mpl_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpl");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(50));
+    g.bench_function("layer_50_pingpongs_256B", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let handles = mpl::Mpl::spawn_world(
+                &sim,
+                Profile::clan(),
+                2,
+                mpl::MplConfig::default(),
+                1,
+                |ctx, mut m| {
+                    let buf = m.malloc(4096);
+                    let mh = m.register(ctx, buf, 4096);
+                    let peer = 1 - m.rank();
+                    for _ in 0..50 {
+                        if m.rank() == 0 {
+                            m.send(ctx, peer, 1, buf, mh, 256);
+                            m.recv(ctx, peer, 1, buf, mh, 4096);
+                        } else {
+                            m.recv(ctx, peer, 1, buf, mh, 4096);
+                            m.send(ctx, peer, 1, buf, mh, 256);
+                        }
+                    }
+                },
+            );
+            sim.run_to_completion();
+            drop(handles);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_fabric,
+    bench_via_datapath,
+    bench_mpl_layer
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact "T1". See DESIGN.md's experiment index.
+fn main() {
+    vibe_bench::run_experiment("T1");
+}

@@ -1,0 +1,205 @@
+//! Base data-transfer micro-benchmarks (§3.2.1): latency, bandwidth, and
+//! CPU utilization under the base setup — 100% buffer reuse, one data
+//! segment, no CQ, one VI connection — in polling and blocking variants.
+//! Reproduces Figs. 3 and 4.
+
+use simkit::WaitMode;
+use via::Profile;
+
+use crate::harness::{bandwidth, paper_sizes, ping_pong, DtConfig};
+use crate::report::{Figure, Series};
+
+/// Iteration count for a latency point (deterministic sim: modest counts).
+pub const LAT_ITERS: u32 = 30;
+/// Message count for a bandwidth point at message size `size`.
+pub fn bw_iters(size: u64) -> u32 {
+    // Enough bytes to amortize the trailing application-level ACK
+    // (the paper keeps "the time for transmission of the acknowledgment
+    // … negligible in comparison with the total time").
+    ((4 << 20) / size.max(1)).clamp(64, 2048) as u32
+}
+
+/// Base one-way latency (us) vs. message size, per profile.
+pub fn latency_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
+    let label = match mode {
+        WaitMode::Poll => "polling",
+        WaitMode::Block => "blocking",
+    };
+    let mut fig = Figure::new(
+        format!("Base latency with {label} (Fig {})", if mode == WaitMode::Poll { 3 } else { 4 }),
+        "bytes",
+        "one-way latency (us)",
+    );
+    for p in profiles {
+        let mut s = Series::new(p.name);
+        for &size in &paper_sizes() {
+            let cfg = DtConfig {
+                iters: LAT_ITERS,
+                wait: mode,
+                ..DtConfig::base(p.clone(), size)
+            };
+            s.push(size as f64, ping_pong(&cfg).latency_us);
+        }
+        fig.push(s);
+    }
+    fig
+}
+
+/// Base bandwidth (MB/s) vs. message size, per profile.
+pub fn bandwidth_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
+    let label = match mode {
+        WaitMode::Poll => "polling",
+        WaitMode::Block => "blocking",
+    };
+    let mut fig = Figure::new(
+        format!("Base bandwidth with {label} (Fig 3)"),
+        "bytes",
+        "bandwidth (MB/s)",
+    );
+    for p in profiles {
+        let mut s = Series::new(p.name);
+        for &size in &paper_sizes() {
+            let cfg = DtConfig {
+                iters: bw_iters(size),
+                wait: mode,
+                ..DtConfig::base(p.clone(), size)
+            };
+            s.push(size as f64, bandwidth(&cfg).mbps);
+        }
+        fig.push(s);
+    }
+    fig
+}
+
+/// Receiver-side CPU utilization (%) vs. message size, per profile
+/// (Fig 4's right panel; with polling every profile pegs at 100%).
+pub fn cpu_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
+    let label = match mode {
+        WaitMode::Poll => "polling",
+        WaitMode::Block => "blocking",
+    };
+    let mut fig = Figure::new(
+        format!("Base CPU utilization with {label} (Fig 4)"),
+        "bytes",
+        "CPU utilization (%)",
+    );
+    for p in profiles {
+        let mut s = Series::new(p.name);
+        for &size in &paper_sizes() {
+            let cfg = DtConfig {
+                iters: LAT_ITERS,
+                wait: mode,
+                ..DtConfig::base(p.clone(), size)
+            };
+            s.push(size as f64, ping_pong(&cfg).client_util * 100.0);
+        }
+        fig.push(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat(profile: Profile, size: u64, mode: WaitMode) -> f64 {
+        let cfg = DtConfig {
+            iters: 20,
+            wait: mode,
+            ..DtConfig::base(profile, size)
+        };
+        ping_pong(&cfg).latency_us
+    }
+
+    fn bw(profile: Profile, size: u64) -> f64 {
+        let cfg = DtConfig {
+            iters: bw_iters(size).min(256),
+            ..DtConfig::base(profile, size)
+        };
+        bandwidth(&cfg).mbps
+    }
+
+    #[test]
+    fn clan_has_lowest_small_message_latency() {
+        // §4.3.1: "cLAN provides the lowest latency."
+        let c = lat(Profile::clan(), 4, WaitMode::Poll);
+        let m = lat(Profile::mvia(), 4, WaitMode::Poll);
+        let b = lat(Profile::bvia(), 4, WaitMode::Poll);
+        assert!(c < m, "cLAN {c} !< M-VIA {m}");
+        assert!(c < b, "cLAN {c} !< BVIA {b}");
+    }
+
+    #[test]
+    fn mvia_beats_bvia_short_bvia_beats_mvia_long() {
+        // §4.3.1: "M-VIA has a lower latency for short messages. BVIA
+        // outperforms M-VIA for longer messages."
+        let m4 = lat(Profile::mvia(), 4, WaitMode::Poll);
+        let b4 = lat(Profile::bvia(), 4, WaitMode::Poll);
+        assert!(m4 < b4, "short: M-VIA {m4} !< BVIA {b4}");
+        let m28 = lat(Profile::mvia(), 28672, WaitMode::Poll);
+        let b28 = lat(Profile::bvia(), 28672, WaitMode::Poll);
+        assert!(b28 < m28, "long: BVIA {b28} !< M-VIA {m28}");
+    }
+
+    #[test]
+    fn bandwidth_shape_matches_fig3() {
+        // §4.3.1: cLAN superior over a large range; BVIA best for large.
+        let (c1, m1, b1) = (
+            bw(Profile::clan(), 1024),
+            bw(Profile::mvia(), 1024),
+            bw(Profile::bvia(), 1024),
+        );
+        assert!(c1 > m1 && c1 > b1, "mid-size: cLAN {c1} vs M-VIA {m1}, BVIA {b1}");
+        let (c28, m28, b28) = (
+            bw(Profile::clan(), 28672),
+            bw(Profile::mvia(), 28672),
+            bw(Profile::bvia(), 28672),
+        );
+        assert!(b28 > c28, "large: BVIA {b28} !> cLAN {c28}");
+        assert!(b28 > m28 && c28 > m28, "M-VIA must trail for large messages");
+    }
+
+    #[test]
+    fn blocking_latency_exceeds_polling_everywhere() {
+        for p in Profile::paper_trio() {
+            let poll = lat(p.clone(), 256, WaitMode::Poll);
+            let block = lat(p, 256, WaitMode::Block);
+            assert!(
+                block > poll + 5.0,
+                "blocking {block} must clearly exceed polling {poll}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_cpu_utilization_below_polling() {
+        let mk = |mode| DtConfig {
+            iters: 16,
+            wait: mode,
+            ..DtConfig::base(Profile::bvia(), 4096)
+        };
+        let poll = ping_pong(&mk(WaitMode::Poll));
+        let block = ping_pong(&mk(WaitMode::Block));
+        assert!(poll.client_util > 0.99, "polling pegs the CPU");
+        assert!(block.client_util < 0.9, "blocking must idle the CPU");
+    }
+
+    #[test]
+    fn mvia_blocking_cpu_higher_for_small_messages() {
+        // §4.3.1: "Since M-VIA emulates VIA in the host operating system,
+        // it has a higher CPU utilization for small messages."
+        let mk = |p| DtConfig {
+            iters: 16,
+            wait: WaitMode::Block,
+            ..DtConfig::base(p, 16)
+        };
+        let m = ping_pong(&mk(Profile::mvia()));
+        let c = ping_pong(&mk(Profile::clan()));
+        assert!(
+            m.client_util > c.client_util,
+            "M-VIA {} !> cLAN {}",
+            m.client_util,
+            c.client_util
+        );
+    }
+}

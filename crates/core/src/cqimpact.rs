@@ -1,0 +1,54 @@
+//! Impact of completion queues (§3.2.3): the base tests with receive
+//! completions checked through a CQ instead of the work queue. The paper
+//! (§4.3.3) reports the overhead as negligible for M-VIA and cLAN and
+//! 2–5 us for Berkeley VIA.
+
+use via::Profile;
+
+use crate::harness::{ping_pong, DtConfig};
+use crate::report::Table;
+
+/// Latency with and without a CQ at `size` bytes, per profile.
+pub fn cq_overhead_table(profiles: &[Profile], size: u64) -> Table {
+    let mut t = Table::new(
+        format!("CQ overhead at {size} B (us, polling)"),
+        vec![
+            "direct".to_string(),
+            "via CQ".to_string(),
+            "overhead".to_string(),
+        ],
+    );
+    for p in profiles {
+        let direct = ping_pong(&DtConfig {
+            iters: 30,
+            ..DtConfig::base(p.clone(), size)
+        })
+        .latency_us;
+        let via_cq = ping_pong(&DtConfig {
+            iters: 30,
+            use_recv_cq: true,
+            ..DtConfig::base(p.clone(), size)
+        })
+        .latency_us;
+        t.push(p.name, vec![direct, via_cq, via_cq - direct]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cq_overheads_match_section_4_3_3() {
+        let t = cq_overhead_table(&Profile::paper_trio(), 64);
+        let bvia = t.cell("BVIA", "overhead").unwrap();
+        let mvia = t.cell("M-VIA", "overhead").unwrap();
+        let clan = t.cell("cLAN", "overhead").unwrap();
+        // "For BVIA, 2-5 microsec overhead was observed."
+        assert!((2.0..=5.0).contains(&bvia), "BVIA CQ overhead {bvia}");
+        // "The impact ... in M-VIA and cLAN was found to be negligible."
+        assert!((0.0..1.0).contains(&mvia), "M-VIA CQ overhead {mvia}");
+        assert!((0.0..1.0).contains(&clan), "cLAN CQ overhead {clan}");
+    }
+}

@@ -1,0 +1,51 @@
+//! # vibe — the VIBe micro-benchmark suite
+//!
+//! The paper's contribution: a structured suite of micro-benchmarks that
+//! evaluates VIA implementations beyond raw latency/bandwidth, organized
+//! in the paper's three categories:
+//!
+//! 1. **Non-data-transfer** ([`nondata`]): VI create/destroy, connection
+//!    establish/teardown, memory registration/deregistration, CQ
+//!    create/destroy (Table 1, Figs. 1–2).
+//! 2. **Data-transfer** ([`base`], [`xlate`], [`cqimpact`], [`mvi`],
+//!    [`extra`]): the base ping-pong/bandwidth/CPU tests and the
+//!    one-knob-at-a-time variants — buffer reuse (address translation),
+//!    completion queues, active-VI count, plus the tech-report extras
+//!    (multiple data segments, asynchronous sends, RDMA, pipeline length,
+//!    MTU, reliability levels) (Figs. 3–6 and §3.2.5).
+//! 3. **Programming-model** ([`client_server`], [`getput`]): the
+//!    request/reply transaction benchmark (Fig. 7) and the get/put model
+//!    the paper's §5 announces as future work.
+//!
+//! [`scale`] adds the fan-in scalability study the paper's introduction
+//! motivates ("insight about the number of VIs to be used in an
+//! implementation and scalability studies").
+//!
+//! [`harness`] holds the measurement machinery; [`report`] renders
+//! paper-style tables/figures; [`suite`] is the experiment registry the
+//! `vibe` runner binary and the bench targets drive.
+
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod breakdown;
+pub mod client_server;
+pub mod cqimpact;
+pub mod dsm_bench;
+pub mod extra;
+pub mod getput;
+pub mod harness;
+pub mod mpl_bench;
+pub mod mvi;
+pub mod nondata;
+pub mod report;
+pub mod scale;
+pub mod suite;
+pub mod xlate;
+
+pub use harness::{
+    bandwidth, paper_sizes, ping_pong, rdma_write_ping, transactions, BandwidthResult, BufferPool,
+    DtConfig, Endpoint, Pair, PingPongResult,
+};
+pub use report::{Artifact, Figure, Series, Table};
+pub use suite::{all_experiments, Experiment};

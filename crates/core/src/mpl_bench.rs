@@ -1,0 +1,144 @@
+//! Programming-model layer benchmark (extension in the paper's §5
+//! direction — "micro-benchmarks ... for distributed memory programming
+//! model (MPI)"): what does a message-passing layer cost over raw VIA, and
+//! where should its eager/rendezvous threshold sit on each implementation?
+//!
+//! This is the question the paper says VIBe exists to answer for
+//! "developers of programming model layers"; here the layer under test is
+//! the workspace's own `mpl` crate, built on the same `via` API.
+
+use mpl::{Mpl, MplConfig};
+use simkit::Sim;
+use via::Profile;
+
+use crate::harness::{paper_sizes, ping_pong, DtConfig};
+use crate::report::{Figure, Series};
+
+/// One-way latency (us) of an `mpl` ping-pong of `size` bytes.
+pub fn layer_latency(profile: Profile, cfg: MplConfig, size: u64, iters: u32) -> f64 {
+    let sim = Sim::new();
+    let handles = Mpl::spawn_world(&sim, profile, 2, cfg, 0xBEEF, move |ctx, mut mpl| {
+        let cap = size.max(1) + 64;
+        let buf = mpl.malloc(cap);
+        let mh = mpl.register(ctx, buf, cap);
+        let peer = 1 - mpl.rank();
+        mpl.barrier(ctx);
+        let t0 = ctx.now();
+        for _ in 0..iters {
+            if mpl.rank() == 0 {
+                mpl.send(ctx, peer, 5, buf, mh, size);
+                mpl.recv(ctx, peer, 5, buf, mh, cap);
+            } else {
+                mpl.recv(ctx, peer, 5, buf, mh, cap);
+                mpl.send(ctx, peer, 5, buf, mh, size);
+            }
+        }
+        (ctx.now() - t0).as_micros_f64() / (2.0 * iters as f64)
+    });
+    sim.run_to_completion();
+    handles[0].expect_result()
+}
+
+/// Layer vs. raw-VIA latency across message sizes, per profile: the
+/// "what does your abstraction cost" figure.
+pub fn overhead_figure(profiles: &[Profile]) -> Figure {
+    let mut fig = Figure::new(
+        "MPL: message-passing layer vs raw VIA latency",
+        "bytes",
+        "one-way latency (us)",
+    );
+    for p in profiles {
+        let mut raw = Series::new(format!("{} raw", p.name));
+        let mut layered = Series::new(format!("{} mpl", p.name));
+        for &size in &paper_sizes() {
+            let r = ping_pong(&DtConfig {
+                iters: 20,
+                ..DtConfig::base(p.clone(), size)
+            });
+            raw.push(size as f64, r.latency_us);
+            layered.push(
+                size as f64,
+                layer_latency(p.clone(), MplConfig::default(), size, 20),
+            );
+        }
+        fig.push(raw);
+        fig.push(layered);
+    }
+    fig
+}
+
+/// Latency at a fixed size while sweeping the eager threshold across it:
+/// the knob a layer implementor tunes with VIBe data.
+pub fn threshold_figure(profile: Profile, size: u64) -> Figure {
+    let mut fig = Figure::new(
+        format!(
+            "MPL: eager-threshold sweep around a {size} B message ({})",
+            profile.name
+        ),
+        "eager threshold (bytes)",
+        "one-way latency (us)",
+    );
+    let mut s = Series::new(profile.name);
+    for &thr in &[1024u32, 2048, 4096, 8192, 16384, 32768] {
+        let cfg = MplConfig {
+            eager_threshold: thr,
+            ..Default::default()
+        };
+        s.push(thr as f64, layer_latency(profile.clone(), cfg, size, 20));
+    }
+    fig.push(s);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_costs_more_than_raw_for_eager_messages() {
+        // The bounce copies and tag matching are not free.
+        let raw = ping_pong(&DtConfig {
+            iters: 16,
+            ..DtConfig::base(Profile::clan(), 1024)
+        })
+        .latency_us;
+        let layered = layer_latency(Profile::clan(), MplConfig::default(), 1024, 16);
+        assert!(layered > raw, "layered {layered} !> raw {raw}");
+        // ... but the overhead must stay modest (well under 2x).
+        assert!(layered < raw * 2.0, "layered {layered} vs raw {raw}");
+    }
+
+    #[test]
+    fn rendezvous_avoids_copies_for_large_messages() {
+        // At 28 KiB the layer's rendezvous path is zero-copy on both
+        // sides; its overhead over raw VIA must be a small constant (the
+        // RTS/CTS handshake), not proportional to the size.
+        let raw = ping_pong(&DtConfig {
+            iters: 12,
+            ..DtConfig::base(Profile::clan(), 28672)
+        })
+        .latency_us;
+        let layered = layer_latency(Profile::clan(), MplConfig::default(), 28672, 12);
+        let overhead = layered - raw;
+        assert!(overhead > 0.0, "layered {layered} vs raw {raw}");
+        assert!(
+            overhead < 40.0,
+            "rendezvous overhead should be a handshake, got {overhead} us"
+        );
+    }
+
+    #[test]
+    fn threshold_matters_where_fig5_says() {
+        // On BVIA a 16 KiB message sent eagerly pays two copies but keeps
+        // translation caches hot; rendezvous is zero-copy but touches
+        // fresh user pages. The sweep must show a real difference.
+        let fig = threshold_figure(Profile::bvia(), 16384);
+        let s = &fig.series[0];
+        let eager = s.at(32768.0).unwrap(); // threshold above size: eager
+        let rendezvous = s.at(1024.0).unwrap(); // threshold below: rendezvous
+        assert!(
+            (eager - rendezvous).abs() > 5.0,
+            "threshold choice must matter: eager {eager} vs rendezvous {rendezvous}"
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! Rendering of benchmark results: paper-style text tables and CSV.
+
+use std::fmt::Write as _;
+
+/// One curve of a figure: y = f(x) with a name (e.g. "BVIA").
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// y value at the given x (exact match), if present.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+
+    /// Final (largest-x) y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|(_, y)| *y)
+    }
+}
+
+/// A bundle of series sharing axes — one paper figure panel.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Figure {
+    /// Panel title (e.g. "Fig 3: base latency, polling").
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// New empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a curve.
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Find a series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Render as an aligned text table: one x column, one column per series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        // Collect the union of x values, keeping order of first appearance.
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !xs.iter().any(|e| (e - x).abs() < 1e-9) {
+                    xs.push(*x);
+                }
+            }
+        }
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for x in &xs {
+            let mut row = vec![format_num(*x)];
+            for s in &self.series {
+                row.push(s.at(*x).map_or_else(|| "-".to_string(), format_num));
+            }
+            rows.push(row);
+        }
+        let _ = writeln!(out, "({})", self.y_label);
+        render_aligned(&mut out, &headers, &rows);
+        out
+    }
+
+    /// Render as CSV (header row, then one row per x).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        let _ = writeln!(out, "{}", headers.join(","));
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !xs.iter().any(|e| (e - x).abs() < 1e-9) {
+                    xs.push(*x);
+                }
+            }
+        }
+        for x in xs {
+            let mut cells = vec![format!("{x}")];
+            for s in &self.series {
+                cells.push(s.at(x).map_or_else(String::new, |y| format!("{y}")));
+            }
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+}
+
+/// A labeled-row table (Table 1 shape): row label + one value per column.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers (after the row-label column).
+    pub columns: Vec<String>,
+    /// Rows: label + cells.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, label: impl Into<String>, cells: Vec<f64>) {
+        let label = label.into();
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row '{label}' has wrong arity"
+        );
+        self.rows.push((label, cells));
+    }
+
+    /// Cell lookup by row label and column name.
+    pub fn cell(&self, row: &str, col: &str) -> Option<f64> {
+        let ci = self.columns.iter().position(|c| c == col)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == row)
+            .map(|(_, cells)| cells[ci])
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut headers = vec![String::new()];
+        headers.extend(self.columns.clone());
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(label, cells)| {
+                let mut row = vec![label.clone()];
+                row.extend(cells.iter().map(|c| format_num(*c)));
+                row
+            })
+            .collect();
+        render_aligned(&mut out, &headers, &rows);
+        out
+    }
+
+    /// Render as CSV (header row, then one row per label).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut headers = vec!["row".to_string()];
+        headers.extend(self.columns.clone());
+        let _ = writeln!(out, "{}", headers.join(","));
+        for (label, cells) in &self.rows {
+            let mut row = vec![label.replace(',', ";")];
+            row.extend(cells.iter().map(|c| format!("{c}")));
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// A rendered experiment output: a figure panel or a table.
+#[derive(Clone, Debug, serde::Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Artifact {
+    /// Multi-series figure panel.
+    Figure(Figure),
+    /// Labeled-row table.
+    Table(Table),
+}
+
+impl Artifact {
+    /// The artifact's title.
+    pub fn title(&self) -> &str {
+        match self {
+            Artifact::Figure(f) => &f.title,
+            Artifact::Table(t) => &t.title,
+        }
+    }
+
+    /// Aligned-text rendering.
+    pub fn render(&self) -> String {
+        match self {
+            Artifact::Figure(f) => f.render(),
+            Artifact::Table(t) => t.render(),
+        }
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        match self {
+            Artifact::Figure(f) => f.to_csv(),
+            Artifact::Table(t) => t.to_csv(),
+        }
+    }
+
+    /// JSON rendering (for the paper's planned "repository of VIBe
+    /// results": a machine-readable dump other tools can aggregate).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifacts are always serializable")
+    }
+}
+
+impl From<Figure> for Artifact {
+    fn from(f: Figure) -> Self {
+        Artifact::Figure(f)
+    }
+}
+
+impl From<Table> for Artifact {
+    fn from(t: Table) -> Self {
+        Artifact::Table(t)
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100_000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn render_aligned(out: &mut String, headers: &[String], rows: &[Vec<String>]) {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(line, "{:>w$}  ", h, w = widths[i]);
+        let _ = i;
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(line, "{:>w$}  ", cell, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("cLAN");
+        s.push(4.0, 8.5);
+        s.push(1024.0, 18.0);
+        assert_eq!(s.at(4.0), Some(8.5));
+        assert_eq!(s.at(5.0), None);
+        assert_eq!(s.last_y(), Some(18.0));
+    }
+
+    #[test]
+    fn figure_renders_union_of_x() {
+        let mut f = Figure::new("t", "bytes", "us");
+        let mut a = Series::new("A");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("B");
+        b.push(2.0, 200.0);
+        f.push(a);
+        f.push(b);
+        let text = f.render();
+        assert!(text.contains("A"), "{text}");
+        assert!(text.contains('-'), "{text}");
+        let csv = f.to_csv();
+        assert!(csv.starts_with("bytes,A,B"));
+        assert!(csv.contains("2,20,200"));
+        assert!(csv.lines().count() == 3);
+    }
+
+    #[test]
+    fn table_cells() {
+        let mut t = Table::new("Table 1", vec!["M-VIA".into(), "BVIA".into()]);
+        t.push("Creating VI", vec![93.0, 28.0]);
+        assert_eq!(t.cell("Creating VI", "BVIA"), Some(28.0));
+        assert_eq!(t.cell("Creating VI", "cLAN"), None);
+        assert_eq!(t.cell("Nope", "BVIA"), None);
+        let text = t.render();
+        assert!(text.contains("93.0") || text.contains("93"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn table_arity_checked() {
+        let mut t = Table::new("x", vec!["a".into(), "b".into()]);
+        t.push("r", vec![1.0]);
+    }
+
+    #[test]
+    fn table_csv() {
+        let mut t = Table::new("x", vec!["a".into(), "b".into()]);
+        t.push("r1", vec![1.5, 2.0]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "row,a,b\nr1,1.5,2\n");
+    }
+
+    #[test]
+    fn artifact_dispatch() {
+        let t = Table::new("tab", vec!["a".into()]);
+        let a: Artifact = t.into();
+        assert_eq!(a.title(), "tab");
+        assert!(a.to_csv().starts_with("row,a"));
+        let f = Figure::new("fig", "x", "y");
+        let a: Artifact = f.into();
+        assert_eq!(a.title(), "fig");
+    }
+
+    #[test]
+    fn artifact_json_roundtrips_structure() {
+        let mut t = Table::new("tab", vec!["a".into()]);
+        t.push("r", vec![2.5]);
+        let a: Artifact = t.into();
+        let json = a.to_json();
+        assert!(json.contains("\"kind\": \"table\""), "{json}");
+        assert!(json.contains("2.5"), "{json}");
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["title"], "tab");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(0.0), "0");
+        assert_eq!(format_num(0.123456), "0.123");
+        assert_eq!(format_num(8.5), "8.50");
+        assert_eq!(format_num(123.456), "123.5");
+        assert_eq!(format_num(123456.0), "123456");
+    }
+}

@@ -1,0 +1,387 @@
+//! The experiment registry: every table and figure the paper reports (plus
+//! the tech-report extras and our extensions) mapped to a runnable that
+//! regenerates it as structured [`Artifact`]s — renderable as paper-style
+//! text or CSV. Drives the `run_suite` example binary and the bench
+//! targets.
+
+use via::Profile;
+
+use crate::report::Artifact;
+use crate::{base, breakdown, client_server, cqimpact, dsm_bench, extra, getput, mpl_bench, mvi, nondata, scale, xlate};
+use simkit::WaitMode;
+
+/// Which paper category an experiment belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Category {
+    /// §3.1 non-data-transfer benchmarks.
+    NonDataTransfer,
+    /// §3.2 data-transfer benchmarks.
+    DataTransfer,
+    /// §3.3 programming-model benchmarks.
+    ProgrammingModel,
+}
+
+/// One runnable experiment.
+pub struct Experiment {
+    /// Short id ("T1", "F3", "X-MDS", …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Paper category.
+    pub category: Category,
+    /// Regenerate the artifact set.
+    pub produce: fn() -> Vec<Artifact>,
+}
+
+impl Experiment {
+    /// Run and render every artifact as paper-style text.
+    pub fn run_text(&self) -> String {
+        (self.produce)()
+            .iter()
+            .map(Artifact::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Run and serialize the artifact set as one JSON document (the
+    /// paper's planned "repository of VIBe results" interchange form).
+    pub fn run_json(&self) -> String {
+        let artifacts = (self.produce)();
+        let items: Vec<String> = artifacts.iter().map(|a| a.to_json()).collect();
+        format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"artifacts\": [\n{}\n  ]\n}}",
+            self.id,
+            self.title,
+            items.join(",\n")
+        )
+    }
+
+    /// Run and render every artifact as `(slug, csv)` pairs suitable for
+    /// writing to files.
+    pub fn run_csv(&self) -> Vec<(String, String)> {
+        (self.produce)()
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let slug: String = a
+                    .title()
+                    .chars()
+                    .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                    .collect();
+                (format!("{}_{}_{}", self.id.to_lowercase(), i, slug), a.to_csv())
+            })
+            .collect()
+    }
+}
+
+fn trio() -> Vec<Profile> {
+    Profile::paper_trio()
+}
+
+fn run_t1() -> Vec<Artifact> {
+    vec![nondata::table1(&trio(), 3).into()]
+}
+
+fn run_f1_f2() -> Vec<Artifact> {
+    let sizes = nondata::registration_sizes();
+    let mut reg = crate::report::Figure::new(
+        "Fig 1: cost of memory registration",
+        "buffer bytes",
+        "cost (us)",
+    );
+    let mut dereg = crate::report::Figure::new(
+        "Fig 2: cost of memory deregistration",
+        "buffer bytes",
+        "cost (us)",
+    );
+    for p in trio() {
+        let (r, d) = nondata::registration_costs(p, &sizes);
+        reg.push(r);
+        dereg.push(d);
+    }
+    vec![reg.into(), dereg.into()]
+}
+
+fn run_f3() -> Vec<Artifact> {
+    vec![
+        base::latency_figure(&trio(), WaitMode::Poll).into(),
+        base::bandwidth_figure(&trio(), WaitMode::Poll).into(),
+    ]
+}
+
+fn run_f4() -> Vec<Artifact> {
+    vec![
+        base::latency_figure(&trio(), WaitMode::Block).into(),
+        base::cpu_figure(&trio(), WaitMode::Block).into(),
+    ]
+}
+
+fn run_f5() -> Vec<Artifact> {
+    let levels = xlate::reuse_levels();
+    vec![
+        xlate::reuse_latency_figure(Profile::bvia(), &levels).into(),
+        xlate::reuse_bandwidth_figure(Profile::bvia(), &levels).into(),
+        // The CPU panel the paper defers to the tech report.
+        xlate::reuse_cpu_figure(Profile::bvia(), &[100, 0]).into(),
+    ]
+}
+
+fn run_cq() -> Vec<Artifact> {
+    vec![cqimpact::cq_overhead_table(&trio(), 64).into()]
+}
+
+fn run_f6() -> Vec<Artifact> {
+    let counts = mvi::vi_counts();
+    let sizes = [4u64, 256, 4096, 28672];
+    vec![
+        mvi::vi_latency_figure(Profile::bvia(), &counts, &sizes).into(),
+        mvi::vi_bandwidth_figure(Profile::bvia(), &counts, &sizes).into(),
+        // The CPU panel the paper defers to the tech report.
+        mvi::vi_cpu_figure(Profile::bvia(), &[1, 8, 32], &sizes).into(),
+    ]
+}
+
+fn run_f7() -> Vec<Artifact> {
+    vec![client_server::transaction_figure(
+        &trio(),
+        &client_server::request_sizes(),
+        &client_server::reply_sizes(),
+    )
+    .into()]
+}
+
+fn run_mds() -> Vec<Artifact> {
+    vec![extra::mds_figure(&trio(), 8192).into()]
+}
+
+fn run_asy() -> Vec<Artifact> {
+    vec![extra::asy_figure(&trio(), 256).into()]
+}
+
+fn run_rdma() -> Vec<Artifact> {
+    vec![extra::rdma_figure(&trio(), &[4, 256, 4096, 28672]).into()]
+}
+
+fn run_pip() -> Vec<Artifact> {
+    vec![extra::pip_figure(&trio(), 4096).into()]
+}
+
+fn run_mtu() -> Vec<Artifact> {
+    let (lat, bw) = extra::mtu_figures(Profile::clan(), 28672);
+    vec![lat.into(), bw.into()]
+}
+
+fn run_rel() -> Vec<Artifact> {
+    vec![
+        extra::rel_table(Profile::clan(), 4096).into(),
+        extra::rel_loss_table(Profile::clan(), 4096, &[0.0, 0.01, 0.05]).into(),
+        extra::rel_tail_table(Profile::clan(), 1024, &[0.0, 0.01, 0.03]).into(),
+    ]
+}
+
+fn run_getput() -> Vec<Artifact> {
+    // An RDMA-read-capable variant provides the model's `get` mapping.
+    let mut custom = Profile::custom();
+    custom.name = "custom+rd-read";
+    custom.supports_rdma_read = true;
+    vec![getput::getput_figure(
+        &[Profile::clan(), Profile::mvia(), custom],
+        &[4, 256, 4096, 28672],
+    )
+    .into()]
+}
+
+fn run_mpl() -> Vec<Artifact> {
+    vec![
+        mpl_bench::overhead_figure(&trio()).into(),
+        mpl_bench::threshold_figure(Profile::bvia(), 16384).into(),
+    ]
+}
+
+fn run_dsm() -> Vec<Artifact> {
+    vec![
+        dsm_bench::migration_table(&trio()).into(),
+        dsm_bench::false_sharing_figure(Profile::clan()).into(),
+    ]
+}
+
+fn run_breakdown() -> Vec<Artifact> {
+    vec![
+        breakdown::breakdown_table(&trio(), 4).into(),
+        breakdown::breakdown_table(&trio(), 28672).into(),
+    ]
+}
+
+fn run_scale() -> Vec<Artifact> {
+    vec![scale::fan_in_figure(&trio(), &[1, 2, 4, 8], 1024).into()]
+}
+
+/// Every experiment, in the paper's reporting order.
+pub fn all_experiments() -> Vec<Experiment> {
+    use Category::*;
+    vec![
+        Experiment {
+            id: "T1",
+            title: "Table 1: non-data transfer costs",
+            category: NonDataTransfer,
+            produce: run_t1,
+        },
+        Experiment {
+            id: "F1-F2",
+            title: "Figs 1-2: memory registration / deregistration",
+            category: NonDataTransfer,
+            produce: run_f1_f2,
+        },
+        Experiment {
+            id: "F3",
+            title: "Fig 3: base latency & bandwidth (polling)",
+            category: DataTransfer,
+            produce: run_f3,
+        },
+        Experiment {
+            id: "F4",
+            title: "Fig 4: base latency & CPU utilization (blocking)",
+            category: DataTransfer,
+            produce: run_f4,
+        },
+        Experiment {
+            id: "F5",
+            title: "Fig 5: buffer-reuse sweep (BVIA)",
+            category: DataTransfer,
+            produce: run_f5,
+        },
+        Experiment {
+            id: "CQ",
+            title: "Sec 4.3.3: completion-queue overhead",
+            category: DataTransfer,
+            produce: run_cq,
+        },
+        Experiment {
+            id: "F6",
+            title: "Fig 6: active-VI sweep (BVIA)",
+            category: DataTransfer,
+            produce: run_f6,
+        },
+        Experiment {
+            id: "F7",
+            title: "Fig 7: client/server transactions",
+            category: ProgrammingModel,
+            produce: run_f7,
+        },
+        Experiment {
+            id: "X-MDS",
+            title: "TR: multiple data segments",
+            category: DataTransfer,
+            produce: run_mds,
+        },
+        Experiment {
+            id: "X-ASY",
+            title: "TR: asynchronous message handling",
+            category: DataTransfer,
+            produce: run_asy,
+        },
+        Experiment {
+            id: "X-RDMA",
+            title: "TR: RDMA write vs send/receive",
+            category: DataTransfer,
+            produce: run_rdma,
+        },
+        Experiment {
+            id: "X-PIP",
+            title: "TR: sender pipeline length",
+            category: DataTransfer,
+            produce: run_pip,
+        },
+        Experiment {
+            id: "X-MTU",
+            title: "TR: maximum transfer unit",
+            category: DataTransfer,
+            produce: run_mtu,
+        },
+        Experiment {
+            id: "X-REL",
+            title: "TR: reliability levels (incl. loss injection)",
+            category: DataTransfer,
+            produce: run_rel,
+        },
+        Experiment {
+            id: "X-GETPUT",
+            title: "Future work (Sec 5): get/put programming model",
+            category: ProgrammingModel,
+            produce: run_getput,
+        },
+        Experiment {
+            id: "X-SCALE",
+            title: "Extension: fan-in scalability (aggregate bandwidth vs clients)",
+            category: ProgrammingModel,
+            produce: run_scale,
+        },
+        Experiment {
+            id: "X-BRK",
+            title: "Extension: per-component breakdown of one transfer",
+            category: DataTransfer,
+            produce: run_breakdown,
+        },
+        Experiment {
+            id: "X-MPL",
+            title: "Future work (Sec 5): message-passing layer over VIA",
+            category: ProgrammingModel,
+            produce: run_mpl,
+        },
+        Experiment {
+            id: "X-DSM",
+            title: "Future work (Sec 5): distributed shared memory over VIA",
+            category: ProgrammingModel,
+            produce: run_dsm,
+        },
+    ]
+}
+
+/// Find an experiment by id (case-insensitive).
+pub fn find(id: &str) -> Option<Experiment> {
+    all_experiments()
+        .into_iter()
+        .find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        for id in ["T1", "F1-F2", "F3", "F4", "F5", "CQ", "F6", "F7"] {
+            assert!(ids.contains(&id), "missing {id}");
+        }
+        // The six TR-only benchmarks of §3.2.5 plus the extensions.
+        for id in [
+            "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE",
+        ] {
+            assert!(ids.contains(&id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("t1").is_some());
+        assert!(find("x-rel").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn cq_experiment_renders_text_and_csv() {
+        let e = find("CQ").unwrap();
+        let text = e.run_text();
+        assert!(text.contains("BVIA"), "{text}");
+        assert!(text.contains("overhead"), "{text}");
+        let csvs = e.run_csv();
+        assert_eq!(csvs.len(), 1);
+        assert!(csvs[0].0.starts_with("cq_0_"), "{}", csvs[0].0);
+        assert!(
+            csvs[0].1.starts_with("row,direct,via CQ,overhead"),
+            "{}",
+            csvs[0].1
+        );
+    }
+}

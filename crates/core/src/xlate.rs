@@ -1,0 +1,177 @@
+//! Impact of virtual-to-physical address translation (§3.2.2): the base
+//! tests with the buffer-reuse percentage swept. On an implementation
+//! whose NIC translates out of host-resident tables through a software
+//! cache (Berkeley VIA), lower reuse means more translation-cache misses
+//! per message — and more so for large messages, which span several pages.
+//! Reproduces Fig. 5.
+
+use via::Profile;
+
+use crate::harness::{bandwidth, paper_sizes, ping_pong, DtConfig};
+use crate::report::{Figure, Series};
+
+/// The reuse percentages Fig. 5 sweeps.
+pub fn reuse_levels() -> Vec<u32> {
+    vec![100, 75, 50, 25, 0]
+}
+
+/// Latency vs. message size, one series per reuse level.
+pub fn reuse_latency_figure(profile: Profile, levels: &[u32]) -> Figure {
+    let mut fig = Figure::new(
+        format!("{}: latency vs buffer reuse (Fig 5)", profile.name),
+        "bytes",
+        "one-way latency (us)",
+    );
+    for &r in levels {
+        let mut s = Series::new(format!("{r}% reuse"));
+        for &size in &paper_sizes() {
+            let cfg = DtConfig {
+                iters: 60,
+                warmup: 0, // warmup would prime the translation cache
+                reuse_percent: r,
+                ..DtConfig::base(profile.clone(), size)
+            };
+            s.push(size as f64, ping_pong(&cfg).latency_us);
+        }
+        fig.push(s);
+    }
+    fig
+}
+
+/// Bandwidth vs. message size, one series per reuse level.
+pub fn reuse_bandwidth_figure(profile: Profile, levels: &[u32]) -> Figure {
+    let mut fig = Figure::new(
+        format!("{}: bandwidth vs buffer reuse (Fig 5)", profile.name),
+        "bytes",
+        "bandwidth (MB/s)",
+    );
+    for &r in levels {
+        let mut s = Series::new(format!("{r}% reuse"));
+        for &size in &paper_sizes() {
+            let cfg = DtConfig {
+                iters: 256,
+                warmup: 0,
+                reuse_percent: r,
+                ..DtConfig::base(profile.clone(), size)
+            };
+            s.push(size as f64, bandwidth(&cfg).mbps);
+        }
+        fig.push(s);
+    }
+    fig
+}
+
+/// Receiver CPU utilization (%) vs. message size per reuse level, with
+/// blocking waits (the TR companion panel; with polling every point is
+/// 100%). More translation misses mean longer NIC phases, so the host
+/// spends a *smaller* fraction of each transfer busy.
+pub fn reuse_cpu_figure(profile: Profile, levels: &[u32]) -> Figure {
+    let mut fig = Figure::new(
+        format!("{}: CPU utilization vs buffer reuse (TR)", profile.name),
+        "bytes",
+        "CPU utilization (%)",
+    );
+    for &r in levels {
+        let mut s = Series::new(format!("{r}% reuse"));
+        for &size in &paper_sizes() {
+            let cfg = DtConfig {
+                iters: 30,
+                warmup: 0,
+                reuse_percent: r,
+                wait: simkit::WaitMode::Block,
+                ..DtConfig::base(profile.clone(), size)
+            };
+            s.push(size as f64, ping_pong(&cfg).client_util * 100.0);
+        }
+        fig.push(s);
+    }
+    fig
+}
+
+/// §4.3.2's sensitivity numbers at `size` bytes: the added one-way latency
+/// (us) and the ratio between 0% and 100% reuse.
+pub fn reuse_sensitivity(profile: Profile, size: u64) -> (f64, f64) {
+    let lat = |r| {
+        let cfg = DtConfig {
+            iters: 60,
+            warmup: 0,
+            reuse_percent: r,
+            ..DtConfig::base(profile.clone(), size)
+        };
+        ping_pong(&cfg).latency_us
+    };
+    let (l0, l100) = (lat(0), lat(100));
+    (l0 - l100, l0 / l100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bvia_latency_degrades_as_reuse_drops() {
+        // §4.3.2: "changing the send and receive buffers has a significant
+        // effect on the latency of messages for BVIA."
+        let fig = reuse_latency_figure(Profile::bvia(), &[100, 50, 0]);
+        let full = fig.series("100% reuse").unwrap();
+        let half = fig.series("50% reuse").unwrap();
+        let none = fig.series("0% reuse").unwrap();
+        for &size in &[4096.0, 28672.0] {
+            let (f, h, n) = (
+                full.at(size).unwrap(),
+                half.at(size).unwrap(),
+                none.at(size).unwrap(),
+            );
+            assert!(n > h && h > f, "at {size}: 0%={n} 50%={h} 100%={f}");
+        }
+    }
+
+    #[test]
+    fn bvia_effect_grows_with_message_size() {
+        // §4.3.2: "The impact of address translation is more severe for
+        // large messages because each message gets mapped to several pages"
+        // — i.e. the *added microseconds* grow with the page count.
+        let (small_us, small_ratio) = reuse_sensitivity(Profile::bvia(), 64);
+        let (large_us, _) = reuse_sensitivity(Profile::bvia(), 28672);
+        assert!(
+            large_us > small_us * 3.0,
+            "added latency must grow with size: small {small_us} us, large {large_us} us"
+        );
+        assert!(small_ratio > 1.10, "even 1-page messages must feel it: {small_ratio}");
+        assert!(large_us > 30.0, "7-page messages must lose tens of us: {large_us}");
+    }
+
+    #[test]
+    fn mvia_and_clan_are_reuse_insensitive() {
+        // §4.3.2: "the results for M-VIA and cLAN do not change
+        // significantly with the percentage of buffer reuse."
+        for p in [Profile::mvia(), Profile::clan()] {
+            let (_, ratio) = reuse_sensitivity(p.clone(), 28672);
+            assert!(
+                (0.98..1.02).contains(&ratio),
+                "{} sensitivity {ratio} should be ~1.0",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_utilization_drops_with_fresh_buffers_when_blocking() {
+        // Misses stretch the NIC phase of each transfer; the blocked host
+        // idles through it, so utilization at 0% reuse is lower.
+        let fig = reuse_cpu_figure(Profile::bvia(), &[100, 0]);
+        let u100 = fig.series("100% reuse").unwrap().at(28672.0).unwrap();
+        let u0 = fig.series("0% reuse").unwrap().at(28672.0).unwrap();
+        assert!(u0 < u100, "0% reuse util {u0} !< 100% reuse util {u100}");
+    }
+
+    #[test]
+    fn bvia_bandwidth_also_degrades() {
+        // §4.3.2: "the percentage of buffer reuse also has a significant
+        // effect on the bandwidth."
+        let fig = reuse_bandwidth_figure(Profile::bvia(), &[100, 0]);
+        let full = fig.series("100% reuse").unwrap().at(28672.0).unwrap();
+        let none = fig.series("0% reuse").unwrap().at(28672.0).unwrap();
+        assert!(none < full, "0% reuse bw {none} !< 100% reuse bw {full}");
+    }
+}

@@ -1,0 +1,127 @@
+//! DSM protocol messages, serialized into VIA message payloads.
+//!
+//! Three message types travel between pagers (and from applications to
+//! remote pagers):
+//!
+//! * `Req { page, requester }` — an application faulted on `page`; sent to
+//!   the page's home.
+//! * `Fwd { page, requester }` — the home redirects the request to the
+//!   current owner.
+//! * `Page { page, data }` — the page itself plus ownership, shipped to
+//!   the requester's pager.
+//!
+//! Encoding is a 1-byte opcode + fixed-width fields + payload; the decode
+//! path validates lengths so a corrupted frame fails loudly.
+
+/// Protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Application `requester` wants ownership of `page` (sent to home).
+    Req {
+        /// Faulting page number.
+        page: u64,
+        /// Rank that wants the page.
+        requester: u32,
+    },
+    /// Home tells the current owner to ship `page` to `requester`.
+    Fwd {
+        /// Page number.
+        page: u64,
+        /// Rank that wants the page.
+        requester: u32,
+    },
+    /// The page and its ownership.
+    Page {
+        /// Page number.
+        page: u64,
+        /// The page's bytes.
+        data: Vec<u8>,
+    },
+}
+
+const OP_REQ: u8 = 1;
+const OP_FWD: u8 = 2;
+const OP_PAGE: u8 = 3;
+
+impl Msg {
+    /// Serialize for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Msg::Req { page, requester } => {
+                let mut v = vec![OP_REQ];
+                v.extend(page.to_le_bytes());
+                v.extend(requester.to_le_bytes());
+                v
+            }
+            Msg::Fwd { page, requester } => {
+                let mut v = vec![OP_FWD];
+                v.extend(page.to_le_bytes());
+                v.extend(requester.to_le_bytes());
+                v
+            }
+            Msg::Page { page, data } => {
+                let mut v = vec![OP_PAGE];
+                v.extend(page.to_le_bytes());
+                v.extend(data);
+                v
+            }
+        }
+    }
+
+    /// Deserialize; panics on malformed input (a simulation bug, not a
+    /// recoverable condition).
+    pub fn decode(bytes: &[u8]) -> Msg {
+        let op = bytes[0];
+        let page = u64::from_le_bytes(bytes[1..9].try_into().expect("page field"));
+        match op {
+            OP_REQ => Msg::Req {
+                page,
+                requester: u32::from_le_bytes(bytes[9..13].try_into().expect("rank field")),
+            },
+            OP_FWD => Msg::Fwd {
+                page,
+                requester: u32::from_le_bytes(bytes[9..13].try_into().expect("rank field")),
+            },
+            OP_PAGE => Msg::Page {
+                page,
+                data: bytes[9..].to_vec(),
+            },
+            other => panic!("unknown DSM opcode {other}"),
+        }
+    }
+
+    /// Encoded length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Msg::Req { .. } | Msg::Fwd { .. } => 13,
+            Msg::Page { data, .. } => 9 + data.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for m in [
+            Msg::Req { page: 7, requester: 3 },
+            Msg::Fwd { page: u64::MAX, requester: 0 },
+            Msg::Page { page: 0, data: vec![1, 2, 3, 4] },
+            Msg::Page { page: 9, data: vec![0; 4096] },
+        ] {
+            let bytes = m.encode();
+            assert_eq!(bytes.len(), m.encoded_len());
+            assert_eq!(Msg::decode(&bytes), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown DSM opcode")]
+    fn bad_opcode_panics() {
+        let mut bytes = Msg::Req { page: 1, requester: 1 }.encode();
+        bytes[0] = 99;
+        let _ = Msg::decode(&bytes);
+    }
+}

@@ -1,0 +1,482 @@
+//! The simulated System Area Network: a single-switch star of N nodes.
+//!
+//! Frames traverse `source uplink → switch → destination downlink`. Each
+//! link direction is a FIFO resource with busy-until occupancy, so
+//! back-to-back sends queue behind each other and bandwidth contention
+//! emerges naturally. Loss injection (for the reliability benchmarks) drops
+//! frames independently on each link traversal with a seeded RNG.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simkit::{Sim, SimDuration, SimRng, SimTime};
+
+use crate::params::{LossModel, NetParams};
+
+/// Index of a node attached to the SAN.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A frame arriving at a node's NIC.
+pub struct Delivery {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node (the node whose handler is invoked).
+    pub dst: NodeId,
+    /// Payload size on the wire (excluding per-frame overhead), in bytes.
+    pub payload_bytes: u32,
+    /// Opaque upper-layer message (the VIA layer downcasts this).
+    pub body: Box<dyn Any + Send>,
+}
+
+/// Handler invoked on the scheduler thread when a frame reaches a node.
+pub type RxHandler = Arc<dyn Fn(&Sim, Delivery) + Send + Sync>;
+
+#[derive(Default)]
+struct DirLink {
+    busy_until: SimTime,
+    /// Gilbert–Elliott channel state (false = Good, true = Bad).
+    bad: bool,
+}
+
+/// Aggregate traffic counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SanStats {
+    /// Frames handed to the fabric.
+    pub frames_sent: u64,
+    /// Frames delivered to a receive handler.
+    pub frames_delivered: u64,
+    /// Frames dropped by loss injection.
+    pub frames_dropped: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl SanState {
+    /// Advance the link's loss-channel state and roll one drop decision.
+    fn roll_loss(rng: &mut SimRng, model: LossModel, link_bad: &mut bool) -> bool {
+        match model {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => rng.chance(p),
+            LossModel::GilbertElliott {
+                p_g2b,
+                p_b2g,
+                loss_good,
+                loss_bad,
+            } => {
+                // State transition first, then the per-frame loss draw.
+                if *link_bad {
+                    if rng.chance(p_b2g) {
+                        *link_bad = false;
+                    }
+                } else if rng.chance(p_g2b) {
+                    *link_bad = true;
+                }
+                rng.chance(if *link_bad { loss_bad } else { loss_good })
+            }
+        }
+    }
+}
+
+struct SanState {
+    params: NetParams,
+    uplinks: Vec<DirLink>,
+    downlinks: Vec<DirLink>,
+    handlers: Vec<Option<RxHandler>>,
+    rng: SimRng,
+    stats: SanStats,
+}
+
+/// Handle to the SAN; cheap to clone.
+#[derive(Clone)]
+pub struct San {
+    sim: Sim,
+    state: Arc<Mutex<SanState>>,
+}
+
+impl San {
+    /// Build a SAN with `nodes` endpoints, all joined through one switch.
+    /// `seed` feeds the loss-injection RNG.
+    pub fn new(sim: Sim, params: NetParams, nodes: usize, seed: u64) -> Self {
+        San {
+            sim,
+            state: Arc::new(Mutex::new(SanState {
+                params,
+                uplinks: (0..nodes).map(|_| DirLink::default()).collect(),
+                downlinks: (0..nodes).map(|_| DirLink::default()).collect(),
+                handlers: (0..nodes).map(|_| None).collect(),
+                rng: SimRng::derive(seed, "fabric-loss"),
+                stats: SanStats::default(),
+            })),
+        }
+    }
+
+    /// Number of attached nodes.
+    pub fn nodes(&self) -> usize {
+        self.state.lock().handlers.len()
+    }
+
+    /// The network parameters this SAN was built with.
+    pub fn params(&self) -> NetParams {
+        self.state.lock().params
+    }
+
+    /// Largest frame payload the links accept; callers fragment above this.
+    pub fn max_frame_payload(&self) -> u32 {
+        self.state.lock().params.link.mtu
+    }
+
+    /// Install the receive handler for `node` (the NIC's rx path).
+    pub fn attach(&self, node: NodeId, handler: RxHandler) {
+        let mut st = self.state.lock();
+        st.handlers[node.index()] = Some(handler);
+    }
+
+    /// Inject a frame. Panics if the payload exceeds the link MTU (upper
+    /// layers own fragmentation) or if src == dst (no loopback path in the
+    /// paper's testbed; VIA loopback short-circuits above the fabric).
+    pub fn send(&self, src: NodeId, dst: NodeId, payload_bytes: u32, body: Box<dyn Any + Send>) {
+        self.send_inner(src, dst, payload_bytes, body, true)
+    }
+
+    /// Like [`San::send`], but exempt from loss injection. Connection
+    /// managers use this: real VIA implementations run their connection
+    /// dialogs over a reliable (kernel-mediated) control channel even when
+    /// the data path is unreliable.
+    pub fn send_control(&self, src: NodeId, dst: NodeId, payload_bytes: u32, body: Box<dyn Any + Send>) {
+        self.send_inner(src, dst, payload_bytes, body, false)
+    }
+
+    fn send_inner(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+        body: Box<dyn Any + Send>,
+        lossy: bool,
+    ) {
+        assert_ne!(src, dst, "fabric has no loopback path");
+        let now = self.sim.now();
+        let (arrive_switch, dropped) = {
+            let mut st = self.state.lock();
+            assert!(
+                payload_bytes <= st.params.link.mtu,
+                "frame payload {} exceeds link MTU {}",
+                payload_bytes,
+                st.params.link.mtu
+            );
+            st.stats.frames_sent += 1;
+            let ser = st.params.link.serialization(payload_bytes);
+            let prop = st.params.link.propagation;
+            let link = &mut st.uplinks[src.index()];
+            let start = link.busy_until.max(now);
+            link.busy_until = start + ser;
+            // Cut-through: the switch starts forwarding once the header is
+            // in (the egress link still pays a full serialization, so the
+            // unloaded path costs one serialization overall). Store-and-
+            // forward: the whole frame must land first.
+            let at_switch = if st.params.switch.cut_through {
+                start + prop + st.params.switch.latency
+            } else {
+                start + ser + prop + st.params.switch.latency
+            };
+            let model = st.params.loss;
+            let st_ref = &mut *st;
+            let dropped = lossy
+                && SanState::roll_loss(
+                    &mut st_ref.rng,
+                    model,
+                    &mut st_ref.uplinks[src.index()].bad,
+                );
+            if dropped {
+                st.stats.frames_dropped += 1;
+            }
+            (at_switch, dropped)
+        };
+        if dropped {
+            return;
+        }
+        let san = self.clone();
+        self.sim.call_at(arrive_switch, move |_| {
+            san.forward(src, dst, payload_bytes, body, lossy);
+        });
+    }
+
+    /// Switch egress stage: occupy the destination downlink, then deliver.
+    fn forward(&self, src: NodeId, dst: NodeId, payload_bytes: u32, body: Box<dyn Any + Send>, lossy: bool) {
+        let now = self.sim.now();
+        let (arrive_nic, dropped) = {
+            let mut st = self.state.lock();
+            let ser = st.params.link.serialization(payload_bytes);
+            let prop = st.params.link.propagation;
+            let link = &mut st.downlinks[dst.index()];
+            let start = link.busy_until.max(now);
+            link.busy_until = start + ser;
+            let arrive = start + ser + prop;
+            let model = st.params.loss;
+            let st_ref = &mut *st;
+            let dropped = lossy
+                && SanState::roll_loss(
+                    &mut st_ref.rng,
+                    model,
+                    &mut st_ref.downlinks[dst.index()].bad,
+                );
+            if dropped {
+                st.stats.frames_dropped += 1;
+            }
+            (arrive, dropped)
+        };
+        if dropped {
+            return;
+        }
+        let san = self.clone();
+        self.sim.call_at(arrive_nic, move |sim| {
+            let handler = {
+                let mut st = san.state.lock();
+                st.stats.frames_delivered += 1;
+                st.stats.bytes_delivered += payload_bytes as u64;
+                st.handlers[dst.index()].clone()
+            };
+            let handler = handler.unwrap_or_else(|| {
+                panic!("frame delivered to node {dst} with no handler attached")
+            });
+            handler(
+                sim,
+                Delivery {
+                    src,
+                    dst,
+                    payload_bytes,
+                    body,
+                },
+            );
+        });
+    }
+
+    /// Unloaded one-way frame latency for a given payload (no queueing):
+    /// one serialization on a cut-through path, two when the switch stores
+    /// and forwards, plus two propagations and the switch traversal.
+    pub fn unloaded_latency(&self, payload_bytes: u32) -> SimDuration {
+        let st = self.state.lock();
+        let ser = st.params.link.serialization(payload_bytes);
+        let sers = if st.params.switch.cut_through { ser } else { ser * 2 };
+        sers + st.params.link.propagation * 2 + st.params.switch.latency
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> SanStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    fn collect_arrivals(san: &San, node: NodeId) -> Arc<Mutex<Vec<(SimTime, u32)>>> {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        san.attach(
+            node,
+            Arc::new(move |sim, d| {
+                log2.lock().push((sim.now(), d.payload_bytes));
+            }),
+        );
+        log
+    }
+
+    #[test]
+    fn single_frame_latency_matches_model() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+        let log = collect_arrivals(&san, NodeId(1));
+        san.send(NodeId(0), NodeId(1), 1024, Box::new(()));
+        sim.run_to_completion();
+        let log = log.lock();
+        assert_eq!(log.len(), 1);
+        let expected = san.unloaded_latency(1024);
+        assert_eq!(log[0].0, SimTime::ZERO + expected);
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_on_uplink() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::gigabit_ethernet(), 2, 1);
+        let log = collect_arrivals(&san, NodeId(1));
+        for _ in 0..3 {
+            san.send(NodeId(0), NodeId(1), 1500, Box::new(()));
+        }
+        sim.run_to_completion();
+        let log = log.lock();
+        assert_eq!(log.len(), 3);
+        // Arrivals are spaced by exactly one serialization time (pipelined).
+        let ser = NetParams::gigabit_ethernet().link.serialization(1500);
+        let gap1 = log[1].0 - log[0].0;
+        let gap2 = log[2].0 - log[1].0;
+        assert_eq!(gap1, ser);
+        assert_eq!(gap2, ser);
+    }
+
+    #[test]
+    fn two_senders_contend_on_shared_downlink() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 3, 1);
+        let log = collect_arrivals(&san, NodeId(2));
+        san.send(NodeId(0), NodeId(2), 8192, Box::new(()));
+        san.send(NodeId(1), NodeId(2), 8192, Box::new(()));
+        sim.run_to_completion();
+        let log = log.lock();
+        assert_eq!(log.len(), 2);
+        // The second frame had to wait for the first on node 2's downlink.
+        let ser = NetParams::myrinet().link.serialization(8192);
+        assert_eq!(log[1].0 - log[0].0, ser);
+    }
+
+    #[test]
+    fn distinct_destinations_do_not_contend_at_egress() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 3, 1);
+        let log1 = collect_arrivals(&san, NodeId(1));
+        let log2 = collect_arrivals(&san, NodeId(2));
+        // One sender, two destinations: uplink is shared, downlinks are not.
+        san.send(NodeId(0), NodeId(1), 4096, Box::new(()));
+        san.send(NodeId(0), NodeId(2), 4096, Box::new(()));
+        sim.run_to_completion();
+        let t1 = log1.lock()[0].0;
+        let t2 = log2.lock()[0].0;
+        // Second frame trails by one uplink serialization only.
+        let ser = NetParams::myrinet().link.serialization(4096);
+        assert_eq!(t2 - t1, ser);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds link MTU")]
+    fn oversized_frame_panics() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::gigabit_ethernet(), 2, 1);
+        san.send(NodeId(0), NodeId(1), 9000, Box::new(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no loopback")]
+    fn loopback_panics() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+        san.send(NodeId(0), NodeId(0), 64, Box::new(()));
+    }
+
+    #[test]
+    fn loss_injection_drops_frames() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet().with_loss(0.5), 2, 99);
+        let log = collect_arrivals(&san, NodeId(1));
+        for _ in 0..200 {
+            san.send(NodeId(0), NodeId(1), 64, Box::new(()));
+        }
+        sim.run_to_completion();
+        let stats = san.stats();
+        assert_eq!(stats.frames_sent, 200);
+        let delivered = log.lock().len() as u64;
+        assert_eq!(stats.frames_delivered, delivered);
+        // p(survive both hops) = 0.25: expect ~50 of 200 through.
+        assert!(delivered > 20 && delivered < 120, "delivered={delivered}");
+        assert!(stats.frames_dropped > 0);
+    }
+
+    #[test]
+    fn lossless_network_delivers_everything() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::clan(), 4, 7);
+        let log = collect_arrivals(&san, NodeId(3));
+        for src in 0..3u32 {
+            for _ in 0..10 {
+                san.send(NodeId(src), NodeId(3), 256, Box::new(()));
+            }
+        }
+        sim.run_to_completion();
+        assert_eq!(log.lock().len(), 30);
+        let stats = san.stats();
+        assert_eq!(stats.frames_delivered, 30);
+        assert_eq!(stats.bytes_delivered, 30 * 256);
+        assert_eq!(stats.frames_dropped, 0);
+    }
+
+    #[test]
+    fn burst_loss_drops_in_clusters() {
+        // Compare the longest run of consecutive drops under burst loss vs
+        // Bernoulli loss at the same mean rate (~9%).
+        fn longest_drop_run(params: NetParams, seed: u64) -> (usize, u64) {
+            let sim = Sim::new();
+            let san = San::new(sim.clone(), params, 2, seed);
+            let got = Arc::new(Mutex::new(Vec::new()));
+            let g2 = Arc::clone(&got);
+            san.attach(
+                NodeId(1),
+                Arc::new(move |_, d| {
+                    let id = *d.body.downcast::<u64>().unwrap();
+                    g2.lock().push(id);
+                }),
+            );
+            for i in 0..2_000u64 {
+                san.send(NodeId(0), NodeId(1), 64, Box::new(i));
+            }
+            sim.run_to_completion();
+            let got = got.lock();
+            let delivered: std::collections::HashSet<u64> = got.iter().copied().collect();
+            let mut longest = 0;
+            let mut run = 0;
+            for i in 0..2_000u64 {
+                if delivered.contains(&i) {
+                    run = 0;
+                } else {
+                    run += 1;
+                    longest = longest.max(run);
+                }
+            }
+            (longest, san.stats().frames_dropped)
+        }
+        let burst =
+            NetParams::myrinet().with_burst_loss(0.005, 0.10, 0.0, 0.95);
+        let (burst_run, burst_drops) = longest_drop_run(burst, 5);
+        let bern = NetParams::myrinet().with_loss(burst.loss.mean_loss());
+        let (bern_run, bern_drops) = longest_drop_run(bern, 5);
+        // Comparable totals, radically different structure.
+        assert!(burst_drops > 50 && bern_drops > 50);
+        assert!(
+            burst_run >= bern_run * 2,
+            "burst runs ({burst_run}) must dwarf Bernoulli runs ({bern_run})"
+        );
+    }
+
+    #[test]
+    fn payload_body_roundtrips() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+        let got = Arc::new(Mutex::new(None));
+        let got2 = Arc::clone(&got);
+        san.attach(
+            NodeId(1),
+            Arc::new(move |_, d| {
+                let v = d.body.downcast::<String>().expect("string body");
+                *got2.lock() = Some((*v).clone());
+            }),
+        );
+        san.send(NodeId(0), NodeId(1), 11, Box::new("hello world".to_string()));
+        sim.run_to_completion();
+        assert_eq!(got.lock().as_deref(), Some("hello world"));
+    }
+}

@@ -1,0 +1,542 @@
+//! The message-passing endpoint: tag-matched, rank-addressed send/receive
+//! over VIA, with automatic eager/rendezvous protocol selection.
+//!
+//! Architecture (the classic MPI-over-VIA design the paper's audience was
+//! building):
+//!
+//! * every rank pair has **two VI connections** — an *eager* VI fed by a
+//!   ring of pre-posted, pre-registered bounce buffers, and a *bulk* VI
+//!   used only for rendezvous payloads, so the FIFO receive queue can be
+//!   pointed at the user's buffer without racing the ring;
+//! * small messages go **eager**: one copy into a registered bounce slot
+//!   on the send side, one copy out of the ring slot on the receive side
+//!   (buffer reuse keeps the NIC's translation cache hot — the Fig. 5
+//!   lesson);
+//! * large messages go **rendezvous**: RTS → receiver posts the user
+//!   buffer on the bulk VI → CTS → sender streams zero-copy from its own
+//!   registered user buffer;
+//! * one completion queue per rank merges every receive queue, drained by
+//!   a progress engine that stashes unexpected messages.
+
+use simkit::{ProcessCtx, SimDuration, WaitMode};
+use via::{
+    Cq, Descriptor, Discriminator, MemAttributes, MemHandle, Profile, Provider, QueueKind,
+    Reliability, ViAttributes, Vi, ViId,
+};
+
+use crate::proto::{self, Kind, Tag};
+
+/// Tag reserved by the layer for its collective operations.
+pub const BARRIER_TAG: Tag = 0xFFFF;
+
+/// Layer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MplConfig {
+    /// Largest message sent eagerly; larger ones use rendezvous.
+    pub eager_threshold: u32,
+    /// Pre-posted ring slots per peer.
+    pub ring_slots: usize,
+    /// Reliability level of every connection (must be supported by the
+    /// profile).
+    pub reliability: Reliability,
+}
+
+impl Default for MplConfig {
+    fn default() -> Self {
+        MplConfig {
+            eager_threshold: 8192,
+            ring_slots: 8,
+            reliability: Reliability::Unreliable,
+        }
+    }
+}
+
+/// Layer counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MplStats {
+    /// Messages sent via the eager path.
+    pub eager_sends: u64,
+    /// Messages sent via rendezvous.
+    pub rendezvous_sends: u64,
+    /// Receives satisfied from the unexpected-message stash.
+    pub unexpected_matches: u64,
+    /// Receives that matched a parked RTS.
+    pub rts_matches: u64,
+}
+
+struct Peer {
+    eager: Vi,
+    bulk: Vi,
+    /// Pre-registered ring slots: `(va, handle)`, reposted after each use.
+    ring: Vec<(u64, MemHandle)>,
+    /// Bounce buffer for this rank's eager sends to the peer.
+    send_slot: (u64, MemHandle),
+    /// Small buffer for RTS/CTS control sends.
+    ctrl_slot: (u64, MemHandle),
+    /// Length of a completed inbound bulk (rendezvous) transfer.
+    bulk_done: Option<u64>,
+    /// A CTS for this rank's outstanding rendezvous send arrived.
+    cts_pending: bool,
+}
+
+/// One rank's endpoint. Construct with [`Mpl::attach`] inside the rank's
+/// simulated process.
+pub struct Mpl {
+    provider: Provider,
+    rank: usize,
+    ranks: usize,
+    cfg: MplConfig,
+    cq: Cq,
+    peers: Vec<Option<Peer>>,
+    /// Unexpected eager messages: `(src, tag, payload)`.
+    unexpected: Vec<(usize, Tag, Vec<u8>)>,
+    /// Parked rendezvous requests: `(src, tag, len)`.
+    pending_rts: Vec<(usize, Tag, u64)>,
+    stats: MplStats,
+}
+
+impl Mpl {
+    /// Build the endpoint: creates two VIs per peer, wires every receive
+    /// queue to one CQ, connects the full mesh (lower rank initiates), and
+    /// posts the eager rings. Call from the rank's own process.
+    pub fn attach(
+        ctx: &mut ProcessCtx,
+        provider: Provider,
+        rank: usize,
+        ranks: usize,
+        cfg: MplConfig,
+    ) -> Self {
+        assert!(ranks >= 2, "a world needs at least two ranks");
+        assert!(rank < ranks);
+        assert!(
+            provider.profile().supports_reliability(cfg.reliability),
+            "profile does not support the requested reliability"
+        );
+        let slot_len = (cfg.eager_threshold as u64).max(64);
+        let cq = provider
+            .create_cq(ctx, (ranks * (cfg.ring_slots + 2) * 2).max(64))
+            .expect("cq");
+        let attrs = ViAttributes {
+            reliability: cfg.reliability,
+            ..Default::default()
+        };
+        let mut peers: Vec<Option<Peer>> = (0..ranks).map(|_| None).collect();
+        // Deterministic mesh bring-up: for each pair, the lower rank
+        // connects and the higher accepts; requests park at the acceptor,
+        // so no extra synchronization is needed.
+        #[allow(clippy::needless_range_loop)] // `peer` is a rank, not an index
+        for peer in 0..ranks {
+            if peer == rank {
+                continue;
+            }
+            let eager = provider
+                .create_vi(ctx, attrs, None, Some(&cq))
+                .expect("eager vi");
+            let bulk = provider
+                .create_vi(ctx, attrs, None, Some(&cq))
+                .expect("bulk vi");
+            let (lo, hi) = (rank.min(peer), rank.max(peer));
+            let pair = (lo * ranks + hi) as u64;
+            let (d_eager, d_bulk) = (Discriminator(pair * 2), Discriminator(pair * 2 + 1));
+            if rank < peer {
+                provider
+                    .connect(ctx, &eager, fabric::NodeId(peer as u32), d_eager, None)
+                    .expect("connect eager");
+                provider
+                    .connect(ctx, &bulk, fabric::NodeId(peer as u32), d_bulk, None)
+                    .expect("connect bulk");
+            } else {
+                provider.accept(ctx, &eager, d_eager).expect("accept eager");
+                provider.accept(ctx, &bulk, d_bulk).expect("accept bulk");
+            }
+            // Eager receive ring + send-side bounce/control slots.
+            let mut ring = Vec::with_capacity(cfg.ring_slots);
+            for _ in 0..cfg.ring_slots {
+                let va = provider.malloc(slot_len);
+                let mh = provider
+                    .register_mem(ctx, va, slot_len, MemAttributes::default())
+                    .expect("ring slot");
+                eager
+                    .post_recv(ctx, Descriptor::recv().segment(va, mh, slot_len as u32))
+                    .expect("ring post");
+                ring.push((va, mh));
+            }
+            let sva = provider.malloc(slot_len);
+            let smh = provider
+                .register_mem(ctx, sva, slot_len, MemAttributes::default())
+                .expect("send slot");
+            let cva = provider.malloc(64);
+            let cmh = provider
+                .register_mem(ctx, cva, 64, MemAttributes::default())
+                .expect("ctrl slot");
+            peers[peer] = Some(Peer {
+                eager,
+                bulk,
+                ring,
+                send_slot: (sva, smh),
+                ctrl_slot: (cva, cmh),
+                bulk_done: None,
+                cts_pending: false,
+            });
+        }
+        Mpl {
+            provider,
+            rank,
+            ranks,
+            cfg,
+            cq,
+            peers,
+            unexpected: Vec::new(),
+            pending_rts: Vec::new(),
+            stats: MplStats::default(),
+        }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Layer counters.
+    pub fn stats(&self) -> MplStats {
+        self.stats
+    }
+
+    /// Register an application buffer for zero-copy rendezvous transfers.
+    pub fn register(&self, ctx: &mut ProcessCtx, va: u64, len: u64) -> MemHandle {
+        self.provider
+            .register_mem(ctx, va, len, MemAttributes::default())
+            .expect("user registration")
+    }
+
+    /// Allocate application memory (convenience; see [`Provider::malloc`]).
+    pub fn malloc(&self, len: u64) -> u64 {
+        self.provider.malloc(len)
+    }
+
+    /// Raw memory access for tests/examples.
+    pub fn mem_write(&self, va: u64, data: &[u8]) {
+        self.provider.mem_write(va, data);
+    }
+
+    /// Raw memory access for tests/examples.
+    pub fn mem_read(&self, va: u64, len: u64) -> Vec<u8> {
+        self.provider.mem_read(va, len)
+    }
+
+    fn peer(&mut self, rank: usize) -> &mut Peer {
+        self.peers[rank]
+            .as_mut()
+            .unwrap_or_else(|| panic!("no connection to rank {rank}"))
+    }
+
+    fn classify(&self, vi_id: ViId) -> Option<(usize, bool)> {
+        for (r, p) in self.peers.iter().enumerate() {
+            if let Some(p) = p {
+                if p.eager.id() == vi_id {
+                    return Some((r, true));
+                }
+                if p.bulk.id() == vi_id {
+                    return Some((r, false));
+                }
+            }
+        }
+        None
+    }
+
+    /// Drive the progress engine through one completion.
+    fn progress(&mut self, ctx: &mut ProcessCtx) {
+        let (vi_id, kind) = self.cq.wait(ctx, WaitMode::Poll);
+        if kind != QueueKind::Recv {
+            return;
+        }
+        let Some((src, is_eager)) = self.classify(vi_id) else {
+            return;
+        };
+        if !is_eager {
+            // A rendezvous payload landed in the user's buffer.
+            let comp = self.peer(src).bulk.recv_done(ctx).expect("bulk completion");
+            assert!(comp.is_ok(), "bulk recv: {:?}", comp.status);
+            self.peer(src).bulk_done = Some(comp.length);
+            return;
+        }
+        let comp = self.peer(src).eager.recv_done(ctx).expect("eager completion");
+        assert!(comp.is_ok(), "eager recv: {:?}", comp.status);
+        let (kind, tag) = proto::unpack(comp.immediate.expect("layer messages carry imm"))
+            .expect("valid layer immediate");
+        // The completed descriptor is the ring's oldest slot: rotate it.
+        let slot = {
+            let p = self.peer(src);
+            let slot = p.ring.remove(0);
+            p.ring.push(slot);
+            slot
+        };
+        match kind {
+            Kind::Eager => {
+                let data = self.provider.mem_read(slot.0, comp.length.max(1))
+                    [..comp.length as usize]
+                    .to_vec();
+                // Stash copy costs host time, like a real unexpected queue.
+                ctx.busy(self.provider.profile().host.copy_time(comp.length));
+                self.unexpected.push((src, tag, data));
+            }
+            Kind::Rts => {
+                let len = proto::decode_len(&self.provider.mem_read(slot.0, 8));
+                self.pending_rts.push((src, tag, len));
+            }
+            Kind::Cts => {
+                self.peer(src).cts_pending = true;
+            }
+        }
+        // Re-arm the slot.
+        let slot_len = (self.cfg.eager_threshold as u64).max(64);
+        let p = self.peer(src);
+        let (va, mh) = *p.ring.last().expect("ring nonempty");
+        p.eager
+            .post_recv(ctx, Descriptor::recv().segment(va, mh, slot_len as u32))
+            .expect("ring repost");
+    }
+
+    fn send_eager_frame(
+        &mut self,
+        ctx: &mut ProcessCtx,
+        dst: usize,
+        imm: u32,
+        slot: (u64, MemHandle),
+        len: u64,
+    ) {
+        let vi = self.peer(dst).eager.clone();
+        vi.post_send(
+            ctx,
+            Descriptor::send().segment(slot.0, slot.1, len as u32).immediate(imm),
+        )
+        .expect("eager post");
+        let comp = vi.send_wait(ctx, WaitMode::Poll);
+        assert!(comp.is_ok(), "eager send: {:?}", comp.status);
+    }
+
+    /// Blocking tagged send of `len` bytes at `(va, mh)` to `dst`.
+    /// `mh` is only dereferenced on the rendezvous path (zero-copy); eager
+    /// sends bounce through the layer's registered slot.
+    pub fn send(
+        &mut self,
+        ctx: &mut ProcessCtx,
+        dst: usize,
+        tag: Tag,
+        va: u64,
+        mh: MemHandle,
+        len: u64,
+    ) {
+        assert!(tag != BARRIER_TAG, "tag {BARRIER_TAG:#x} is reserved");
+        if len <= self.cfg.eager_threshold as u64 {
+            self.stats.eager_sends += 1;
+            // One copy into the hot, registered bounce slot.
+            let slot = self.peer(dst).send_slot;
+            if len > 0 {
+                let data = self.provider.mem_read(va, len);
+                self.provider.mem_write(slot.0, &data);
+                ctx.busy(self.provider.profile().host.copy_time(len));
+            }
+            self.send_eager_frame(ctx, dst, proto::pack(Kind::Eager, tag), slot, len);
+        } else {
+            self.stats.rendezvous_sends += 1;
+            // RTS with the length, wait for CTS, stream zero-copy.
+            let ctrl = self.peer(dst).ctrl_slot;
+            self.provider.mem_write(ctrl.0, &proto::encode_len(len));
+            self.send_eager_frame(ctx, dst, proto::pack(Kind::Rts, tag), ctrl, 8);
+            while !self.peer(dst).cts_pending {
+                self.progress(ctx);
+            }
+            self.peer(dst).cts_pending = false;
+            let bulk = self.peer(dst).bulk.clone();
+            bulk.post_send(ctx, Descriptor::send().segment(va, mh, len as u32))
+                .expect("bulk post");
+            let comp = bulk.send_wait(ctx, WaitMode::Poll);
+            assert!(comp.is_ok(), "bulk send: {:?}", comp.status);
+        }
+    }
+
+    /// Blocking tagged receive from `src` into `(va, mh, cap)`. Returns the
+    /// message length. Panics if the message exceeds `cap` (a protocol
+    /// error in the application, as in MPI_ERR_TRUNCATE).
+    pub fn recv(
+        &mut self,
+        ctx: &mut ProcessCtx,
+        src: usize,
+        tag: Tag,
+        va: u64,
+        mh: MemHandle,
+        cap: u64,
+    ) -> u64 {
+        loop {
+            // 1) Unexpected eager message already stashed?
+            if let Some(i) = self
+                .unexpected
+                .iter()
+                .position(|(s, t, _)| *s == src && *t == tag)
+            {
+                let (_, _, data) = self.unexpected.remove(i);
+                assert!(data.len() as u64 <= cap, "message truncated");
+                self.stats.unexpected_matches += 1;
+                if !data.is_empty() {
+                    self.provider.mem_write(va, &data);
+                    ctx.busy(self.provider.profile().host.copy_time(data.len() as u64));
+                }
+                return data.len() as u64;
+            }
+            // 2) Parked rendezvous request?
+            if let Some(i) = self
+                .pending_rts
+                .iter()
+                .position(|(s, t, _)| *s == src && *t == tag)
+            {
+                let (_, _, len) = self.pending_rts.remove(i);
+                assert!(len <= cap, "message truncated");
+                self.stats.rts_matches += 1;
+                // Post the landing descriptor FIRST, then clear-to-send.
+                let bulk = self.peer(src).bulk.clone();
+                bulk.post_recv(ctx, Descriptor::recv().segment(va, mh, len as u32))
+                    .expect("bulk landing");
+                let ctrl = self.peer(src).ctrl_slot;
+                self.send_eager_frame(ctx, src, proto::pack(Kind::Cts, tag), ctrl, 0);
+                loop {
+                    if let Some(got) = self.peer(src).bulk_done.take() {
+                        assert_eq!(got, len, "rendezvous length mismatch");
+                        return got;
+                    }
+                    self.progress(ctx);
+                }
+            }
+            // 3) Nothing matches yet: make progress.
+            self.progress(ctx);
+        }
+    }
+
+    /// A linear barrier over the layer's own messages (rank 0 gathers,
+    /// then releases).
+    pub fn barrier(&mut self, ctx: &mut ProcessCtx) {
+        if self.rank == 0 {
+            for r in 1..self.ranks {
+                self.recv_barrier(ctx, r);
+            }
+            for r in 1..self.ranks {
+                self.send_barrier(ctx, r);
+            }
+        } else {
+            self.send_barrier(ctx, 0);
+            self.recv_barrier(ctx, 0);
+        }
+    }
+
+    fn send_barrier(&mut self, ctx: &mut ProcessCtx, dst: usize) {
+        let ctrl = self.peer(dst).ctrl_slot;
+        self.send_eager_frame(ctx, dst, proto::pack(Kind::Eager, BARRIER_TAG), ctrl, 0);
+    }
+
+    fn recv_barrier(&mut self, ctx: &mut ProcessCtx, src: usize) {
+        loop {
+            if let Some(i) = self
+                .unexpected
+                .iter()
+                .position(|(s, t, _)| *s == src && *t == BARRIER_TAG)
+            {
+                self.unexpected.remove(i);
+                return;
+            }
+            self.progress(ctx);
+        }
+    }
+
+    /// Build a default world: a cluster of `ranks` nodes on `profile`, one
+    /// spawned process per rank running `body(ctx, mpl)`. Returns the
+    /// handles in rank order. (Convenience for tests and benchmarks.)
+    pub fn spawn_world<F, R>(
+        sim: &simkit::Sim,
+        profile: Profile,
+        ranks: usize,
+        cfg: MplConfig,
+        seed: u64,
+        body: F,
+    ) -> Vec<simkit::ProcessHandle<R>>
+    where
+        F: Fn(&mut ProcessCtx, Mpl) -> R + Clone + Send + 'static,
+        R: Send + 'static,
+    {
+        let cluster = via::Cluster::new(sim.clone(), profile, ranks, seed);
+        (0..ranks)
+            .map(|rank| {
+                let provider = cluster.provider(rank);
+                let body = body.clone();
+                sim.spawn(format!("rank{rank}"), Some(provider.cpu()), move |ctx| {
+                    let mpl = Mpl::attach(ctx, provider, rank, ranks, cfg);
+                    body(ctx, mpl)
+                })
+            })
+            .collect()
+    }
+}
+
+/// Small helper: sleep long enough for in-flight layer traffic to drain in
+/// tests (virtual time is free).
+pub fn settle(ctx: &mut ProcessCtx) {
+    ctx.sleep(SimDuration::from_millis(2));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Sim;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = MplConfig::default();
+        assert_eq!(c.eager_threshold, 8192);
+        assert!(c.ring_slots >= 2);
+        assert_eq!(c.reliability, Reliability::Unreliable);
+    }
+
+    #[test]
+    fn attach_builds_a_full_mesh() {
+        let sim = Sim::new();
+        let handles = Mpl::spawn_world(
+            &sim,
+            Profile::clan(),
+            3,
+            MplConfig::default(),
+            0,
+            |_ctx, mpl| {
+                // Every peer slot except self is populated.
+                (mpl.rank(), mpl.ranks())
+            },
+        );
+        sim.run_to_completion();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.expect_result(), (i, 3));
+        }
+    }
+
+    #[test]
+    fn stats_start_at_zero() {
+        let sim = Sim::new();
+        let handles = Mpl::spawn_world(
+            &sim,
+            Profile::clan(),
+            2,
+            MplConfig::default(),
+            0,
+            |_ctx, mpl| {
+                let s = mpl.stats();
+                s.eager_sends + s.rendezvous_sends + s.unexpected_matches + s.rts_matches
+            },
+        );
+        sim.run_to_completion();
+        for h in handles {
+            assert_eq!(h.expect_result(), 0);
+        }
+    }
+}

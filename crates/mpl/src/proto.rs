@@ -1,0 +1,82 @@
+//! The wire protocol of the message-passing layer: message kinds and the
+//! immediate-data encoding that carries them.
+//!
+//! Every eager-VI message carries a 32-bit immediate:
+//! `[kind:2][reserved:14][tag:16]`. Tags are the application's matching
+//! key (like MPI tags); kinds distinguish user data from rendezvous
+//! control.
+
+/// Matching tag (16 bits on the wire).
+pub type Tag = u16;
+
+/// Message kinds on the eager VI.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// User payload delivered inline (length ≤ eager threshold).
+    Eager,
+    /// Request-to-send: a rendezvous transfer of `len` bytes (payload
+    /// carries the length) wants to start.
+    Rts,
+    /// Clear-to-send: the receiver posted the landing descriptor on the
+    /// bulk VI; the sender may stream.
+    Cts,
+}
+
+/// Pack a kind and tag into a descriptor immediate.
+pub fn pack(kind: Kind, tag: Tag) -> u32 {
+    let k = match kind {
+        Kind::Eager => 0u32,
+        Kind::Rts => 1,
+        Kind::Cts => 2,
+    };
+    (k << 30) | tag as u32
+}
+
+/// Unpack a descriptor immediate. Returns `None` on an unknown kind.
+pub fn unpack(imm: u32) -> Option<(Kind, Tag)> {
+    let kind = match imm >> 30 {
+        0 => Kind::Eager,
+        1 => Kind::Rts,
+        2 => Kind::Cts,
+        _ => return None,
+    };
+    Some((kind, (imm & 0xFFFF) as Tag))
+}
+
+/// Encode a rendezvous length into the RTS payload.
+pub fn encode_len(len: u64) -> [u8; 8] {
+    len.to_le_bytes()
+}
+
+/// Decode an RTS payload.
+pub fn decode_len(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for kind in [Kind::Eager, Kind::Rts, Kind::Cts] {
+            for tag in [0u16, 1, 77, u16::MAX] {
+                assert_eq!(unpack(pack(kind, tag)), Some((kind, tag)));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_none() {
+        assert_eq!(unpack(3 << 30), None);
+    }
+
+    #[test]
+    fn len_roundtrip() {
+        for len in [0u64, 1, 28672, u64::MAX] {
+            assert_eq!(decode_len(&encode_len(len)), len);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The discrete-event scheduler.
+//!
+//! Events are ordered by `(time, insertion sequence)`, so simultaneous events
+//! run in FIFO order and a run is fully deterministic: the interleaving of
+//! simulated processes is decided by the event queue alone, never by the OS
+//! thread scheduler (see [`crate::process`] for the baton protocol that
+//! guarantees only one simulated entity executes at a time).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cpu::{CpuId, CpuRecord};
+use crate::process::{ProcessCtx, ProcessHandle, ProcessId, ProcessRecord, WaitToken};
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled callback: runs on the scheduler thread with a `&Sim` handle.
+pub type Event = Box<dyn FnOnce(&Sim) + Send + 'static>;
+
+pub(crate) enum Action {
+    Call(Event),
+    Wake(WaitToken),
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Default)]
+struct SchedState {
+    queue: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+pub(crate) struct SimInner {
+    sched: Mutex<SchedState>,
+    /// Mirror of the current virtual time for lock-free reads.
+    now_ns: AtomicU64,
+    pub(crate) procs: Mutex<Vec<Arc<ProcessRecord>>>,
+    pub(crate) cpus: Mutex<Vec<CpuRecord>>,
+    pub(crate) shutdown: AtomicBool,
+}
+
+/// Handle to a simulation. Cheap to clone; all clones share one virtual
+/// world. The thread that calls [`Sim::run`] becomes the scheduler thread.
+#[derive(Clone)]
+pub struct Sim {
+    pub(crate) inner: Arc<SimInner>,
+}
+
+/// What [`Sim::run`] observed when the event queue drained.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Virtual time when the queue drained.
+    pub end_time: SimTime,
+    /// Number of events executed.
+    pub events: u64,
+    /// Names of processes that were still blocked when the queue drained
+    /// (non-empty means the simulation deadlocked or was abandoned mid-wait).
+    pub blocked: Vec<String>,
+}
+
+impl RunReport {
+    /// True when every spawned process ran to completion.
+    pub fn is_quiescent(&self) -> bool {
+        self.blocked.is_empty()
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Self {
+        Sim {
+            inner: Arc::new(SimInner {
+                sched: Mutex::new(SchedState::default()),
+                now_ns: AtomicU64::new(0),
+                procs: Mutex::new(Vec::new()),
+                cpus: Mutex::new(Vec::new()),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.inner.now_ns.load(AtomicOrdering::Acquire))
+    }
+
+    pub(crate) fn push(&self, at: SimTime, action: Action) {
+        debug_assert!(
+            at >= self.now(),
+            "scheduling into the past: {at:?} < {:?}",
+            self.now()
+        );
+        let mut s = self.inner.sched.lock();
+        let seq = s.seq;
+        s.seq += 1;
+        s.queue.push(Scheduled { at, seq, action });
+    }
+
+    /// Schedule `f` to run at absolute time `at` on the scheduler thread.
+    pub fn call_at(&self, at: SimTime, f: impl FnOnce(&Sim) + Send + 'static) {
+        self.push(at, Action::Call(Box::new(f)));
+    }
+
+    /// Schedule `f` to run `delay` from now.
+    pub fn call_in(&self, delay: SimDuration, f: impl FnOnce(&Sim) + Send + 'static) {
+        self.call_at(self.now() + delay, f);
+    }
+
+    /// Schedule `f` to run at the current time, after already-queued
+    /// same-time events.
+    pub fn call_soon(&self, f: impl FnOnce(&Sim) + Send + 'static) {
+        self.call_at(self.now(), f);
+    }
+
+    /// Wake the process waiting on `token` at the current time. Stale tokens
+    /// (the process has since moved on) are ignored, so it is always safe to
+    /// signal.
+    pub fn wake(&self, token: WaitToken) {
+        self.push(self.now(), Action::Wake(token));
+    }
+
+    /// Wake the process waiting on `token` after `delay` (used for timeouts).
+    pub fn wake_in(&self, delay: SimDuration, token: WaitToken) {
+        self.push(self.now() + delay, Action::Wake(token));
+    }
+
+    /// Spawn a simulated process. `body` runs on a dedicated OS thread but
+    /// the baton protocol guarantees it never executes concurrently with the
+    /// scheduler or another process. `cpu`, when given, is charged by
+    /// [`ProcessCtx::busy`] and the `*_charged` waits.
+    pub fn spawn<T, F>(&self, name: impl Into<String>, cpu: Option<CpuId>, body: F) -> ProcessHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut ProcessCtx) -> T + Send + 'static,
+    {
+        let name = name.into();
+        let record = {
+            let mut procs = self.inner.procs.lock();
+            let pid = ProcessId::new(procs.len() as u32);
+            let record = Arc::new(ProcessRecord::new(pid, name, cpu));
+            procs.push(Arc::clone(&record));
+            record
+        };
+        let handle = ProcessHandle::new(Arc::clone(&record));
+        let result_slot = handle.slot();
+        let sim = self.clone();
+        let rec = Arc::clone(&record);
+        std::thread::Builder::new()
+            .name(format!("sim-{}", record.name))
+            .spawn(move || {
+                rec.wait_for_first_wake();
+                let mut ctx = ProcessCtx::new(sim, Arc::clone(&rec));
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                match outcome {
+                    Ok(value) => {
+                        *result_slot.lock() = Some(value);
+                        rec.finish(None);
+                    }
+                    Err(payload) => {
+                        if crate::process::is_shutdown_panic(&payload) {
+                            rec.finish(None); // quiet teardown via Sim::shutdown()
+                        } else {
+                            rec.finish(Some(payload));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn simulated process thread");
+        // First wake: token sequence 0, the state ProcessRecord::new starts in.
+        self.push(self.now(), Action::Wake(WaitToken::initial(record.pid)));
+        handle
+    }
+
+    /// Drive the simulation until the event queue drains, then report.
+    pub fn run(&self) -> RunReport {
+        let mut events = 0u64;
+        loop {
+            let next = { self.inner.sched.lock().queue.pop() };
+            let Some(Scheduled { at, action, .. }) = next else {
+                break;
+            };
+            debug_assert!(at.as_nanos() >= self.inner.now_ns.load(AtomicOrdering::Relaxed));
+            self.inner.now_ns.store(at.as_nanos(), AtomicOrdering::Release);
+            events += 1;
+            match action {
+                Action::Call(f) => f(self),
+                Action::Wake(token) => self.dispatch_wake(token),
+            }
+        }
+        let blocked = self
+            .inner
+            .procs
+            .lock()
+            .iter()
+            .filter(|p| p.is_blocked())
+            .map(|p| p.name.clone())
+            .collect();
+        RunReport {
+            end_time: self.now(),
+            events,
+            blocked,
+        }
+    }
+
+    /// Like [`Sim::run`], but panics if any process is still blocked when the
+    /// queue drains — the normal mode for experiments and tests.
+    pub fn run_to_completion(&self) -> RunReport {
+        let report = self.run();
+        assert!(
+            report.is_quiescent(),
+            "simulation deadlocked at {}; blocked processes: {:?}",
+            report.end_time,
+            report.blocked
+        );
+        report
+    }
+
+    fn dispatch_wake(&self, token: WaitToken) {
+        let record = {
+            let procs = self.inner.procs.lock();
+            match procs.get(token.pid().index()) {
+                Some(r) => Arc::clone(r),
+                None => return,
+            }
+        };
+        record.try_resume(token);
+    }
+
+    /// Ask every blocked process thread to unwind and exit. Call this before
+    /// abandoning a simulation whose processes may still be parked (e.g.
+    /// after an intentional-deadlock test); otherwise their threads stay
+    /// parked until the host process exits.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, AtomicOrdering::SeqCst);
+        let procs = self.inner.procs.lock();
+        for p in procs.iter() {
+            p.notify_shutdown();
+        }
+    }
+
+    /// Register a CPU for busy-time accounting and return its id.
+    pub fn add_cpu(&self, name: impl Into<String>) -> CpuId {
+        let mut cpus = self.inner.cpus.lock();
+        let id = CpuId::new(cpus.len() as u32);
+        cpus.push(CpuRecord::new(name.into()));
+        id
+    }
+
+    /// Add `amount` of busy time to `cpu` (the `getrusage` counterpart).
+    pub fn charge(&self, cpu: CpuId, amount: SimDuration) {
+        let mut cpus = self.inner.cpus.lock();
+        cpus[cpu.index()].busy += amount;
+    }
+
+    /// Total busy time accumulated on `cpu`.
+    pub fn cpu_busy(&self, cpu: CpuId) -> SimDuration {
+        self.inner.cpus.lock()[cpu.index()].busy
+    }
+
+    /// Name given to `cpu` at registration.
+    pub fn cpu_name(&self, cpu: CpuId) -> String {
+        self.inner.cpus.lock()[cpu.index()].name.clone()
+    }
+
+    /// Number of events currently queued (diagnostics/tests).
+    pub fn queued_events(&self) -> usize {
+        self.inner.sched.lock().queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (delay_us, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = Arc::clone(&log);
+            sim.call_in(SimDuration::from_micros(delay_us), move |_| {
+                log.lock().push(tag);
+            });
+        }
+        let report = sim.run();
+        assert_eq!(*log.lock(), vec!['a', 'b', 'c']);
+        assert_eq!(report.events, 3);
+        assert_eq!(report.end_time, SimTime::from_nanos(30_000));
+    }
+
+    #[test]
+    fn same_time_events_run_fifo() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in 0..16 {
+            let log = Arc::clone(&log);
+            sim.call_in(SimDuration::from_micros(5), move |_| log.lock().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.lock(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let sim = Sim::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        fn chain(sim: &Sim, count: Arc<AtomicUsize>, left: usize) {
+            if left == 0 {
+                return;
+            }
+            count.fetch_add(1, AtomicOrdering::Relaxed);
+            sim.call_in(SimDuration::from_micros(1), move |s| chain(s, count, left - 1));
+        }
+        let c = Arc::clone(&count);
+        sim.call_soon(move |s| chain(s, c, 100));
+        let report = sim.run();
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 100);
+        assert_eq!(report.end_time, SimTime::from_nanos(100_000));
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let sim = Sim::new();
+        let times = Arc::new(Mutex::new(Vec::new()));
+        for d in [50u64, 10, 10, 40, 20] {
+            let times = Arc::clone(&times);
+            sim.call_in(SimDuration::from_micros(d), move |s| {
+                times.lock().push(s.now());
+            });
+        }
+        sim.run();
+        let times = times.lock();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cpu_charging_accumulates() {
+        let sim = Sim::new();
+        let cpu = sim.add_cpu("node0");
+        sim.charge(cpu, SimDuration::from_micros(3));
+        sim.charge(cpu, SimDuration::from_micros(4));
+        assert_eq!(sim.cpu_busy(cpu), SimDuration::from_micros(7));
+        assert_eq!(sim.cpu_name(cpu), "node0");
+    }
+
+    #[test]
+    fn empty_sim_reports_quiescent() {
+        let sim = Sim::new();
+        let report = sim.run();
+        assert!(report.is_quiescent());
+        assert_eq!(report.events, 0);
+        assert_eq!(report.end_time, SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod thread_safety_tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scheduling_from_many_os_threads_is_safe_and_complete() {
+        // The Sim handle is Send+Sync; external threads (e.g. a test
+        // driver or tracing collector) may schedule events concurrently
+        // before the scheduler runs. Hammer the queue from 8 threads and
+        // verify nothing is lost or misordered.
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 5_000;
+        let sim = Sim::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        crossbeam::scope(|scope| {
+            for t in 0..THREADS {
+                let sim = sim.clone();
+                let hits = Arc::clone(&hits);
+                scope.spawn(move |_| {
+                    for i in 0..PER_THREAD {
+                        let hits = Arc::clone(&hits);
+                        sim.call_in(
+                            SimDuration::from_nanos(((t * PER_THREAD + i) % 997) as u64),
+                            move |_| {
+                                hits.fetch_add(1, AtomicOrdering::Relaxed);
+                            },
+                        );
+                    }
+                });
+            }
+        })
+        .expect("scoped threads");
+        let report = sim.run();
+        assert_eq!(hits.load(AtomicOrdering::Relaxed), THREADS * PER_THREAD);
+        assert_eq!(report.events, (THREADS * PER_THREAD) as u64);
+        // All events landed within the jittered window.
+        assert!(report.end_time <= SimTime::from_nanos(997));
+    }
+
+    #[test]
+    fn clock_is_monotone_under_concurrent_scheduling() {
+        let sim = Sim::new();
+        let last = Arc::new(Mutex::new(SimTime::ZERO));
+        crossbeam::scope(|scope| {
+            for t in 0..4 {
+                let sim = sim.clone();
+                let last = Arc::clone(&last);
+                scope.spawn(move |_| {
+                    for i in 0..2_000u64 {
+                        let last = Arc::clone(&last);
+                        sim.call_in(SimDuration::from_nanos((i * 7 + t) % 509), move |s| {
+                            let mut l = last.lock();
+                            assert!(s.now() >= *l, "clock went backwards");
+                            *l = s.now();
+                        });
+                    }
+                });
+            }
+        })
+        .expect("scoped threads");
+        sim.run();
+    }
+}

@@ -1,0 +1,488 @@
+//! Thread-backed cooperative simulated processes.
+//!
+//! Each simulated process runs on its own OS thread so that benchmark code
+//! can use a natural *blocking* style (`post_send(); wait_send();` loops,
+//! like the paper's VIPL benchmarks). Determinism is preserved by a baton
+//! protocol: at any instant exactly one thread — the scheduler or a single
+//! process — is runnable. Hand-off goes through a `Mutex`+`Condvar` pair per
+//! process (release/acquire pairs come for free; no bespoke atomics, per the
+//! "Rust Atomics and Locks" guidance).
+//!
+//! Wakeups are tokenized: every wait gets a fresh [`WaitToken`], and a wake
+//! only resumes the process if it is still waiting on that exact token.
+//! Stale wakes (races between a timeout and a signal, duplicate signals) are
+//! dropped, which makes signaling unconditionally safe.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cpu::CpuId;
+use crate::engine::Sim;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned process, unique within one [`Sim`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    pub(crate) fn new(v: u32) -> Self {
+        ProcessId(v)
+    }
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Names one particular wait of one particular process. Obtained from
+/// [`ProcessCtx::prepare_wait`]; consumed by [`Sim::wake`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WaitToken {
+    pid: ProcessId,
+    seq: u64,
+}
+
+impl WaitToken {
+    pub(crate) fn initial(pid: ProcessId) -> Self {
+        WaitToken { pid, seq: 0 }
+    }
+    pub(crate) fn pid(self) -> ProcessId {
+        self.pid
+    }
+}
+
+pub(crate) enum BatonState {
+    /// Process is parked waiting for a wake carrying sequence `seq`.
+    Waiting { seq: u64 },
+    /// Process thread holds the baton and is executing.
+    Running,
+    /// Body returned (or unwound); thread is gone or going.
+    Finished,
+}
+
+struct ShutdownSignal;
+
+pub(crate) fn is_shutdown_panic(payload: &(dyn Any + Send)) -> bool {
+    payload.is::<ShutdownSignal>()
+}
+
+pub(crate) struct ProcessRecord {
+    pub(crate) pid: ProcessId,
+    pub(crate) name: String,
+    pub(crate) cpu: Option<CpuId>,
+    state: Mutex<BatonState>,
+    cv: Condvar,
+    next_wait_seq: AtomicU64,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ProcessRecord {
+    pub(crate) fn new(pid: ProcessId, name: String, cpu: Option<CpuId>) -> Self {
+        ProcessRecord {
+            pid,
+            name,
+            cpu,
+            // Token sequence 0 is the spawn wake.
+            state: Mutex::new(BatonState::Waiting { seq: 0 }),
+            cv: Condvar::new(),
+            next_wait_seq: AtomicU64::new(1),
+            panic_payload: Mutex::new(None),
+        }
+    }
+
+    /// Process-thread side: park until the scheduler grants the first turn.
+    pub(crate) fn wait_for_first_wake(&self) {
+        let mut st = self.state.lock();
+        while !matches!(*st, BatonState::Running) {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Scheduler side: resume the process if it still waits on `token`, then
+    /// park the scheduler until the process yields the baton back.
+    pub(crate) fn try_resume(&self, token: WaitToken) {
+        let mut st = self.state.lock();
+        match *st {
+            BatonState::Waiting { seq } if seq == token.seq => {
+                *st = BatonState::Running;
+                self.cv.notify_all();
+                while matches!(*st, BatonState::Running) {
+                    self.cv.wait(&mut st);
+                }
+            }
+            // Stale or mistimed wake: the process moved on. Drop it.
+            _ => {}
+        }
+    }
+
+    /// Process-thread side: yield the baton and park until woken with `token`.
+    fn park(&self, token: WaitToken, shutdown: &std::sync::atomic::AtomicBool) {
+        let mut st = self.state.lock();
+        debug_assert!(matches!(*st, BatonState::Running));
+        *st = BatonState::Waiting { seq: token.seq };
+        self.cv.notify_all();
+        loop {
+            if shutdown.load(AtomicOrdering::SeqCst) {
+                drop(st);
+                std::panic::panic_any(ShutdownSignal);
+            }
+            if matches!(*st, BatonState::Running) {
+                return;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Mark the process finished, storing any panic payload so the owner of
+    /// the [`ProcessHandle`] can rethrow it from `take_result`.
+    pub(crate) fn finish(&self, panic: Option<Box<dyn Any + Send>>) {
+        *self.panic_payload.lock() = panic;
+        let mut st = self.state.lock();
+        *st = BatonState::Finished;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn notify_shutdown(&self) {
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn is_blocked(&self) -> bool {
+        matches!(*self.state.lock(), BatonState::Waiting { .. })
+    }
+
+    pub(crate) fn is_finished(&self) -> bool {
+        matches!(*self.state.lock(), BatonState::Finished)
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic_payload.lock().take()
+    }
+
+    fn fresh_token(&self) -> WaitToken {
+        WaitToken {
+            pid: self.pid,
+            seq: self.next_wait_seq.fetch_add(1, AtomicOrdering::Relaxed),
+        }
+    }
+}
+
+/// The API a simulated process uses to interact with virtual time. Passed to
+/// the process body by [`Sim::spawn`].
+pub struct ProcessCtx {
+    sim: Sim,
+    record: Arc<ProcessRecord>,
+}
+
+impl ProcessCtx {
+    pub(crate) fn new(sim: Sim, record: Arc<ProcessRecord>) -> Self {
+        ProcessCtx { sim, record }
+    }
+
+    /// The simulation this process belongs to.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcessId {
+        self.record.pid
+    }
+
+    /// The CPU this process was bound to at spawn, if any.
+    pub fn cpu(&self) -> Option<CpuId> {
+        self.record.cpu
+    }
+
+    /// Name given at spawn.
+    pub fn name(&self) -> &str {
+        &self.record.name
+    }
+
+    /// Mint a token for an upcoming wait. Register it with whatever will
+    /// signal you (a waiter list, [`Sim::wake_in`]) **before** calling
+    /// [`ProcessCtx::wait`]. Tokens are single-use.
+    pub fn prepare_wait(&self) -> WaitToken {
+        self.record.fresh_token()
+    }
+
+    /// Yield the baton and park until [`Sim::wake`] is called with `token`.
+    /// No CPU time is charged (a blocked process is idle).
+    pub fn wait(&mut self, token: WaitToken) {
+        self.record.park(token, &self.sim.inner.shutdown);
+    }
+
+    /// Like [`ProcessCtx::wait`], but models a *polling* wait: the entire
+    /// blocked interval is charged to this process's CPU as busy time (a
+    /// spin loop burns the CPU for as long as it waits). Returns the waited
+    /// duration.
+    pub fn wait_polling(&mut self, token: WaitToken) -> SimDuration {
+        let start = self.now();
+        self.wait(token);
+        let elapsed = self.now() - start;
+        if let Some(cpu) = self.record.cpu {
+            self.sim.charge(cpu, elapsed);
+        }
+        elapsed
+    }
+
+    /// Park for `d` of idle (uncharged) virtual time.
+    pub fn sleep(&mut self, d: SimDuration) {
+        let token = self.prepare_wait();
+        self.sim.wake_in(d, token);
+        self.wait(token);
+    }
+
+    /// Consume `d` of *busy* CPU time: advances the clock by `d` and charges
+    /// this process's CPU (if bound). This is how host-side instruction
+    /// costs are modeled.
+    pub fn busy(&mut self, d: SimDuration) {
+        if let Some(cpu) = self.record.cpu {
+            self.sim.charge(cpu, d);
+        }
+        self.sleep(d);
+    }
+
+    /// Yield the baton, letting all other events queued at the current
+    /// instant run before this process continues.
+    pub fn yield_now(&mut self) {
+        let token = self.prepare_wait();
+        self.sim.wake(token);
+        self.wait(token);
+    }
+}
+
+/// Handle returned by [`Sim::spawn`]; yields the process result after the
+/// simulation has run.
+pub struct ProcessHandle<T> {
+    record: Arc<ProcessRecord>,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T: Send + 'static> ProcessHandle<T> {
+    pub(crate) fn new(record: Arc<ProcessRecord>) -> Self {
+        ProcessHandle {
+            record,
+            slot: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    pub(crate) fn slot(&self) -> Arc<Mutex<Option<T>>> {
+        Arc::clone(&self.slot)
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> ProcessId {
+        self.record.pid
+    }
+
+    /// True once the process body has returned or unwound.
+    pub fn is_finished(&self) -> bool {
+        self.record.is_finished()
+    }
+
+    /// Take the process's return value. Panics with the process's panic
+    /// payload if the body panicked; returns `None` if it has not finished
+    /// (or the value was already taken).
+    pub fn take_result(&self) -> Option<T> {
+        if let Some(payload) = self.record.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        self.slot.lock().take()
+    }
+
+    /// Take the result, panicking if the process did not complete.
+    pub fn expect_result(&self) -> T {
+        self.take_result().unwrap_or_else(|| {
+            panic!(
+                "process '{}' did not produce a result (blocked or result already taken)",
+                self.record.name
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn process_sleep_advances_virtual_time() {
+        let sim = Sim::new();
+        let h = sim.spawn("sleeper", None, |ctx| {
+            let t0 = ctx.now();
+            ctx.sleep(SimDuration::from_micros(42));
+            ctx.now() - t0
+        });
+        sim.run_to_completion();
+        assert_eq!(h.expect_result(), SimDuration::from_micros(42));
+    }
+
+    #[test]
+    fn two_processes_interleave_deterministically() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (name, start_us, step_us) in [("a", 0u64, 10u64), ("b", 5, 10)] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, None, move |ctx| {
+                ctx.sleep(SimDuration::from_micros(start_us));
+                for i in 0..3 {
+                    log.lock().push((ctx.name().to_string(), i, ctx.now()));
+                    ctx.sleep(SimDuration::from_micros(step_us));
+                }
+            });
+        }
+        sim.run_to_completion();
+        let log = log.lock();
+        let order: Vec<&str> = log.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(order, vec!["a", "b", "a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn busy_charges_cpu_and_advances_clock() {
+        let sim = Sim::new();
+        let cpu = sim.add_cpu("node0");
+        sim.spawn("worker", Some(cpu), |ctx| {
+            ctx.busy(SimDuration::from_micros(7));
+            ctx.sleep(SimDuration::from_micros(3)); // idle: not charged
+            ctx.busy(SimDuration::from_micros(5));
+        });
+        let report = sim.run_to_completion();
+        assert_eq!(sim.cpu_busy(cpu), SimDuration::from_micros(12));
+        assert_eq!(report.end_time.as_nanos(), 15_000);
+    }
+
+    #[test]
+    fn wait_and_wake_with_token() {
+        let sim = Sim::new();
+        let shared: Arc<Mutex<Option<WaitToken>>> = Arc::new(Mutex::new(None));
+        let s2 = Arc::clone(&shared);
+        let h = sim.spawn("waiter", None, move |ctx| {
+            let token = ctx.prepare_wait();
+            *s2.lock() = Some(token);
+            ctx.wait(token);
+            ctx.now()
+        });
+        let s3 = Arc::clone(&shared);
+        sim.call_in(SimDuration::from_micros(100), move |s| {
+            let token = s3.lock().take().expect("waiter registered");
+            s.wake(token);
+        });
+        sim.run_to_completion();
+        assert_eq!(h.expect_result(), SimTime::from_nanos(100_000));
+    }
+
+    #[test]
+    fn stale_wake_is_ignored() {
+        let sim = Sim::new();
+        let shared: Arc<Mutex<Vec<WaitToken>>> = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&shared);
+        let h = sim.spawn("waiter", None, move |ctx| {
+            let t1 = ctx.prepare_wait();
+            s2.lock().push(t1);
+            ctx.wait(t1);
+            let first = ctx.now();
+            // Second wait: the duplicate wake for t1 must not resume this.
+            ctx.sleep(SimDuration::from_micros(50));
+            (first, ctx.now())
+        });
+        let s3 = Arc::clone(&shared);
+        sim.call_in(SimDuration::from_micros(10), move |s| {
+            let token = s3.lock()[0];
+            s.wake(token);
+            s.wake(token); // duplicate — must be dropped
+        });
+        sim.run_to_completion();
+        let (first, second) = h.expect_result();
+        assert_eq!(first, SimTime::from_nanos(10_000));
+        assert_eq!(second, SimTime::from_nanos(60_000));
+    }
+
+    #[test]
+    fn wait_polling_charges_busy_time() {
+        let sim = Sim::new();
+        let cpu = sim.add_cpu("node0");
+        let shared: Arc<Mutex<Option<WaitToken>>> = Arc::new(Mutex::new(None));
+        let s2 = Arc::clone(&shared);
+        sim.spawn("poller", Some(cpu), move |ctx| {
+            let token = ctx.prepare_wait();
+            *s2.lock() = Some(token);
+            let waited = ctx.wait_polling(token);
+            assert_eq!(waited, SimDuration::from_micros(30));
+        });
+        let s3 = Arc::clone(&shared);
+        sim.call_in(SimDuration::from_micros(30), move |s| {
+            let t = s3.lock().take().unwrap();
+            s.wake(t);
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.cpu_busy(cpu), SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn deadlocked_process_is_reported() {
+        let sim = Sim::new();
+        sim.spawn("stuck", None, |ctx| {
+            let token = ctx.prepare_wait();
+            ctx.wait(token); // nobody will ever wake us
+        });
+        let report = sim.run();
+        assert_eq!(report.blocked, vec!["stuck".to_string()]);
+        sim.shutdown();
+    }
+
+    #[test]
+    fn process_panics_propagate_through_handle() {
+        let sim = Sim::new();
+        let h = sim.spawn("panicky", None, |_ctx| -> () {
+            panic!("boom from inside the simulation");
+        });
+        sim.run();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.take_result()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for name in ["first", "second"] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, None, move |ctx| {
+                for i in 0..2 {
+                    log.lock().push(format!("{}:{}", ctx.name(), i));
+                    ctx.yield_now();
+                }
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(
+            *log.lock(),
+            vec!["first:0", "second:0", "first:1", "second:1"]
+        );
+    }
+
+    #[test]
+    fn many_processes_complete() {
+        let sim = Sim::new();
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                sim.spawn(format!("p{i}"), None, move |ctx| {
+                    ctx.sleep(SimDuration::from_micros(i % 7 + 1));
+                    i
+                })
+            })
+            .collect();
+        sim.run_to_completion();
+        let sum: u64 = handles.iter().map(|h| h.expect_result()).sum();
+        assert_eq!(sum, (0..64).sum::<u64>());
+    }
+}

@@ -1,0 +1,315 @@
+//! Small statistics helpers for benchmark reporting.
+
+use crate::time::SimDuration;
+
+/// Streaming statistics over `f64` samples (Welford's algorithm for the
+/// variance; exact min/max).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        if self.n == 1 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Add a duration sample, in microseconds.
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_micros_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Collected samples with percentile queries (sorts lazily on demand).
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    /// Append a duration in microseconds.
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.values.push(d.as_micros_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Percentile `p` in `[0, 100]` by nearest-rank on a sorted copy.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+}
+
+/// A log-scaled latency histogram: power-of-two buckets from 1 ns up.
+/// Fixed memory, O(1) insert, approximate percentiles — for long-running
+/// measurements where keeping every sample is wasteful.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let bucket = 63u32.saturating_sub(ns.max(1).leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Approximate percentile `p` in `[0, 100]`: the upper bound of the
+    /// bucket containing the p-th sample (within 2x of the true value).
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                return SimDuration::from_nanos(upper.min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+}
+
+/// Convert a byte count and a span into MB/s (1 MB = 10^6 bytes, the paper's
+/// convention for network bandwidth).
+pub fn megabytes_per_second(bytes: u64, elapsed: SimDuration) -> f64 {
+    if elapsed.is_zero() {
+        return 0.0;
+    }
+    bytes as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_stats() {
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = Samples::new();
+        for i in 1..=100 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert!((s.median() - 50.0).abs() <= 1.0);
+        assert!((s.percentile(90.0) - 90.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn duration_samples() {
+        let mut s = Samples::new();
+        s.push_duration(SimDuration::from_micros(10));
+        s.push_duration(SimDuration::from_micros(20));
+        assert!((s.mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_records_and_ranks() {
+        let mut h = Histogram::new();
+        for us in [1u64, 2, 4, 100, 100, 100, 1000] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), SimDuration::from_micros(1000));
+        // Median lands in the 100 us bucket: upper bound within 2x.
+        let p50 = h.percentile(50.0).as_micros_f64();
+        assert!((100.0..=200.0).contains(&p50), "p50 {p50}");
+        // Max percentile returns the max.
+        assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(1));
+        h.record(SimDuration::from_nanos(u64::MAX));
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(10.0).as_nanos() <= 2);
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        // 1 MB in 10 ms = 100 MB/s.
+        let bw = megabytes_per_second(1_000_000, SimDuration::from_millis(10));
+        assert!((bw - 100.0).abs() < 1e-9);
+        assert_eq!(megabytes_per_second(123, SimDuration::ZERO), 0.0);
+    }
+}

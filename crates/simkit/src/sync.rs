@@ -1,0 +1,374 @@
+//! Synchronization primitives for simulated processes.
+//!
+//! All primitives here operate on *virtual* time: waiting costs no host CPU
+//! and wakes happen through the event queue, preserving determinism. They
+//! are the building blocks the VIA layer uses for completion notification
+//! and that benchmarks use for phase coordination.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::Sim;
+use crate::process::{ProcessCtx, WaitToken};
+use crate::time::SimDuration;
+
+/// How a process waits for an event — the central dichotomy of the VIBe
+/// benchmarks (§3.2.1 runs every test in both modes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaitMode {
+    /// Spin until the event arrives; the waiting interval is charged to the
+    /// process's CPU (100% utilization while waiting).
+    Poll,
+    /// Block; the process is descheduled and charged nothing while waiting.
+    /// (Interrupt-delivery *costs* are modeled by the NIC layer, not here.)
+    Block,
+}
+
+impl ProcessCtx {
+    /// Wait on `token` honoring `mode` (see [`WaitMode`]).
+    pub fn wait_mode(&mut self, token: WaitToken, mode: WaitMode) {
+        match mode {
+            WaitMode::Poll => {
+                self.wait_polling(token);
+            }
+            WaitMode::Block => self.wait(token),
+        }
+    }
+}
+
+#[derive(Default)]
+struct NotifyState {
+    pending: u64,
+    waiters: VecDeque<WaitToken>,
+}
+
+/// A counting notification source (a virtual-time semaphore).
+///
+/// `signal` either hands its credit directly to the longest-waiting process
+/// or banks it for the next waiter; FIFO hand-off keeps runs deterministic.
+#[derive(Clone, Default)]
+pub struct Notify {
+    state: Arc<Mutex<NotifyState>>,
+}
+
+impl Notify {
+    /// New notification source with zero banked signals.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post one signal. Callable from event handlers and processes alike.
+    pub fn signal(&self, sim: &Sim) {
+        let mut st = self.state.lock();
+        if let Some(waiter) = st.waiters.pop_front() {
+            sim.wake(waiter);
+        } else {
+            st.pending += 1;
+        }
+    }
+
+    /// Consume one signal, parking until one is available. Returns the time
+    /// spent waiting.
+    pub fn wait(&self, ctx: &mut ProcessCtx, mode: WaitMode) -> SimDuration {
+        let start = ctx.now();
+        {
+            let mut st = self.state.lock();
+            if st.pending > 0 {
+                st.pending -= 1;
+                return SimDuration::ZERO;
+            }
+            let token = ctx.prepare_wait();
+            st.waiters.push_back(token);
+            drop(st);
+            ctx.wait_mode(token, mode);
+        }
+        ctx.now() - start
+    }
+
+    /// Consume a signal if one is banked, without waiting.
+    pub fn try_wait(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.pending > 0 {
+            st.pending -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of banked (unconsumed) signals.
+    pub fn pending(&self) -> u64 {
+        self.state.lock().pending
+    }
+}
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    waiters: VecDeque<WaitToken>,
+}
+
+/// An unbounded multi-producer multi-consumer channel on virtual time.
+#[derive(Clone)]
+pub struct SimChannel<T> {
+    state: Arc<Mutex<ChannelState<T>>>,
+}
+
+impl<T> Default for SimChannel<T> {
+    fn default() -> Self {
+        SimChannel {
+            state: Arc::new(Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+}
+
+impl<T: Send + 'static> SimChannel<T> {
+    /// New empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a value and wake the longest-waiting receiver, if any.
+    pub fn send(&self, sim: &Sim, value: T) {
+        let mut st = self.state.lock();
+        st.queue.push_back(value);
+        if let Some(w) = st.waiters.pop_front() {
+            sim.wake(w);
+        }
+    }
+
+    /// Dequeue, parking until a value is available.
+    pub fn recv(&self, ctx: &mut ProcessCtx, mode: WaitMode) -> T {
+        loop {
+            let token = {
+                let mut st = self.state.lock();
+                if let Some(v) = st.queue.pop_front() {
+                    return v;
+                }
+                let token = ctx.prepare_wait();
+                st.waiters.push_back(token);
+                token
+            };
+            ctx.wait_mode(token, mode);
+        }
+    }
+
+    /// Dequeue without waiting.
+    pub fn try_recv(&self) -> Option<T> {
+        self.state.lock().queue.pop_front()
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// True when no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct BarrierState {
+    needed: usize,
+    arrived: usize,
+    waiters: Vec<WaitToken>,
+}
+
+/// A reusable N-party barrier on virtual time (benchmark phase alignment).
+#[derive(Clone)]
+pub struct SimBarrier {
+    state: Arc<Mutex<BarrierState>>,
+}
+
+impl SimBarrier {
+    /// Barrier for `n` parties (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one party");
+        SimBarrier {
+            state: Arc::new(Mutex::new(BarrierState {
+                needed: n,
+                arrived: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Arrive and park until all `n` parties have arrived. Reusable: the
+    /// barrier resets once it releases.
+    pub fn wait(&self, ctx: &mut ProcessCtx) {
+        let token = {
+            let mut st = self.state.lock();
+            st.arrived += 1;
+            if st.arrived == st.needed {
+                st.arrived = 0;
+                let waiters = std::mem::take(&mut st.waiters);
+                drop(st);
+                for w in waiters {
+                    ctx.sim().wake(w);
+                }
+                return;
+            }
+            let token = ctx.prepare_wait();
+            st.waiters.push(token);
+            token
+        };
+        ctx.wait(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn notify_banks_signals() {
+        let sim = Sim::new();
+        let n = Notify::new();
+        n.signal(&sim);
+        n.signal(&sim);
+        assert_eq!(n.pending(), 2);
+        assert!(n.try_wait());
+        assert!(n.try_wait());
+        assert!(!n.try_wait());
+    }
+
+    #[test]
+    fn notify_wakes_blocked_waiter() {
+        let sim = Sim::new();
+        let n = Notify::new();
+        let n2 = n.clone();
+        let h = sim.spawn("waiter", None, move |ctx| {
+            let waited = n2.wait(ctx, WaitMode::Block);
+            (waited, ctx.now())
+        });
+        let n3 = n.clone();
+        sim.call_in(SimDuration::from_micros(25), move |s| n3.signal(s));
+        sim.run_to_completion();
+        let (waited, at) = h.expect_result();
+        assert_eq!(waited, SimDuration::from_micros(25));
+        assert_eq!(at, SimTime::from_nanos(25_000));
+    }
+
+    #[test]
+    fn notify_pre_banked_signal_returns_immediately() {
+        let sim = Sim::new();
+        let n = Notify::new();
+        n.signal(&sim);
+        let n2 = n.clone();
+        let h = sim.spawn("waiter", None, move |ctx| n2.wait(ctx, WaitMode::Block));
+        sim.run_to_completion();
+        assert_eq!(h.expect_result(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn notify_fifo_ordering_across_waiters() {
+        let sim = Sim::new();
+        let n = Notify::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for name in ["w0", "w1", "w2"] {
+            let n = n.clone();
+            let order = Arc::clone(&order);
+            sim.spawn(name, None, move |ctx| {
+                n.wait(ctx, WaitMode::Block);
+                order.lock().push(name);
+            });
+        }
+        for i in 0..3u64 {
+            let n = n.clone();
+            sim.call_in(SimDuration::from_micros(10 * (i + 1)), move |s| n.signal(s));
+        }
+        sim.run_to_completion();
+        assert_eq!(*order.lock(), vec!["w0", "w1", "w2"]);
+    }
+
+    #[test]
+    fn channel_passes_values_in_order() {
+        let sim = Sim::new();
+        let ch: SimChannel<u32> = SimChannel::new();
+        let tx = ch.clone();
+        sim.spawn("producer", None, move |ctx| {
+            for i in 0..5 {
+                ctx.sleep(SimDuration::from_micros(10));
+                tx.send(ctx.sim(), i);
+            }
+        });
+        let rx = ch.clone();
+        let h = sim.spawn("consumer", None, move |ctx| {
+            (0..5).map(|_| rx.recv(ctx, WaitMode::Block)).collect::<Vec<_>>()
+        });
+        sim.run_to_completion();
+        assert_eq!(h.expect_result(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn channel_try_recv() {
+        let sim = Sim::new();
+        let ch: SimChannel<&str> = SimChannel::new();
+        assert!(ch.try_recv().is_none());
+        assert!(ch.is_empty());
+        ch.send(&sim, "x");
+        assert_eq!(ch.len(), 1);
+        assert_eq!(ch.try_recv(), Some("x"));
+    }
+
+    #[test]
+    fn barrier_releases_all_parties_together() {
+        let sim = Sim::new();
+        let b = SimBarrier::new(3);
+        let times = Arc::new(Mutex::new(Vec::new()));
+        for (name, d) in [("a", 10u64), ("b", 20), ("c", 30)] {
+            let b = b.clone();
+            let times = Arc::clone(&times);
+            sim.spawn(name, None, move |ctx| {
+                ctx.sleep(SimDuration::from_micros(d));
+                b.wait(ctx);
+                times.lock().push(ctx.now());
+            });
+        }
+        sim.run_to_completion();
+        let times = times.lock();
+        assert_eq!(times.len(), 3);
+        assert!(times.iter().all(|&t| t == SimTime::from_nanos(30_000)));
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let sim = Sim::new();
+        let b = SimBarrier::new(2);
+        let rounds = Arc::new(Mutex::new(0u32));
+        for name in ["a", "b"] {
+            let b = b.clone();
+            let rounds = Arc::clone(&rounds);
+            sim.spawn(name, None, move |ctx| {
+                for _ in 0..4 {
+                    ctx.sleep(SimDuration::from_micros(if name == "a" { 3 } else { 5 }));
+                    b.wait(ctx);
+                }
+                *rounds.lock() += 1;
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(*rounds.lock(), 2);
+    }
+
+    #[test]
+    fn polling_wait_on_notify_burns_cpu() {
+        let sim = Sim::new();
+        let cpu = sim.add_cpu("host");
+        let n = Notify::new();
+        let n2 = n.clone();
+        sim.spawn("poller", Some(cpu), move |ctx| {
+            n2.wait(ctx, WaitMode::Poll);
+        });
+        let n3 = n.clone();
+        sim.call_in(SimDuration::from_micros(40), move |s| n3.signal(s));
+        sim.run_to_completion();
+        assert_eq!(sim.cpu_busy(cpu), SimDuration::from_micros(40));
+    }
+}

@@ -1,0 +1,622 @@
+//! The per-node VIA provider and the cluster builder.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use fabric::{NodeId, San};
+use parking_lot::{Mutex, MutexGuard};
+use simkit::{CpuId, ProcessCtx, Sim, SimDuration, WaitMode};
+use vnic::{InterruptController, PciBus, TlbStats, XlateEngine};
+
+use crate::cq::{Cq, CqState};
+use crate::descriptor::Completion;
+use crate::mem::{MemAttributes, ProcessMem};
+use crate::profile::Profile;
+use crate::transport;
+use crate::types::{CqId, Discriminator, MemHandle, QueueKind, ViAttributes, ViId, ViaError, ViaResult};
+use crate::vi::{Vi, ViState};
+use crate::wire::Frame;
+
+/// Traffic / protocol counters for one provider.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProviderStats {
+    /// Send-queue descriptors accepted by `post_send`.
+    pub sends_posted: u64,
+    /// Receive descriptors accepted by `post_recv`.
+    pub recvs_posted: u64,
+    /// Messages whose last fragment was handed to the wire.
+    pub msgs_sent: u64,
+    /// Messages fully delivered into local memory.
+    pub msgs_delivered: u64,
+    /// Inbound messages dropped because no receive descriptor was posted.
+    pub recv_no_descriptor: u64,
+    /// Unreliable messages abandoned because fragments were lost.
+    pub msgs_dropped_partial: u64,
+    /// Duplicate messages discarded (reliable-mode retransmits).
+    pub duplicates_dropped: u64,
+    /// Message retransmissions performed.
+    pub retransmissions: u64,
+    /// ACK frames emitted.
+    pub acks_sent: u64,
+    /// ACK frames absorbed.
+    pub acks_received: u64,
+    /// Inbound RDMA operations refused by protection checks.
+    pub protection_errors: u64,
+    /// Inbound RDMA writes placed.
+    pub rdma_writes_in: u64,
+    /// RDMA-read requests served for remote initiators.
+    pub rdma_reads_served: u64,
+}
+
+/// A pending inbound connection request (no listener yet).
+pub(crate) struct PendingConnReq {
+    #[allow(dead_code)] // kept for diagnostics
+    pub disc: Discriminator,
+    pub client_node: NodeId,
+    pub client_vi: ViId,
+    pub reliability: crate::types::Reliability,
+    pub max_transfer_size: u32,
+}
+
+/// A registered `accept` listener.
+pub(crate) struct Listener {
+    #[allow(dead_code)] // kept for diagnostics
+    pub vi: ViId,
+    pub token: simkit::WaitToken,
+    pub slot: Option<PendingConnReq>,
+}
+
+/// One queued NIC transmit job (identified; rebuilt from the inflight entry).
+pub(crate) struct TxJobRef {
+    pub vi: ViId,
+    pub seq: u64,
+}
+
+pub(crate) struct NicTx {
+    pub queue: VecDeque<TxJobRef>,
+    pub busy: bool,
+}
+
+/// One recorded data-path stage transition (probe output).
+#[derive(Clone, Debug)]
+pub struct ProbeEvent {
+    /// VI the message belongss to (local id).
+    pub vi: ViId,
+    /// Message sequence number on that VI.
+    pub seq: u64,
+    /// Stage name (see `via::transport` for the stage vocabulary).
+    pub stage: &'static str,
+    /// When the stage completed.
+    pub at: simkit::SimTime,
+}
+
+pub(crate) struct ProviderState {
+    pub mem: ProcessMem,
+    /// Data-path probe: when `Some`, transport stages append events here.
+    pub probe: Option<Vec<ProbeEvent>>,
+    /// Busy-until of the receive-side processing engine (NIC processor on
+    /// the offload path, kernel on the emulated path): per-fragment receive
+    /// work is serial on one engine.
+    pub rx_engine_busy: simkit::SimTime,
+    pub vis: Vec<Option<ViState>>,
+    pub cqs: Vec<Option<CqState>>,
+    pub xlate: XlateEngine,
+    pub listeners: HashMap<Discriminator, Listener>,
+    pub pending_conn: HashMap<Discriminator, VecDeque<PendingConnReq>>,
+    pub nic_tx: NicTx,
+    pub stats: ProviderStats,
+}
+
+impl ProviderState {
+    pub(crate) fn vi(&self, id: ViId) -> &ViState {
+        self.vis
+            .get(id.index())
+            .and_then(|v| v.as_ref())
+            .unwrap_or_else(|| panic!("dangling ViId {id:?}"))
+    }
+
+    pub(crate) fn vi_mut(&mut self, id: ViId) -> &mut ViState {
+        self.vis
+            .get_mut(id.index())
+            .and_then(|v| v.as_mut())
+            .unwrap_or_else(|| panic!("dangling ViId {id:?}"))
+    }
+
+    pub(crate) fn try_vi_mut(&mut self, id: ViId) -> Option<&mut ViState> {
+        self.vis.get_mut(id.index()).and_then(|v| v.as_mut())
+    }
+
+    pub(crate) fn cq_mut(&mut self, id: CqId) -> &mut CqState {
+        self.cqs
+            .get_mut(id.index())
+            .and_then(|c| c.as_mut())
+            .unwrap_or_else(|| panic!("dangling CqId {id:?}"))
+    }
+
+    /// Number of live VIs — what the firmware's polling loop scans.
+    pub(crate) fn active_vis(&self) -> usize {
+        self.vis.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+/// Handle to one node's VIA provider. Cheap to clone.
+#[derive(Clone)]
+pub struct Provider {
+    pub(crate) sim: Sim,
+    pub(crate) san: San,
+    pub(crate) profile: Arc<Profile>,
+    pub(crate) node: NodeId,
+    pub(crate) cpu: CpuId,
+    pub(crate) pci: PciBus,
+    pub(crate) intr: InterruptController,
+    pub(crate) state: Arc<Mutex<ProviderState>>,
+}
+
+impl Provider {
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// This provider's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The CPU benchmarks should bind their process to.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// The architecture/cost profile in force.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ProviderState> {
+        self.state.lock()
+    }
+
+    pub(crate) fn with_vi<R>(&self, id: ViId, f: impl FnOnce(&ViState) -> R) -> R {
+        let st = self.lock();
+        f(st.vi(id))
+    }
+
+    /// Allocate `len` bytes of page-aligned user memory; returns the VA.
+    pub fn malloc(&self, len: u64) -> u64 {
+        self.lock().mem.malloc(len)
+    }
+
+    /// Write bytes into user memory (test/example convenience; free).
+    pub fn mem_write(&self, va: u64, data: &[u8]) {
+        self.lock().mem.write(va, data);
+    }
+
+    /// Read bytes from user memory (test/example convenience; free).
+    pub fn mem_read(&self, va: u64, len: u64) -> Vec<u8> {
+        self.lock().mem.read(va, len)
+    }
+
+    /// `VipRegisterMem`: pin and register `[va, va+len)`.
+    pub fn register_mem(
+        &self,
+        ctx: &mut ProcessCtx,
+        va: u64,
+        len: u64,
+        attrs: MemAttributes,
+    ) -> ViaResult<MemHandle> {
+        let pages = {
+            let st = self.lock();
+            st.mem.page_count(va, len.max(1))
+        };
+        let cost = self.profile.setup.reg_base + self.profile.setup.reg_per_page * pages;
+        ctx.busy(cost);
+        self.lock().mem.register(va, len, attrs)
+    }
+
+    /// `VipDeregisterMem`: unpin and forget a registration; invalidates any
+    /// NIC-cached translations for its pages.
+    pub fn deregister_mem(&self, ctx: &mut ProcessCtx, handle: MemHandle) -> ViaResult<()> {
+        let (first, last) = {
+            let mut st = self.lock();
+            let span = st.mem.deregister(handle)?;
+            st.xlate.invalidate_range(span.0, span.1);
+            span
+        };
+        let pages = last - first + 1;
+        let cost = self.profile.setup.dereg_base + self.profile.setup.dereg_per_page * pages;
+        ctx.busy(cost);
+        Ok(())
+    }
+
+    /// `VipCreateVi`: create a VI, optionally associating its work queues
+    /// with completion queues.
+    pub fn create_vi(
+        &self,
+        ctx: &mut ProcessCtx,
+        attrs: ViAttributes,
+        send_cq: Option<&Cq>,
+        recv_cq: Option<&Cq>,
+    ) -> ViaResult<Vi> {
+        if !self.profile.supports_reliability(attrs.reliability) {
+            return Err(ViaError::NotSupported);
+        }
+        ctx.busy(self.profile.setup.create_vi);
+        let mut st = self.lock();
+        for cq in [send_cq, recv_cq].into_iter().flatten() {
+            // CQ handles must belong to this provider.
+            if !Arc::ptr_eq(&cq.provider.state, &self.state) {
+                return Err(ViaError::InvalidParameter);
+            }
+            st.cq_mut(cq.id).refs += 1;
+        }
+        let id = ViId(st.vis.len() as u32);
+        st.vis.push(Some(ViState::new(
+            id,
+            attrs,
+            send_cq.map(|c| c.id),
+            recv_cq.map(|c| c.id),
+        )));
+        Ok(Vi {
+            provider: self.clone(),
+            id,
+        })
+    }
+
+    /// `VipDestroyVi`. The VI must be disconnected.
+    pub fn destroy_vi(&self, ctx: &mut ProcessCtx, vi: Vi) -> ViaResult<()> {
+        {
+            let mut st = self.lock();
+            let state = st.vi(vi.id);
+            if matches!(state.conn, crate::vi::ConnState::Connected { .. }) {
+                return Err(ViaError::Busy);
+            }
+            let (send_cq, recv_cq) = (state.send_cq, state.recv_cq);
+            for cq in [send_cq, recv_cq].into_iter().flatten() {
+                st.cq_mut(cq).refs -= 1;
+            }
+            st.vis[vi.id.index()] = None;
+        }
+        ctx.busy(self.profile.setup.destroy_vi);
+        Ok(())
+    }
+
+    /// `VipCQCreate`.
+    pub fn create_cq(&self, ctx: &mut ProcessCtx, depth: usize) -> ViaResult<Cq> {
+        if depth == 0 {
+            return Err(ViaError::InvalidParameter);
+        }
+        ctx.busy(self.profile.setup.create_cq);
+        let mut st = self.lock();
+        let id = CqId(st.cqs.len() as u32);
+        st.cqs.push(Some(CqState::new(id, depth)));
+        Ok(Cq {
+            provider: self.clone(),
+            id,
+        })
+    }
+
+    /// `VipCQDestroy`. Fails while any VI still references the CQ.
+    pub fn destroy_cq(&self, ctx: &mut ProcessCtx, cq: Cq) -> ViaResult<()> {
+        {
+            let mut st = self.lock();
+            if st.cq_mut(cq.id).refs > 0 {
+                return Err(ViaError::Busy);
+            }
+            st.cqs[cq.id.index()] = None;
+        }
+        ctx.busy(self.profile.setup.destroy_cq);
+        Ok(())
+    }
+
+    /// Turn on the data-path probe: every message's stage transitions are
+    /// recorded until [`Provider::take_probe_events`] drains them. The
+    /// paper's §3 promises exactly this ("identify how much time is spent
+    /// in each of the components … and pinpoint the bottlenecks").
+    pub fn enable_probe(&self) {
+        let mut st = self.lock();
+        if st.probe.is_none() {
+            st.probe = Some(Vec::new());
+        }
+    }
+
+    /// Drain and return the probe's recorded events (empty if the probe
+    /// was never enabled).
+    pub fn take_probe_events(&self) -> Vec<ProbeEvent> {
+        let mut st = self.lock();
+        match st.probe.as_mut() {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of this provider's counters.
+    pub fn stats(&self) -> ProviderStats {
+        self.lock().stats
+    }
+
+    /// Snapshot of the NIC translation-cache counters.
+    pub fn xlate_stats(&self) -> TlbStats {
+        self.lock().xlate.stats()
+    }
+
+    /// Number of live VIs on this provider.
+    pub fn active_vis(&self) -> usize {
+        self.lock().active_vis()
+    }
+
+    // ------------------------------------------------------------------
+    // Completion collection (send/recv queues).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn queue_done(
+        &self,
+        ctx: &mut ProcessCtx,
+        vi: ViId,
+        send_side: bool,
+    ) -> Option<Completion> {
+        ctx.busy(self.profile.host.completion_check);
+        let mut st = self.lock();
+        let v = st.vi_mut(vi);
+        let q = if send_side {
+            &mut v.send_completed
+        } else {
+            &mut v.recv_completed
+        };
+        q.pop_front()
+    }
+
+    pub(crate) fn queue_wait(
+        &self,
+        ctx: &mut ProcessCtx,
+        vi: ViId,
+        send_side: bool,
+        mode: WaitMode,
+    ) -> Completion {
+        loop {
+            let token = {
+                let mut st = self.lock();
+                let v = st.vi_mut(vi);
+                let q = if send_side {
+                    &mut v.send_completed
+                } else {
+                    &mut v.recv_completed
+                };
+                if let Some(c) = q.pop_front() {
+                    drop(st);
+                    ctx.busy(self.profile.host.completion_check);
+                    return c;
+                }
+                let waiter = if send_side {
+                    &mut v.send_waiter
+                } else {
+                    &mut v.recv_waiter
+                };
+                assert!(
+                    waiter.is_none(),
+                    "two processes waiting on the same work queue"
+                );
+                let token = ctx.prepare_wait();
+                *waiter = Some((token, mode));
+                token
+            };
+            ctx.wait_mode(token, mode);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CQ collection.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn cq_done(&self, ctx: &mut ProcessCtx, cq: CqId) -> Option<(ViId, QueueKind)> {
+        ctx.busy(self.profile.data.cq_check);
+        let mut st = self.lock();
+        st.cq_mut(cq).entries.pop_front()
+    }
+
+    pub(crate) fn cq_wait(&self, ctx: &mut ProcessCtx, cq: CqId, mode: WaitMode) -> (ViId, QueueKind) {
+        loop {
+            let token = {
+                let mut st = self.lock();
+                let c = st.cq_mut(cq);
+                if let Some(e) = c.entries.pop_front() {
+                    drop(st);
+                    ctx.busy(self.profile.data.cq_check);
+                    return e;
+                }
+                let token = ctx.prepare_wait();
+                c.waiters.push_back((token, mode));
+                token
+            };
+            ctx.wait_mode(token, mode);
+        }
+    }
+
+    pub(crate) fn cq_overflows(&self, cq: CqId) -> u64 {
+        let mut st = self.lock();
+        st.cq_mut(cq).overflows
+    }
+
+    // ------------------------------------------------------------------
+    // Connection management lives in connect.rs; these are thin wrappers.
+    // ------------------------------------------------------------------
+
+    /// Client side: connect `vi` to whoever listens on `(remote, disc)`.
+    /// Blocks until accepted, rejected, or `timeout` elapses.
+    pub fn connect(
+        &self,
+        ctx: &mut ProcessCtx,
+        vi: &Vi,
+        remote: NodeId,
+        disc: Discriminator,
+        timeout: Option<SimDuration>,
+    ) -> ViaResult<()> {
+        crate::connect::connect(self, ctx, vi.id, remote, disc, timeout)
+    }
+
+    /// Server side: wait for a connection request on `disc` and accept it
+    /// into `vi`. Returns the client's node.
+    pub fn accept(&self, ctx: &mut ProcessCtx, vi: &Vi, disc: Discriminator) -> ViaResult<NodeId> {
+        crate::connect::accept(self, ctx, vi.id, disc)
+    }
+
+    /// `VipDisconnect`: tear down `vi`'s connection.
+    pub fn disconnect(&self, ctx: &mut ProcessCtx, vi: &Vi) -> ViaResult<()> {
+        crate::connect::disconnect(self, ctx, vi.id)
+    }
+}
+
+/// A set of nodes running the same VIA implementation over one SAN — the
+/// simulated analogue of the paper's testbed.
+pub struct Cluster {
+    sim: Sim,
+    san: San,
+    profile: Arc<Profile>,
+    providers: Vec<Provider>,
+}
+
+impl Cluster {
+    /// Build `nodes` providers running `profile` over a fresh SAN. `seed`
+    /// feeds loss injection.
+    pub fn new(sim: Sim, profile: Profile, nodes: usize, seed: u64) -> Self {
+        assert!(nodes >= 2, "a SAN needs at least two nodes");
+        let profile = Arc::new(profile);
+        let san = San::new(sim.clone(), profile.net, nodes, seed);
+        let mut providers = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            let cpu = sim.add_cpu(format!("{}-node{}", profile.name, i));
+            let pci = PciBus::new(sim.clone(), profile.pci);
+            let provider = Provider {
+                sim: sim.clone(),
+                san: san.clone(),
+                profile: Arc::clone(&profile),
+                node: NodeId(i as u32),
+                cpu,
+                pci,
+                intr: InterruptController::from_host(cpu, &profile.host),
+                state: Arc::new(Mutex::new(ProviderState {
+                    mem: ProcessMem::new(profile.host.page_size),
+                    rx_engine_busy: simkit::SimTime::ZERO,
+                    probe: None,
+                    vis: Vec::new(),
+                    cqs: Vec::new(),
+                    xlate: XlateEngine::new(profile.xlate),
+                    listeners: HashMap::new(),
+                    pending_conn: HashMap::new(),
+                    nic_tx: NicTx {
+                        queue: VecDeque::new(),
+                        busy: false,
+                    },
+                    stats: ProviderStats::default(),
+                })),
+            };
+            providers.push(provider);
+        }
+        for p in &providers {
+            let pc = p.clone();
+            san.attach(
+                p.node,
+                Arc::new(move |sim, delivery| {
+                    let frame = delivery
+                        .body
+                        .downcast::<Frame>()
+                        .expect("non-VIA frame on a VIA SAN");
+                    transport::handle_frame(&pc, sim, *frame);
+                }),
+            );
+        }
+        Cluster {
+            sim,
+            san,
+            profile,
+            providers,
+        }
+    }
+
+    /// The provider on node `i`.
+    pub fn provider(&self, i: usize) -> Provider {
+        self.providers[i].clone()
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// The underlying SAN.
+    pub fn san(&self) -> &San {
+        &self.san
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The profile all nodes run.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile as P;
+    use simkit::Sim;
+
+    fn one_node_pair() -> (Sim, Provider) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.clone(), P::clan(), 2, 0);
+        let p = cluster.provider(0);
+        (sim, p)
+    }
+
+    #[test]
+    fn create_cq_rejects_zero_depth() {
+        let (sim, p) = one_node_pair();
+        sim.spawn("t", Some(p.cpu()), move |ctx| {
+            assert!(matches!(p.create_cq(ctx, 0), Err(ViaError::InvalidParameter)));
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn memory_roundtrip_through_provider() {
+        let (_sim, p) = one_node_pair();
+        let va = p.malloc(128);
+        p.mem_write(va + 5, b"abc");
+        assert_eq!(p.mem_read(va + 5, 3), b"abc");
+        assert_eq!(p.mem_read(va, 1), vec![0]);
+    }
+
+    #[test]
+    fn active_vis_tracks_create_and_destroy() {
+        let (sim, p) = one_node_pair();
+        let p2 = p.clone();
+        sim.spawn("t", Some(p.cpu()), move |ctx| {
+            assert_eq!(p2.active_vis(), 0);
+            let a = p2.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let _b = p2.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            assert_eq!(p2.active_vis(), 2);
+            p2.destroy_vi(ctx, a).unwrap();
+            assert_eq!(p2.active_vis(), 1);
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn probe_is_off_by_default_and_drains_once_enabled() {
+        let (_sim, p) = one_node_pair();
+        assert!(p.take_probe_events().is_empty());
+        p.enable_probe();
+        assert!(p.take_probe_events().is_empty(), "enabled but nothing ran");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn cluster_needs_two_nodes() {
+        let sim = Sim::new();
+        let _ = Cluster::new(sim, P::clan(), 1, 0);
+    }
+}

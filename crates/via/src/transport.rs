@@ -1,0 +1,1373 @@
+//! The data-path engine: descriptor posting, NIC transmit pipeline,
+//! fragment reception, reassembly, acknowledgments, and retransmission.
+//!
+//! Two architectures share this module (selected per [`Profile`](crate::Profile)):
+//!
+//! * **NIC offload** (BVIA, cLAN): post → doorbell → firmware service →
+//!   descriptor-fetch DMA → NIC address translation → per-fragment
+//!   data DMA + wire; receive is the mirror image, DMA-ing straight into
+//!   the user buffer.
+//! * **Host emulated** (M-VIA): the post itself traps into the kernel and
+//!   *copies* the message; a conventional NIC then DMAs kernel buffers.
+//!   Receive interrupts the kernel per frame and copies again — the "extra
+//!   data copies \[that\] are significant for longer messages" (paper §4.3.1).
+//!
+//! All resource contention (PCI bus, wire, NIC engine) is modeled with
+//! busy-until occupancy, so pipelining and its limits emerge rather than
+//! being assumed.
+
+use std::sync::Arc;
+
+use fabric::NodeId;
+use simkit::{ProcessCtx, Sim, SimDuration, WaitMode, WaitToken};
+
+use crate::descriptor::{Completion, DescOp, Descriptor};
+use crate::mem::ProcessMem;
+use crate::profile::DataPathKind;
+use crate::provider::{Provider, TxJobRef};
+use crate::types::{QueueKind, Reliability, ViId, ViaError, ViaResult};
+use crate::vi::{ConnState, InflightSend, Reassembly, RxTarget};
+use crate::wire::{DataFrame, Frame, MsgKind, RdmaReadReq, RDMA_READ_REQ_BYTES};
+
+/// Record a data-path stage transition when the provider's probe is on.
+/// Stage vocabulary (tx): `posted`, `dev_queued`, `fw_scanned`,
+/// `desc_fetched`, `translated`, `first_frag_wire`, `last_frag_wire`,
+/// `send_completed`; (rx): `first_frag_arrived`, `last_frag_arrived`,
+/// `last_frag_landed`, `recv_completed`.
+fn probe(provider: &Provider, vi: ViId, seq: u64, stage: &'static str) {
+    let now = provider.sim.now();
+    let mut st = provider.lock();
+    if let Some(events) = st.probe.as_mut() {
+        events.push(crate::provider::ProbeEvent {
+            vi,
+            seq,
+            stage,
+            at: now,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gather / scatter helpers.
+// ---------------------------------------------------------------------
+
+/// Concatenate a descriptor's segments out of user memory.
+pub(crate) fn gather(mem: &ProcessMem, desc: &Descriptor) -> Vec<u8> {
+    let mut out = Vec::with_capacity(desc.total_len() as usize);
+    for seg in &desc.segments {
+        out.extend_from_slice(&mem.read(seg.va, seg.len as u64));
+    }
+    out
+}
+
+/// Write `data`, which begins at message offset `offset`, across the
+/// descriptor's segments.
+pub(crate) fn scatter(mem: &mut ProcessMem, desc: &Descriptor, offset: u64, data: &[u8]) {
+    let mut skip = offset;
+    let mut rest = data;
+    for seg in &desc.segments {
+        if rest.is_empty() {
+            return;
+        }
+        let seg_len = seg.len as u64;
+        if skip >= seg_len {
+            skip -= seg_len;
+            continue;
+        }
+        let take = ((seg_len - skip) as usize).min(rest.len());
+        mem.write(seg.va + skip, &rest[..take]);
+        rest = &rest[take..];
+        skip = 0;
+    }
+    assert!(rest.is_empty(), "scatter overran the descriptor");
+}
+
+/// The page-number reference stream a descriptor's segments generate.
+pub(crate) fn pages_of_desc(mem: &ProcessMem, desc: &Descriptor) -> Vec<u64> {
+    let mut pages = Vec::new();
+    for seg in &desc.segments {
+        let (first, last) = mem.page_span(seg.va, seg.len as u64);
+        pages.extend(first..=last);
+    }
+    if pages.is_empty() {
+        // A zero-length descriptor still names (at least) the CS page.
+        pages.push(0);
+    }
+    pages
+}
+
+fn pages_of_range(mem: &ProcessMem, va: u64, len: u64) -> Vec<u64> {
+    let (first, last) = mem.page_span(va, len.max(1));
+    (first..=last).collect()
+}
+
+/// Fragment boundaries of a message of `len` bytes at `mtu`.
+fn fragments(len: u64, mtu: u32) -> Vec<(u64, u32)> {
+    if len == 0 {
+        return vec![(0, 0)];
+    }
+    let mtu = mtu as u64;
+    let mut out = Vec::with_capacity(len.div_ceil(mtu) as usize);
+    let mut off = 0;
+    while off < len {
+        let l = (len - off).min(mtu);
+        out.push((off, l as u32));
+        off += l;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Posting.
+// ---------------------------------------------------------------------
+
+/// What the transmit pipeline does after the last fragment leaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LastAction {
+    /// Deliver the local send completion (unreliable NIC-offload sends).
+    CompleteLocal,
+    /// Completion was already delivered at post time (host-emulated
+    /// unreliable); just retire the in-flight entry.
+    AlreadyCompleted,
+    /// Arm the retransmission timer and wait for the ACK.
+    ArmRetx,
+    /// Nothing (RDMA reads complete when the response lands).
+    Nothing,
+}
+
+/// A resolved transmit job (rebuilt from the in-flight entry each time so
+/// retransmissions reuse the pipeline).
+struct JobSpec {
+    src_vi: ViId,
+    dst_node: NodeId,
+    dst_vi: ViId,
+    seq: u64,
+    data: Arc<Vec<u8>>,
+    total_len: u64,
+    pages: Vec<u64>,
+    desc_wire: u64,
+    payload: JobPayload,
+    reliability: Reliability,
+    on_last: LastAction,
+}
+
+enum JobPayload {
+    Data(MsgKind),
+    ReadReq { remote_va: u64, remote_handle: u32, len: u64 },
+}
+
+/// `VipPostSend` body (send / RDMA write / RDMA read).
+pub(crate) fn post_send(
+    provider: &Provider,
+    ctx: &mut ProcessCtx,
+    vi_id: ViId,
+    desc: Descriptor,
+) -> ViaResult<()> {
+    desc.validate_shape()?;
+    let profile = Arc::clone(&provider.profile);
+    match desc.op {
+        DescOp::RdmaWrite if !profile.supports_rdma_write => return Err(ViaError::NotSupported),
+        DescOp::RdmaRead if !profile.supports_rdma_read => return Err(ViaError::NotSupported),
+        _ => {}
+    }
+    let total_len = desc.total_len();
+
+    // Validate against VI/connection state and registered memory.
+    let (reliability, kind, data, pages) = {
+        let st = provider.lock();
+        for seg in &desc.segments {
+            st.mem.check_registered(seg.handle, seg.va, seg.len as u64)?;
+        }
+        let vi = st.vi(vi_id);
+        let Some(mtu) = vi.conn_mtu() else {
+            return Err(ViaError::InvalidState);
+        };
+        if total_len > mtu as u64 {
+            return Err(ViaError::DescriptorError);
+        }
+        if vi.send_inflight.len() >= profile.max_queue_depth {
+            return Err(ViaError::QueueFull);
+        }
+        let reliability = vi.attrs.reliability;
+        let kind = match desc.op {
+            DescOp::Send => MsgKind::Send {
+                imm: desc.immediate,
+            },
+            DescOp::RdmaWrite => {
+                let r = desc.remote.expect("validated shape");
+                MsgKind::RdmaWrite {
+                    remote_va: r.va,
+                    remote_handle: r.handle.raw(),
+                    imm: desc.immediate,
+                }
+            }
+            DescOp::RdmaRead => MsgKind::Send { imm: None }, // placeholder, unused
+            DescOp::Recv => unreachable!("filtered by Vi::post_send"),
+        };
+        let data = if matches!(desc.op, DescOp::Send | DescOp::RdmaWrite) {
+            Arc::new(gather(&st.mem, &desc))
+        } else {
+            Arc::new(Vec::new())
+        };
+        let pages = pages_of_desc(&st.mem, &desc);
+        (reliability, kind, data, pages)
+    };
+    let _ = kind;
+
+    // Host-side costs of the post.
+    let nsegs = desc.segments.len() as u64;
+    let mut host_cost = profile.host.descriptor_build
+        + profile.host.per_segment_build * nsegs
+        + profile.data.post_overhead
+        + profile.doorbell.host_cost(&profile.host);
+    // Host-side translation, if this architecture translates on the host.
+    let host_xlate = {
+        let st = provider.lock();
+        st.xlate.config().host_lookup
+    };
+    if provider.lock().xlate.config().translator == vnic::Translator::Host
+        && matches!(desc.op, DescOp::Send | DescOp::RdmaWrite | DescOp::RdmaRead)
+    {
+        host_cost += host_xlate * pages.len() as u64;
+    }
+    let host_emulated = profile.data_path == DataPathKind::HostEmulated;
+    if host_emulated && matches!(desc.op, DescOp::Send | DescOp::RdmaWrite) {
+        // The kernel copies the whole message inside the post (that is why
+        // the buffer is immediately reusable); per-frame framing/driver
+        // work is charged fragment by fragment in the transmit loop, where
+        // it pipelines with the wire.
+        host_cost += profile.host.copy_time(total_len);
+    }
+    ctx.busy(host_cost);
+
+    // Enqueue the in-flight entry.
+    let (seq, complete_inline) = {
+        let mut st = provider.lock();
+        let vi = st.vi_mut(vi_id);
+        // Re-check: the connection may have died during our busy time.
+        if !matches!(vi.conn, ConnState::Connected { .. }) {
+            return Err(ViaError::InvalidState);
+        }
+        let seq = vi.next_seq;
+        vi.next_seq += 1;
+        vi.send_inflight.push_back(InflightSend {
+            seq,
+            desc: desc.clone(),
+            data,
+            total_len,
+            pages,
+            kind: match desc.op {
+                DescOp::Send => MsgKind::Send {
+                    imm: desc.immediate,
+                },
+                DescOp::RdmaWrite => {
+                    let r = desc.remote.expect("validated");
+                    MsgKind::RdmaWrite {
+                        remote_va: r.va,
+                        remote_handle: r.handle.raw(),
+                        imm: desc.immediate,
+                    }
+                }
+                DescOp::RdmaRead => MsgKind::RdmaReadResp { req_seq: seq },
+                DescOp::Recv => unreachable!(),
+            },
+            retries: 0,
+            done: false,
+        });
+        st.stats.sends_posted += 1;
+        let inline = host_emulated
+            && reliability == Reliability::Unreliable
+            && matches!(desc.op, DescOp::Send | DescOp::RdmaWrite);
+        (seq, inline)
+    };
+
+    probe(provider, vi_id, seq, "posted");
+    if complete_inline {
+        // Host-emulated unreliable: the buffer is reusable once the kernel
+        // copy finished, i.e. now.
+        let comp = {
+            let mut st = provider.lock();
+            let vi = st.vi_mut(vi_id);
+            if let Some(inf) = vi.send_inflight.iter_mut().find(|i| i.seq == seq) {
+                inf.done = true;
+            }
+            Completion {
+                op: desc.op,
+                status: Ok(()),
+                length: total_len,
+                immediate: None,
+            }
+        };
+        deliver_send_completion(provider, vi_id, comp);
+    }
+
+    // Hand the job to the device path. Both architectures serialize
+    // messages through the (real or emulated) device transmit queue so a
+    // connection's fragments hit the wire in message order.
+    if host_emulated {
+        nic_enqueue(provider, TxJobRef { vi: vi_id, seq });
+    } else {
+        // The doorbell write propagates to the device; the firmware's
+        // scheduling scan is charged per job in nic_tx_start (a polling
+        // firmware walks every VI's send block before each dispatch).
+        let delay = profile.doorbell.propagation();
+        let p = provider.clone();
+        provider.sim.call_in(delay, move |_| {
+            nic_enqueue(&p, TxJobRef { vi: vi_id, seq });
+        });
+    }
+    Ok(())
+}
+
+/// `VipPostRecv` body.
+pub(crate) fn post_recv(
+    provider: &Provider,
+    ctx: &mut ProcessCtx,
+    vi_id: ViId,
+    desc: Descriptor,
+) -> ViaResult<()> {
+    desc.validate_shape()?;
+    let profile = Arc::clone(&provider.profile);
+    {
+        let mut st = provider.lock();
+        for seg in &desc.segments {
+            st.mem.check_registered(seg.handle, seg.va, seg.len as u64)?;
+        }
+        let vi = st.vi_mut(vi_id);
+        if vi.recv_posted.len() >= profile.max_queue_depth {
+            return Err(ViaError::QueueFull);
+        }
+        vi.recv_posted.push_back(desc.clone());
+        st.stats.recvs_posted += 1;
+    }
+    let nsegs = desc.segments.len() as u64;
+    ctx.busy(
+        profile.host.descriptor_build
+            + profile.host.per_segment_build * nsegs
+            + profile.data.post_overhead
+            + profile.doorbell.host_cost(&profile.host),
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// NIC transmit pipeline.
+// ---------------------------------------------------------------------
+
+fn resolve_job(provider: &Provider, job: &TxJobRef) -> Option<JobSpec> {
+    let st = provider.lock();
+    let vi = st.vis.get(job.vi.index())?.as_ref()?;
+    let (peer_node, peer_vi) = vi.peer()?;
+    let inf = vi.send_inflight.iter().find(|i| i.seq == job.seq)?;
+    let reliability = vi.attrs.reliability;
+    let host_emulated = provider.profile.data_path == DataPathKind::HostEmulated;
+    let (payload, on_last) = match inf.desc.op {
+        DescOp::Send | DescOp::RdmaWrite => {
+            let kind = inf.kind;
+            let on_last = if reliability == Reliability::Unreliable {
+                if host_emulated {
+                    LastAction::AlreadyCompleted
+                } else {
+                    LastAction::CompleteLocal
+                }
+            } else {
+                LastAction::ArmRetx
+            };
+            (JobPayload::Data(kind), on_last)
+        }
+        DescOp::RdmaRead => {
+            let r = inf.desc.remote.expect("validated");
+            (
+                JobPayload::ReadReq {
+                    remote_va: r.va,
+                    remote_handle: r.handle.raw(),
+                    len: inf.total_len,
+                },
+                LastAction::Nothing,
+            )
+        }
+        DescOp::Recv => unreachable!(),
+    };
+    Some(JobSpec {
+        src_vi: job.vi,
+        dst_node: peer_node,
+        dst_vi: peer_vi,
+        seq: job.seq,
+        data: Arc::clone(&inf.data),
+        total_len: inf.total_len,
+        pages: inf.pages.clone(),
+        desc_wire: inf.desc.wire_size(),
+        payload,
+        reliability,
+        on_last,
+    })
+}
+
+/// Queue a job on the NIC transmit engine (runs as an event).
+pub(crate) fn nic_enqueue(provider: &Provider, job: TxJobRef) {
+    probe(provider, job.vi, job.seq, "dev_queued");
+    let start = {
+        let mut st = provider.lock();
+        if st.nic_tx.busy {
+            st.nic_tx.queue.push_back(job);
+            None
+        } else {
+            st.nic_tx.busy = true;
+            Some(job)
+        }
+    };
+    if let Some(job) = start {
+        nic_tx_start(provider, job);
+    }
+}
+
+fn nic_tx_next(provider: &Provider) {
+    let next = {
+        let mut st = provider.lock();
+        match st.nic_tx.queue.pop_front() {
+            Some(j) => Some(j),
+            None => {
+                st.nic_tx.busy = false;
+                None
+            }
+        }
+    };
+    if let Some(job) = next {
+        nic_tx_start(provider, job);
+    }
+}
+
+/// Stage 1: DMA-fetch the descriptor from host memory (NIC offload); the
+/// host-emulated path already has the descriptor in the kernel and goes
+/// straight to the fragment loop.
+fn nic_tx_start(provider: &Provider, job: TxJobRef) {
+    let Some(spec) = resolve_job(provider, &job) else {
+        nic_tx_next(provider); // connection torn down while queued
+        return;
+    };
+    if provider.profile.data_path == DataPathKind::HostEmulated {
+        tx_fragment(provider, spec, 0);
+        return;
+    }
+    // One firmware scheduling pass (scan of every VI's send block on a
+    // polling firmware; O(1) FIFO pop on hardware), then the descriptor
+    // fetch DMA.
+    let scan = {
+        let st = provider.lock();
+        provider.profile.firmware.service_delay(st.active_vis())
+    };
+    let p = provider.clone();
+    provider.sim.call_in(scan, move |_| {
+        probe(&p, spec.src_vi, spec.seq, "fw_scanned");
+        let fetch_end = p.pci.reserve(spec.desc_wire);
+        let p2 = p.clone();
+        p.sim.call_at(fetch_end, move |_| {
+            probe(&p2, spec.src_vi, spec.seq, "desc_fetched");
+            nic_tx_xlate(&p2, spec)
+        });
+    });
+}
+
+/// Stage 2: translate every page the descriptor touches.
+fn nic_tx_xlate(provider: &Provider, spec: JobSpec) {
+    let delay = {
+        let mut st = provider.lock();
+        let pages = spec.pages.clone();
+        st.xlate.nic_translate(pages.into_iter(), &provider.pci)
+    };
+    let p = provider.clone();
+    provider.sim.call_in(delay, move |_| {
+        probe(&p, spec.src_vi, spec.seq, "translated");
+        tx_fragment(&p, spec, 0)
+    });
+}
+
+/// Stage 3 (repeated): DMA one fragment across PCI, then hand it to the
+/// wire after the per-fragment NIC processing time.
+fn tx_fragment(provider: &Provider, spec: JobSpec, idx: usize) {
+    let profile = &provider.profile;
+    // RDMA-read requests are a single small control frame, no data DMA.
+    if let JobPayload::ReadReq {
+        remote_va,
+        remote_handle,
+        len,
+    } = spec.payload
+    {
+        let frame = Frame::RdmaRead(RdmaReadReq {
+            src_vi: spec.src_vi,
+            dst_vi: spec.dst_vi,
+            req_seq: spec.seq,
+            remote_va,
+            remote_handle,
+            len,
+        });
+        provider
+            .san
+            .send(provider.node, spec.dst_node, RDMA_READ_REQ_BYTES, Box::new(frame));
+        nic_tx_next(provider);
+        return;
+    }
+
+    let frags = fragments(spec.total_len, profile.wire_mtu);
+    let (off, len) = frags[idx];
+    let dma_end = provider.pci.reserve(len as u64);
+    let is_last = idx + 1 == frags.len();
+    // Per-fragment engine cost: LANai/cLAN firmware on the offload path;
+    // kernel framing + driver work (charged to the host CPU, serialized
+    // with the next fragment's DMA) on the emulated path.
+    let engine_cost = match profile.data_path {
+        DataPathKind::NicOffload => profile.data.tx_frag_nic,
+        DataPathKind::HostEmulated => {
+            provider.sim.charge(provider.cpu, profile.data.kernel_tx_per_frag);
+            profile.data.kernel_tx_per_frag
+        }
+    };
+    if !is_last {
+        let p = provider.clone();
+        let spec2 = clone_spec(&spec);
+        let next_at = match profile.data_path {
+            // The NIC's DMA engine runs ahead of its fragment processor.
+            DataPathKind::NicOffload => dma_end,
+            // The kernel prepares the next frame after finishing this one.
+            DataPathKind::HostEmulated => dma_end + engine_cost,
+        };
+        provider
+            .sim
+            .call_at(next_at, move |_| tx_fragment(&p, spec2, idx + 1));
+    }
+    let p = provider.clone();
+    provider.sim.call_at(dma_end + engine_cost, move |_| {
+        wire_send(&p, spec, idx, off, len, is_last);
+    });
+}
+
+fn clone_spec(s: &JobSpec) -> JobSpec {
+    JobSpec {
+        src_vi: s.src_vi,
+        dst_node: s.dst_node,
+        dst_vi: s.dst_vi,
+        seq: s.seq,
+        data: Arc::clone(&s.data),
+        total_len: s.total_len,
+        pages: s.pages.clone(),
+        desc_wire: s.desc_wire,
+        payload: match &s.payload {
+            JobPayload::Data(k) => JobPayload::Data(*k),
+            JobPayload::ReadReq {
+                remote_va,
+                remote_handle,
+                len,
+            } => JobPayload::ReadReq {
+                remote_va: *remote_va,
+                remote_handle: *remote_handle,
+                len: *len,
+            },
+        },
+        reliability: s.reliability,
+        on_last: s.on_last,
+    }
+}
+
+fn wire_send(provider: &Provider, spec: JobSpec, idx: usize, off: u64, len: u32, is_last: bool) {
+    let profile = &provider.profile;
+    let kind = match spec.payload {
+        JobPayload::Data(k) => k,
+        JobPayload::ReadReq { .. } => unreachable!("handled in tx_fragment"),
+    };
+    let frag_count = fragments(spec.total_len, profile.wire_mtu).len() as u32;
+    let payload = spec.data[off as usize..(off as usize + len as usize)].to_vec();
+    let frame = Frame::Data(DataFrame {
+        src_vi: spec.src_vi,
+        dst_vi: spec.dst_vi,
+        seq: spec.seq,
+        frag_idx: idx as u32,
+        frag_count,
+        msg_len: spec.total_len,
+        offset: off,
+        payload,
+        kind,
+        reliability: spec.reliability,
+    });
+    provider.san.send(
+        provider.node,
+        spec.dst_node,
+        len + profile.frag_header_bytes,
+        Box::new(frame),
+    );
+    if idx == 0 {
+        probe(provider, spec.src_vi, spec.seq, "first_frag_wire");
+    }
+    if !is_last {
+        return;
+    }
+    probe(provider, spec.src_vi, spec.seq, "last_frag_wire");
+    {
+        let mut st = provider.lock();
+        st.stats.msgs_sent += 1;
+    }
+    match spec.on_last {
+        LastAction::CompleteLocal => {
+            let p = provider.clone();
+            let (vi, seq) = (spec.src_vi, spec.seq);
+            provider
+                .sim
+                .call_in(profile.data.completion_write, move |_| {
+                    complete_send(&p, vi, seq, Ok(()));
+                });
+        }
+        LastAction::AlreadyCompleted => {
+            let mut st = provider.lock();
+            if let Some(v) = st.try_vi_mut(spec.src_vi) {
+                v.send_inflight.retain(|i| i.seq != spec.seq);
+            }
+        }
+        LastAction::ArmRetx => arm_retransmit(provider, spec.src_vi, spec.seq),
+        LastAction::Nothing => {}
+    }
+    nic_tx_next(provider);
+}
+
+// ---------------------------------------------------------------------
+// Reliability: ACKs and retransmission.
+// ---------------------------------------------------------------------
+
+fn send_ack(provider: &Provider, dst_node: NodeId, dst_vi: ViId, seq: u64) {
+    let profile = &provider.profile;
+    {
+        let mut st = provider.lock();
+        st.stats.acks_sent += 1;
+    }
+    let p = provider.clone();
+    let bytes = profile.data.ack_bytes;
+    provider
+        .sim
+        .call_in(profile.data.ack_processing, move |_| {
+            p.san
+                .send(p.node, dst_node, bytes, Box::new(Frame::Ack { dst_vi, seq }));
+        });
+}
+
+fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
+    {
+        let mut st = provider.lock();
+        st.stats.acks_received += 1;
+        let Some(vi) = st.try_vi_mut(vi_id) else {
+            return;
+        };
+        match vi.send_inflight.iter_mut().find(|i| i.seq == seq) {
+            Some(inf) if !inf.done => inf.done = true,
+            _ => return, // duplicate ACK or already failed
+        }
+    }
+    complete_send(provider, vi_id, seq, Ok(()));
+}
+
+fn arm_retransmit(provider: &Provider, vi_id: ViId, seq: u64) {
+    let p = provider.clone();
+    let timeout = provider.profile.data.retransmit_timeout;
+    provider.sim.call_in(timeout, move |_| {
+        let action = {
+            let mut st = p.lock();
+            let Some(vi) = st.try_vi_mut(vi_id) else {
+                return;
+            };
+            match vi.send_inflight.iter_mut().find(|i| i.seq == seq) {
+                Some(inf) if !inf.done => {
+                    inf.retries += 1;
+                    if inf.retries > p.profile.data.max_retries {
+                        RetxAction::Fail
+                    } else {
+                        st.stats.retransmissions += 1;
+                        RetxAction::Resend
+                    }
+                }
+                _ => return, // acked or gone
+            }
+        };
+        match action {
+            RetxAction::Fail => fail_connection(&p, vi_id),
+            RetxAction::Resend => nic_enqueue(&p, TxJobRef { vi: vi_id, seq }),
+        }
+    });
+}
+
+enum RetxAction {
+    Fail,
+    Resend,
+}
+
+/// Retry exhaustion: the connection is dead; every outstanding send
+/// completes with `ConnectionLost` and the VI enters the error state.
+fn fail_connection(provider: &Provider, vi_id: ViId) {
+    let mut completions = Vec::new();
+    {
+        let mut st = provider.lock();
+        let Some(vi) = st.try_vi_mut(vi_id) else {
+            return;
+        };
+        vi.conn = ConnState::Error;
+        vi.reassembly.clear();
+        vi.parked_recv.clear();
+        while let Some(inf) = vi.send_inflight.pop_front() {
+            completions.push(Completion {
+                op: inf.desc.op,
+                status: Err(ViaError::ConnectionLost),
+                length: 0,
+                immediate: None,
+            });
+        }
+    }
+    for c in completions {
+        deliver_send_completion(provider, vi_id, c);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completion delivery.
+// ---------------------------------------------------------------------
+
+fn complete_send(provider: &Provider, vi_id: ViId, seq: u64, status: ViaResult<()>) {
+    probe(provider, vi_id, seq, "send_completed");
+    let comp = {
+        let mut st = provider.lock();
+        let Some(vi) = st.try_vi_mut(vi_id) else {
+            return;
+        };
+        let Some(pos) = vi.send_inflight.iter().position(|i| i.seq == seq) else {
+            return;
+        };
+        let inf = vi.send_inflight.remove(pos).expect("position valid");
+        Completion {
+            op: inf.desc.op,
+            status,
+            length: inf.total_len,
+            immediate: None,
+        }
+    };
+    deliver_send_completion(provider, vi_id, comp);
+}
+
+pub(crate) fn deliver_send_completion(provider: &Provider, vi_id: ViId, comp: Completion) {
+    let (waiter, cq) = {
+        let mut st = provider.lock();
+        let Some(vi) = st.try_vi_mut(vi_id) else {
+            return;
+        };
+        vi.send_completed.push_back(comp);
+        (vi.send_waiter.take(), vi.send_cq)
+    };
+    if let Some((token, mode)) = waiter {
+        wake_waiter(provider, token, mode);
+    }
+    if let Some(cq) = cq {
+        cq_notify(provider, cq, vi_id, QueueKind::Send);
+    }
+}
+
+pub(crate) fn deliver_recv_completion(provider: &Provider, vi_id: ViId, comp: Completion) {
+    let (waiter, cq) = {
+        let mut st = provider.lock();
+        let Some(vi) = st.try_vi_mut(vi_id) else {
+            return;
+        };
+        vi.recv_completed.push_back(comp);
+        (vi.recv_waiter.take(), vi.recv_cq)
+    };
+    if let Some((token, mode)) = waiter {
+        wake_waiter(provider, token, mode);
+    }
+    if let Some(cq) = cq {
+        cq_notify(provider, cq, vi_id, QueueKind::Recv);
+    }
+}
+
+fn wake_waiter(provider: &Provider, token: WaitToken, mode: WaitMode) {
+    match mode {
+        // The poller notices the status flip as soon as it is written.
+        WaitMode::Poll => provider.sim.wake(token),
+        // The blocked process needs an interrupt.
+        WaitMode::Block => provider.intr.deliver(&provider.sim, token),
+    }
+}
+
+fn cq_notify(provider: &Provider, cq: crate::types::CqId, vi: ViId, kind: QueueKind) {
+    let p = provider.clone();
+    let delay = provider.profile.data.cq_post;
+    provider.sim.call_in(delay, move |_| {
+        let waiter = {
+            let mut st = p.lock();
+            let c = st.cq_mut(cq);
+            if c.entries.len() >= c.depth {
+                c.overflows += 1;
+                return;
+            }
+            c.entries.push_back((vi, kind));
+            c.waiters.pop_front()
+        };
+        if let Some((token, mode)) = waiter {
+            wake_waiter(&p, token, mode);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Receive path.
+// ---------------------------------------------------------------------
+
+/// Entry point for every frame the fabric delivers to this node.
+pub(crate) fn handle_frame(provider: &Provider, sim: &Sim, frame: Frame) {
+    match frame {
+        Frame::Conn(cf) => crate::connect::handle_conn_frame(provider, sim, cf),
+        Frame::Ack { dst_vi, seq } => {
+            let p = provider.clone();
+            sim.call_in(provider.profile.data.ack_processing, move |_| {
+                handle_ack(&p, dst_vi, seq);
+            });
+        }
+        Frame::RdmaRead(req) => rx_read_request(provider, req),
+        Frame::Data(df) => rx_data(provider, df),
+    }
+}
+
+/// Serve an RDMA-read request: validate, snapshot, and stream the response
+/// through the normal transmit pipeline (as a synthetic in-flight entry).
+fn rx_read_request(provider: &Provider, req: RdmaReadReq) {
+    let ok = {
+        let mut st = provider.lock();
+        let valid = st
+            .try_vi_mut(req.dst_vi)
+            .map(|vi| {
+                matches!(vi.conn, ConnState::Connected { .. }) && vi.attrs.enable_rdma_read
+            })
+            .unwrap_or(false)
+            && st
+                .mem
+                .check_registered(crate::types::MemHandle(req.remote_handle), req.remote_va, req.len)
+                .is_ok()
+            && st
+                .mem
+                .attrs(crate::types::MemHandle(req.remote_handle))
+                .map(|a| a.enable_rdma_read)
+                .unwrap_or(false);
+        if !valid {
+            st.stats.protection_errors += 1;
+            false
+        } else {
+            st.stats.rdma_reads_served += 1;
+            true
+        }
+    };
+    if !ok {
+        return;
+    }
+    // Build a synthetic in-flight entry on the responder VI whose "send"
+    // streams the data back tagged as a read response.
+    let seq = {
+        let mut st = provider.lock();
+        let data = st.mem.read(req.remote_va, req.len);
+        let pages = pages_of_range(&st.mem, req.remote_va, req.len);
+        let vi = st.vi_mut(req.dst_vi);
+        let seq = vi.next_seq;
+        vi.next_seq += 1;
+        vi.send_inflight.push_back(InflightSend {
+            seq,
+            desc: Descriptor::send(), // synthetic; never completed to the user
+            data: Arc::new(data),
+            total_len: req.len,
+            pages,
+            kind: MsgKind::RdmaReadResp {
+                req_seq: req.req_seq,
+            },
+            retries: 0,
+            done: true, // never produces a local completion
+        });
+        seq
+    };
+    nic_enqueue(provider, TxJobRef { vi: req.dst_vi, seq });
+}
+
+/// A data fragment arrived at the NIC.
+fn rx_data(provider: &Provider, df: DataFrame) {
+    let profile = Arc::clone(&provider.profile);
+    let now = provider.sim.now();
+    let host_emulated = profile.data_path == DataPathKind::HostEmulated;
+
+    let mut first_frag_xlate = SimDuration::ZERO;
+    {
+        let mut st = provider.lock();
+        {
+            let Some(vi) = st.vis.get(df.dst_vi.index()).and_then(|v| v.as_ref()) else {
+                return;
+            };
+            if !matches!(vi.conn, ConnState::Connected { .. }) {
+                return;
+            }
+        }
+        // Reliable-mode dedup of fully delivered messages.
+        if df.reliability != Reliability::Unreliable
+            && st.vi(df.dst_vi).delivered.contains(df.seq)
+        {
+            if df.frag_idx == 0 {
+                st.stats.duplicates_dropped += 1;
+                let (peer_node, _) = st.vi(df.dst_vi).peer().expect("connected");
+                drop(st);
+                // Re-ACK: the original ACK may have been lost.
+                send_ack(provider, peer_node, df.src_vi, df.seq);
+            }
+            return;
+        }
+
+        if !st.vi(df.dst_vi).reassembly.contains_key(&df.seq) {
+            // New message: retire dead unreliable reassemblies (an in-order
+            // fabric means an older incomplete message can never finish).
+            if df.reliability == Reliability::Unreliable {
+                // Only reassemblies still missing *arrivals* are dead; ones
+                // whose fragments are merely mid-DMA will finish normally.
+                let stale: Vec<u64> = st
+                    .vi(df.dst_vi)
+                    .reassembly
+                    .iter()
+                    .filter(|(&s, r)| s < df.seq && r.arrived < r.frag_count)
+                    .map(|(&s, _)| s)
+                    .collect();
+                for s in stale {
+                    let r = st
+                        .vi_mut(df.dst_vi)
+                        .reassembly
+                        .remove(&s)
+                        .expect("key just listed");
+                    st.stats.msgs_dropped_partial += 1;
+                    if let RxTarget::Recv { desc, .. } = r.target {
+                        let comp = Completion {
+                            op: desc.op,
+                            status: Err(ViaError::MessageDropped),
+                            length: 0,
+                            immediate: None,
+                        };
+                        drop(st);
+                        deliver_recv_completion(provider, df.dst_vi, comp);
+                        st = provider.lock();
+                    }
+                }
+            }
+
+            // Classify the new message and (for NIC offload) translate the
+            // destination pages up front. (The over-long case inserts its
+            // entry itself so it can keep the consumed descriptor.)
+            let target = match df.kind {
+                MsgKind::Send { imm } => match st.vi_mut(df.dst_vi).recv_posted.pop_front() {
+                    None => {
+                        st.stats.recv_no_descriptor += 1;
+                        RxTarget::Discard {
+                            reason: ViaError::MessageDropped,
+                        }
+                    }
+                    Some(desc) if df.msg_len > desc.total_len() => {
+                        st.vi_mut(df.dst_vi).reassembly.insert(
+                            df.seq,
+                            Reassembly {
+                                target: RxTarget::Recv { desc, imm },
+                                msg_len: df.msg_len,
+                                frag_count: df.frag_count,
+                                arrived: 0,
+                                landed: 0,
+                                seen: vec![false; df.frag_count as usize],
+                                error: Some(ViaError::DescriptorError),
+                                reliability: df.reliability,
+                            },
+                        );
+                        RxTarget::Discard {
+                            reason: ViaError::DescriptorError,
+                        } // placeholder; the real entry was inserted above
+                    }
+                    Some(desc) => {
+                        if !host_emulated {
+                            let pages = pages_of_desc(&st.mem, &desc);
+                            first_frag_xlate =
+                                st.xlate.nic_translate(pages.into_iter(), &provider.pci);
+                        }
+                        RxTarget::Recv { desc, imm }
+                    }
+                },
+                MsgKind::RdmaWrite {
+                    remote_va,
+                    remote_handle,
+                    imm,
+                } => {
+                    let handle = crate::types::MemHandle(remote_handle);
+                    let allowed = st.vi(df.dst_vi).attrs.enable_rdma_write
+                        && st
+                            .mem
+                            .check_registered(handle, remote_va, df.msg_len)
+                            .is_ok()
+                        && st
+                            .mem
+                            .attrs(handle)
+                            .map(|a| a.enable_rdma_write)
+                            .unwrap_or(false);
+                    if allowed {
+                        if !host_emulated {
+                            let pages = pages_of_range(&st.mem, remote_va, df.msg_len);
+                            first_frag_xlate =
+                                st.xlate.nic_translate(pages.into_iter(), &provider.pci);
+                        }
+                        RxTarget::Rdma {
+                            base_va: remote_va,
+                            imm,
+                        }
+                    } else {
+                        st.stats.protection_errors += 1;
+                        RxTarget::Discard {
+                            reason: ViaError::ProtectionError,
+                        }
+                    }
+                }
+                MsgKind::RdmaReadResp { req_seq } => {
+                    if st
+                        .vi(df.dst_vi)
+                        .send_inflight
+                        .iter()
+                        .any(|i| i.seq == req_seq)
+                    {
+                        RxTarget::ReadResp { req_seq }
+                    } else {
+                        RxTarget::Discard {
+                            reason: ViaError::InvalidState,
+                        }
+                    }
+                }
+            };
+            st.vi_mut(df.dst_vi)
+                .reassembly
+                .entry(df.seq)
+                .or_insert(Reassembly {
+                    target,
+                    msg_len: df.msg_len,
+                    frag_count: df.frag_count,
+                    arrived: 0,
+                    landed: 0,
+                    seen: vec![false; df.frag_count as usize],
+                    error: None,
+                    reliability: df.reliability,
+                });
+        }
+
+        if df.frag_idx == 0 {
+            drop(st);
+            probe(provider, df.dst_vi, df.seq, "first_frag_arrived");
+            st = provider.lock();
+        }
+
+        // Record the fragment's arrival.
+        let (fully_arrived, ackable) = {
+            let vi = st.vi_mut(df.dst_vi);
+            let reass = vi.reassembly.get_mut(&df.seq).expect("just ensured");
+            if reass.seen[df.frag_idx as usize] {
+                return; // duplicate fragment of a partial retransmission
+            }
+            reass.seen[df.frag_idx as usize] = true;
+            reass.arrived += 1;
+            // A message that consumed a descriptor (even in error) is ACKed;
+            // discarded ones are not, so the sender retries.
+            let ackable = !matches!(reass.target, RxTarget::Discard { .. })
+                || reass.error.is_some();
+            (reass.arrived == reass.frag_count, ackable)
+        };
+
+        if fully_arrived {
+            drop(st);
+            probe(provider, df.dst_vi, df.seq, "last_frag_arrived");
+            st = provider.lock();
+        }
+
+        // Reliable Delivery ACKs when the message has fully *arrived at the
+        // NIC* — before placement in memory.
+        if fully_arrived && df.reliability == Reliability::ReliableDelivery && ackable {
+            let (peer_node, _) = st.vi(df.dst_vi).peer().expect("connected");
+            drop(st);
+            send_ack(provider, peer_node, df.src_vi, df.seq);
+        }
+    }
+
+    // Price the fragment's journey to memory, then schedule the landing.
+    // Per-fragment receive processing is serial on one engine (the kernel
+    // for host-emulated VIA, the NIC processor for offload), so it occupies
+    // rx_engine_busy; the DMA engine is a separate (PCI-arbitrated) unit.
+    let (landed_at, cpu_charge) = if host_emulated {
+        let dma_end = provider.pci.reserve_at(now, df.payload.len() as u64);
+        let kernel =
+            profile.data.kernel_rx_per_frag + profile.host.copy_time(df.payload.len() as u64);
+        let mut st = provider.lock();
+        let start = st.rx_engine_busy.max(dma_end);
+        st.rx_engine_busy = start + kernel;
+        (start + kernel, kernel)
+    } else {
+        let nic_work = profile.data.rx_frag_nic + first_frag_xlate;
+        let end = {
+            let mut st = provider.lock();
+            let start = st.rx_engine_busy.max(now);
+            st.rx_engine_busy = start + nic_work;
+            start + nic_work
+        };
+        let dma_end = provider.pci.reserve_at(end, df.payload.len() as u64);
+        (dma_end, SimDuration::ZERO)
+    };
+    if !cpu_charge.is_zero() {
+        provider.sim.charge(provider.cpu, cpu_charge);
+    }
+    let p = provider.clone();
+    provider.sim.call_at(landed_at, move |_| rx_landed(&p, df));
+}
+
+/// A fragment's bytes finished DMA into their destination.
+fn rx_landed(provider: &Provider, df: DataFrame) {
+    let profile = Arc::clone(&provider.profile);
+
+    enum Place {
+        Desc(Descriptor),
+        Va(u64),
+        None,
+    }
+    enum Finish {
+        /// Receive completions now deliverable, in sequence order (the
+        /// reliable path releases the contiguous prefix; the unreliable
+        /// path passes its single completion straight through).
+        RecvCompletions(Vec<(u64, Completion)>),
+        None,
+    }
+
+    let (finish, ack_rr, peer) = {
+        let mut st = provider.lock();
+        if st.try_vi_mut(df.dst_vi).is_none() {
+            return;
+        }
+        // Decide where these bytes land.
+        let place = {
+            let vi = st.vi(df.dst_vi);
+            let Some(reass) = vi.reassembly.get(&df.seq) else {
+                return; // aborted (stale unreliable abort / teardown)
+            };
+            match &reass.target {
+                RxTarget::Recv { desc, .. } if reass.error.is_none() => Place::Desc(desc.clone()),
+                RxTarget::Rdma { base_va, .. } => Place::Va(*base_va),
+                RxTarget::ReadResp { req_seq } => {
+                    match vi.send_inflight.iter().find(|i| i.seq == *req_seq) {
+                        Some(inf) => Place::Desc(inf.desc.clone()),
+                        None => Place::None,
+                    }
+                }
+                _ => Place::None,
+            }
+        };
+        match place {
+            Place::Desc(d) => scatter(&mut st.mem, &d, df.offset, &df.payload),
+            Place::Va(base) => st.mem.write(base + df.offset, &df.payload),
+            Place::None => {}
+        }
+
+        // Count the landing; take the reassembly if it is the last one.
+        let done = {
+            let vi = st.vi_mut(df.dst_vi);
+            let reass = vi.reassembly.get_mut(&df.seq).expect("checked above");
+            reass.landed += 1;
+            if reass.landed == reass.frag_count {
+                vi.reassembly.remove(&df.seq)
+            } else {
+                None
+            }
+        };
+        let Some(reass) = done else {
+            return;
+        };
+
+        let reliable = reass.reliability != Reliability::Unreliable;
+        let mut ack_rr = false;
+        let mut bump_highwater = false;
+        let completion = match reass.target {
+            RxTarget::Recv { desc, imm } => {
+                bump_highwater = reliable;
+                ack_rr = reass.reliability == Reliability::ReliableReception;
+                let status = match reass.error {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                };
+                if status.is_ok() {
+                    st.stats.msgs_delivered += 1;
+                }
+                Some(Completion {
+                    op: desc.op,
+                    status,
+                    length: reass.msg_len,
+                    immediate: imm,
+                })
+            }
+            RxTarget::Rdma { imm, .. } => {
+                bump_highwater = reliable;
+                ack_rr = reass.reliability == Reliability::ReliableReception;
+                st.stats.rdma_writes_in += 1;
+                match imm {
+                    Some(imm) => match st.vi_mut(df.dst_vi).recv_posted.pop_front() {
+                        Some(desc) => Some(Completion {
+                            op: desc.op,
+                            status: Ok(()),
+                            length: reass.msg_len,
+                            immediate: Some(imm),
+                        }),
+                        None => {
+                            st.stats.recv_no_descriptor += 1;
+                            None
+                        }
+                    },
+                    None => None,
+                }
+            }
+            RxTarget::ReadResp { req_seq } => {
+                // RDMA-read responses complete a *send-queue* descriptor on
+                // the initiator and bypass the recv-ordering machinery.
+                drop(st);
+                probe(provider, df.dst_vi, df.seq, "last_frag_landed");
+                let p = provider.clone();
+                let vi_id = df.dst_vi;
+                provider
+                    .sim
+                    .call_in(profile.data.completion_write, move |_| {
+                        complete_send(&p, vi_id, req_seq, Ok(()));
+                    });
+                return;
+            }
+            RxTarget::Discard { .. } => None,
+        };
+        let finish = if !bump_highwater {
+            // Unreliable: deliver immediately; no ordering guarantee.
+            match completion {
+                Some(c) => Finish::RecvCompletions(vec![(df.seq, c)]),
+                None => Finish::None,
+            }
+        } else {
+            // Reliable: the spec guarantees in-order delivery. Park the
+            // completion, advance the contiguity tracker, and release the
+            // whole contiguous prefix.
+            let vi = st.vi_mut(df.dst_vi);
+            if let Some(c) = completion {
+                vi.parked_recv.insert(df.seq, c);
+            }
+            vi.delivered.mark(df.seq);
+            let mut ready = Vec::new();
+            if let Some(hw) = vi.delivered.highwater() {
+                let release: Vec<u64> = vi.parked_recv.range(..=hw).map(|(&s, _)| s).collect();
+                for s in release {
+                    let c = vi.parked_recv.remove(&s).expect("listed");
+                    ready.push((s, c));
+                }
+            }
+            if ready.is_empty() {
+                Finish::None
+            } else {
+                Finish::RecvCompletions(ready)
+            }
+        };
+        let peer = st.vi(df.dst_vi).peer();
+        (finish, ack_rr, peer)
+    };
+
+    if !matches!(finish, Finish::None) || ack_rr {
+        probe(provider, df.dst_vi, df.seq, "last_frag_landed");
+    }
+
+    // Reliable Reception ACKs only after the data is in memory.
+    if ack_rr {
+        if let Some((peer_node, _)) = peer {
+            send_ack(provider, peer_node, df.src_vi, df.seq);
+        }
+    }
+    match finish {
+        Finish::RecvCompletions(comps) => {
+            let p = provider.clone();
+            let vi_id = df.dst_vi;
+            provider
+                .sim
+                .call_in(profile.data.completion_write, move |_| {
+                    for (seq, comp) in comps {
+                        probe(&p, vi_id, seq, "recv_completed");
+                        deliver_recv_completion(&p, vi_id, comp);
+                    }
+                });
+        }
+        Finish::None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemAttributes;
+    use crate::types::MemHandle;
+
+    #[test]
+    fn fragment_boundaries() {
+        assert_eq!(fragments(0, 1024), vec![(0, 0)]);
+        assert_eq!(fragments(1, 1024), vec![(0, 1)]);
+        assert_eq!(fragments(1024, 1024), vec![(0, 1024)]);
+        assert_eq!(fragments(1025, 1024), vec![(0, 1024), (1024, 1)]);
+        assert_eq!(
+            fragments(3000, 1024),
+            vec![(0, 1024), (1024, 1024), (2048, 952)]
+        );
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_multi_segment() {
+        let mut mem = ProcessMem::new(4096);
+        let a = mem.malloc(4096);
+        let b = mem.malloc(4096);
+        let ha = mem.register(a, 4096, MemAttributes::default()).unwrap();
+        let hb = mem.register(b, 4096, MemAttributes::default()).unwrap();
+        let src: Vec<u8> = (0..600).map(|i| (i % 251) as u8).collect();
+        mem.write(a, &src[..200]);
+        mem.write(b + 8, &src[200..]);
+        let d = Descriptor::send()
+            .segment(a, ha, 200)
+            .segment(b + 8, hb, 400);
+        let gathered = gather(&mem, &d);
+        assert_eq!(gathered, src);
+
+        // Scatter back into a different layout, in two pieces.
+        let c = mem.malloc(4096);
+        let hc = mem.register(c, 4096, MemAttributes::default()).unwrap();
+        let d2 = Descriptor::recv()
+            .segment(c, hc, 100)
+            .segment(c + 1000, hc, 500);
+        scatter(&mut mem, &d2, 0, &gathered[..250]);
+        scatter(&mut mem, &d2, 250, &gathered[250..]);
+        let mut out = mem.read(c, 100);
+        out.extend(mem.read(c + 1000, 500));
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn pages_of_desc_counts_straddles() {
+        let mut mem = ProcessMem::new(4096);
+        let a = mem.malloc(3 * 4096);
+        let h = mem.register(a, 3 * 4096, MemAttributes::default()).unwrap();
+        let d = Descriptor::send().segment(a + 4000, h, 200); // straddles a page
+        assert_eq!(pages_of_desc(&mem, &d).len(), 2);
+        let d0 = Descriptor::send(); // zero-length
+        assert_eq!(pages_of_desc(&mem, &d0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overran")]
+    fn scatter_overrun_panics() {
+        let mut mem = ProcessMem::new(4096);
+        let a = mem.malloc(4096);
+        let h = mem.register(a, 4096, MemAttributes::default()).unwrap();
+        let d = Descriptor::recv().segment(a, h, 10);
+        scatter(&mut mem, &d, 0, &[0u8; 20]);
+    }
+
+    #[test]
+    fn unused_handle_type_compiles() {
+        // Silence the "unused import" trap for MemHandle used in cfg(test).
+        let _ = MemHandle::test(0);
+    }
+}

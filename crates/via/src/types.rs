@@ -1,0 +1,190 @@
+//! Core VIA types: errors, reliability levels, attributes, handle ids.
+
+use std::fmt;
+
+/// Errors surfaced by the VIPL-style API (a condensed `VIP_*` status set).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViaError {
+    /// Operation invalid in the object's current state (e.g. posting on an
+    /// unconnected VI).
+    InvalidState,
+    /// A parameter failed validation.
+    InvalidParameter,
+    /// A descriptor referenced memory outside its handle's region, exceeded
+    /// the segment-count limit, or exceeded the connection's MTU.
+    DescriptorError,
+    /// The referenced memory handle does not exist (or was deregistered).
+    InvalidMemHandle,
+    /// Protection violation (e.g. RDMA write to memory not enabled for it).
+    ProtectionError,
+    /// The feature is not supported by this provider profile.
+    NotSupported,
+    /// Connection handshake failed or timed out.
+    ConnectFailed,
+    /// The connection was lost (reliable modes after retry exhaustion).
+    ConnectionLost,
+    /// An unreliable-mode message was partially lost; the consumed receive
+    /// descriptor completes with this error.
+    MessageDropped,
+    /// A queue reached its depth limit.
+    QueueFull,
+    /// The object still has dependents (e.g. destroying a connected VI).
+    Busy,
+}
+
+impl fmt::Display for ViaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViaError::InvalidState => "invalid state",
+            ViaError::InvalidParameter => "invalid parameter",
+            ViaError::DescriptorError => "descriptor error",
+            ViaError::InvalidMemHandle => "invalid memory handle",
+            ViaError::ProtectionError => "protection error",
+            ViaError::NotSupported => "not supported by this provider",
+            ViaError::ConnectFailed => "connection failed",
+            ViaError::ConnectionLost => "connection lost",
+            ViaError::MessageDropped => "message dropped (unreliable delivery)",
+            ViaError::QueueFull => "work queue full",
+            ViaError::Busy => "object busy",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ViaError {}
+
+/// Convenience alias.
+pub type ViaResult<T> = Result<T, ViaError>;
+
+/// VIA's three reliability levels (spec §2; paper §2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum Reliability {
+    /// Unreliable Delivery: at-most-once, no acknowledgment; a send
+    /// completes once the local NIC has put it on the wire.
+    #[default]
+    Unreliable,
+    /// Reliable Delivery: a send completes once the data reached the remote
+    /// *network interface* (NIC-level ACK; retransmission on loss).
+    ReliableDelivery,
+    /// Reliable Reception: a send completes once the data has landed in the
+    /// remote *memory* (ACK after placement; retransmission on loss).
+    ReliableReception,
+}
+
+/// Per-VI attributes fixed at creation (a subset of `VIP_VI_ATTRIBUTES`).
+#[derive(Clone, Copy, Debug)]
+pub struct ViAttributes {
+    /// Reliability level of connections made with this VI.
+    pub reliability: Reliability,
+    /// Maximum bytes a single descriptor may transfer. Capped by the
+    /// provider's own maximum at connection establishment.
+    pub max_transfer_size: u32,
+    /// Whether this VI accepts inbound RDMA writes.
+    pub enable_rdma_write: bool,
+    /// Whether this VI accepts inbound RDMA reads.
+    pub enable_rdma_read: bool,
+}
+
+impl Default for ViAttributes {
+    fn default() -> Self {
+        ViAttributes {
+            reliability: Reliability::Unreliable,
+            max_transfer_size: 1 << 20,
+            enable_rdma_write: true,
+            enable_rdma_read: false,
+        }
+    }
+}
+
+impl ViAttributes {
+    /// Default attributes with a given reliability level.
+    pub fn reliable(level: Reliability) -> Self {
+        ViAttributes {
+            reliability: level,
+            ..Default::default()
+        }
+    }
+}
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Array index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+            /// Raw id value.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Handle to a Virtual Interface within one provider.
+    ViId
+);
+id_type!(
+    /// Handle to a completion queue within one provider.
+    CqId
+);
+id_type!(
+    /// Handle to a registered memory region within one provider.
+    MemHandle
+);
+
+/// Which work queue of a VI a completion refers to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum QueueKind {
+    /// The send queue.
+    Send,
+    /// The receive queue.
+    Recv,
+}
+
+/// A discriminator distinguishing connection endpoints on a node (the VIA
+/// connection-manager "address" beyond the node itself).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Discriminator(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(ViaError::QueueFull.to_string(), "work queue full");
+        assert_eq!(
+            ViaError::NotSupported.to_string(),
+            "not supported by this provider"
+        );
+    }
+
+    #[test]
+    fn default_attributes_are_unreliable() {
+        let a = ViAttributes::default();
+        assert_eq!(a.reliability, Reliability::Unreliable);
+        assert!(a.enable_rdma_write);
+        assert!(!a.enable_rdma_read);
+    }
+
+    #[test]
+    fn reliable_constructor_sets_level() {
+        let a = ViAttributes::reliable(Reliability::ReliableReception);
+        assert_eq!(a.reliability, Reliability::ReliableReception);
+    }
+
+    #[test]
+    fn id_types_are_distinct_and_indexable() {
+        let vi = ViId(3);
+        assert_eq!(vi.index(), 3);
+        assert_eq!(vi.raw(), 3);
+        let mh = MemHandle(7);
+        assert_eq!(mh.index(), 7);
+    }
+}

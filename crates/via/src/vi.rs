@@ -1,0 +1,365 @@
+//! Virtual Interfaces: state, work queues, and the public [`Vi`] handle.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+use fabric::NodeId;
+use simkit::{ProcessCtx, WaitMode, WaitToken};
+
+use crate::descriptor::{Completion, DescOp, Descriptor};
+use crate::provider::Provider;
+use crate::transport;
+use crate::types::{CqId, Reliability, ViAttributes, ViId, ViaError, ViaResult};
+use crate::wire::MsgKind;
+
+/// Connection state of a VI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnState {
+    /// Created, not connected.
+    Idle,
+    /// Client side: request sent, waiting for accept.
+    Connecting,
+    /// Connected to `peer_vi` on `peer_node`; `mtu` is the negotiated
+    /// maximum transfer size.
+    Connected {
+        /// Remote node.
+        peer_node: NodeId,
+        /// Remote VI.
+        peer_vi: ViId,
+        /// Negotiated per-descriptor byte limit.
+        mtu: u32,
+    },
+    /// Unrecoverable transport error (reliable modes).
+    Error,
+}
+
+/// A send/RDMA descriptor in flight (posted, not yet completed).
+pub(crate) struct InflightSend {
+    pub seq: u64,
+    pub desc: Descriptor,
+    /// Snapshot of the source bytes (empty for RDMA reads).
+    pub data: Arc<Vec<u8>>,
+    pub total_len: u64,
+    /// Pages the local segments span (for NIC translation / retransmit).
+    pub pages: Vec<u64>,
+    pub kind: MsgKind,
+    pub retries: u32,
+    /// Set once the wire/ack protocol finished; the completion may still be
+    /// waiting on the completion-write delay.
+    pub done: bool,
+}
+
+/// Reassembly target of an in-progress inbound message.
+pub(crate) enum RxTarget {
+    /// Send/receive model: scatter into this consumed receive descriptor.
+    Recv { desc: Descriptor, imm: Option<u32> },
+    /// RDMA write: place at `base_va` (already validated).
+    Rdma { base_va: u64, imm: Option<u32> },
+    /// RDMA-read response: scatter into the initiator's descriptor
+    /// (looked up by `req_seq` at landing time).
+    ReadResp { req_seq: u64 },
+    /// Fragments are consumed and dropped (no receive descriptor posted, or
+    /// protection failure). `reason` records why, for debugging.
+    Discard {
+        /// Why the message is being discarded.
+        #[allow(dead_code)]
+        reason: ViaError,
+    },
+}
+
+/// In-progress reassembly of one inbound message.
+pub(crate) struct Reassembly {
+    pub target: RxTarget,
+    pub msg_len: u64,
+    pub frag_count: u32,
+    pub arrived: u32,
+    pub landed: u32,
+    pub seen: Vec<bool>,
+    /// Deliver the completion with this error (e.g. message overran the
+    /// receive buffer).
+    pub error: Option<ViaError>,
+    pub reliability: Reliability,
+}
+
+/// Internal per-VI state.
+pub(crate) struct ViState {
+    #[allow(dead_code)] // kept for diagnostics
+    pub id: ViId,
+    pub attrs: ViAttributes,
+    pub conn: ConnState,
+    pub send_cq: Option<CqId>,
+    pub recv_cq: Option<CqId>,
+    pub send_inflight: VecDeque<InflightSend>,
+    pub send_completed: VecDeque<Completion>,
+    pub send_waiter: Option<(WaitToken, WaitMode)>,
+    pub recv_posted: VecDeque<Descriptor>,
+    pub recv_completed: VecDeque<Completion>,
+    pub recv_waiter: Option<(WaitToken, WaitMode)>,
+    pub next_seq: u64,
+    pub connect_waiter: Option<WaitToken>,
+    pub connect_result: Option<ViaResult<()>>,
+    /// Reassemblies keyed by message sequence (one peer per VI).
+    pub reassembly: HashMap<u64, Reassembly>,
+    /// Which message sequences have been fully delivered (reliable-mode
+    /// duplicate detection across out-of-order loss recovery).
+    pub delivered: DeliveredTracker,
+    /// Completions landed out of order on a reliable connection, parked
+    /// until every earlier message has landed (the spec's in-order
+    /// delivery guarantee).
+    pub parked_recv: std::collections::BTreeMap<u64, Completion>,
+}
+
+/// Compact tracker of delivered message sequences: a contiguous highwater
+/// plus the sparse set delivered out of order above it (retransmissions can
+/// complete younger messages before an older one's retransmit arrives).
+#[derive(Default)]
+pub struct DeliveredTracker {
+    highwater: Option<u64>,
+    above: BTreeSet<u64>,
+}
+
+impl DeliveredTracker {
+    /// Has `seq` been delivered already?
+    pub fn contains(&self, seq: u64) -> bool {
+        match self.highwater {
+            Some(h) if seq <= h => true,
+            _ => self.above.contains(&seq),
+        }
+    }
+
+    /// Record delivery of `seq`, compacting the sparse set into the
+    /// highwater when it becomes contiguous.
+    pub fn mark(&mut self, seq: u64) {
+        let next = self.highwater.map_or(0, |h| h + 1);
+        if seq == next {
+            let mut h = seq;
+            while self.above.remove(&(h + 1)) {
+                h += 1;
+            }
+            self.highwater = Some(h);
+        } else if seq > next {
+            self.above.insert(seq);
+        }
+        // seq < next: already covered; nothing to do.
+    }
+
+    /// Forget everything (connection teardown).
+    pub fn clear(&mut self) {
+        self.highwater = None;
+        self.above.clear();
+    }
+
+    /// Highest sequence up to which delivery is contiguous.
+    pub fn highwater(&self) -> Option<u64> {
+        self.highwater
+    }
+}
+
+impl ViState {
+    pub(crate) fn new(id: ViId, attrs: ViAttributes, send_cq: Option<CqId>, recv_cq: Option<CqId>) -> Self {
+        ViState {
+            id,
+            attrs,
+            conn: ConnState::Idle,
+            send_cq,
+            recv_cq,
+            send_inflight: VecDeque::new(),
+            send_completed: VecDeque::new(),
+            send_waiter: None,
+            recv_posted: VecDeque::new(),
+            recv_completed: VecDeque::new(),
+            recv_waiter: None,
+            next_seq: 0,
+            connect_waiter: None,
+            connect_result: None,
+            reassembly: HashMap::new(),
+            delivered: DeliveredTracker::default(),
+            parked_recv: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The connection's negotiated MTU, if connected.
+    pub(crate) fn conn_mtu(&self) -> Option<u32> {
+        match self.conn {
+            ConnState::Connected { mtu, .. } => Some(mtu),
+            _ => None,
+        }
+    }
+
+    /// The connected peer, if any.
+    pub(crate) fn peer(&self) -> Option<(NodeId, ViId)> {
+        match self.conn {
+            ConnState::Connected {
+                peer_node, peer_vi, ..
+            } => Some((peer_node, peer_vi)),
+            _ => None,
+        }
+    }
+}
+
+/// Public handle to a Virtual Interface — the object VIBe benchmarks drive.
+///
+/// All methods must be called from the simulated process that owns the
+/// provider's node (they charge that node's CPU).
+#[derive(Clone)]
+pub struct Vi {
+    pub(crate) provider: Provider,
+    pub(crate) id: ViId,
+}
+
+impl Vi {
+    /// This VI's id.
+    pub fn id(&self) -> ViId {
+        self.id
+    }
+
+    /// The provider the VI belongs to.
+    pub fn provider(&self) -> &Provider {
+        &self.provider
+    }
+
+    /// Attributes fixed at creation.
+    pub fn attrs(&self) -> ViAttributes {
+        self.provider.with_vi(self.id, |vi| vi.attrs)
+    }
+
+    /// Current connection state.
+    pub fn conn_state(&self) -> ConnState {
+        self.provider.with_vi(self.id, |vi| vi.conn)
+    }
+
+    /// The connected peer `(node, vi)`, if any.
+    pub fn peer(&self) -> Option<(NodeId, ViId)> {
+        self.provider.with_vi(self.id, |vi| vi.peer())
+    }
+
+    /// Post a send-queue descriptor (`VipPostSend`): send, RDMA write, or
+    /// RDMA read.
+    pub fn post_send(&self, ctx: &mut ProcessCtx, desc: Descriptor) -> ViaResult<()> {
+        if desc.op == DescOp::Recv {
+            return Err(ViaError::InvalidParameter);
+        }
+        transport::post_send(&self.provider, ctx, self.id, desc)
+    }
+
+    /// Post a receive descriptor (`VipPostRecv`).
+    pub fn post_recv(&self, ctx: &mut ProcessCtx, desc: Descriptor) -> ViaResult<()> {
+        if desc.op != DescOp::Recv {
+            return Err(ViaError::InvalidParameter);
+        }
+        transport::post_recv(&self.provider, ctx, self.id, desc)
+    }
+
+    /// Poll the send queue for a completion (`VipSendDone`).
+    pub fn send_done(&self, ctx: &mut ProcessCtx) -> Option<Completion> {
+        self.provider.queue_done(ctx, self.id, true)
+    }
+
+    /// Wait for a send completion (`VipSendWait`), polling or blocking.
+    pub fn send_wait(&self, ctx: &mut ProcessCtx, mode: WaitMode) -> Completion {
+        self.provider.queue_wait(ctx, self.id, true, mode)
+    }
+
+    /// Poll the receive queue for a completion (`VipRecvDone`).
+    pub fn recv_done(&self, ctx: &mut ProcessCtx) -> Option<Completion> {
+        self.provider.queue_done(ctx, self.id, false)
+    }
+
+    /// Wait for a receive completion (`VipRecvWait`), polling or blocking.
+    pub fn recv_wait(&self, ctx: &mut ProcessCtx, mode: WaitMode) -> Completion {
+        self.provider.queue_wait(ctx, self.id, false, mode)
+    }
+
+    /// Send descriptors posted but not yet completed (`VipQueryVi`-style
+    /// introspection — e.g. for application-level flow control).
+    pub fn sends_in_flight(&self) -> usize {
+        self.provider.with_vi(self.id, |vi| vi.send_inflight.len())
+    }
+
+    /// Receive descriptors posted and not yet consumed.
+    pub fn recvs_posted(&self) -> usize {
+        self.provider.with_vi(self.id, |vi| vi.recv_posted.len())
+    }
+
+    /// Completions ready to be collected from the send queue.
+    pub fn send_completions_ready(&self) -> usize {
+        self.provider.with_vi(self.id, |vi| vi.send_completed.len())
+    }
+
+    /// Completions ready to be collected from the receive queue.
+    pub fn recv_completions_ready(&self) -> usize {
+        self.provider.with_vi(self.id, |vi| vi.recv_completed.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MemHandle;
+
+    #[test]
+    fn vistate_defaults() {
+        let vi = ViState::new(ViId(0), ViAttributes::default(), None, None);
+        assert_eq!(vi.conn, ConnState::Idle);
+        assert!(vi.conn_mtu().is_none());
+        assert!(vi.peer().is_none());
+        assert_eq!(vi.next_seq, 0);
+    }
+
+    #[test]
+    fn connected_state_reports_peer_and_mtu() {
+        let mut vi = ViState::new(ViId(0), ViAttributes::default(), None, None);
+        vi.conn = ConnState::Connected {
+            peer_node: NodeId(1),
+            peer_vi: ViId(4),
+            mtu: 32 * 1024,
+        };
+        assert_eq!(vi.conn_mtu(), Some(32 * 1024));
+        assert_eq!(vi.peer(), Some((NodeId(1), ViId(4))));
+    }
+
+    #[test]
+    fn delivered_tracker_compacts() {
+        let mut t = DeliveredTracker::default();
+        assert!(!t.contains(0));
+        t.mark(0);
+        t.mark(1);
+        assert!(t.contains(0) && t.contains(1));
+        assert!(!t.contains(2));
+        // Out of order: 3 and 4 before 2.
+        t.mark(3);
+        t.mark(4);
+        assert!(t.contains(3) && t.contains(4));
+        assert!(!t.contains(2));
+        t.mark(2);
+        for i in 0..=4 {
+            assert!(t.contains(i), "seq {i}");
+        }
+        // Re-marking a covered seq is a no-op.
+        t.mark(1);
+        assert!(t.contains(4));
+        t.clear();
+        assert!(!t.contains(0));
+    }
+
+    #[test]
+    fn reassembly_tracks_fragments() {
+        let mut r = Reassembly {
+            target: RxTarget::Recv {
+                desc: Descriptor::recv().segment(0, MemHandle::test(0), 64),
+                imm: None,
+            },
+            msg_len: 64,
+            frag_count: 2,
+            arrived: 0,
+            landed: 0,
+            seen: vec![false; 2],
+            error: None,
+            reliability: Reliability::Unreliable,
+        };
+        r.seen[0] = true;
+        r.arrived += 1;
+        assert_eq!(r.arrived, 1);
+        assert!(!r.seen[1]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Connection-manager and API-misuse integration tests: listener
+//! exclusivity, timeouts, self-connection, cross-provider handles, and
+//! state checks around disconnects.
+
+use simkit::{Sim, SimDuration, WaitMode};
+use via::{
+    Cluster, ConnState, Descriptor, Discriminator, MemAttributes, Profile, ViAttributes, ViaError,
+};
+
+#[test]
+fn second_listener_on_same_discriminator_is_refused() {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 1);
+    let pb = cluster.provider(1);
+    let h1 = {
+        let pb = pb.clone();
+        sim.spawn("listener1", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            // Registers the listener, then blocks until the client below
+            // finally connects.
+            pb.accept(ctx, &vi, Discriminator(7)).is_ok()
+        })
+    };
+    {
+        let pb = pb.clone();
+        sim.spawn("listener2", Some(pb.cpu()), move |ctx| {
+            // Let listener1 get its registration in first.
+            ctx.sleep(SimDuration::from_millis(1));
+            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let r = pb.accept(ctx, &vi, Discriminator(7));
+            assert_eq!(r, Err(ViaError::Busy), "duplicate listener must be refused");
+        });
+    }
+    // Eventually let listener1 finish by connecting to it.
+    let pa = cluster.provider(0);
+    {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            ctx.sleep(SimDuration::from_millis(5));
+            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(7), None).unwrap();
+        });
+    }
+    sim.run_to_completion();
+    assert!(h1.expect_result());
+}
+
+#[test]
+fn connect_timeout_when_nobody_listens() {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::mvia(), 2, 2);
+    let pa = cluster.provider(0);
+    let h = {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let t0 = ctx.now();
+            let r = pa.connect(
+                ctx,
+                &vi,
+                fabric::NodeId(1),
+                Discriminator(404),
+                Some(SimDuration::from_millis(3)),
+            );
+            (r, (ctx.now() - t0).as_micros_f64(), vi.conn_state())
+        })
+    };
+    sim.run_to_completion();
+    let (r, waited_us, state) = h.expect_result();
+    assert_eq!(r, Err(ViaError::ConnectFailed));
+    // Client-side processing (3.6 ms on M-VIA) + the 3 ms timeout.
+    assert!(waited_us >= 3_000.0, "waited {waited_us}");
+    assert_eq!(state, ConnState::Idle, "VI must be reusable after a timeout");
+}
+
+#[test]
+fn late_accept_after_timeout_is_ignored_by_client() {
+    // Server accepts *after* the client timed out: the client must stay
+    // Idle (and be able to reconnect), not flip to Connected out of wait.
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 3);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    {
+        let pb = pb.clone();
+        sim.spawn("slow-server", Some(pb.cpu()), move |ctx| {
+            // Busy elsewhere: starts listening long after the client quit.
+            ctx.sleep(SimDuration::from_millis(20));
+            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            // The parked request is still in the pending queue; accept
+            // completes on the server side (it cannot know the client
+            // gave up — its Accept frame is simply ignored over there).
+            pb.accept(ctx, &vi, Discriminator(9)).unwrap();
+            ctx.sleep(SimDuration::from_millis(5));
+        });
+    }
+    let h = {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let r = pa.connect(
+                ctx,
+                &vi,
+                fabric::NodeId(1),
+                Discriminator(9),
+                Some(SimDuration::from_millis(2)),
+            );
+            assert_eq!(r, Err(ViaError::ConnectFailed));
+            // Sleep past the server's late Accept; state must stay Idle.
+            ctx.sleep(SimDuration::from_millis(40));
+            vi.conn_state()
+        })
+    };
+    sim.run_to_completion();
+    assert_eq!(h.expect_result(), ConnState::Idle);
+}
+
+#[test]
+fn connect_to_self_is_rejected() {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 4);
+    let pa = cluster.provider(0);
+    sim.spawn("p", Some(pa.cpu()), move |ctx| {
+        let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+        let r = pa.connect(ctx, &vi, fabric::NodeId(0), Discriminator(1), None);
+        assert_eq!(r, Err(ViaError::InvalidParameter));
+    });
+    sim.run_to_completion();
+}
+
+#[test]
+fn foreign_cq_handle_is_rejected() {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 5);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    sim.spawn("p", Some(pa.cpu()), move |ctx| {
+        let foreign_cq = pb.create_cq(ctx, 8).unwrap();
+        let r = pa.create_vi(ctx, ViAttributes::default(), Some(&foreign_cq), None);
+        assert!(matches!(r, Err(ViaError::InvalidParameter)));
+    });
+    sim.run_to_completion();
+}
+
+#[test]
+fn connect_while_connected_is_invalid() {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::clan(), 3, 6);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            ctx.sleep(SimDuration::from_millis(1));
+        });
+    }
+    {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            // A VI holds exactly one connection.
+            let r = pa.connect(ctx, &vi, fabric::NodeId(2), Discriminator(2), None);
+            assert_eq!(r, Err(ViaError::InvalidState));
+        });
+    }
+    sim.run_to_completion();
+}
+
+#[test]
+fn peer_disconnect_fails_outstanding_sends() {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 7);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    let attrs = ViAttributes::reliable(via::Reliability::ReliableDelivery);
+    let sh = {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            // Disconnect without ever posting a receive: the client's
+            // reliable send can then never be acknowledged.
+            ctx.sleep(SimDuration::from_micros(200));
+            pb.disconnect(ctx, &vi).unwrap();
+        })
+    };
+    let ch = {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let buf = pa.malloc(64);
+            let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64)).unwrap();
+            let comp = vi.send_wait(ctx, WaitMode::Block);
+            comp.status
+        })
+    };
+    sim.run_to_completion();
+    sh.expect_result();
+    assert_eq!(ch.expect_result(), Err(ViaError::ConnectionLost));
+}
+
+#[test]
+fn post_recv_before_connection_is_allowed() {
+    // The spec encourages pre-posting receives before the connection is up.
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::bvia(), 2, 8);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    let sh = {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let buf = pb.malloc(256);
+            let mh = pb.register_mem(ctx, buf, 256, MemAttributes::default()).unwrap();
+            // Post BEFORE accept: must succeed and catch the first message.
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 256)).unwrap();
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            let comp = vi.recv_wait(ctx, WaitMode::Poll);
+            comp.is_ok()
+        })
+    };
+    {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let buf = pa.malloc(256);
+            let mh = pa.register_mem(ctx, buf, 256, MemAttributes::default()).unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 128)).unwrap();
+            vi.send_wait(ctx, WaitMode::Poll);
+        });
+    }
+    sim.run_to_completion();
+    assert!(sh.expect_result());
+}
+
+#[test]
+fn multifragment_immediate_is_delivered_exactly_once() {
+    // Immediate data rides the control segment; a 7-fragment message must
+    // still deliver it once, with the completion.
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::bvia(), 2, 9); // 4 KiB MTU
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    let sh = {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let buf = pb.malloc(28672);
+            let mh = pb.register_mem(ctx, buf, 28672, MemAttributes::default()).unwrap();
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 28672)).unwrap();
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            let comp = vi.recv_wait(ctx, WaitMode::Poll);
+            assert!(comp.is_ok());
+            (comp.length, comp.immediate)
+        })
+    };
+    {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            ctx.sleep(SimDuration::from_micros(300));
+            let buf = pa.malloc(28672);
+            let mh = pa.register_mem(ctx, buf, 28672, MemAttributes::default()).unwrap();
+            vi.post_send(
+                ctx,
+                Descriptor::send().segment(buf, mh, 28672).immediate(0xFEED),
+            )
+            .unwrap();
+            vi.send_wait(ctx, WaitMode::Poll);
+        });
+    }
+    sim.run_to_completion();
+    let (len, imm) = sh.expect_result();
+    assert_eq!(len, 28672);
+    assert_eq!(imm, Some(0xFEED));
+}

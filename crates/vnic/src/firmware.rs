@@ -1,0 +1,103 @@
+//! NIC firmware service models.
+//!
+//! How fast the device notices and begins servicing a rung doorbell depends
+//! on the firmware architecture. Berkeley VIA's LANai firmware *polls a
+//! data structure containing the send descriptors for all VIs* (paper
+//! §4.3.4) — so service delay grows with the number of active VIs, which is
+//! exactly what Fig. 6 measures. cLAN's hardware pops doorbells from a FIFO
+//! in O(1). M-VIA has no device-side descriptor processing at all.
+
+use simkit::SimDuration;
+
+/// Device-side descriptor scheduling model.
+#[derive(Clone, Copy, Debug)]
+pub enum FirmwareModel {
+    /// Hardware doorbell FIFO: O(1) dispatch regardless of VI count.
+    HardwareFifo {
+        /// Fixed pop-and-dispatch time.
+        dispatch: SimDuration,
+    },
+    /// Firmware scans the per-VI descriptor blocks in a loop; a ring is
+    /// noticed after the scan walks the active VIs.
+    PollingLoop {
+        /// Loop overhead per pass (bookkeeping, branch back).
+        pass_overhead: SimDuration,
+        /// Cost of inspecting one VI's send block.
+        per_vi: SimDuration,
+    },
+    /// No device-side scheduler (host-emulated VIA).
+    HostEmulated,
+}
+
+impl FirmwareModel {
+    /// Delay from doorbell visibility to the start of descriptor processing,
+    /// given the number of VIs currently open on this NIC.
+    pub fn service_delay(&self, active_vis: usize) -> SimDuration {
+        match *self {
+            FirmwareModel::HardwareFifo { dispatch } => dispatch,
+            FirmwareModel::PollingLoop {
+                pass_overhead,
+                per_vi,
+            } => {
+                // Deterministic worst-of-one-pass: the firmware has just
+                // passed this VI, so the ring is noticed after one full scan.
+                pass_overhead + per_vi * active_vis.max(1) as u64
+            }
+            FirmwareModel::HostEmulated => SimDuration::ZERO,
+        }
+    }
+
+    /// Berkeley VIA's LANai 4.3 polling firmware.
+    pub fn bvia() -> Self {
+        FirmwareModel::PollingLoop {
+            pass_overhead: SimDuration::from_nanos(1_500),
+            per_vi: SimDuration::from_nanos(950),
+        }
+    }
+
+    /// cLAN's hardware doorbell engine.
+    pub fn clan() -> Self {
+        FirmwareModel::HardwareFifo {
+            dispatch: SimDuration::from_nanos(350),
+        }
+    }
+
+    /// M-VIA: the kernel path does the work inline.
+    pub fn mvia() -> Self {
+        FirmwareModel::HostEmulated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polling_grows_linearly_with_vis() {
+        let fw = FirmwareModel::bvia();
+        let d1 = fw.service_delay(1);
+        let d8 = fw.service_delay(8);
+        let d32 = fw.service_delay(32);
+        assert!(d8 > d1);
+        assert!(d32 > d8);
+        // Slope: (d32 - d8) / 24 == per_vi.
+        assert_eq!((d32 - d8) / 24, SimDuration::from_nanos(950));
+    }
+
+    #[test]
+    fn fifo_is_flat_in_vi_count() {
+        let fw = FirmwareModel::clan();
+        assert_eq!(fw.service_delay(1), fw.service_delay(64));
+    }
+
+    #[test]
+    fn host_emulated_is_free() {
+        assert_eq!(FirmwareModel::mvia().service_delay(16), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_vis_treated_as_one() {
+        let fw = FirmwareModel::bvia();
+        assert_eq!(fw.service_delay(0), fw.service_delay(1));
+    }
+}

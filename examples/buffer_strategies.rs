@@ -1,0 +1,146 @@
+//! Domain scenario: using VIBe's address-translation results to design a
+//! messaging library's buffer management — the paper's headline use case
+//! ("knowing the impact of virtual-to-physical address translation can help
+//! higher layer developer to optimize buffer pool and memory management").
+//!
+//! A message-passing layer (think MPI's eager path) must move user data
+//! that lives in arbitrary, unregistered buffers. Two classic designs:
+//!
+//! * **bounce pool** — copy the user's data into a small ring of
+//!   pre-registered buffers and send from there. Costs a memcpy per
+//!   message, but the NIC sees the *same few pages* forever (100% reuse).
+//! * **zero-copy** — register the user's buffer on the fly, send in place,
+//!   deregister. No copy, but every message pays registration *and* the
+//!   NIC's translation cache never hits (0% reuse).
+//!
+//! On Berkeley VIA — NIC translation out of host-resident tables — VIBe's
+//! Fig. 5 predicts the bounce pool wins until the memcpy dominates. This
+//! example measures the actual crossover with the full stack.
+//!
+//! Run with: `cargo run --release --example buffer_strategies`
+
+use simkit::{Sim, WaitMode};
+use via::{Cluster, Descriptor, Discriminator, MemAttributes, Profile, ViAttributes};
+
+const ITERS: u64 = 60;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Strategy {
+    BouncePool,
+    ZeroCopy,
+}
+
+/// One-way latency (us) of the messaging layer under `strategy`.
+fn measure(strategy: Strategy, size: u64) -> f64 {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::bvia(), 2, 99);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    // Receiver: plain pre-registered landing zone + echo path (the echo
+    // always uses a fixed registered buffer; we are studying the sender).
+    {
+        let pb = pb.clone();
+        sim.spawn("receiver", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let buf = pb.malloc(64 * 1024);
+            let mh = pb
+                .register_mem(ctx, buf, 64 * 1024, MemAttributes::default())
+                .unwrap();
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64 * 1024))
+                .unwrap();
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            for i in 0..ITERS {
+                let c = vi.recv_wait(ctx, WaitMode::Poll);
+                assert!(c.is_ok());
+                if i + 1 < ITERS {
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64 * 1024))
+                        .unwrap();
+                }
+                // 4-byte ack so the sender can time the full delivery.
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4)).unwrap();
+                vi.send_wait(ctx, WaitMode::Poll);
+            }
+        });
+    }
+    let sender = {
+        let pa = pa.clone();
+        sim.spawn("sender", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
+            // Ack landing zone.
+            let ack = pa.malloc(64);
+            let ack_mh = pa.register_mem(ctx, ack, 64, MemAttributes::default()).unwrap();
+            // The application's messages live in a large, *unregistered*
+            // heap area: a different region every message, as real
+            // applications produce.
+            let app_bufs: Vec<u64> = (0..ITERS).map(|_| pa.malloc(size.max(1))).collect();
+            // The bounce pool: two registered slots, reused forever.
+            let pool = pa.malloc(size.max(1));
+            let pool_mh = pa
+                .register_mem(ctx, pool, size.max(1), MemAttributes::default())
+                .unwrap();
+            let t0 = ctx.now();
+            for (i, &app) in app_bufs.iter().enumerate() {
+                vi.post_recv(ctx, Descriptor::recv().segment(ack, ack_mh, 64))
+                    .unwrap();
+                match strategy {
+                    Strategy::BouncePool => {
+                        // memcpy into the registered ring, then send.
+                        let copied = pa.mem_read(app, size);
+                        pa.mem_write(pool, &copied);
+                        ctx.busy(pa.profile().host.copy_time(size));
+                        vi.post_send(ctx, Descriptor::send().segment(pool, pool_mh, size as u32))
+                            .unwrap();
+                    }
+                    Strategy::ZeroCopy => {
+                        // register -> send in place -> deregister.
+                        let mh = pa
+                            .register_mem(ctx, app, size.max(1), MemAttributes::default())
+                            .unwrap();
+                        vi.post_send(ctx, Descriptor::send().segment(app, mh, size as u32))
+                            .unwrap();
+                        let c = vi.send_wait(ctx, WaitMode::Poll);
+                        assert!(c.is_ok());
+                        pa.deregister_mem(ctx, mh).unwrap();
+                    }
+                }
+                let c = vi.recv_wait(ctx, WaitMode::Poll);
+                assert!(c.is_ok(), "iter {i}");
+                if strategy == Strategy::BouncePool {
+                    vi.send_wait(ctx, WaitMode::Poll);
+                }
+            }
+            (ctx.now() - t0).as_micros_f64() / ITERS as f64
+        })
+    };
+    sim.run_to_completion();
+    sender.expect_result()
+}
+
+fn main() {
+    println!("buffer-management study on Berkeley VIA (NIC xlate, host tables)");
+    println!("per-message latency (us) of a messaging layer, by strategy:\n");
+    println!("{:>8}  {:>12}  {:>12}  winner", "bytes", "bounce-pool", "zero-copy");
+    println!("{}", "-".repeat(52));
+    let mut crossover: Option<u64> = None;
+    for &size in &[64u64, 256, 1024, 4096, 8192, 16384, 28672] {
+        let bounce = measure(Strategy::BouncePool, size);
+        let zero = measure(Strategy::ZeroCopy, size);
+        let winner = if bounce < zero { "bounce-pool" } else { "zero-copy" };
+        if bounce >= zero && crossover.is_none() {
+            crossover = Some(size);
+        }
+        println!("{size:>8}  {bounce:>12.2}  {zero:>12.2}  {winner}");
+    }
+    println!();
+    match crossover {
+        Some(s) => println!(
+            "zero-copy starts paying off around {s} bytes — the copy cost overtakes \
+             registration + translation-cache misses, as VIBe's Fig 5 / Fig 1 data predicts."
+        ),
+        None => println!(
+            "bounce-pool wins across the whole sweep: on this implementation the \
+             translation-miss + registration costs dominate the memcpy at every size."
+        ),
+    }
+}

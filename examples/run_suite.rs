@@ -1,0 +1,72 @@
+//! The VIBe suite runner: regenerate any (or every) table/figure of the
+//! paper from the command line.
+//!
+//! ```text
+//! cargo run --release --example run_suite -- --list
+//! cargo run --release --example run_suite -- T1 F3
+//! cargo run --release --example run_suite -- --all
+//! cargo run --release --example run_suite -- --all --csv out/   # also emit CSV files
+//! cargo run --release --example run_suite -- F3 --json out/     # machine-readable dumps
+//! ```
+
+use vibe::suite::{all_experiments, find, Category};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: run_suite [--list | --all | <id>...] [--csv <dir>] [--json <dir>]");
+        println!("       ids: T1 F1-F2 F3 F4 F5 CQ F6 F7 X-MDS X-ASY X-RDMA X-PIP X-MTU X-REL X-GETPUT X-SCALE");
+        return;
+    }
+    let take_dir = |flag: &str, args: &mut Vec<String>| {
+        args.iter().position(|a| a == flag).map(|i| {
+            let dir = args.get(i + 1).unwrap_or_else(|| panic!("{flag} needs a directory")).clone();
+            args.drain(i..=i + 1);
+            dir
+        })
+    };
+    let csv_dir = take_dir("--csv", &mut args);
+    let json_dir = take_dir("--json", &mut args);
+    if args.iter().any(|a| a == "--list") {
+        println!("{:<8}  {:<18}  title", "id", "category");
+        println!("{}", "-".repeat(72));
+        for e in all_experiments() {
+            let cat = match e.category {
+                Category::NonDataTransfer => "non-data-transfer",
+                Category::DataTransfer => "data-transfer",
+                Category::ProgrammingModel => "programming-model",
+            };
+            println!("{:<8}  {:<18}  {}", e.id, cat, e.title);
+        }
+        return;
+    }
+    let experiments: Vec<_> = if args.iter().any(|a| a == "--all") {
+        all_experiments()
+    } else {
+        args.iter()
+            .map(|id| find(id).unwrap_or_else(|| panic!("unknown experiment id '{id}' (try --list)")))
+            .collect()
+    };
+    for dir in [&csv_dir, &json_dir].into_iter().flatten() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    for e in experiments {
+        println!();
+        println!("### {} — {}", e.id, e.title);
+        let t0 = std::time::Instant::now();
+        println!("{}", e.run_text());
+        if let Some(dir) = &csv_dir {
+            for (slug, csv) in e.run_csv() {
+                let path = std::path::Path::new(dir).join(format!("{slug}.csv"));
+                std::fs::write(&path, csv).expect("write csv");
+                println!("[wrote {}]", path.display());
+            }
+        }
+        if let Some(dir) = &json_dir {
+            let path = std::path::Path::new(dir).join(format!("{}.json", e.id.to_lowercase()));
+            std::fs::write(&path, e.run_json()).expect("write json");
+            println!("[wrote {}]", path.display());
+        }
+        println!("[{} regenerated in {:.2}s]", e.id, t0.elapsed().as_secs_f64());
+    }
+}

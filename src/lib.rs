@@ -1,0 +1,13 @@
+//! Meta-crate: re-exports every crate of the VIBe reproduction workspace.
+//!
+//! See the README for a tour. Downstream users normally depend on the
+//! individual crates; this crate exists so the repo-level `examples/` and
+//! `tests/` can exercise the whole public API surface.
+
+pub use dsm;
+pub use fabric;
+pub use mpl;
+pub use simkit;
+pub use via;
+pub use vibe;
+pub use vnic;
