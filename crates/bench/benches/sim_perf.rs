@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fabric::{NetParams, NodeId, San};
-use simkit::{Sim, SimDuration, WaitMode};
+use simkit::{EventClass, Sim, SimDuration, WaitMode};
 use via::{Cluster, Descriptor, Discriminator, MemAttributes, Profile, ViAttributes};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -26,6 +26,56 @@ fn bench_event_queue(c: &mut Criterion) {
             }
             let report = sim.run();
             assert_eq!(count.load(Ordering::Relaxed), 10_000);
+            report.events
+        });
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_and_run_10k_tagged_events", |b| {
+        // Same workload, but every event carries an explicit class tag so
+        // the per-class tally bookkeeping on the hot path is measured.
+        b.iter(|| {
+            let sim = Sim::new();
+            let count = Arc::new(AtomicU64::new(0));
+            for i in 0..10_000u64 {
+                let count = Arc::clone(&count);
+                let class = EventClass::ALL[(i % EventClass::ALL.len() as u64) as usize];
+                sim.call_in_as(class, SimDuration::from_nanos(i % 977), move |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            let report = sim.run();
+            assert_eq!(count.load(Ordering::Relaxed), 10_000);
+            report.events
+        });
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("cancel_heavy_10k_timers_90pct_cancelled", |b| {
+        // The workload the slab arena exists for: a retransmit-style storm
+        // where almost every timer is disarmed before its deadline. Cancel
+        // must be O(1) (slot free + generation bump); the dead heap entries
+        // are reaped lazily by the run loop.
+        b.iter(|| {
+            let sim = Sim::new();
+            let count = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                let count = Arc::clone(&count);
+                handles.push(sim.timer_in(
+                    EventClass::Retransmit,
+                    SimDuration::from_nanos(1 + i % 977),
+                    move |_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    },
+                ));
+            }
+            for (i, h) in handles.iter().enumerate() {
+                if i % 10 != 0 {
+                    assert!(h.cancel());
+                }
+            }
+            let report = sim.run();
+            assert_eq!(count.load(Ordering::Relaxed), 1_000);
+            assert_eq!(report.cancelled(), 9_000);
             report.events
         });
     });

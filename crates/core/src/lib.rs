@@ -19,7 +19,9 @@
 //!
 //! [`scale`] adds the fan-in scalability study the paper's introduction
 //! motivates ("insight about the number of VIs to be used in an
-//! implementation and scalability studies").
+//! implementation and scalability studies"), and [`sched_bench`] surfaces
+//! the simulator's own per-class scheduler ledger (timer cancellation
+//! behavior) as artifacts.
 //!
 //! [`harness`] holds the measurement machinery; [`report`] renders
 //! paper-style tables/figures; [`suite`] is the experiment registry the
@@ -40,6 +42,7 @@ pub mod mvi;
 pub mod nondata;
 pub mod report;
 pub mod scale;
+pub mod sched_bench;
 pub mod suite;
 pub mod xlate;
 

@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 
 /// One curve of a figure: y = f(x) with a name (e.g. "BVIA").
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label.
     pub name: String,
@@ -40,7 +40,7 @@ impl Series {
 }
 
 /// A bundle of series sharing axes — one paper figure panel.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Panel title (e.g. "Fig 3: base latency, polling").
     pub title: String,
@@ -131,7 +131,7 @@ impl Figure {
 }
 
 /// A labeled-row table (Table 1 shape): row label + one value per column.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table title.
     pub title: String,
@@ -206,8 +206,7 @@ impl Table {
 }
 
 /// A rendered experiment output: a figure panel or a table.
-#[derive(Clone, Debug, serde::Serialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Clone, Debug)]
 pub enum Artifact {
     /// Multi-series figure panel.
     Figure(Figure),
@@ -242,8 +241,98 @@ impl Artifact {
 
     /// JSON rendering (for the paper's planned "repository of VIBe
     /// results": a machine-readable dump other tools can aggregate).
+    ///
+    /// Emitted by hand so the artifact pipeline has no serialization
+    /// dependency; the document shape is externally-tagged on `kind`:
+    /// `{"kind": "figure", "title": ..., "series": [{"name", "points"}]}`
+    /// or `{"kind": "table", "title": ..., "columns": [...], "rows":
+    /// [[label, [cells...]], ...]}`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("artifacts are always serializable")
+        let mut out = String::new();
+        match self {
+            Artifact::Figure(f) => {
+                out.push_str("{\n  \"kind\": \"figure\",\n");
+                let _ = writeln!(out, "  \"title\": {},", json_str(&f.title));
+                let _ = writeln!(out, "  \"x_label\": {},", json_str(&f.x_label));
+                let _ = writeln!(out, "  \"y_label\": {},", json_str(&f.y_label));
+                out.push_str("  \"series\": [");
+                for (i, s) in f.series.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\n    {{\"name\": {}, \"points\": [", json_str(&s.name));
+                    for (j, (x, y)) in s.points.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "[{}, {}]", json_num(*x), json_num(*y));
+                    }
+                    out.push_str("]}");
+                }
+                out.push_str("\n  ]\n}");
+            }
+            Artifact::Table(t) => {
+                out.push_str("{\n  \"kind\": \"table\",\n");
+                let _ = writeln!(out, "  \"title\": {},", json_str(&t.title));
+                out.push_str("  \"columns\": [");
+                for (i, c) in t.columns.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_str(c));
+                }
+                out.push_str("],\n  \"rows\": [");
+                for (i, (label, cells)) in t.rows.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\n    [{}, [", json_str(label));
+                    for (j, c) in cells.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&json_num(*c));
+                    }
+                    out.push_str("]]");
+                }
+                out.push_str("\n  ]\n}");
+            }
+        }
+        out
+    }
+}
+
+/// Escape and quote a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number. Integral values keep a trailing
+/// `.0` so the cell type is unambiguous; non-finite values (which no
+/// artifact should produce) degrade to `null`.
+fn json_num(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
     }
 }
 
@@ -375,8 +464,29 @@ mod tests {
         let json = a.to_json();
         assert!(json.contains("\"kind\": \"table\""), "{json}");
         assert!(json.contains("2.5"), "{json}");
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["title"], "tab");
+        assert!(json.contains("\"title\": \"tab\""), "{json}");
+        assert!(json.contains("[\"r\", [2.5]]"), "{json}");
+        // Structurally sane: brackets and braces balance.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "{json}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_json_shape() {
+        let mut f = Figure::new("fig \"q\"", "x", "y");
+        let mut s = Series::new("A");
+        s.push(1.0, 2.5);
+        f.push(s);
+        let a: Artifact = f.into();
+        let json = a.to_json();
+        assert!(json.contains("\"kind\": \"figure\""), "{json}");
+        assert!(json.contains("\"title\": \"fig \\\"q\\\"\""), "{json}");
+        assert!(json.contains("[1.0, 2.5]"), "{json}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use via::Profile;
 
 use crate::report::Artifact;
-use crate::{base, breakdown, client_server, cqimpact, dsm_bench, extra, getput, mpl_bench, mvi, nondata, scale, xlate};
+use crate::{base, breakdown, client_server, cqimpact, dsm_bench, extra, getput, mpl_bench, mvi, nondata, scale, sched_bench, xlate};
 use simkit::WaitMode;
 
 /// Which paper category an experiment belongs to.
@@ -216,6 +216,13 @@ fn run_scale() -> Vec<Artifact> {
     vec![scale::fan_in_figure(&trio(), &[1, 2, 4, 8], 1024).into()]
 }
 
+fn run_sched() -> Vec<Artifact> {
+    vec![
+        sched_bench::class_table(Profile::clan(), 64).into(),
+        sched_bench::retx_timer_table(&trio(), &[0.0, 0.05], 64).into(),
+    ]
+}
+
 /// Every experiment, in the paper's reporting order.
 pub fn all_experiments() -> Vec<Experiment> {
     use Category::*;
@@ -317,6 +324,12 @@ pub fn all_experiments() -> Vec<Experiment> {
             produce: run_scale,
         },
         Experiment {
+            id: "X-SCHED",
+            title: "Extension: scheduler event classes & retransmit-timer ledger",
+            category: DataTransfer,
+            produce: run_sched,
+        },
+        Experiment {
             id: "X-BRK",
             title: "Extension: per-component breakdown of one transfer",
             category: DataTransfer,
@@ -357,6 +370,7 @@ mod tests {
         // The six TR-only benchmarks of §3.2.5 plus the extensions.
         for id in [
             "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE",
+            "X-SCHED",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

@@ -10,7 +10,7 @@ use std::any::Any;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use simkit::{Sim, SimDuration, SimRng, SimTime};
+use simkit::{EventClass, Sim, SimDuration, SimRng, SimTime};
 
 use crate::params::{LossModel, NetParams};
 
@@ -211,9 +211,10 @@ impl San {
             return;
         }
         let san = self.clone();
-        self.sim.call_at(arrive_switch, move |_| {
-            san.forward(src, dst, payload_bytes, body, lossy);
-        });
+        self.sim
+            .call_at_as(EventClass::Fabric, arrive_switch, move |_| {
+                san.forward(src, dst, payload_bytes, body, lossy);
+            });
     }
 
     /// Switch egress stage: occupy the destination downlink, then deliver.
@@ -244,7 +245,7 @@ impl San {
             return;
         }
         let san = self.clone();
-        self.sim.call_at(arrive_nic, move |sim| {
+        self.sim.call_at_as(EventClass::Fabric, arrive_nic, move |sim| {
             let handler = {
                 let mut st = san.state.lock();
                 st.stats.frames_delivered += 1;

@@ -1,0 +1,236 @@
+//! Drop-in subset of the `criterion` API implemented on `std::time`.
+//!
+//! The workspace builds with no registry access, so the external `criterion`
+//! crate is replaced by this vendored harness (wired via the `package =`
+//! rename in `vibe-bench`'s manifest, behind the default-off `host-bench`
+//! feature). It covers exactly the surface `sim_perf.rs` uses —
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! [`Throughput`], `sample_size`, `bench_function`, and the `iter` /
+//! `iter_batched` bencher methods — and prints a per-benchmark line with
+//! mean wall-clock time and derived element throughput.
+//!
+//! It is a *measurement harness*, not a statistics package: no outlier
+//! rejection, no saved baselines, no plots. Good enough to answer "did
+//! `schedule_and_run_10k_events` regress?" on a quiet machine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration workload magnitude, used to derive a rate from mean time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// measured iteration regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Setup output is small; per-iteration setup is fine.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(target_samples),
+            target_samples,
+        }
+    }
+
+    /// Measure `routine` repeatedly, timing each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        std::hint::black_box(routine());
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Measure `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declare the per-iteration workload so results include a rate.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Number of timed iterations per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    /// Run one benchmark and print its result line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&self.name, &id, &b.samples, self.throughput);
+        self
+    }
+
+    /// End the group. Present for criterion compatibility; prints nothing.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness state handed to each `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: the real criterion's 100-sample default makes the
+        // slower simulation benches take minutes each.
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let rate = throughput.map(|t| {
+        let per_iter = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            format!(" ({:.3e} {})", per_iter.0 as f64 / secs, per_iter.1)
+        } else {
+            String::new()
+        }
+    });
+    println!(
+        "{group}/{id}: mean {mean:?} min {min:?} max {max:?} over {} samples{}",
+        samples.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Define a function that runs each listed benchmark function in order,
+/// mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` to run each group, mirroring criterion's macro. Ignores
+/// the extra CLI arguments `cargo bench` forwards (e.g. `--bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(7));
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 timed.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let mut setups = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| v + 1,
+                BatchSize::SmallInput,
+            )
+        });
+        // 1 warm-up + 2 timed.
+        assert_eq!(setups, 3);
+    }
+}

@@ -5,11 +5,35 @@
 //! simulated processes is decided by the event queue alone, never by the OS
 //! thread scheduler (see [`crate::process`] for the baton protocol that
 //! guarantees only one simulated entity executes at a time).
+//!
+//! # Timer subsystem
+//!
+//! Scheduled work lives in a **generational slab arena**: the binary heap
+//! holds only plain-data entries `(time, seq, slot, gen, class)`, and the
+//! action itself (a callback or a process wake token) sits in a slab slot
+//! addressed by `slot` and guarded by `gen`. That layout gives three things:
+//!
+//! * **O(1) cancellation by lazy deletion.** [`Sim::timer_at`] /
+//!   [`Sim::timer_in`] return a [`TimerHandle`]; [`TimerHandle::cancel`]
+//!   frees the slot (dropping the closure immediately) and bumps its
+//!   generation. The heap entry stays behind and is reaped when it
+//!   surfaces — a generation mismatch at pop costs one counter increment,
+//!   not a heap rebuild.
+//! * **No per-event `Box` on the wake/timer path.** Process wakeups
+//!   ([`Sim::wake`], [`Sim::wake_in`], sleeps, timeouts) store a
+//!   [`WaitToken`] inline in the slot; only type-erased callbacks still box.
+//! * **Accounting.** Every event carries an [`EventClass`] tag, and the
+//!   scheduler tallies fired / cancelled / dead-popped counts per class in
+//!   [`SchedStats`], surfaced through [`RunReport`] and [`Sim::sched_stats`].
+//!
+//! Determinism is unchanged: `seq` is still assigned under the scheduler
+//! lock at push time, and `(time, seq)` ordering is exactly the pre-slab
+//! semantics — cancellation never reorders survivors.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
@@ -20,15 +44,76 @@ use crate::time::{SimDuration, SimTime};
 /// A scheduled callback: runs on the scheduler thread with a `&Sim` handle.
 pub type Event = Box<dyn FnOnce(&Sim) + Send + 'static>;
 
+/// Which component of the simulated system an event belongs to.
+///
+/// Used purely for accounting: [`SchedStats`] tallies fired / cancelled /
+/// dead-popped events per class, so a run report can say *what* the
+/// scheduler spent its time on (fabric hops vs. firmware scans vs.
+/// retransmit timers, …).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum EventClass {
+    /// SAN frame propagation and delivery.
+    Fabric,
+    /// NIC firmware descriptor processing (scans, fetches, translation).
+    Firmware,
+    /// Doorbell propagation from host to device.
+    Doorbell,
+    /// Retransmission timers and ACK processing.
+    Retransmit,
+    /// Completion writes, CQ posts, interrupt delivery.
+    Completion,
+    /// Everything else: test harness events, process wakeups, sleeps.
+    User,
+}
+
+impl EventClass {
+    /// Every class, in display order.
+    pub const ALL: [EventClass; 6] = [
+        EventClass::Fabric,
+        EventClass::Firmware,
+        EventClass::Doorbell,
+        EventClass::Retransmit,
+        EventClass::Completion,
+        EventClass::User,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventClass::Fabric => "fabric",
+            EventClass::Firmware => "firmware",
+            EventClass::Doorbell => "doorbell",
+            EventClass::Retransmit => "retransmit",
+            EventClass::Completion => "completion",
+            EventClass::User => "user",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            EventClass::Fabric => 0,
+            EventClass::Firmware => 1,
+            EventClass::Doorbell => 2,
+            EventClass::Retransmit => 3,
+            EventClass::Completion => 4,
+            EventClass::User => 5,
+        }
+    }
+}
+
 pub(crate) enum Action {
     Call(Event),
     Wake(WaitToken),
 }
 
+/// Plain-data heap entry; the action lives in the slab, not here.
 struct Scheduled {
     at: SimTime,
     seq: u64,
-    action: Action,
+    slot: u32,
+    gen: u32,
+    class: EventClass,
 }
 
 impl PartialEq for Scheduled {
@@ -49,10 +134,119 @@ impl Ord for Scheduled {
     }
 }
 
-#[derive(Default)]
+enum SlotState {
+    /// Free; `next_free` chains the freelist (`NO_SLOT` terminates it).
+    Vacant { next_free: u32 },
+    /// Holds a pending action.
+    Occupied { action: Action },
+}
+
+struct Slot {
+    /// Bumped every time the slot is freed; a heap entry or handle whose
+    /// generation no longer matches is stale.
+    gen: u32,
+    state: SlotState,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// Per-[`EventClass`] event counts.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassTally {
+    /// Events of this class that executed.
+    pub fired: u64,
+    /// Timers of this class cancelled before their deadline.
+    pub cancelled: u64,
+    /// Stale heap entries of this class reaped at pop time.
+    pub dead_popped: u64,
+}
+
+/// Cumulative scheduler accounting since the [`Sim`] was created.
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Total events executed.
+    pub fired: u64,
+    /// Total timers cancelled before firing.
+    pub cancelled: u64,
+    /// Total stale heap entries reaped at pop time (each a prior cancel).
+    pub dead_popped: u64,
+    by_class: [ClassTally; 6],
+}
+
+impl SchedStats {
+    /// Counts for one event class.
+    pub fn class(&self, class: EventClass) -> ClassTally {
+        self.by_class[class.index()]
+    }
+
+    /// Iterate `(class, tally)` pairs in display order.
+    pub fn classes(&self) -> impl Iterator<Item = (EventClass, ClassTally)> + '_ {
+        EventClass::ALL.iter().map(|&c| (c, self.by_class[c.index()]))
+    }
+}
+
 struct SchedState {
     queue: BinaryHeap<Scheduled>,
     seq: u64,
+    slots: Vec<Slot>,
+    free_head: u32,
+    /// Heap entries whose slot was cancelled but that have not surfaced yet.
+    dead_in_queue: usize,
+    stats: SchedStats,
+}
+
+impl SchedState {
+    /// Move `action` into a slab slot and return `(slot, gen)`.
+    fn alloc_slot(&mut self, action: Action) -> (u32, u32) {
+        if self.free_head != NO_SLOT {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            let SlotState::Vacant { next_free } = slot.state else {
+                unreachable!("freelist head points at an occupied slot");
+            };
+            self.free_head = next_free;
+            slot.state = SlotState::Occupied { action };
+            (idx, slot.gen)
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                state: SlotState::Occupied { action },
+            });
+            (idx, 0)
+        }
+    }
+
+    /// Take the action out of an occupied slot, bump its generation, and
+    /// return the slot to the freelist.
+    fn free_slot(&mut self, idx: u32) -> Action {
+        let slot = &mut self.slots[idx as usize];
+        let prev = std::mem::replace(
+            &mut slot.state,
+            SlotState::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free_head = idx;
+        match prev {
+            SlotState::Occupied { action } => action,
+            SlotState::Vacant { .. } => unreachable!("freeing a vacant slot"),
+        }
+    }
+}
+
+impl Default for SchedState {
+    fn default() -> Self {
+        SchedState {
+            queue: BinaryHeap::new(),
+            seq: 0,
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            dead_in_queue: 0,
+            stats: SchedStats::default(),
+        }
+    }
 }
 
 pub(crate) struct SimInner {
@@ -71,22 +265,108 @@ pub struct Sim {
     pub(crate) inner: Arc<SimInner>,
 }
 
+/// Cancellable reference to one scheduled timer.
+///
+/// Obtained from [`Sim::timer_at`] / [`Sim::timer_in`]. Holds a weak
+/// reference to the simulation, so a handle outliving its `Sim` is inert.
+/// Cancellation is O(1): the generation check makes a handle single-shot —
+/// once the timer has fired, been cancelled, or its slot reused, `cancel`
+/// is a no-op returning `false`.
+#[derive(Clone)]
+pub struct TimerHandle {
+    inner: Weak<SimInner>,
+    slot: u32,
+    gen: u32,
+    class: EventClass,
+}
+
+impl std::fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerHandle")
+            .field("slot", &self.slot)
+            .field("gen", &self.gen)
+            .field("class", &self.class)
+            .finish()
+    }
+}
+
+impl TimerHandle {
+    /// Cancel the timer. Returns `true` if this call cancelled a still
+    /// pending timer; `false` if it already fired, was already cancelled,
+    /// or the simulation is gone. The timer's closure is dropped before
+    /// this returns; the heap entry is reaped lazily (counted as
+    /// `dead_popped` when it surfaces).
+    pub fn cancel(&self) -> bool {
+        let Some(inner) = self.inner.upgrade() else {
+            return false;
+        };
+        let action;
+        {
+            let mut s = inner.sched.lock();
+            let Some(slot) = s.slots.get(self.slot as usize) else {
+                return false;
+            };
+            if slot.gen != self.gen || matches!(slot.state, SlotState::Vacant { .. }) {
+                return false;
+            }
+            action = s.free_slot(self.slot);
+            s.dead_in_queue += 1;
+            s.stats.cancelled += 1;
+            s.stats.by_class[self.class.index()].cancelled += 1;
+        }
+        // Drop the closure outside the scheduler lock: its captured state
+        // may itself take locks on the way down.
+        drop(action);
+        true
+    }
+
+    /// True while the timer is still scheduled (not fired, not cancelled).
+    pub fn is_pending(&self) -> bool {
+        let Some(inner) = self.inner.upgrade() else {
+            return false;
+        };
+        let s = inner.sched.lock();
+        match s.slots.get(self.slot as usize) {
+            Some(slot) => slot.gen == self.gen && matches!(slot.state, SlotState::Occupied { .. }),
+            None => false,
+        }
+    }
+}
+
 /// What [`Sim::run`] observed when the event queue drained.
 #[derive(Debug)]
 pub struct RunReport {
     /// Virtual time when the queue drained.
     pub end_time: SimTime,
-    /// Number of events executed.
+    /// Number of events executed by this `run` call.
     pub events: u64,
     /// Names of processes that were still blocked when the queue drained
     /// (non-empty means the simulation deadlocked or was abandoned mid-wait).
     pub blocked: Vec<String>,
+    /// Cumulative scheduler accounting (fired / cancelled / dead-popped,
+    /// total and per [`EventClass`]) since the [`Sim`] was created.
+    pub sched: SchedStats,
 }
 
 impl RunReport {
     /// True when every spawned process ran to completion.
     pub fn is_quiescent(&self) -> bool {
         self.blocked.is_empty()
+    }
+
+    /// Total events fired since the simulation was created.
+    pub fn fired(&self) -> u64 {
+        self.sched.fired
+    }
+
+    /// Total timers cancelled before firing.
+    pub fn cancelled(&self) -> u64 {
+        self.sched.cancelled
+    }
+
+    /// Total stale heap entries reaped at pop time.
+    pub fn dead_popped(&self) -> u64 {
+        self.sched.dead_popped
     }
 }
 
@@ -116,7 +396,9 @@ impl Sim {
         SimTime::from_nanos(self.inner.now_ns.load(AtomicOrdering::Acquire))
     }
 
-    pub(crate) fn push(&self, at: SimTime, action: Action) {
+    /// Insert an action into the arena + heap; returns `(slot, gen)` for
+    /// callers that hand out a [`TimerHandle`].
+    pub(crate) fn push_as(&self, at: SimTime, class: EventClass, action: Action) -> (u32, u32) {
         debug_assert!(
             at >= self.now(),
             "scheduling into the past: {at:?} < {:?}",
@@ -125,12 +407,29 @@ impl Sim {
         let mut s = self.inner.sched.lock();
         let seq = s.seq;
         s.seq += 1;
-        s.queue.push(Scheduled { at, seq, action });
+        let (slot, gen) = s.alloc_slot(action);
+        s.queue.push(Scheduled {
+            at,
+            seq,
+            slot,
+            gen,
+            class,
+        });
+        (slot, gen)
+    }
+
+    pub(crate) fn push(&self, at: SimTime, action: Action) {
+        self.push_as(at, EventClass::User, action);
     }
 
     /// Schedule `f` to run at absolute time `at` on the scheduler thread.
     pub fn call_at(&self, at: SimTime, f: impl FnOnce(&Sim) + Send + 'static) {
-        self.push(at, Action::Call(Box::new(f)));
+        self.call_at_as(EventClass::User, at, f);
+    }
+
+    /// [`Sim::call_at`] with an explicit [`EventClass`] tag.
+    pub fn call_at_as(&self, class: EventClass, at: SimTime, f: impl FnOnce(&Sim) + Send + 'static) {
+        self.push_as(at, class, Action::Call(Box::new(f)));
     }
 
     /// Schedule `f` to run `delay` from now.
@@ -138,10 +437,48 @@ impl Sim {
         self.call_at(self.now() + delay, f);
     }
 
+    /// [`Sim::call_in`] with an explicit [`EventClass`] tag.
+    pub fn call_in_as(
+        &self,
+        class: EventClass,
+        delay: SimDuration,
+        f: impl FnOnce(&Sim) + Send + 'static,
+    ) {
+        self.call_at_as(class, self.now() + delay, f);
+    }
+
     /// Schedule `f` to run at the current time, after already-queued
     /// same-time events.
     pub fn call_soon(&self, f: impl FnOnce(&Sim) + Send + 'static) {
         self.call_at(self.now(), f);
+    }
+
+    /// Schedule `f` at absolute time `at` and return a cancellable
+    /// [`TimerHandle`]. Cancelling drops `f` without running it.
+    pub fn timer_at(
+        &self,
+        class: EventClass,
+        at: SimTime,
+        f: impl FnOnce(&Sim) + Send + 'static,
+    ) -> TimerHandle {
+        let (slot, gen) = self.push_as(at, class, Action::Call(Box::new(f)));
+        TimerHandle {
+            inner: Arc::downgrade(&self.inner),
+            slot,
+            gen,
+            class,
+        }
+    }
+
+    /// Schedule `f` to run `delay` from now and return a cancellable
+    /// [`TimerHandle`].
+    pub fn timer_in(
+        &self,
+        class: EventClass,
+        delay: SimDuration,
+        f: impl FnOnce(&Sim) + Send + 'static,
+    ) -> TimerHandle {
+        self.timer_at(class, self.now() + delay, f)
     }
 
     /// Wake the process waiting on `token` at the current time. Stale tokens
@@ -154,6 +491,30 @@ impl Sim {
     /// Wake the process waiting on `token` after `delay` (used for timeouts).
     pub fn wake_in(&self, delay: SimDuration, token: WaitToken) {
         self.push(self.now() + delay, Action::Wake(token));
+    }
+
+    /// [`Sim::wake_in`] with an explicit [`EventClass`] tag (e.g. interrupt
+    /// delivery accounts as [`EventClass::Completion`]).
+    pub fn wake_in_as(&self, class: EventClass, delay: SimDuration, token: WaitToken) {
+        self.push_as(self.now() + delay, class, Action::Wake(token));
+    }
+
+    /// Schedule a wake for `token` after `delay` and return a cancellable
+    /// [`TimerHandle`] — the building block for coalesced interrupts and
+    /// cancellable timeouts. Wake timers store no closure at all.
+    pub fn wake_timer_in(
+        &self,
+        class: EventClass,
+        delay: SimDuration,
+        token: WaitToken,
+    ) -> TimerHandle {
+        let (slot, gen) = self.push_as(self.now() + delay, class, Action::Wake(token));
+        TimerHandle {
+            inner: Arc::downgrade(&self.inner),
+            slot,
+            gen,
+            class,
+        }
     }
 
     /// Spawn a simulated process. `body` runs on a dedicated OS thread but
@@ -204,14 +565,32 @@ impl Sim {
         handle
     }
 
+    /// Pop the next live event, reaping stale (cancelled) heap entries.
+    fn pop_live(&self) -> Option<(SimTime, Action)> {
+        let mut s = self.inner.sched.lock();
+        loop {
+            let entry = s.queue.pop()?;
+            let stale = match s.slots.get(entry.slot as usize) {
+                Some(slot) => slot.gen != entry.gen,
+                None => true,
+            };
+            if stale {
+                s.dead_in_queue -= 1;
+                s.stats.dead_popped += 1;
+                s.stats.by_class[entry.class.index()].dead_popped += 1;
+                continue;
+            }
+            let action = s.free_slot(entry.slot);
+            s.stats.fired += 1;
+            s.stats.by_class[entry.class.index()].fired += 1;
+            return Some((entry.at, action));
+        }
+    }
+
     /// Drive the simulation until the event queue drains, then report.
     pub fn run(&self) -> RunReport {
         let mut events = 0u64;
-        loop {
-            let next = { self.inner.sched.lock().queue.pop() };
-            let Some(Scheduled { at, action, .. }) = next else {
-                break;
-            };
+        while let Some((at, action)) = self.pop_live() {
             debug_assert!(at.as_nanos() >= self.inner.now_ns.load(AtomicOrdering::Relaxed));
             self.inner.now_ns.store(at.as_nanos(), AtomicOrdering::Release);
             events += 1;
@@ -232,6 +611,7 @@ impl Sim {
             end_time: self.now(),
             events,
             blocked,
+            sched: self.sched_stats(),
         }
     }
 
@@ -295,9 +675,16 @@ impl Sim {
         self.inner.cpus.lock()[cpu.index()].name.clone()
     }
 
-    /// Number of events currently queued (diagnostics/tests).
+    /// Number of live events currently queued (diagnostics/tests).
+    /// Cancelled-but-unreaped heap entries are not counted.
     pub fn queued_events(&self) -> usize {
-        self.inner.sched.lock().queue.len()
+        let s = self.inner.sched.lock();
+        s.queue.len() - s.dead_in_queue
+    }
+
+    /// Snapshot of cumulative scheduler accounting.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.inner.sched.lock().stats.clone()
     }
 }
 
@@ -385,6 +772,110 @@ mod tests {
         assert_eq!(report.events, 0);
         assert_eq!(report.end_time, SimTime::ZERO);
     }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let sim = Sim::new();
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let hit = Arc::clone(&hit);
+            sim.timer_in(EventClass::Retransmit, SimDuration::from_micros(10), move |_| {
+                hit.fetch_add(1, AtomicOrdering::Relaxed);
+            })
+        };
+        assert!(h.is_pending());
+        assert!(h.cancel());
+        assert!(!h.is_pending());
+        assert!(!h.cancel(), "second cancel must be a no-op");
+        let report = sim.run();
+        assert_eq!(hit.load(AtomicOrdering::Relaxed), 0);
+        assert_eq!(report.events, 0, "cancelled timer must not execute");
+        assert_eq!(report.sched.cancelled, 1);
+        assert_eq!(report.sched.dead_popped, 1);
+        assert_eq!(report.sched.class(EventClass::Retransmit).cancelled, 1);
+        assert_eq!(report.end_time, SimTime::ZERO, "dead entry must not advance time");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let sim = Sim::new();
+        let h = sim.timer_in(EventClass::User, SimDuration::from_micros(1), |_| {});
+        let report = sim.run();
+        assert_eq!(report.sched.fired, 1);
+        assert!(!h.cancel());
+        assert_eq!(sim.sched_stats().cancelled, 0);
+    }
+
+    #[test]
+    fn slot_reuse_keeps_handles_stale() {
+        let sim = Sim::new();
+        let first_hit = Arc::new(AtomicUsize::new(0));
+        let h1 = {
+            let hit = Arc::clone(&first_hit);
+            sim.timer_in(EventClass::User, SimDuration::from_micros(5), move |_| {
+                hit.fetch_add(1, AtomicOrdering::Relaxed);
+            })
+        };
+        assert!(h1.cancel());
+        // The freed slot is reused by the next schedule; the old handle must
+        // not be able to cancel the new timer.
+        let second_hit = Arc::new(AtomicUsize::new(0));
+        let _h2 = {
+            let hit = Arc::clone(&second_hit);
+            sim.timer_in(EventClass::User, SimDuration::from_micros(5), move |_| {
+                hit.fetch_add(1, AtomicOrdering::Relaxed);
+            })
+        };
+        assert!(!h1.cancel(), "stale handle must not hit the reused slot");
+        sim.run();
+        assert_eq!(first_hit.load(AtomicOrdering::Relaxed), 0);
+        assert_eq!(second_hit.load(AtomicOrdering::Relaxed), 1);
+    }
+
+    #[test]
+    fn queued_events_excludes_cancelled() {
+        let sim = Sim::new();
+        let h = sim.timer_in(EventClass::User, SimDuration::from_micros(1), |_| {});
+        sim.call_in(SimDuration::from_micros(2), |_| {});
+        assert_eq!(sim.queued_events(), 2);
+        h.cancel();
+        assert_eq!(sim.queued_events(), 1);
+        sim.run();
+        assert_eq!(sim.queued_events(), 0);
+    }
+
+    #[test]
+    fn per_class_tallies_sum_to_totals() {
+        let sim = Sim::new();
+        sim.call_in_as(EventClass::Fabric, SimDuration::from_micros(1), |_| {});
+        sim.call_in_as(EventClass::Firmware, SimDuration::from_micros(2), |_| {});
+        let h = sim.timer_in(EventClass::Doorbell, SimDuration::from_micros(3), |_| {});
+        h.cancel();
+        let report = sim.run();
+        let stats = &report.sched;
+        let (mut fired, mut cancelled, mut dead) = (0, 0, 0);
+        for (_, t) in stats.classes() {
+            fired += t.fired;
+            cancelled += t.cancelled;
+            dead += t.dead_popped;
+        }
+        assert_eq!(fired, stats.fired);
+        assert_eq!(cancelled, stats.cancelled);
+        assert_eq!(dead, stats.dead_popped);
+        assert_eq!(stats.class(EventClass::Fabric).fired, 1);
+        assert_eq!(stats.class(EventClass::Firmware).fired, 1);
+        assert_eq!(stats.class(EventClass::Doorbell).cancelled, 1);
+    }
+
+    #[test]
+    fn timer_handle_outliving_sim_is_inert() {
+        let h = {
+            let sim = Sim::new();
+            sim.timer_in(EventClass::User, SimDuration::from_micros(1), |_| {})
+        };
+        assert!(!h.cancel());
+        assert!(!h.is_pending());
+    }
 }
 
 #[cfg(test)]
@@ -403,11 +894,11 @@ mod thread_safety_tests {
         const PER_THREAD: usize = 5_000;
         let sim = Sim::new();
         let hits = Arc::new(AtomicUsize::new(0));
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..THREADS {
                 let sim = sim.clone();
                 let hits = Arc::clone(&hits);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in 0..PER_THREAD {
                         let hits = Arc::clone(&hits);
                         sim.call_in(
@@ -419,8 +910,7 @@ mod thread_safety_tests {
                     }
                 });
             }
-        })
-        .expect("scoped threads");
+        });
         let report = sim.run();
         assert_eq!(hits.load(AtomicOrdering::Relaxed), THREADS * PER_THREAD);
         assert_eq!(report.events, (THREADS * PER_THREAD) as u64);
@@ -432,11 +922,11 @@ mod thread_safety_tests {
     fn clock_is_monotone_under_concurrent_scheduling() {
         let sim = Sim::new();
         let last = Arc::new(Mutex::new(SimTime::ZERO));
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..4 {
                 let sim = sim.clone();
                 let last = Arc::clone(&last);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in 0..2_000u64 {
                         let last = Arc::clone(&last);
                         sim.call_in(SimDuration::from_nanos((i * 7 + t) % 509), move |s| {
@@ -447,8 +937,46 @@ mod thread_safety_tests {
                     }
                 });
             }
-        })
-        .expect("scoped threads");
+        });
         sim.run();
+    }
+
+    #[test]
+    fn concurrent_cancels_from_other_threads_are_safe() {
+        // Cancel from foreign threads while more timers are being armed;
+        // every timer either fires exactly once or cancels exactly once.
+        let sim = Sim::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..4_000u64 {
+            let fired = Arc::clone(&fired);
+            handles.push(sim.timer_in(
+                EventClass::User,
+                SimDuration::from_nanos(i % 331),
+                move |_| {
+                    fired.fetch_add(1, AtomicOrdering::Relaxed);
+                },
+            ));
+        }
+        let cancelled = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for chunk in handles.chunks(1_000) {
+                let cancelled = Arc::clone(&cancelled);
+                scope.spawn(move || {
+                    for h in chunk.iter().step_by(2) {
+                        if h.cancel() {
+                            cancelled.fetch_add(1, AtomicOrdering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let report = sim.run();
+        let fired = fired.load(AtomicOrdering::Relaxed);
+        let cancelled = cancelled.load(AtomicOrdering::Relaxed);
+        assert_eq!(fired + cancelled, 4_000);
+        assert_eq!(report.sched.cancelled as usize, cancelled);
+        assert_eq!(report.sched.fired as usize, fired);
+        assert_eq!(report.sched.dead_popped as usize, cancelled);
     }
 }

@@ -17,6 +17,10 @@
 //!   come in polling ([`ProcessCtx::wait_polling`], 100% CPU) and blocking
 //!   ([`ProcessCtx::wait`], 0% CPU) flavors — the central dichotomy the
 //!   VIBe paper measures.
+//! * Timers are first-class and cancellable: [`Sim::timer_in`] /
+//!   [`Sim::timer_at`] return a [`TimerHandle`] whose `cancel()` is O(1)
+//!   (generational slab + lazy heap deletion), and every event carries an
+//!   [`EventClass`] tag tallied in [`SchedStats`].
 //!
 //! ## Example
 //!
@@ -52,7 +56,7 @@ pub mod sync;
 pub mod time;
 
 pub use cpu::{CpuId, CpuMeter, CpuUsage};
-pub use engine::{RunReport, Sim};
+pub use engine::{ClassTally, EventClass, RunReport, SchedStats, Sim, TimerHandle};
 pub use process::{ProcessCtx, ProcessHandle, ProcessId, WaitToken};
 pub use rng::SimRng;
 pub use stats::{megabytes_per_second, Histogram, OnlineStats, Samples};

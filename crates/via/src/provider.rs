@@ -46,6 +46,12 @@ pub struct ProviderStats {
     pub rdma_writes_in: u64,
     /// RDMA-read requests served for remote initiators.
     pub rdma_reads_served: u64,
+    /// Retransmission timers armed (one per reliable message put on the wire).
+    pub retx_timers_armed: u64,
+    /// Retransmission timers cancelled before firing (ACK arrived in time,
+    /// or the connection was torn down). On a loss-free stream this equals
+    /// `retx_timers_armed`: no timer ever fires dead.
+    pub retx_timers_cancelled: u64,
 }
 
 /// A pending inbound connection request (no listener yet).

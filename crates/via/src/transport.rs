@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use fabric::NodeId;
-use simkit::{ProcessCtx, Sim, SimDuration, WaitMode, WaitToken};
+use simkit::{EventClass, ProcessCtx, Sim, SimDuration, WaitMode, WaitToken};
 
 use crate::descriptor::{Completion, DescOp, Descriptor};
 use crate::mem::ProcessMem;
@@ -273,6 +273,7 @@ pub(crate) fn post_send(
             },
             retries: 0,
             done: false,
+            retx_timer: None,
         });
         st.stats.sends_posted += 1;
         let inline = host_emulated
@@ -312,7 +313,7 @@ pub(crate) fn post_send(
         // firmware walks every VI's send block before each dispatch).
         let delay = profile.doorbell.propagation();
         let p = provider.clone();
-        provider.sim.call_in(delay, move |_| {
+        provider.sim.call_in_as(EventClass::Doorbell, delay, move |_| {
             nic_enqueue(&p, TxJobRef { vi: vi_id, seq });
         });
     }
@@ -457,11 +458,11 @@ fn nic_tx_start(provider: &Provider, job: TxJobRef) {
         provider.profile.firmware.service_delay(st.active_vis())
     };
     let p = provider.clone();
-    provider.sim.call_in(scan, move |_| {
+    provider.sim.call_in_as(EventClass::Firmware, scan, move |_| {
         probe(&p, spec.src_vi, spec.seq, "fw_scanned");
         let fetch_end = p.pci.reserve(spec.desc_wire);
         let p2 = p.clone();
-        p.sim.call_at(fetch_end, move |_| {
+        p.sim.call_at_as(EventClass::Firmware, fetch_end, move |_| {
             probe(&p2, spec.src_vi, spec.seq, "desc_fetched");
             nic_tx_xlate(&p2, spec)
         });
@@ -476,7 +477,7 @@ fn nic_tx_xlate(provider: &Provider, spec: JobSpec) {
         st.xlate.nic_translate(pages.into_iter(), &provider.pci)
     };
     let p = provider.clone();
-    provider.sim.call_in(delay, move |_| {
+    provider.sim.call_in_as(EventClass::Firmware, delay, move |_| {
         probe(&p, spec.src_vi, spec.seq, "translated");
         tx_fragment(&p, spec, 0)
     });
@@ -533,12 +534,16 @@ fn tx_fragment(provider: &Provider, spec: JobSpec, idx: usize) {
         };
         provider
             .sim
-            .call_at(next_at, move |_| tx_fragment(&p, spec2, idx + 1));
+            .call_at_as(EventClass::Firmware, next_at, move |_| {
+                tx_fragment(&p, spec2, idx + 1)
+            });
     }
     let p = provider.clone();
-    provider.sim.call_at(dma_end + engine_cost, move |_| {
-        wire_send(&p, spec, idx, off, len, is_last);
-    });
+    provider
+        .sim
+        .call_at_as(EventClass::Firmware, dma_end + engine_cost, move |_| {
+            wire_send(&p, spec, idx, off, len, is_last);
+        });
 }
 
 fn clone_spec(s: &JobSpec) -> JobSpec {
@@ -611,7 +616,7 @@ fn wire_send(provider: &Provider, spec: JobSpec, idx: usize, off: u64, len: u32,
             let (vi, seq) = (spec.src_vi, spec.seq);
             provider
                 .sim
-                .call_in(profile.data.completion_write, move |_| {
+                .call_in_as(EventClass::Completion, profile.data.completion_write, move |_| {
                     complete_send(&p, vi, seq, Ok(()));
                 });
         }
@@ -641,54 +646,95 @@ fn send_ack(provider: &Provider, dst_node: NodeId, dst_vi: ViId, seq: u64) {
     let bytes = profile.data.ack_bytes;
     provider
         .sim
-        .call_in(profile.data.ack_processing, move |_| {
+        .call_in_as(EventClass::Retransmit, profile.data.ack_processing, move |_| {
             p.san
                 .send(p.node, dst_node, bytes, Box::new(Frame::Ack { dst_vi, seq }));
         });
 }
 
 fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
-    {
+    enum AckOutcome {
+        /// First ACK for a live send: complete it (its timer is cancelled
+        /// by `complete_send` when the entry is removed).
+        Complete,
+        /// The entry is already `done` — a duplicate ACK, or the synthetic
+        /// read-response entry that never completes to the user. Disarm any
+        /// timer it still carries.
+        Disarm(Option<simkit::TimerHandle>),
+        Ignore,
+    }
+    let outcome = {
         let mut st = provider.lock();
         st.stats.acks_received += 1;
         let Some(vi) = st.try_vi_mut(vi_id) else {
             return;
         };
         match vi.send_inflight.iter_mut().find(|i| i.seq == seq) {
-            Some(inf) if !inf.done => inf.done = true,
-            _ => return, // duplicate ACK or already failed
+            Some(inf) if !inf.done => {
+                inf.done = true;
+                AckOutcome::Complete
+            }
+            Some(inf) => AckOutcome::Disarm(inf.retx_timer.take()),
+            None => AckOutcome::Ignore,
         }
+    };
+    match outcome {
+        AckOutcome::Complete => complete_send(provider, vi_id, seq, Ok(())),
+        AckOutcome::Disarm(Some(timer)) => {
+            if timer.cancel() {
+                provider.lock().stats.retx_timers_cancelled += 1;
+            }
+        }
+        AckOutcome::Disarm(None) | AckOutcome::Ignore => {}
     }
-    complete_send(provider, vi_id, seq, Ok(()));
 }
 
 fn arm_retransmit(provider: &Provider, vi_id: ViId, seq: u64) {
     let p = provider.clone();
     let timeout = provider.profile.data.retransmit_timeout;
-    provider.sim.call_in(timeout, move |_| {
-        let action = {
-            let mut st = p.lock();
-            let Some(vi) = st.try_vi_mut(vi_id) else {
-                return;
-            };
-            match vi.send_inflight.iter_mut().find(|i| i.seq == seq) {
-                Some(inf) if !inf.done => {
-                    inf.retries += 1;
-                    if inf.retries > p.profile.data.max_retries {
-                        RetxAction::Fail
-                    } else {
-                        st.stats.retransmissions += 1;
-                        RetxAction::Resend
+    // A cancellable timer: the ACK path cancels it on arrival instead of
+    // letting a dead closure ride the heap until the timeout elapses.
+    let handle = provider
+        .sim
+        .timer_in(EventClass::Retransmit, timeout, move |_| {
+            let action = {
+                let mut st = p.lock();
+                let Some(vi) = st.try_vi_mut(vi_id) else {
+                    return;
+                };
+                match vi.send_inflight.iter_mut().find(|i| i.seq == seq) {
+                    Some(inf) if !inf.done => {
+                        inf.retx_timer = None; // this firing consumed it
+                        inf.retries += 1;
+                        if inf.retries > p.profile.data.max_retries {
+                            RetxAction::Fail
+                        } else {
+                            st.stats.retransmissions += 1;
+                            RetxAction::Resend
+                        }
                     }
+                    _ => return, // acked or gone
                 }
-                _ => return, // acked or gone
+            };
+            match action {
+                RetxAction::Fail => fail_connection(&p, vi_id),
+                RetxAction::Resend => nic_enqueue(&p, TxJobRef { vi: vi_id, seq }),
             }
-        };
-        match action {
-            RetxAction::Fail => fail_connection(&p, vi_id),
-            RetxAction::Resend => nic_enqueue(&p, TxJobRef { vi: vi_id, seq }),
-        }
-    });
+        });
+    let mut st = provider.lock();
+    let stored = st
+        .try_vi_mut(vi_id)
+        .and_then(|vi| vi.send_inflight.iter_mut().find(|i| i.seq == seq))
+        .map(|inf| inf.retx_timer = Some(handle.clone()))
+        .is_some();
+    if stored {
+        st.stats.retx_timers_armed += 1;
+    } else {
+        // Connection torn down between the wire send and arming: the timer
+        // would fire dead, so take it right back out of the queue.
+        drop(st);
+        handle.cancel();
+    }
 }
 
 enum RetxAction {
@@ -708,7 +754,11 @@ fn fail_connection(provider: &Provider, vi_id: ViId) {
         vi.conn = ConnState::Error;
         vi.reassembly.clear();
         vi.parked_recv.clear();
-        while let Some(inf) = vi.send_inflight.pop_front() {
+        let mut cancelled = 0u64;
+        while let Some(mut inf) = vi.send_inflight.pop_front() {
+            if inf.retx_timer.take().is_some_and(|t| t.cancel()) {
+                cancelled += 1;
+            }
             completions.push(Completion {
                 op: inf.desc.op,
                 status: Err(ViaError::ConnectionLost),
@@ -716,6 +766,7 @@ fn fail_connection(provider: &Provider, vi_id: ViId) {
                 immediate: None,
             });
         }
+        st.stats.retx_timers_cancelled += cancelled;
     }
     for c in completions {
         deliver_send_completion(provider, vi_id, c);
@@ -736,7 +787,10 @@ fn complete_send(provider: &Provider, vi_id: ViId, seq: u64, status: ViaResult<(
         let Some(pos) = vi.send_inflight.iter().position(|i| i.seq == seq) else {
             return;
         };
-        let inf = vi.send_inflight.remove(pos).expect("position valid");
+        let mut inf = vi.send_inflight.remove(pos).expect("position valid");
+        if inf.retx_timer.take().is_some_and(|t| t.cancel()) {
+            st.stats.retx_timers_cancelled += 1;
+        }
         Completion {
             op: inf.desc.op,
             status,
@@ -793,7 +847,7 @@ fn wake_waiter(provider: &Provider, token: WaitToken, mode: WaitMode) {
 fn cq_notify(provider: &Provider, cq: crate::types::CqId, vi: ViId, kind: QueueKind) {
     let p = provider.clone();
     let delay = provider.profile.data.cq_post;
-    provider.sim.call_in(delay, move |_| {
+    provider.sim.call_in_as(EventClass::Completion, delay, move |_| {
         let waiter = {
             let mut st = p.lock();
             let c = st.cq_mut(cq);
@@ -820,9 +874,13 @@ pub(crate) fn handle_frame(provider: &Provider, sim: &Sim, frame: Frame) {
         Frame::Conn(cf) => crate::connect::handle_conn_frame(provider, sim, cf),
         Frame::Ack { dst_vi, seq } => {
             let p = provider.clone();
-            sim.call_in(provider.profile.data.ack_processing, move |_| {
-                handle_ack(&p, dst_vi, seq);
-            });
+            sim.call_in_as(
+                EventClass::Retransmit,
+                provider.profile.data.ack_processing,
+                move |_| {
+                    handle_ack(&p, dst_vi, seq);
+                },
+            );
         }
         Frame::RdmaRead(req) => rx_read_request(provider, req),
         Frame::Data(df) => rx_data(provider, df),
@@ -880,6 +938,7 @@ fn rx_read_request(provider: &Provider, req: RdmaReadReq) {
             },
             retries: 0,
             done: true, // never produces a local completion
+            retx_timer: None,
         });
         seq
     };
@@ -1116,7 +1175,9 @@ fn rx_data(provider: &Provider, df: DataFrame) {
         provider.sim.charge(provider.cpu, cpu_charge);
     }
     let p = provider.clone();
-    provider.sim.call_at(landed_at, move |_| rx_landed(&p, df));
+    provider
+        .sim
+        .call_at_as(EventClass::Firmware, landed_at, move |_| rx_landed(&p, df));
 }
 
 /// A fragment's bytes finished DMA into their destination.
@@ -1230,7 +1291,7 @@ fn rx_landed(provider: &Provider, df: DataFrame) {
                 let vi_id = df.dst_vi;
                 provider
                     .sim
-                    .call_in(profile.data.completion_write, move |_| {
+                    .call_in_as(EventClass::Completion, profile.data.completion_write, move |_| {
                         complete_send(&p, vi_id, req_seq, Ok(()));
                     });
                 return;
@@ -1286,7 +1347,7 @@ fn rx_landed(provider: &Provider, df: DataFrame) {
             let vi_id = df.dst_vi;
             provider
                 .sim
-                .call_in(profile.data.completion_write, move |_| {
+                .call_in_as(EventClass::Completion, profile.data.completion_write, move |_| {
                     for (seq, comp) in comps {
                         probe(&p, vi_id, seq, "recv_completed");
                         deliver_recv_completion(&p, vi_id, comp);

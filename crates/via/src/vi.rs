@@ -47,6 +47,10 @@ pub(crate) struct InflightSend {
     /// Set once the wire/ack protocol finished; the completion may still be
     /// waiting on the completion-write delay.
     pub done: bool,
+    /// The armed retransmission timer, if any. Cancelled when the ACK
+    /// arrives (or the connection dies) instead of letting a dead closure
+    /// ride the heap to its deadline.
+    pub retx_timer: Option<simkit::TimerHandle>,
 }
 
 /// Reassembly target of an in-progress inbound message.

@@ -453,6 +453,71 @@ fn reliable_delivery_survives_loss() {
 }
 
 #[test]
+fn zero_loss_stream_cancels_every_retransmit_timer() {
+    // On a loss-free fabric every ACK must arrive before its retransmission
+    // timer expires, so the transport should *cancel* (never fire) each
+    // timer it arms — the regression this guards is the old engine's
+    // un-cancellable closures, which kept dead retransmit timers queued
+    // (and firing as no-ops) long after the message completed.
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 7);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    let attrs = ViAttributes::reliable(Reliability::ReliableDelivery);
+    let n_msgs = 40u32;
+    let sh = {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
+            let buf = pb.malloc(8192);
+            let mh = pb.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
+            for _ in 0..n_msgs {
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192)).unwrap();
+            }
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            let mut got = 0u32;
+            for _ in 0..n_msgs {
+                assert!(vi.recv_wait(ctx, WaitMode::Block).is_ok());
+                got += 1;
+            }
+            got
+        })
+    };
+    {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let buf = pa.malloc(8192);
+            let mh = pa.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
+            for i in 0..n_msgs {
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 6000).immediate(i))
+                    .unwrap();
+                assert!(vi.send_wait(ctx, WaitMode::Block).is_ok());
+            }
+        });
+    }
+    sim.run_to_completion();
+    assert_eq!(sh.expect_result(), n_msgs);
+    let stats = pa.stats();
+    assert_eq!(stats.retransmissions, 0, "loss-free stream never retransmits");
+    assert_eq!(
+        stats.retx_timers_armed, n_msgs as u64,
+        "one retransmit timer per reliable message"
+    );
+    assert_eq!(
+        stats.retx_timers_cancelled, stats.retx_timers_armed,
+        "every timer must be disarmed by its ACK, not left to fire"
+    );
+    // Cross-check against the scheduler's own per-class ledger: the only
+    // cancellable events in the Retransmit class are these timers, so the
+    // class tally must agree with the provider, and — because the run
+    // drains the queue — every cancelled entry must have been reaped.
+    let retx = sim.sched_stats().class(simkit::EventClass::Retransmit);
+    assert_eq!(retx.cancelled, stats.retx_timers_cancelled);
+    assert_eq!(retx.dead_popped, retx.cancelled, "lazy reap must drain");
+}
+
+#[test]
 fn unreliable_mode_drops_on_loss() {
     let sim = Sim::new();
     let mut profile = Profile::clan();

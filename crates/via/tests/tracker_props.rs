@@ -5,82 +5,93 @@
 //!
 //! (The tracker itself is crate-private; this exercises it through the
 //! transport. A unit-level model test lives in `via::vi::tests`.)
+//!
+//! Cases are generated with a seeded [`SimRng`] rather than a property-test
+//! framework: same coverage shape (16 cases over loss × seed × pipeline
+//! depth × message count), fully deterministic, no external dependency.
 
-use proptest::prelude::*;
-use simkit::{Sim, SimDuration, WaitMode};
+use simkit::{Sim, SimDuration, SimRng, WaitMode};
 use via::{
     Cluster, Descriptor, Discriminator, MemAttributes, Profile, Reliability, ViAttributes,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn pipelined_reliable_stream_is_exactly_once(
-        loss in 0.0f64..0.25,
-        seed in any::<u64>(),
-        depth in 1usize..12,
-        msgs in 10u32..40,
-    ) {
-        // Unlike the serial property in the repo-level tests, this one
-        // keeps `depth` sends in flight, which is what actually produces
-        // out-of-order completion at the receiver during loss recovery —
-        // the scenario that broke the original highwater-mark dedup.
-        let sim = Sim::new();
-        let mut profile = Profile::clan();
-        profile.net = profile.net.with_loss(loss);
-        profile.data.max_retries = 400;
-        profile.data.retransmit_timeout = SimDuration::from_micros(250);
-        let cluster = Cluster::new(sim.clone(), profile, 2, seed);
-        let (pa, pb) = (cluster.provider(0), cluster.provider(1));
-        let attrs = ViAttributes::reliable(Reliability::ReliableDelivery);
-        let server = {
-            let pb = pb.clone();
-            sim.spawn("server", Some(pb.cpu()), move |ctx| {
-                let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
-                let buf = pb.malloc(2048);
-                let mh = pb.register_mem(ctx, buf, 2048, MemAttributes::default()).unwrap();
-                for _ in 0..msgs.min(64) {
+fn run_case(loss: f64, seed: u64, depth: usize, msgs: u32) {
+    // Unlike the serial property in the repo-level tests, this one
+    // keeps `depth` sends in flight, which is what actually produces
+    // out-of-order completion at the receiver during loss recovery —
+    // the scenario that broke the original highwater-mark dedup.
+    let sim = Sim::new();
+    let mut profile = Profile::clan();
+    profile.net = profile.net.with_loss(loss);
+    profile.data.max_retries = 400;
+    profile.data.retransmit_timeout = SimDuration::from_micros(250);
+    let cluster = Cluster::new(sim.clone(), profile, 2, seed);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    let attrs = ViAttributes::reliable(Reliability::ReliableDelivery);
+    let server = {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
+            let buf = pb.malloc(2048);
+            let mh = pb.register_mem(ctx, buf, 2048, MemAttributes::default()).unwrap();
+            for _ in 0..msgs.min(64) {
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 2048)).unwrap();
+            }
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            let mut seen = Vec::new();
+            for i in 0..msgs {
+                let c = vi.recv_wait(ctx, WaitMode::Block);
+                assert!(c.is_ok(), "{:?}", c.status);
+                seen.push(c.immediate.unwrap());
+                if i as u64 + 64 < msgs as u64 {
                     vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 2048)).unwrap();
                 }
-                pb.accept(ctx, &vi, Discriminator(1)).unwrap();
-                let mut seen = Vec::new();
-                for i in 0..msgs {
-                    let c = vi.recv_wait(ctx, WaitMode::Block);
+            }
+            seen
+        })
+    };
+    {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let buf = pa.malloc(2048);
+            let mh = pa.register_mem(ctx, buf, 2048, MemAttributes::default()).unwrap();
+            let mut outstanding = 0usize;
+            for i in 0..msgs {
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1500).immediate(i)).unwrap();
+                outstanding += 1;
+                if outstanding >= depth {
+                    let c = vi.send_wait(ctx, WaitMode::Block);
                     assert!(c.is_ok(), "{:?}", c.status);
-                    seen.push(c.immediate.unwrap());
-                    if i as u64 + 64 < msgs as u64 {
-                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 2048)).unwrap();
-                    }
-                }
-                seen
-            })
-        };
-        {
-            let pa = pa.clone();
-            sim.spawn("client", Some(pa.cpu()), move |ctx| {
-                let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
-                pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
-                let buf = pa.malloc(2048);
-                let mh = pa.register_mem(ctx, buf, 2048, MemAttributes::default()).unwrap();
-                let mut outstanding = 0usize;
-                for i in 0..msgs {
-                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1500).immediate(i)).unwrap();
-                    outstanding += 1;
-                    if outstanding >= depth {
-                        let c = vi.send_wait(ctx, WaitMode::Block);
-                        assert!(c.is_ok(), "{:?}", c.status);
-                        outstanding -= 1;
-                    }
-                }
-                while outstanding > 0 {
-                    assert!(vi.send_wait(ctx, WaitMode::Block).is_ok());
                     outstanding -= 1;
                 }
-            });
-        }
-        sim.run_to_completion();
-        // Exactly once, in order — duplicates or holes both fail here.
-        prop_assert_eq!(server.expect_result(), (0..msgs).collect::<Vec<_>>());
+            }
+            while outstanding > 0 {
+                assert!(vi.send_wait(ctx, WaitMode::Block).is_ok());
+                outstanding -= 1;
+            }
+        });
+    }
+    sim.run_to_completion();
+    // Exactly once, in order — duplicates or holes both fail here.
+    assert_eq!(
+        server.expect_result(),
+        (0..msgs).collect::<Vec<_>>(),
+        "case loss={loss} seed={seed} depth={depth} msgs={msgs}"
+    );
+}
+
+#[test]
+fn pipelined_reliable_stream_is_exactly_once() {
+    // A previously-shrunk regression case (high loss, minimal pipeline).
+    run_case(0.281_997_557_607_054_8, 9_001_254_809_112_957_138, 1, 10);
+    let mut gen = SimRng::derive(0x7ac4e5, "tracker-props");
+    for _ in 0..16 {
+        let loss = gen.unit() * 0.25;
+        let seed = gen.next_u64();
+        let depth = 1 + gen.below(11) as usize;
+        let msgs = 10 + gen.below(30) as u32;
+        run_case(loss, seed, depth, msgs);
     }
 }

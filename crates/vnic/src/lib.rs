@@ -32,6 +32,6 @@ pub mod xlate;
 pub use doorbell::DoorbellKind;
 pub use firmware::FirmwareModel;
 pub use host::HostParams;
-pub use intr::InterruptController;
+pub use intr::{CoalescedInterrupts, InterruptController};
 pub use pci::{PciBus, PciParams, PciStats};
 pub use xlate::{NicTlb, PageOutcome, TableLocation, TlbStats, Translator, XlateConfig, XlateEngine};

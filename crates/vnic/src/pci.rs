@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use simkit::{Sim, SimDuration, SimTime};
+use simkit::{EventClass, Sim, SimDuration, SimTime};
 
 /// PCI bus characteristics.
 #[derive(Clone, Copy, Debug)]
@@ -93,10 +93,23 @@ impl PciBus {
         self.reserve_at(self.sim.now(), bytes)
     }
 
-    /// Reserve the bus now and run `f` when the transfer completes.
+    /// Reserve the bus now and run `f` when the transfer completes. DMA
+    /// completion accounts as [`EventClass::Firmware`]; use
+    /// [`PciBus::transfer_then_as`] when the transfer belongs to another
+    /// component (e.g. a completion write).
     pub fn transfer_then(&self, bytes: u64, f: impl FnOnce(&Sim) + Send + 'static) {
+        self.transfer_then_as(EventClass::Firmware, bytes, f);
+    }
+
+    /// [`PciBus::transfer_then`] with an explicit [`EventClass`] tag.
+    pub fn transfer_then_as(
+        &self,
+        class: EventClass,
+        bytes: u64,
+        f: impl FnOnce(&Sim) + Send + 'static,
+    ) {
         let end = self.reserve(bytes);
-        self.sim.call_at(end, f);
+        self.sim.call_at_as(class, end, f);
     }
 
     /// Unloaded duration of a transfer (setup + data), ignoring occupancy.

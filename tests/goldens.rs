@@ -1,0 +1,63 @@
+//! Golden-artifact tests: the suite must be *byte-identical* run to run —
+//! every reported microsecond is virtual time, so there is no tolerance to
+//! grant. One experiment per paper category is pinned as a committed JSON
+//! golden (the `run_suite --json` interchange form); CI regenerates them
+//! through the example binary and diffs.
+//!
+//! To bless intentional changes (e.g. a recalibration):
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test goldens
+//! ```
+
+use vibe_suite::vibe::suite::find;
+
+fn check(id: &str) {
+    let e = find(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    let got = e.run_json();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{}.json", id.to_lowercase()));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDENS=1 cargo test --test goldens",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{id} artifacts drifted from {}; if intentional, re-bless with \
+         UPDATE_GOLDENS=1 cargo test --test goldens",
+        path.display()
+    );
+}
+
+#[test]
+fn t1_matches_golden() {
+    // Non-data-transfer category.
+    check("T1");
+}
+
+#[test]
+fn cq_matches_golden() {
+    // Data-transfer category.
+    check("CQ");
+}
+
+#[test]
+fn x_mpl_matches_golden() {
+    // Programming-model category.
+    check("X-MPL");
+}
+
+#[test]
+fn x_sched_matches_golden() {
+    // The scheduler-ledger extension: pins the exact per-class event and
+    // timer-cancellation counts, so any scheduling change is visible.
+    check("X-SCHED");
+}

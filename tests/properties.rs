@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Property-based tests over the core invariants:
 //!
 //! * any message, any segment layout, any profile → delivered bytes are
 //!   exactly the sent bytes;
@@ -6,19 +6,23 @@
 //!   delivery for arbitrary loss rates and seeds;
 //! * the deterministic clock: identical runs produce identical timelines;
 //! * pure-data invariants of the fragmentation math and the buffer pool.
+//!
+//! Cases are generated with a seeded [`SimRng`] rather than a property-test
+//! framework, so the whole suite is deterministic and dependency-free: every
+//! run exercises the same case set, and a failing case prints its parameters
+//! so it can be pinned as an explicit regression below.
 
-use proptest::prelude::*;
-use simkit::{Sim, SimDuration, WaitMode};
+use simkit::{Sim, SimDuration, SimRng, WaitMode};
 use vibe_suite::via::{
     Cluster, Descriptor, Discriminator, MemAttributes, Profile, Reliability, ViAttributes,
 };
 
-fn profile_strategy() -> impl Strategy<Value = Profile> {
-    prop_oneof![
-        Just(Profile::mvia()),
-        Just(Profile::bvia()),
-        Just(Profile::clan()),
-    ]
+fn pick_profile(gen: &mut SimRng) -> Profile {
+    match gen.below(3) {
+        0 => Profile::mvia(),
+        1 => Profile::bvia(),
+        _ => Profile::clan(),
+    }
 }
 
 /// Send one arbitrarily-shaped message and return what the receiver saw.
@@ -94,86 +98,100 @@ fn roundtrip(profile: Profile, payload: Vec<u8>, send_segs: usize, recv_segs: us
     server.expect_result()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn any_message_survives_any_segmentation(
-        profile in profile_strategy(),
-        payload in proptest::collection::vec(any::<u8>(), 1..20_000),
-        send_segs in 1usize..6,
-        recv_segs in 1usize..6,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn any_message_survives_any_segmentation() {
+    let mut gen = SimRng::derive(11, "prop-segmentation");
+    for case in 0..24 {
+        let profile = pick_profile(&mut gen);
+        let len = 1 + gen.below(19_999) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| gen.below(256) as u8).collect();
+        let send_segs = 1 + gen.below(5) as usize;
+        let recv_segs = 1 + gen.below(5) as usize;
+        let seed = gen.next_u64();
         let got = roundtrip(profile, payload.clone(), send_segs, recv_segs, seed);
-        prop_assert_eq!(got, payload);
+        assert_eq!(
+            got, payload,
+            "case {case}: len={len} send_segs={send_segs} recv_segs={recv_segs} seed={seed}"
+        );
     }
+}
 
-    #[test]
-    fn reliable_delivery_is_exactly_once_in_order(
-        loss in 0.0f64..0.30,
-        seed in any::<u64>(),
-        msgs in 5u32..25,
-        size in 1u64..9_000,
-    ) {
-        let sim = Sim::new();
-        let mut profile = Profile::clan();
-        profile.net = profile.net.with_loss(loss);
-        // VIA's contract is exactly-once *until retry exhaustion breaks the
-        // connection* (a legal outcome the engine tests cover separately).
-        // Give the retransmitter enough budget that exhaustion is
-        // impossible across this strategy's loss range, so the property
-        // can demand full delivery.
-        profile.data.max_retries = 400;
-        profile.data.retransmit_timeout = simkit::SimDuration::from_micros(300);
-        let cluster = Cluster::new(sim.clone(), profile, 2, seed);
-        let (pa, pb) = (cluster.provider(0), cluster.provider(1));
-        let attrs = ViAttributes::reliable(Reliability::ReliableDelivery);
-        let server = {
-            let pb = pb.clone();
-            sim.spawn("server", Some(pb.cpu()), move |ctx| {
-                let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
-                let buf = pb.malloc(size.max(1));
-                let mh = pb.register_mem(ctx, buf, size.max(1), MemAttributes::default()).unwrap();
-                for _ in 0..msgs {
-                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, size as u32)).unwrap();
-                }
-                pb.accept(ctx, &vi, Discriminator(1)).unwrap();
-                let mut seen = Vec::new();
-                for _ in 0..msgs {
-                    let c = vi.recv_wait(ctx, WaitMode::Block);
-                    assert!(c.is_ok(), "{:?}", c.status);
-                    seen.push(c.immediate.unwrap());
-                }
-                seen
-            })
-        };
-        {
-            let pa = pa.clone();
-            sim.spawn("client", Some(pa.cpu()), move |ctx| {
-                let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
-                pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
-                let buf = pa.malloc(size.max(1));
-                let mh = pa.register_mem(ctx, buf, size.max(1), MemAttributes::default()).unwrap();
-                for i in 0..msgs {
-                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32).immediate(i)).unwrap();
-                    let c = vi.send_wait(ctx, WaitMode::Block);
-                    assert!(c.is_ok(), "{:?}", c.status);
-                }
-            });
-        }
-        sim.run_to_completion();
-        prop_assert_eq!(server.expect_result(), (0..msgs).collect::<Vec<_>>());
+fn reliable_case(loss: f64, seed: u64, msgs: u32, size: u64) {
+    let sim = Sim::new();
+    let mut profile = Profile::clan();
+    profile.net = profile.net.with_loss(loss);
+    // VIA's contract is exactly-once *until retry exhaustion breaks the
+    // connection* (a legal outcome the engine tests cover separately).
+    // Give the retransmitter enough budget that exhaustion is
+    // impossible across this generator's loss range, so the property
+    // can demand full delivery.
+    profile.data.max_retries = 400;
+    profile.data.retransmit_timeout = simkit::SimDuration::from_micros(300);
+    let cluster = Cluster::new(sim.clone(), profile, 2, seed);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    let attrs = ViAttributes::reliable(Reliability::ReliableDelivery);
+    let server = {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
+            let buf = pb.malloc(size.max(1));
+            let mh = pb.register_mem(ctx, buf, size.max(1), MemAttributes::default()).unwrap();
+            for _ in 0..msgs {
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, size as u32)).unwrap();
+            }
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            let mut seen = Vec::new();
+            for _ in 0..msgs {
+                let c = vi.recv_wait(ctx, WaitMode::Block);
+                assert!(c.is_ok(), "{:?}", c.status);
+                seen.push(c.immediate.unwrap());
+            }
+            seen
+        })
+    };
+    {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let buf = pa.malloc(size.max(1));
+            let mh = pa.register_mem(ctx, buf, size.max(1), MemAttributes::default()).unwrap();
+            for i in 0..msgs {
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32).immediate(i)).unwrap();
+                let c = vi.send_wait(ctx, WaitMode::Block);
+                assert!(c.is_ok(), "{:?}", c.status);
+            }
+        });
     }
+    sim.run_to_completion();
+    assert_eq!(
+        server.expect_result(),
+        (0..msgs).collect::<Vec<_>>(),
+        "case loss={loss} seed={seed} msgs={msgs} size={size}"
+    );
+}
 
-    #[test]
-    fn timelines_are_reproducible(
-        loss in 0.0f64..0.2,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn reliable_delivery_is_exactly_once_in_order() {
+    // Pinned regression: high loss with 1-byte messages once tripped the
+    // receive-side dedup (shrunk from a randomized failure).
+    reliable_case(0.281_997_557_607_054_8, 9_001_254_809_112_957_138, 10, 1);
+    let mut gen = SimRng::derive(12, "prop-reliable");
+    for _ in 0..24 {
+        let loss = gen.unit() * 0.30;
+        let seed = gen.next_u64();
+        let msgs = 5 + gen.below(20) as u32;
+        let size = 1 + gen.below(8_999);
+        reliable_case(loss, seed, msgs, size);
+    }
+}
+
+#[test]
+fn timelines_are_reproducible() {
+    let mut gen = SimRng::derive(13, "prop-replay");
+    for _ in 0..24 {
+        let loss = gen.unit() * 0.2;
+        let seed = gen.next_u64();
         let run = || {
             let sim = Sim::new();
             let mut profile = Profile::bvia();
@@ -208,9 +226,9 @@ proptest! {
                 });
             }
             let r = sim.run_to_completion();
-            (r.end_time, r.events)
+            (r.end_time, r.events, r.sched)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case loss={loss} seed={seed}");
     }
 }
 
@@ -218,9 +236,12 @@ proptest! {
 // Pure-data properties (no simulation): cheap, so many cases.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn fragments_cover_exactly(len in 0u64..200_000, mtu in 1u32..70_000) {
+#[test]
+fn fragments_cover_exactly() {
+    let mut gen = SimRng::derive(14, "prop-fragments");
+    for _ in 0..256 {
+        let len = gen.below(200_000);
+        let mtu = 1 + gen.below(69_999) as u32;
         let p = {
             let mut p = Profile::clan();
             p.wire_mtu = mtu;
@@ -228,20 +249,22 @@ proptest! {
         };
         let n = p.fragments_for(len);
         if len == 0 {
-            prop_assert_eq!(n, 1);
+            assert_eq!(n, 1);
         } else {
-            prop_assert_eq!(n, len.div_ceil(mtu as u64));
+            assert_eq!(n, len.div_ceil(mtu as u64), "len={len} mtu={mtu}");
             // n fragments of at most mtu cover len exactly.
-            prop_assert!(n * mtu as u64 >= len);
-            prop_assert!((n - 1) * (mtu as u64) < len);
+            assert!(n * mtu as u64 >= len, "len={len} mtu={mtu}");
+            assert!((n - 1) * (mtu as u64) < len, "len={len} mtu={mtu}");
         }
     }
+}
 
-    #[test]
-    fn buffer_pool_fresh_fraction_matches_reuse(
-        reuse in 0u32..=100,
-        iters in 1u64..2_000,
-    ) {
+#[test]
+fn buffer_pool_fresh_fraction_matches_reuse() {
+    let mut gen = SimRng::derive(15, "prop-bufpool");
+    for _ in 0..256 {
+        let reuse = gen.below(101) as u32;
+        let iters = 1 + gen.below(1_999);
         // Replays BufferPool::pick's quota arithmetic.
         let mut fresh_used = 0u64;
         for i in 0..iters {
@@ -251,20 +274,25 @@ proptest! {
             }
         }
         let want = (iters * (100 - reuse) as u64).div_ceil(100);
-        prop_assert_eq!(fresh_used, want);
-        prop_assert!(fresh_used <= iters);
+        assert_eq!(fresh_used, want, "reuse={reuse} iters={iters}");
+        assert!(fresh_used <= iters);
     }
+}
 
-    #[test]
-    fn cpu_usage_utilization_is_bounded(busy in 0u64..10_000_000, elapsed in 1u64..10_000_000) {
+#[test]
+fn cpu_usage_utilization_is_bounded() {
+    let mut gen = SimRng::derive(16, "prop-cpu");
+    for _ in 0..256 {
+        let busy = gen.below(10_000_000);
+        let elapsed = 1 + gen.below(9_999_999);
         let u = simkit::CpuUsage {
             busy: SimDuration::from_nanos(busy),
             elapsed: SimDuration::from_nanos(elapsed),
         };
         let f = u.utilization();
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f), "busy={busy} elapsed={elapsed}");
         if busy >= elapsed {
-            prop_assert_eq!(f, 1.0);
+            assert_eq!(f, 1.0, "busy={busy} elapsed={elapsed}");
         }
     }
 }
