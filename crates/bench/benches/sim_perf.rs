@@ -79,6 +79,71 @@ fn bench_event_queue(c: &mut Criterion) {
             report.events
         });
     });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("pooled_10k_small_closures", |b| {
+        // Closures capturing <= SMALL_WORDS words land in the inline size
+        // class: the schedule -> fire cycle allocates nothing once the slab
+        // has grown. Compare against boxed_10k_oversize_closures to read
+        // the per-event allocation cost directly.
+        b.iter(|| {
+            let sim = Sim::new();
+            let count = Arc::new(AtomicU64::new(0));
+            for i in 0..10_000u64 {
+                let count = Arc::clone(&count);
+                sim.call_in(SimDuration::from_nanos(i % 977), move |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            let report = sim.run();
+            assert_eq!(report.sched.pool.boxed, 0);
+            assert_eq!(count.load(Ordering::Relaxed), 10_000);
+            report.events
+        });
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("boxed_10k_oversize_closures", |b| {
+        // Same workload with a capture too large for either inline class,
+        // forcing the legacy Box-per-event path.
+        b.iter(|| {
+            let sim = Sim::new();
+            let count = Arc::new(AtomicU64::new(0));
+            for i in 0..10_000u64 {
+                let count = Arc::clone(&count);
+                let ballast = [i; 32]; // 256 B capture > LARGE_WORDS * 8
+                sim.call_in(SimDuration::from_nanos(i % 977), move |_| {
+                    count.fetch_add(1 + ballast[31] * 0, Ordering::Relaxed);
+                });
+            }
+            let report = sim.run();
+            assert_eq!(report.sched.pool.boxed, 10_000);
+            assert_eq!(count.load(Ordering::Relaxed), 10_000);
+            report.events
+        });
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("pool_churn_arm_cancel_rearm_10k", |b| {
+        // Retransmit-style churn: one logical timer armed, cancelled, and
+        // re-armed 10k times (an ACK disarming the retx timer before each
+        // new send). After the first arm grows one slot, every re-arm must
+        // be served from that just-freed slot — the freelist hit the arena
+        // exists for. The run loop then reaps the 10k dead heap entries.
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..10_000u64 {
+                let h = sim.timer_in(
+                    EventClass::Retransmit,
+                    SimDuration::from_nanos(1 + i % 977),
+                    |_| {},
+                );
+                assert!(h.cancel());
+            }
+            let report = sim.run();
+            let pool = report.sched.pool;
+            assert!(pool.slot_reuse_rate() > 0.99, "{pool:?}");
+            assert_eq!(report.cancelled(), 10_000);
+            report.events
+        });
+    });
     g.finish();
 
     let mut g = c.benchmark_group("simkit-process");

@@ -21,6 +21,13 @@ pub fn bw_iters(size: u64) -> u32 {
 
 /// Base one-way latency (us) vs. message size, per profile.
 pub fn latency_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
+    latency_figure_sized(profiles, mode, &paper_sizes())
+}
+
+/// [`latency_figure`] over an explicit size list — the per-sweep-point
+/// unit the parallel suite planner fans out (a `&[p]`/`&[size]` call
+/// yields one single-point series slice).
+pub fn latency_figure_sized(profiles: &[Profile], mode: WaitMode, sizes: &[u64]) -> Figure {
     let label = match mode {
         WaitMode::Poll => "polling",
         WaitMode::Block => "blocking",
@@ -32,7 +39,7 @@ pub fn latency_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
     );
     for p in profiles {
         let mut s = Series::new(p.name);
-        for &size in &paper_sizes() {
+        for &size in sizes {
             let cfg = DtConfig {
                 iters: LAT_ITERS,
                 wait: mode,
@@ -47,6 +54,12 @@ pub fn latency_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
 
 /// Base bandwidth (MB/s) vs. message size, per profile.
 pub fn bandwidth_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
+    bandwidth_figure_sized(profiles, mode, &paper_sizes())
+}
+
+/// [`bandwidth_figure`] over an explicit size list (see
+/// [`latency_figure_sized`]).
+pub fn bandwidth_figure_sized(profiles: &[Profile], mode: WaitMode, sizes: &[u64]) -> Figure {
     let label = match mode {
         WaitMode::Poll => "polling",
         WaitMode::Block => "blocking",
@@ -58,7 +71,7 @@ pub fn bandwidth_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
     );
     for p in profiles {
         let mut s = Series::new(p.name);
-        for &size in &paper_sizes() {
+        for &size in sizes {
             let cfg = DtConfig {
                 iters: bw_iters(size),
                 wait: mode,
@@ -74,6 +87,12 @@ pub fn bandwidth_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
 /// Receiver-side CPU utilization (%) vs. message size, per profile
 /// (Fig 4's right panel; with polling every profile pegs at 100%).
 pub fn cpu_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
+    cpu_figure_sized(profiles, mode, &paper_sizes())
+}
+
+/// [`cpu_figure`] over an explicit size list (see
+/// [`latency_figure_sized`]).
+pub fn cpu_figure_sized(profiles: &[Profile], mode: WaitMode, sizes: &[u64]) -> Figure {
     let label = match mode {
         WaitMode::Poll => "polling",
         WaitMode::Block => "blocking",
@@ -85,7 +104,7 @@ pub fn cpu_figure(profiles: &[Profile], mode: WaitMode) -> Figure {
     );
     for p in profiles {
         let mut s = Series::new(p.name);
-        for &size in &paper_sizes() {
+        for &size in sizes {
             let cfg = DtConfig {
                 iters: LAT_ITERS,
                 wait: mode,

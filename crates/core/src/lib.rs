@@ -25,7 +25,9 @@
 //!
 //! [`harness`] holds the measurement machinery; [`report`] renders
 //! paper-style tables/figures; [`suite`] is the experiment registry the
-//! `vibe` runner binary and the bench targets drive.
+//! `vibe` runner binary and the bench targets drive; [`runner`] fans the
+//! registry's per-experiment job plans over a worker pool and reassembles
+//! the artifacts deterministically.
 
 #![warn(missing_docs)]
 
@@ -41,6 +43,7 @@ pub mod mpl_bench;
 pub mod mvi;
 pub mod nondata;
 pub mod report;
+pub mod runner;
 pub mod scale;
 pub mod sched_bench;
 pub mod suite;
@@ -50,5 +53,6 @@ pub use harness::{
     bandwidth, paper_sizes, ping_pong, rdma_write_ping, transactions, BandwidthResult, BufferPool,
     DtConfig, Endpoint, Pair, PingPongResult,
 };
-pub use report::{Artifact, Figure, Series, Table};
+pub use report::{merge_artifacts, Artifact, Figure, Series, Table};
+pub use runner::{default_workers, run_suite, Job, JobReport, SuiteRun};
 pub use suite::{all_experiments, Experiment};

@@ -77,6 +77,21 @@ impl Figure {
         self.series.iter().find(|s| s.name == name)
     }
 
+    /// Absorb another partial figure of the same panel (same title):
+    /// points of a same-named series are appended in arrival order, new
+    /// series are appended after the existing ones. Used by the parallel
+    /// suite runner to reassemble per-job slices; feeding slices in
+    /// canonical job order reproduces the serial build byte-for-byte.
+    pub fn merge_from(&mut self, src: Figure) {
+        debug_assert_eq!(self.title, src.title, "merging mismatched figure panels");
+        for s in src.series {
+            match self.series.iter_mut().find(|e| e.name == s.name) {
+                Some(dst) => dst.points.extend(s.points),
+                None => self.series.push(s),
+            }
+        }
+    }
+
     /// Render as an aligned text table: one x column, one column per series.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -169,6 +184,35 @@ impl Table {
             .iter()
             .find(|(label, _)| label == row)
             .map(|(_, cells)| cells[ci])
+    }
+
+    /// Absorb another partial table with the same title. Two shapes are
+    /// supported, mirroring how experiments decompose:
+    ///
+    /// * **row merge** — identical columns: `src` rows are appended
+    ///   (per-profile rows of a shared-column table, possibly zero rows);
+    /// * **column merge** — identical row labels: `src` columns and cells
+    ///   are appended to each row (per-profile columns of a fixed-row
+    ///   table, like Table 1).
+    ///
+    /// Anything else is a plan bug and panics.
+    pub fn merge_from(&mut self, src: Table) {
+        debug_assert_eq!(self.title, src.title, "merging mismatched tables");
+        if self.columns == src.columns {
+            self.rows.extend(src.rows);
+        } else if self.rows.len() == src.rows.len()
+            && self.rows.iter().zip(&src.rows).all(|((a, _), (b, _))| a == b)
+        {
+            self.columns.extend(src.columns);
+            for ((_, dst), (_, cells)) in self.rows.iter_mut().zip(src.rows) {
+                dst.extend(cells);
+            }
+        } else {
+            panic!(
+                "table '{}': neither columns nor row labels line up for merging",
+                self.title
+            );
+        }
     }
 
     /// Render as aligned text.
@@ -336,6 +380,35 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// Reassemble per-job artifact slices into the serial artifact set.
+///
+/// `parts` must arrive in canonical job order (the order the experiment's
+/// plan emitted them). Artifacts are matched by title: the first slice
+/// bearing a title establishes the artifact and its position in the output;
+/// later slices with the same title are folded in via
+/// [`Figure::merge_from`] / [`Table::merge_from`]. Because every builder
+/// appends series, points, rows, and columns in sweep order, replaying the
+/// slices in plan order reproduces the serial construction exactly.
+pub fn merge_artifacts(parts: impl IntoIterator<Item = Vec<Artifact>>) -> Vec<Artifact> {
+    let mut out: Vec<Artifact> = Vec::new();
+    for part in parts {
+        for a in part {
+            match out.iter_mut().find(|e| e.title() == a.title()) {
+                None => out.push(a),
+                Some(Artifact::Figure(dst)) => match a {
+                    Artifact::Figure(src) => dst.merge_from(src),
+                    Artifact::Table(t) => panic!("'{}': figure/table kind clash", t.title),
+                },
+                Some(Artifact::Table(dst)) => match a {
+                    Artifact::Table(src) => dst.merge_from(src),
+                    Artifact::Figure(f) => panic!("'{}': table/figure kind clash", f.title),
+                },
+            }
+        }
+    }
+    out
+}
+
 impl From<Figure> for Artifact {
     fn from(f: Figure) -> Self {
         Artifact::Figure(f)
@@ -487,6 +560,75 @@ mod tests {
         assert!(json.contains("\"kind\": \"figure\""), "{json}");
         assert!(json.contains("\"title\": \"fig \\\"q\\\"\""), "{json}");
         assert!(json.contains("[1.0, 2.5]"), "{json}");
+    }
+
+    fn fig(title: &str, series: &[(&str, &[(f64, f64)])]) -> Figure {
+        let mut f = Figure::new(title, "x", "y");
+        for (name, pts) in series {
+            let mut s = Series::new(*name);
+            for (x, y) in *pts {
+                s.push(*x, *y);
+            }
+            f.push(s);
+        }
+        f
+    }
+
+    #[test]
+    fn figure_merge_appends_points_and_series() {
+        let mut dst = fig("p", &[("A", &[(1.0, 10.0)])]);
+        dst.merge_from(fig("p", &[("A", &[(2.0, 20.0)]), ("B", &[(1.0, 5.0)])]));
+        assert_eq!(dst.series.len(), 2);
+        assert_eq!(dst.series("A").unwrap().points, vec![(1.0, 10.0), (2.0, 20.0)]);
+        assert_eq!(dst.series("B").unwrap().points, vec![(1.0, 5.0)]);
+    }
+
+    #[test]
+    fn table_row_and_column_merge() {
+        // Row merge: same columns.
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push("r1", vec![1.0]);
+        let mut more = Table::new("t", vec!["a".into()]);
+        more.push("r2", vec![2.0]);
+        t.merge_from(more);
+        assert_eq!(t.rows.len(), 2);
+        // Column merge: same row labels, new columns (Table 1 shape).
+        let mut right = Table::new("t", vec!["b".into()]);
+        right.push("r1", vec![10.0]);
+        right.push("r2", vec![20.0]);
+        t.merge_from(right);
+        assert_eq!(t.columns, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(t.cell("r2", "b"), Some(20.0));
+        // Zero-row slice with matching columns is a no-op row merge
+        // (a plan job whose profile contributes nothing).
+        t.merge_from(Table::new("t", vec!["a".into(), "b".into()]));
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "line up")]
+    fn table_merge_rejects_disjoint_shapes() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push("r1", vec![1.0]);
+        let mut bad = Table::new("t", vec!["b".into()]);
+        bad.push("r9", vec![9.0]);
+        t.merge_from(bad);
+    }
+
+    #[test]
+    fn merge_artifacts_reproduces_serial_build() {
+        // Serial: one figure with two 2-point series, built series-major.
+        let serial = fig("p", &[("A", &[(1.0, 10.0), (2.0, 20.0)]), ("B", &[(1.0, 5.0), (2.0, 6.0)])]);
+        // Jobs: one slice per (series, x) point, in canonical sweep order.
+        let parts: Vec<Vec<Artifact>> = vec![
+            vec![fig("p", &[("A", &[(1.0, 10.0)])]).into()],
+            vec![fig("p", &[("A", &[(2.0, 20.0)])]).into()],
+            vec![fig("p", &[("B", &[(1.0, 5.0)])]).into()],
+            vec![fig("p", &[("B", &[(2.0, 6.0)])]).into()],
+        ];
+        let merged = merge_artifacts(parts);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].to_json(), Artifact::from(serial).to_json());
     }
 
     #[test]

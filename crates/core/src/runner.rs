@@ -1,0 +1,394 @@
+//! The deterministic parallel suite runner.
+//!
+//! Every VIBe experiment is a set of independent discrete-event
+//! simulations, so the suite parallelizes embarrassingly well — *if* the
+//! artifacts come out byte-identical at any worker count. This module
+//! makes that hold by construction:
+//!
+//! 1. Each experiment declares a **plan**: a list of self-contained
+//!    [`Job`]s in canonical order, each a closure over the same leaf
+//!    builders the serial path uses, narrowed to one slice of the sweep
+//!    (one profile, one sweep point, one table). Each job restates the
+//!    base seed its measurements derive from ([`crate::harness::BASE_SEED`]);
+//!    since RNG streams are content-keyed (`SimRng::derive(seed, label)`),
+//!    no job can observe *when* or *where* another job ran.
+//! 2. Workers pull jobs from a shared queue (an atomic cursor — the
+//!    degenerate but optimal form of work stealing for independent
+//!    one-shot jobs) inside a [`std::thread::scope`], so the pool needs no
+//!    `'static` bounds and no lingering threads.
+//! 3. Job outputs are reassembled **in canonical job order** via
+//!    [`merge_artifacts`], which replays the exact append order of the
+//!    serial builders — so the merged artifact set is byte-identical to
+//!    the serial one.
+//!
+//! With `workers <= 1` ([`run_suite`]'s serial fallback, what
+//! `VIBE_JOBS=1` selects) no pool is spun up at all: each experiment's
+//! `produce` runs directly on the calling thread — the exact pre-parallel
+//! code path CI's golden comparison pins.
+//!
+//! The runner also harvests the per-thread scheduler telemetry simkit
+//! maintains ([`thread_events`], [`thread_pool_stats`]) to attribute
+//! wall-clock, event throughput, and event-arena churn to each job —
+//! surfaced as the X-PAR artifact ([`SuiteRun::xpar_artifacts`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use simkit::{thread_events, thread_pool_stats, PoolStats};
+
+use crate::report::{merge_artifacts, Artifact, Table};
+use crate::suite::{render_csv, render_json, render_text, Experiment};
+
+/// One self-contained unit of suite work: a labeled closure producing a
+/// slice of an experiment's artifacts.
+pub struct Job {
+    label: String,
+    seed: u64,
+    run: Box<dyn FnOnce() -> Vec<Artifact> + Send>,
+}
+
+impl Job {
+    /// Package a closure as a job. `label` names the slice (for reports);
+    /// `seed` is the base seed the job's measurements derive their RNG
+    /// streams from (restated here so the seed-per-job discipline is
+    /// visible in the plan, not buried in leaf defaults).
+    pub fn new(
+        label: impl Into<String>,
+        seed: u64,
+        run: impl FnOnce() -> Vec<Artifact> + Send + 'static,
+    ) -> Job {
+        Job { label: label.into(), seed, run: Box::new(run) }
+    }
+
+    /// The job's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The base RNG seed the job's measurements derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Execute the job, consuming it.
+    pub fn run(self) -> Vec<Artifact> {
+        (self.run)()
+    }
+}
+
+/// Telemetry for one executed job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Id of the experiment the job belongs to.
+    pub experiment: &'static str,
+    /// The job's label within the experiment plan.
+    pub label: String,
+    /// Wall-clock the job took on its worker.
+    pub wall: Duration,
+    /// Simulation events the job executed.
+    pub events: u64,
+    /// Event-arena churn attributed to the job.
+    pub pool: PoolStats,
+}
+
+/// One experiment's reassembled output plus its serial-equivalent cost.
+pub struct ExperimentRun {
+    /// Experiment id ("T1", "F3", …).
+    pub id: &'static str,
+    /// Experiment title.
+    pub title: &'static str,
+    /// The merged artifact set — byte-identical to the serial build.
+    pub artifacts: Vec<Artifact>,
+    /// Sum of the experiment's job wall-clocks (serial-equivalent cost).
+    pub wall: Duration,
+    /// Simulation events across the experiment's jobs.
+    pub events: u64,
+}
+
+impl ExperimentRun {
+    /// Paper-style text rendering (same code path as [`Experiment::run_text`]).
+    pub fn run_text(&self) -> String {
+        render_text(&self.artifacts)
+    }
+
+    /// JSON rendering (same code path as [`Experiment::run_json`]).
+    pub fn run_json(&self) -> String {
+        render_json(self.id, self.title, &self.artifacts)
+    }
+
+    /// CSV rendering (same code path as [`Experiment::run_csv`]).
+    pub fn run_csv(&self) -> Vec<(String, String)> {
+        render_csv(self.id, &self.artifacts)
+    }
+}
+
+/// The outcome of one suite invocation.
+pub struct SuiteRun {
+    /// Per-experiment merged outputs, in registry order.
+    pub experiments: Vec<ExperimentRun>,
+    /// Per-job telemetry, in canonical job order.
+    pub jobs: Vec<JobReport>,
+    /// Worker threads used (1 = serial fallback, no pool).
+    pub workers: usize,
+    /// End-to-end wall-clock of the whole run.
+    pub wall: Duration,
+    /// Event-arena churn aggregated over every job.
+    pub pool: PoolStats,
+}
+
+impl SuiteRun {
+    /// Total simulation events across all jobs.
+    pub fn total_events(&self) -> u64 {
+        self.jobs.iter().map(|j| j.events).sum()
+    }
+
+    /// Serial-equivalent cost: the sum of all job wall-clocks — what one
+    /// worker would have spent executing the same jobs back to back.
+    pub fn serial_wall(&self) -> Duration {
+        self.jobs.iter().map(|j| j.wall).sum()
+    }
+
+    /// Parallel speedup: serial-equivalent cost over actual wall-clock.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            1.0
+        } else {
+            self.serial_wall().as_secs_f64() / wall
+        }
+    }
+
+    /// The X-PAR artifact set: per-experiment wall-clock / event
+    /// throughput plus a run summary (workers, speedup, arena hit rates).
+    ///
+    /// Deliberately **not** a golden: every cell is host wall-clock
+    /// dependent. It exists to make the suite's performance trajectory
+    /// visible per run / per PR.
+    pub fn xpar_artifacts(&self) -> Vec<Artifact> {
+        let mut per_exp = Table::new(
+            "X-PAR: per-experiment wall-clock and event throughput",
+            vec![
+                "jobs".to_string(),
+                "wall (ms)".to_string(),
+                "events".to_string(),
+                "Mevents/s".to_string(),
+            ],
+        );
+        for e in &self.experiments {
+            let njobs = self.jobs.iter().filter(|j| j.experiment == e.id).count();
+            let secs = e.wall.as_secs_f64();
+            let meps = if secs > 0.0 { e.events as f64 / secs / 1e6 } else { 0.0 };
+            per_exp.push(
+                e.id,
+                vec![njobs as f64, secs * 1e3, e.events as f64, meps],
+            );
+        }
+        let mut summary = Table::new(
+            "X-PAR: suite summary",
+            vec!["value".to_string()],
+        );
+        let wall = self.wall.as_secs_f64();
+        let events = self.total_events();
+        summary.push("workers", vec![self.workers as f64]);
+        summary.push("jobs", vec![self.jobs.len() as f64]);
+        summary.push("suite wall (ms)", vec![wall * 1e3]);
+        summary.push("serial-equivalent wall (ms)", vec![self.serial_wall().as_secs_f64() * 1e3]);
+        summary.push("speedup", vec![self.speedup()]);
+        summary.push("events", vec![events as f64]);
+        summary.push(
+            "Mevents/s (suite)",
+            vec![if wall > 0.0 { events as f64 / wall / 1e6 } else { 0.0 }],
+        );
+        summary.push("events pooled", vec![self.pool.pooled() as f64]);
+        summary.push("events boxed", vec![self.pool.boxed as f64]);
+        summary.push("pool hit rate (%)", vec![self.pool.pool_hit_rate() * 100.0]);
+        summary.push("slot reuse rate (%)", vec![self.pool.slot_reuse_rate() * 100.0]);
+        summary.push("same-time batches", vec![self.pool.batches as f64]);
+        vec![per_exp.into(), summary.into()]
+    }
+}
+
+/// Worker count selected by the environment: `VIBE_JOBS` if set (must be
+/// a positive integer), else the machine's available parallelism.
+pub fn default_workers() -> usize {
+    match std::env::var("VIBE_JOBS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("VIBE_JOBS must be a positive integer, got '{v}'")),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+struct JobOutcome {
+    artifacts: Vec<Artifact>,
+    wall: Duration,
+    events: u64,
+    pool: PoolStats,
+}
+
+fn execute(job: Job) -> JobOutcome {
+    let ev0 = thread_events();
+    let pool0 = thread_pool_stats();
+    let t0 = Instant::now();
+    let artifacts = job.run();
+    JobOutcome {
+        artifacts,
+        wall: t0.elapsed(),
+        events: thread_events() - ev0,
+        pool: thread_pool_stats().delta_since(&pool0),
+    }
+}
+
+/// Run a set of experiments on `workers` threads and reassemble the
+/// artifacts deterministically (see the module docs for why the output is
+/// byte-identical at any worker count).
+pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
+    let t0 = Instant::now();
+    if workers <= 1 {
+        // Serial fallback: the exact pre-parallel path — `produce` on the
+        // calling thread, no plan, no pool. CI pins goldens in this mode.
+        let mut runs = Vec::with_capacity(experiments.len());
+        let mut jobs = Vec::with_capacity(experiments.len());
+        let mut pool = PoolStats::zero();
+        for e in experiments {
+            let out = execute(Job::new(
+                format!("{}/serial", e.id),
+                crate::harness::BASE_SEED,
+                e.produce,
+            ));
+            pool.merge(&out.pool);
+            jobs.push(JobReport {
+                experiment: e.id,
+                label: format!("{}/serial", e.id),
+                wall: out.wall,
+                events: out.events,
+                pool: out.pool,
+            });
+            runs.push(ExperimentRun {
+                id: e.id,
+                title: e.title,
+                artifacts: out.artifacts,
+                wall: out.wall,
+                events: out.events,
+            });
+        }
+        return SuiteRun { experiments: runs, jobs, workers: 1, wall: t0.elapsed(), pool };
+    }
+
+    // Flatten every experiment's plan into one canonical job list.
+    let mut exp_of_job: Vec<usize> = Vec::new();
+    let mut slots: Vec<Mutex<Option<Job>>> = Vec::new();
+    for (ei, e) in experiments.iter().enumerate() {
+        for job in (e.plan)() {
+            exp_of_job.push(ei);
+            slots.push(Mutex::new(Some(job)));
+        }
+    }
+    let labels: Vec<String> = slots
+        .iter()
+        .map(|s| s.lock().as_ref().expect("job present before run").label().to_string())
+        .collect();
+    let results: Vec<Mutex<Option<JobOutcome>>> =
+        slots.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(slots.len()).max(1) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = slots.get(i) else { break };
+                let job = slot.lock().take().expect("job claimed twice");
+                *results[i].lock() = Some(execute(job));
+            });
+        }
+    });
+
+    let outcomes: Vec<JobOutcome> = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker pool left a job unexecuted"))
+        .collect();
+
+    let mut pool = PoolStats::zero();
+    let mut jobs = Vec::with_capacity(outcomes.len());
+    let mut per_exp_parts: Vec<Vec<Vec<Artifact>>> =
+        experiments.iter().map(|_| Vec::new()).collect();
+    let mut per_exp_wall: Vec<Duration> = vec![Duration::ZERO; experiments.len()];
+    let mut per_exp_events: Vec<u64> = vec![0; experiments.len()];
+    for ((out, ei), label) in outcomes.into_iter().zip(exp_of_job).zip(labels) {
+        pool.merge(&out.pool);
+        per_exp_wall[ei] += out.wall;
+        per_exp_events[ei] += out.events;
+        jobs.push(JobReport {
+            experiment: experiments[ei].id,
+            label,
+            wall: out.wall,
+            events: out.events,
+            pool: out.pool,
+        });
+        per_exp_parts[ei].push(out.artifacts);
+    }
+
+    let runs: Vec<ExperimentRun> = experiments
+        .iter()
+        .zip(per_exp_parts)
+        .zip(per_exp_wall.iter().zip(&per_exp_events))
+        .map(|((e, parts), (wall, events))| ExperimentRun {
+            id: e.id,
+            title: e.title,
+            artifacts: merge_artifacts(parts),
+            wall: *wall,
+            events: *events,
+        })
+        .collect();
+
+    SuiteRun { experiments: runs, jobs, workers, wall: t0.elapsed(), pool }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::find;
+
+    #[test]
+    fn default_workers_reads_env_or_parallelism() {
+        // Can't mutate the environment safely in a threaded test binary;
+        // just assert the fallback is sane.
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn job_carries_label_and_seed() {
+        let j = Job::new("T1/cLAN", 0x5EED, Vec::new);
+        assert_eq!(j.label(), "T1/cLAN");
+        assert_eq!(j.seed(), 0x5EED);
+        assert!(j.run().is_empty());
+    }
+
+    #[test]
+    fn single_experiment_parallel_matches_serial() {
+        // The cheapest registry entry with a multi-job plan: X-SCHED.
+        let serial = find("X-SCHED").unwrap().run_json();
+        let run = run_suite(vec![find("X-SCHED").unwrap()], 4);
+        assert_eq!(run.experiments.len(), 1);
+        assert_eq!(run.experiments[0].run_json(), serial);
+        assert!(run.jobs.len() > 1, "X-SCHED should decompose");
+        assert!(run.total_events() > 0);
+    }
+
+    #[test]
+    fn serial_fallback_reports_one_job_per_experiment() {
+        let run = run_suite(vec![find("CQ").unwrap()], 1);
+        assert_eq!(run.workers, 1);
+        assert_eq!(run.jobs.len(), 1);
+        assert_eq!(run.jobs[0].label, "CQ/serial");
+        assert!(run.jobs[0].events > 0, "events attributed via thread counter");
+        assert!(run.pool.pooled() + run.pool.boxed > 0);
+        let xpar = run.xpar_artifacts();
+        assert_eq!(xpar.len(), 2);
+        assert!(xpar[0].title().starts_with("X-PAR"));
+    }
+}

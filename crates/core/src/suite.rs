@@ -6,8 +6,10 @@
 
 use via::Profile;
 
+use crate::harness::BASE_SEED;
 use crate::report::Artifact;
-use crate::{base, breakdown, client_server, cqimpact, dsm_bench, extra, getput, mpl_bench, mvi, nondata, scale, sched_bench, xlate};
+use crate::runner::Job;
+use crate::{base, breakdown, client_server, cqimpact, dsm_bench, extra, getput, harness, mpl_bench, mvi, nondata, scale, sched_bench, xlate};
 use simkit::WaitMode;
 
 /// Which paper category an experiment belongs to.
@@ -29,49 +31,74 @@ pub struct Experiment {
     pub title: &'static str,
     /// Paper category.
     pub category: Category,
-    /// Regenerate the artifact set.
+    /// Regenerate the artifact set (the serial path).
     pub produce: fn() -> Vec<Artifact>,
+    /// Decompose into self-contained [`Job`]s, in canonical order. The
+    /// parallel runner merges the job outputs back into exactly what
+    /// `produce` builds (see [`crate::report::merge_artifacts`]).
+    pub plan: fn() -> Vec<Job>,
 }
 
 impl Experiment {
     /// Run and render every artifact as paper-style text.
     pub fn run_text(&self) -> String {
-        (self.produce)()
-            .iter()
-            .map(Artifact::render)
-            .collect::<Vec<_>>()
-            .join("\n")
+        render_text(&(self.produce)())
     }
 
     /// Run and serialize the artifact set as one JSON document (the
     /// paper's planned "repository of VIBe results" interchange form).
     pub fn run_json(&self) -> String {
-        let artifacts = (self.produce)();
-        let items: Vec<String> = artifacts.iter().map(|a| a.to_json()).collect();
-        format!(
-            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"artifacts\": [\n{}\n  ]\n}}",
-            self.id,
-            self.title,
-            items.join(",\n")
-        )
+        render_json(self.id, self.title, &(self.produce)())
     }
 
     /// Run and render every artifact as `(slug, csv)` pairs suitable for
     /// writing to files.
     pub fn run_csv(&self) -> Vec<(String, String)> {
-        (self.produce)()
-            .into_iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let slug: String = a
-                    .title()
-                    .chars()
-                    .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
-                    .collect();
-                (format!("{}_{}_{}", self.id.to_lowercase(), i, slug), a.to_csv())
-            })
-            .collect()
+        render_csv(self.id, &(self.produce)())
     }
+}
+
+/// Render an artifact set as paper-style text. Shared by
+/// [`Experiment::run_text`] and the parallel runner, so serial and merged
+/// artifacts go through one code path.
+pub fn render_text(artifacts: &[Artifact]) -> String {
+    artifacts
+        .iter()
+        .map(Artifact::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Serialize an artifact set as one JSON document (see
+/// [`Experiment::run_json`]).
+pub fn render_json(id: &str, title: &str, artifacts: &[Artifact]) -> String {
+    let items: Vec<String> = artifacts.iter().map(|a| a.to_json()).collect();
+    format!(
+        "{{\n  \"id\": \"{id}\",\n  \"title\": \"{title}\",\n  \"artifacts\": [\n{}\n  ]\n}}",
+        items.join(",\n")
+    )
+}
+
+/// Render an artifact set as `(slug, csv)` pairs (see
+/// [`Experiment::run_csv`]).
+pub fn render_csv(id: &str, artifacts: &[Artifact]) -> Vec<(String, String)> {
+    artifacts
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let slug: String = a
+                .title()
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect();
+            (format!("{}_{}_{}", id.to_lowercase(), i, slug), a.to_csv())
+        })
+        .collect()
+}
+
+/// Shorthand: a plan job on the suite's base seed.
+fn job(label: String, run: impl FnOnce() -> Vec<Artifact> + Send + 'static) -> Job {
+    Job::new(label, BASE_SEED, run)
 }
 
 fn trio() -> Vec<Profile> {
@@ -82,7 +109,7 @@ fn run_t1() -> Vec<Artifact> {
     vec![nondata::table1(&trio(), 3).into()]
 }
 
-fn run_f1_f2() -> Vec<Artifact> {
+fn f1_f2(profiles: &[Profile]) -> Vec<Artifact> {
     let sizes = nondata::registration_sizes();
     let mut reg = crate::report::Figure::new(
         "Fig 1: cost of memory registration",
@@ -94,12 +121,16 @@ fn run_f1_f2() -> Vec<Artifact> {
         "buffer bytes",
         "cost (us)",
     );
-    for p in trio() {
-        let (r, d) = nondata::registration_costs(p, &sizes);
+    for p in profiles {
+        let (r, d) = nondata::registration_costs(p.clone(), &sizes);
         reg.push(r);
         dereg.push(d);
     }
     vec![reg.into(), dereg.into()]
+}
+
+fn run_f1_f2() -> Vec<Artifact> {
+    f1_f2(&trio())
 }
 
 fn run_f3() -> Vec<Artifact> {
@@ -130,14 +161,16 @@ fn run_cq() -> Vec<Artifact> {
     vec![cqimpact::cq_overhead_table(&trio(), 64).into()]
 }
 
+const F6_SIZES: [u64; 4] = [4, 256, 4096, 28672];
+const F6_CPU_COUNTS: [usize; 3] = [1, 8, 32];
+
 fn run_f6() -> Vec<Artifact> {
     let counts = mvi::vi_counts();
-    let sizes = [4u64, 256, 4096, 28672];
     vec![
-        mvi::vi_latency_figure(Profile::bvia(), &counts, &sizes).into(),
-        mvi::vi_bandwidth_figure(Profile::bvia(), &counts, &sizes).into(),
+        mvi::vi_latency_figure(Profile::bvia(), &counts, &F6_SIZES).into(),
+        mvi::vi_bandwidth_figure(Profile::bvia(), &counts, &F6_SIZES).into(),
         // The CPU panel the paper defers to the tech report.
-        mvi::vi_cpu_figure(Profile::bvia(), &[1, 8, 32], &sizes).into(),
+        mvi::vi_cpu_figure(Profile::bvia(), &F6_CPU_COUNTS, &F6_SIZES).into(),
     ]
 }
 
@@ -179,16 +212,18 @@ fn run_rel() -> Vec<Artifact> {
     ]
 }
 
-fn run_getput() -> Vec<Artifact> {
+fn getput_profiles() -> Vec<Profile> {
     // An RDMA-read-capable variant provides the model's `get` mapping.
     let mut custom = Profile::custom();
     custom.name = "custom+rd-read";
     custom.supports_rdma_read = true;
-    vec![getput::getput_figure(
-        &[Profile::clan(), Profile::mvia(), custom],
-        &[4, 256, 4096, 28672],
-    )
-    .into()]
+    vec![Profile::clan(), Profile::mvia(), custom]
+}
+
+const GETPUT_SIZES: [u64; 4] = [4, 256, 4096, 28672];
+
+fn run_getput() -> Vec<Artifact> {
+    vec![getput::getput_figure(&getput_profiles(), &GETPUT_SIZES).into()]
 }
 
 fn run_mpl() -> Vec<Artifact> {
@@ -223,6 +258,241 @@ fn run_sched() -> Vec<Artifact> {
     ]
 }
 
+
+// ---------------------------------------------------------------------
+// Plans: canonical job decompositions. Each job calls the same leaf
+// builder the serial path uses, narrowed to one slice (one profile, one
+// sweep point, one table); replaying the slices in this order through
+// `merge_artifacts` rebuilds the serial artifact set byte-for-byte.
+// Decomposition limits worth noting are commented per plan.
+// ---------------------------------------------------------------------
+
+/// One job per profile, each producing a full artifact slice for it.
+fn per_profile_jobs(
+    id: &str,
+    run: impl Fn(Profile) -> Vec<Artifact> + Clone + Send + 'static,
+) -> Vec<Job> {
+    trio()
+        .into_iter()
+        .map(|p| {
+            let run = run.clone();
+            job(format!("{id}/{}", p.name), move || run(p))
+        })
+        .collect()
+}
+
+fn plan_t1() -> Vec<Job> {
+    // Table 1 has fixed cost rows and one column per profile: per-profile
+    // jobs column-merge.
+    per_profile_jobs("T1", |p| vec![nondata::table1(&[p], 3).into()])
+}
+
+fn plan_f1_f2() -> Vec<Job> {
+    per_profile_jobs("F1-F2", |p| f1_f2(&[p]))
+}
+
+fn plan_f3() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for p in trio() {
+        for &size in &harness::paper_sizes() {
+            let p2 = p.clone();
+            jobs.push(job(format!("F3/latency/{}/{size}", p.name), move || {
+                vec![base::latency_figure_sized(&[p2], WaitMode::Poll, &[size]).into()]
+            }));
+        }
+    }
+    for p in trio() {
+        for &size in &harness::paper_sizes() {
+            let p2 = p.clone();
+            jobs.push(job(format!("F3/bandwidth/{}/{size}", p.name), move || {
+                vec![base::bandwidth_figure_sized(&[p2], WaitMode::Poll, &[size]).into()]
+            }));
+        }
+    }
+    jobs
+}
+
+fn plan_f4() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for p in trio() {
+        for &size in &harness::paper_sizes() {
+            let p2 = p.clone();
+            jobs.push(job(format!("F4/latency/{}/{size}", p.name), move || {
+                vec![base::latency_figure_sized(&[p2], WaitMode::Block, &[size]).into()]
+            }));
+        }
+    }
+    for p in trio() {
+        for &size in &harness::paper_sizes() {
+            let p2 = p.clone();
+            jobs.push(job(format!("F4/cpu/{}/{size}", p.name), move || {
+                vec![base::cpu_figure_sized(&[p2], WaitMode::Block, &[size]).into()]
+            }));
+        }
+    }
+    jobs
+}
+
+fn plan_f5() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for &r in &xlate::reuse_levels() {
+        jobs.push(job(format!("F5/latency/{r}%"), move || {
+            vec![xlate::reuse_latency_figure(Profile::bvia(), &[r]).into()]
+        }));
+    }
+    for &r in &xlate::reuse_levels() {
+        jobs.push(job(format!("F5/bandwidth/{r}%"), move || {
+            vec![xlate::reuse_bandwidth_figure(Profile::bvia(), &[r]).into()]
+        }));
+    }
+    for r in [100u32, 0] {
+        jobs.push(job(format!("F5/cpu/{r}%"), move || {
+            vec![xlate::reuse_cpu_figure(Profile::bvia(), &[r]).into()]
+        }));
+    }
+    jobs
+}
+
+fn plan_cq() -> Vec<Job> {
+    // One row per profile in a shared-column table: row merge.
+    per_profile_jobs("CQ", |p| vec![cqimpact::cq_overhead_table(&[p], 64).into()])
+}
+
+fn plan_f6() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for &n in &mvi::vi_counts() {
+        jobs.push(job(format!("F6/latency/{n}vi"), move || {
+            vec![mvi::vi_latency_figure(Profile::bvia(), &[n], &F6_SIZES).into()]
+        }));
+    }
+    for &n in &mvi::vi_counts() {
+        jobs.push(job(format!("F6/bandwidth/{n}vi"), move || {
+            vec![mvi::vi_bandwidth_figure(Profile::bvia(), &[n], &F6_SIZES).into()]
+        }));
+    }
+    for n in F6_CPU_COUNTS {
+        jobs.push(job(format!("F6/cpu/{n}vi"), move || {
+            vec![mvi::vi_cpu_figure(Profile::bvia(), &[n], &F6_SIZES).into()]
+        }));
+    }
+    jobs
+}
+
+fn plan_f7() -> Vec<Job> {
+    // One series per (profile, request size): per-pair jobs append series
+    // in the serial nesting order (profile-major).
+    let mut jobs = Vec::new();
+    for p in trio() {
+        for &req in &client_server::request_sizes() {
+            let p2 = p.clone();
+            jobs.push(job(format!("F7/{}/{req}", p.name), move || {
+                vec![client_server::transaction_figure(&[p2], &[req], &client_server::reply_sizes()).into()]
+            }));
+        }
+    }
+    jobs
+}
+
+fn plan_mds() -> Vec<Job> {
+    per_profile_jobs("X-MDS", |p| vec![extra::mds_figure(&[p], 8192).into()])
+}
+
+fn plan_asy() -> Vec<Job> {
+    per_profile_jobs("X-ASY", |p| vec![extra::asy_figure(&[p], 256).into()])
+}
+
+fn plan_rdma() -> Vec<Job> {
+    per_profile_jobs("X-RDMA", |p| {
+        vec![extra::rdma_figure(&[p], &[4, 256, 4096, 28672]).into()]
+    })
+}
+
+fn plan_pip() -> Vec<Job> {
+    per_profile_jobs("X-PIP", |p| vec![extra::pip_figure(&[p], 4096).into()])
+}
+
+fn plan_mtu() -> Vec<Job> {
+    // Single-profile MTU sweep: cheap enough to stay one job.
+    vec![job("X-MTU/cLAN".to_string(), run_mtu)]
+}
+
+fn plan_rel() -> Vec<Job> {
+    vec![
+        job("X-REL/levels".to_string(), || {
+            vec![extra::rel_table(Profile::clan(), 4096).into()]
+        }),
+        job("X-REL/loss".to_string(), || {
+            vec![extra::rel_loss_table(Profile::clan(), 4096, &[0.0, 0.01, 0.05]).into()]
+        }),
+        job("X-REL/tail".to_string(), || {
+            vec![extra::rel_tail_table(Profile::clan(), 1024, &[0.0, 0.01, 0.03]).into()]
+        }),
+    ]
+}
+
+fn plan_getput() -> Vec<Job> {
+    getput_profiles()
+        .into_iter()
+        .map(|p| {
+            job(format!("X-GETPUT/{}", p.name), move || {
+                vec![getput::getput_figure(&[p], &GETPUT_SIZES).into()]
+            })
+        })
+        .collect()
+}
+
+fn plan_mpl() -> Vec<Job> {
+    let mut jobs = per_profile_jobs("X-MPL/overhead", |p| {
+        vec![mpl_bench::overhead_figure(&[p]).into()]
+    });
+    jobs.push(job("X-MPL/threshold".to_string(), || {
+        vec![mpl_bench::threshold_figure(Profile::bvia(), 16384).into()]
+    }));
+    jobs
+}
+
+fn plan_dsm() -> Vec<Job> {
+    let mut jobs = per_profile_jobs("X-DSM/migration", |p| {
+        vec![dsm_bench::migration_table(&[p]).into()]
+    });
+    jobs.push(job("X-DSM/false-sharing".to_string(), || {
+        vec![dsm_bench::false_sharing_figure(Profile::clan()).into()]
+    }));
+    jobs
+}
+
+fn plan_breakdown() -> Vec<Job> {
+    // NOT per profile: `breakdown_table` drops rows that are zero across
+    // *all* profiles, so splitting the profile set could change which rows
+    // survive. Decompose per message size only.
+    [4u64, 28672]
+        .into_iter()
+        .map(|size| {
+            job(format!("X-BRK/{size}"), move || {
+                vec![breakdown::breakdown_table(&trio(), size).into()]
+            })
+        })
+        .collect()
+}
+
+fn plan_scale() -> Vec<Job> {
+    per_profile_jobs("X-SCALE", |p| {
+        vec![scale::fan_in_figure(&[p], &[1, 2, 4, 8], 1024).into()]
+    })
+}
+
+fn plan_sched() -> Vec<Job> {
+    let mut jobs = vec![job("X-SCHED/classes".to_string(), || {
+        vec![sched_bench::class_table(Profile::clan(), 64).into()]
+    })];
+    // Per-profile retransmit rows; profiles without reliable delivery
+    // contribute a zero-row slice, which row-merges as a no-op.
+    jobs.extend(per_profile_jobs("X-SCHED/retx", |p| {
+        vec![sched_bench::retx_timer_table(&[p], &[0.0, 0.05], 64).into()]
+    }));
+    jobs
+}
+
 /// Every experiment, in the paper's reporting order.
 pub fn all_experiments() -> Vec<Experiment> {
     use Category::*;
@@ -232,120 +502,140 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Table 1: non-data transfer costs",
             category: NonDataTransfer,
             produce: run_t1,
+            plan: plan_t1,
         },
         Experiment {
             id: "F1-F2",
             title: "Figs 1-2: memory registration / deregistration",
             category: NonDataTransfer,
             produce: run_f1_f2,
+            plan: plan_f1_f2,
         },
         Experiment {
             id: "F3",
             title: "Fig 3: base latency & bandwidth (polling)",
             category: DataTransfer,
             produce: run_f3,
+            plan: plan_f3,
         },
         Experiment {
             id: "F4",
             title: "Fig 4: base latency & CPU utilization (blocking)",
             category: DataTransfer,
             produce: run_f4,
+            plan: plan_f4,
         },
         Experiment {
             id: "F5",
             title: "Fig 5: buffer-reuse sweep (BVIA)",
             category: DataTransfer,
             produce: run_f5,
+            plan: plan_f5,
         },
         Experiment {
             id: "CQ",
             title: "Sec 4.3.3: completion-queue overhead",
             category: DataTransfer,
             produce: run_cq,
+            plan: plan_cq,
         },
         Experiment {
             id: "F6",
             title: "Fig 6: active-VI sweep (BVIA)",
             category: DataTransfer,
             produce: run_f6,
+            plan: plan_f6,
         },
         Experiment {
             id: "F7",
             title: "Fig 7: client/server transactions",
             category: ProgrammingModel,
             produce: run_f7,
+            plan: plan_f7,
         },
         Experiment {
             id: "X-MDS",
             title: "TR: multiple data segments",
             category: DataTransfer,
             produce: run_mds,
+            plan: plan_mds,
         },
         Experiment {
             id: "X-ASY",
             title: "TR: asynchronous message handling",
             category: DataTransfer,
             produce: run_asy,
+            plan: plan_asy,
         },
         Experiment {
             id: "X-RDMA",
             title: "TR: RDMA write vs send/receive",
             category: DataTransfer,
             produce: run_rdma,
+            plan: plan_rdma,
         },
         Experiment {
             id: "X-PIP",
             title: "TR: sender pipeline length",
             category: DataTransfer,
             produce: run_pip,
+            plan: plan_pip,
         },
         Experiment {
             id: "X-MTU",
             title: "TR: maximum transfer unit",
             category: DataTransfer,
             produce: run_mtu,
+            plan: plan_mtu,
         },
         Experiment {
             id: "X-REL",
             title: "TR: reliability levels (incl. loss injection)",
             category: DataTransfer,
             produce: run_rel,
+            plan: plan_rel,
         },
         Experiment {
             id: "X-GETPUT",
             title: "Future work (Sec 5): get/put programming model",
             category: ProgrammingModel,
             produce: run_getput,
+            plan: plan_getput,
         },
         Experiment {
             id: "X-SCALE",
             title: "Extension: fan-in scalability (aggregate bandwidth vs clients)",
             category: ProgrammingModel,
             produce: run_scale,
+            plan: plan_scale,
         },
         Experiment {
             id: "X-SCHED",
             title: "Extension: scheduler event classes & retransmit-timer ledger",
             category: DataTransfer,
             produce: run_sched,
+            plan: plan_sched,
         },
         Experiment {
             id: "X-BRK",
             title: "Extension: per-component breakdown of one transfer",
             category: DataTransfer,
             produce: run_breakdown,
+            plan: plan_breakdown,
         },
         Experiment {
             id: "X-MPL",
             title: "Future work (Sec 5): message-passing layer over VIA",
             category: ProgrammingModel,
             produce: run_mpl,
+            plan: plan_mpl,
         },
         Experiment {
             id: "X-DSM",
             title: "Future work (Sec 5): distributed shared memory over VIA",
             category: ProgrammingModel,
             produce: run_dsm,
+            plan: plan_dsm,
         },
     ]
 }

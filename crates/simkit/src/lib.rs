@@ -56,7 +56,10 @@ pub mod sync;
 pub mod time;
 
 pub use cpu::{CpuId, CpuMeter, CpuUsage};
-pub use engine::{ClassTally, EventClass, RunReport, SchedStats, Sim, TimerHandle};
+pub use engine::{
+    thread_events, thread_pool_stats, ClassTally, EventClass, PoolStats, RunReport, SchedStats,
+    Sim, TimerHandle,
+};
 pub use process::{ProcessCtx, ProcessHandle, ProcessId, WaitToken};
 pub use rng::SimRng;
 pub use stats::{megabytes_per_second, Histogram, OnlineStats, Samples};

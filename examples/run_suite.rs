@@ -5,28 +5,42 @@
 //! cargo run --release --example run_suite -- --list
 //! cargo run --release --example run_suite -- T1 F3
 //! cargo run --release --example run_suite -- --all
-//! cargo run --release --example run_suite -- --all --csv out/   # also emit CSV files
-//! cargo run --release --example run_suite -- F3 --json out/     # machine-readable dumps
+//! cargo run --release --example run_suite -- --all --jobs 4        # 4 workers
+//! VIBE_JOBS=4 cargo run --release --example run_suite -- --all    # same
+//! cargo run --release --example run_suite -- --all --csv out/     # also emit CSV files
+//! cargo run --release --example run_suite -- F3 --json out/       # machine-readable dumps
 //! ```
+//!
+//! Worker count: `--jobs N` wins, then the `VIBE_JOBS` env var, then the
+//! machine's available parallelism. `--jobs 1` (or `VIBE_JOBS=1`) takes
+//! the serial fallback — the exact single-threaded code path CI's golden
+//! comparison pins. Artifact bytes are identical at any worker count; a
+//! multi-worker run additionally prints the X-PAR telemetry artifact
+//! (wall-clock, events/sec, speedup, event-arena hit rates).
 
-use vibe::suite::{all_experiments, find, Category};
+use vibe::runner::{default_workers, run_suite};
+use vibe::suite::{all_experiments, find, render_json, Category};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: run_suite [--list | --all | <id>...] [--csv <dir>] [--json <dir>]");
+        println!("usage: run_suite [--list | --all | <id>...] [--jobs <n>] [--csv <dir>] [--json <dir>]");
         println!("       ids: T1 F1-F2 F3 F4 F5 CQ F6 F7 X-MDS X-ASY X-RDMA X-PIP X-MTU X-REL X-GETPUT X-SCALE X-SCHED");
+        println!("       --jobs <n>: worker threads (default: VIBE_JOBS env, else all cores; 1 = serial)");
         return;
     }
-    let take_dir = |flag: &str, args: &mut Vec<String>| {
+    let take_val = |flag: &str, args: &mut Vec<String>| {
         args.iter().position(|a| a == flag).map(|i| {
-            let dir = args.get(i + 1).unwrap_or_else(|| panic!("{flag} needs a directory")).clone();
+            let v = args.get(i + 1).unwrap_or_else(|| panic!("{flag} needs a value")).clone();
             args.drain(i..=i + 1);
-            dir
+            v
         })
     };
-    let csv_dir = take_dir("--csv", &mut args);
-    let json_dir = take_dir("--json", &mut args);
+    let csv_dir = take_val("--csv", &mut args);
+    let json_dir = take_val("--json", &mut args);
+    let workers = take_val("--jobs", &mut args)
+        .map(|v| v.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| panic!("--jobs must be a positive integer, got '{v}'")))
+        .unwrap_or_else(default_workers);
     if args.iter().any(|a| a == "--list") {
         println!("{:<8}  {:<18}  title", "id", "category");
         println!("{}", "-".repeat(72));
@@ -50,10 +64,10 @@ fn main() {
     for dir in [&csv_dir, &json_dir].into_iter().flatten() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
-    for e in experiments {
+    let run = run_suite(experiments, workers);
+    for e in &run.experiments {
         println!();
         println!("### {} — {}", e.id, e.title);
-        let t0 = std::time::Instant::now();
         println!("{}", e.run_text());
         if let Some(dir) = &csv_dir {
             for (slug, csv) in e.run_csv() {
@@ -67,6 +81,29 @@ fn main() {
             std::fs::write(&path, e.run_json()).expect("write json");
             println!("[wrote {}]", path.display());
         }
-        println!("[{} regenerated in {:.2}s]", e.id, t0.elapsed().as_secs_f64());
+        println!("[{} regenerated in {:.2}s]", e.id, e.wall.as_secs_f64());
     }
+    // The runner's own telemetry artifact (wall-clock dependent — never a
+    // golden).
+    let xpar = run.xpar_artifacts();
+    println!();
+    println!("### X-PAR — parallel-runner telemetry");
+    for a in &xpar {
+        println!("{}", a.render());
+    }
+    if let Some(dir) = &json_dir {
+        let path = std::path::Path::new(dir).join("x-par.json");
+        let doc = render_json("X-PAR", "Parallel-runner telemetry", &xpar);
+        std::fs::write(&path, doc).expect("write json");
+        println!("[wrote {}]", path.display());
+    }
+    println!(
+        "[suite: {} jobs on {} workers, {:.2}s wall, {:.2}s serial-equivalent, {:.2}x speedup, {:.1}M events/s]",
+        run.jobs.len(),
+        run.workers,
+        run.wall.as_secs_f64(),
+        run.serial_wall().as_secs_f64(),
+        run.speedup(),
+        run.total_events() as f64 / run.wall.as_secs_f64().max(1e-9) / 1e6,
+    );
 }

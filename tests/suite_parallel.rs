@@ -1,0 +1,44 @@
+//! The parallel runner's core guarantee: the suite's artifact JSON is
+//! **byte-identical at any worker count**. The serial fallback (1 worker,
+//! the exact pre-parallel `produce` path) is the reference; 2 and 8
+//! workers must reproduce it exactly — any drift means a plan decomposes
+//! an experiment along an axis its builder does not append over, or a
+//! measurement leaked state across jobs.
+
+use vibe_suite::vibe::{all_experiments, run_suite};
+
+#[test]
+fn suite_artifacts_identical_at_1_2_and_8_workers() {
+    let serial = run_suite(all_experiments(), 1);
+    let reference: Vec<(&'static str, String)> = serial
+        .experiments
+        .iter()
+        .map(|e| (e.id, e.run_json()))
+        .collect();
+    assert_eq!(reference.len(), all_experiments().len());
+
+    for workers in [2, 8] {
+        let run = run_suite(all_experiments(), workers);
+        assert_eq!(run.workers, workers);
+        assert!(
+            run.jobs.len() > run.experiments.len(),
+            "parallel mode must decompose experiments into multiple jobs"
+        );
+        for (e, (id, want)) in run.experiments.iter().zip(&reference) {
+            assert_eq!(e.id, *id);
+            let got = e.run_json();
+            assert!(
+                got == *want,
+                "{id}: artifact JSON diverged at {workers} workers"
+            );
+        }
+        // Telemetry sanity: events were attributed and the X-PAR artifact
+        // renders from this run.
+        assert!(run.total_events() > 0);
+        assert!(run.serial_wall() > std::time::Duration::ZERO);
+        let xpar = run.xpar_artifacts();
+        assert_eq!(xpar.len(), 2);
+        let text = xpar[1].render();
+        assert!(text.contains("speedup"), "{text}");
+    }
+}
