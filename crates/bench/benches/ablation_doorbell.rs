@@ -20,7 +20,10 @@ fn lat(p: &Profile, size: u64, vis: usize) -> f64 {
 fn main() {
     vibe_bench::banner("A-DB", "ablation: doorbell path and firmware scheduling");
     let mut variants: Vec<Profile> = Vec::new();
-    for (db_name, db) in [("mmio", DoorbellKind::Mmio), ("trap", DoorbellKind::KernelTrap)] {
+    for (db_name, db) in [
+        ("mmio", DoorbellKind::Mmio),
+        ("trap", DoorbellKind::KernelTrap),
+    ] {
         for (fw_name, fw) in [
             ("hw-fifo", FirmwareModel::clan()),
             ("polling-fw", FirmwareModel::bvia()),
@@ -34,7 +37,11 @@ fn main() {
     }
     let mut t = Table::new(
         "one-way latency (us) by doorbell/firmware design",
-        vec!["4 B, 1 VI".into(), "4 B, 32 VIs".into(), "4 KiB, 1 VI".into()],
+        vec![
+            "4 B, 1 VI".into(),
+            "4 B, 32 VIs".into(),
+            "4 KiB, 1 VI".into(),
+        ],
     );
     for p in &variants {
         t.push(p.name, vec![lat(p, 4, 1), lat(p, 4, 32), lat(p, 4096, 1)]);

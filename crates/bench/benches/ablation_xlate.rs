@@ -12,7 +12,12 @@ use vibe::harness::{ping_pong, DtConfig};
 use vibe::report::Table;
 use vnic::{TableLocation, Translator};
 
-fn variant(name: &'static str, translator: Translator, tables: TableLocation, cache: usize) -> Profile {
+fn variant(
+    name: &'static str,
+    translator: Translator,
+    tables: TableLocation,
+    cache: usize,
+) -> Profile {
     let mut p = Profile::custom();
     p.name = name;
     p.xlate.translator = translator;
@@ -41,11 +46,36 @@ fn main() {
     );
     let designs = [
         variant("host-xlate", Translator::Host, TableLocation::HostMemory, 0),
-        variant("nic-xlate, NIC tables", Translator::Nic, TableLocation::NicMemory, 0),
-        variant("nic-xlate, host tables, no cache", Translator::Nic, TableLocation::HostMemory, 0),
-        variant("nic-xlate, host tables, 64-entry cache", Translator::Nic, TableLocation::HostMemory, 64),
-        variant("nic-xlate, host tables, 256-entry cache", Translator::Nic, TableLocation::HostMemory, 256),
-        variant("nic-xlate, host tables, 1024-entry cache", Translator::Nic, TableLocation::HostMemory, 1024),
+        variant(
+            "nic-xlate, NIC tables",
+            Translator::Nic,
+            TableLocation::NicMemory,
+            0,
+        ),
+        variant(
+            "nic-xlate, host tables, no cache",
+            Translator::Nic,
+            TableLocation::HostMemory,
+            0,
+        ),
+        variant(
+            "nic-xlate, host tables, 64-entry cache",
+            Translator::Nic,
+            TableLocation::HostMemory,
+            64,
+        ),
+        variant(
+            "nic-xlate, host tables, 256-entry cache",
+            Translator::Nic,
+            TableLocation::HostMemory,
+            256,
+        ),
+        variant(
+            "nic-xlate, host tables, 1024-entry cache",
+            Translator::Nic,
+            TableLocation::HostMemory,
+            1024,
+        ),
     ];
     let mut t = Table::new(
         "one-way latency (us) by translation design",

@@ -210,17 +210,24 @@ fn bench_via_datapath(c: &mut Criterion) {
                 {
                     let pb = pb.clone();
                     sim.spawn("server", Some(pb.cpu()), move |ctx| {
-                        let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+                        let vi = pb
+                            .create_vi(ctx, ViAttributes::default(), None, None)
+                            .unwrap();
                         let buf = pb.malloc(64);
-                        let mh = pb.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
-                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64)).unwrap();
+                        let mh = pb
+                            .register_mem(ctx, buf, 64, MemAttributes::default())
+                            .unwrap();
+                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                            .unwrap();
                         pb.accept(ctx, &vi, Discriminator(1)).unwrap();
                         for i in 0..100 {
                             vi.recv_wait(ctx, WaitMode::Poll);
                             if i < 99 {
-                                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64)).unwrap();
+                                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                                    .unwrap();
                             }
-                            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4)).unwrap();
+                            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4))
+                                .unwrap();
                             vi.send_wait(ctx, WaitMode::Poll);
                         }
                     });
@@ -228,13 +235,20 @@ fn bench_via_datapath(c: &mut Criterion) {
                 {
                     let pa = pa.clone();
                     sim.spawn("client", Some(pa.cpu()), move |ctx| {
-                        let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-                        pa.connect(ctx, &vi, NodeId(1), Discriminator(1), None).unwrap();
+                        let vi = pa
+                            .create_vi(ctx, ViAttributes::default(), None, None)
+                            .unwrap();
+                        pa.connect(ctx, &vi, NodeId(1), Discriminator(1), None)
+                            .unwrap();
                         let buf = pa.malloc(64);
-                        let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
+                        let mh = pa
+                            .register_mem(ctx, buf, 64, MemAttributes::default())
+                            .unwrap();
                         for _ in 0..100 {
-                            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64)).unwrap();
-                            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4)).unwrap();
+                            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                                .unwrap();
+                            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4))
+                                .unwrap();
                             vi.recv_wait(ctx, WaitMode::Poll);
                             vi.send_wait(ctx, WaitMode::Poll);
                         }
@@ -243,6 +257,87 @@ fn bench_via_datapath(c: &mut Criterion) {
                 sim.run_to_completion().events
             });
         });
+    }
+    g.finish();
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    // The tracing pin: the same cLAN ping-pong workload as
+    // `via/clan_100_pingpongs_4B`, run with the tracer detached (must sit
+    // within noise of that baseline — `Tracer::record` is one branch),
+    // with counters only, and with full span capture. Diff the three to
+    // read the per-record cost directly.
+    let run = |trace_config: Option<trace::TraceConfig>| {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 1);
+        if let Some(cfg) = trace_config {
+            cluster.enable_trace(cfg);
+        }
+        let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+        {
+            let pb = pb.clone();
+            sim.spawn("server", Some(pb.cpu()), move |ctx| {
+                let vi = pb
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
+                let buf = pb.malloc(64);
+                let mh = pb
+                    .register_mem(ctx, buf, 64, MemAttributes::default())
+                    .unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                    .unwrap();
+                pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+                for i in 0..100 {
+                    vi.recv_wait(ctx, WaitMode::Poll);
+                    if i < 99 {
+                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                            .unwrap();
+                    }
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4))
+                        .unwrap();
+                    vi.send_wait(ctx, WaitMode::Poll);
+                }
+            });
+        }
+        {
+            let pa = pa.clone();
+            sim.spawn("client", Some(pa.cpu()), move |ctx| {
+                let vi = pa
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
+                pa.connect(ctx, &vi, NodeId(1), Discriminator(1), None)
+                    .unwrap();
+                let buf = pa.malloc(64);
+                let mh = pa
+                    .register_mem(ctx, buf, 64, MemAttributes::default())
+                    .unwrap();
+                for _ in 0..100 {
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                        .unwrap();
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4))
+                        .unwrap();
+                    vi.recv_wait(ctx, WaitMode::Poll);
+                    vi.send_wait(ctx, WaitMode::Poll);
+                }
+            });
+        }
+        sim.run_to_completion().events
+    };
+    let mut g = c.benchmark_group("trace");
+    g.sample_size(20);
+    for (name, cfg) in [
+        ("clan_100_pingpongs_4B_untraced", None),
+        (
+            "clan_100_pingpongs_4B_counters",
+            Some(trace::TraceConfig::counters_only()),
+        ),
+        (
+            "clan_100_pingpongs_4B_spans",
+            Some(trace::TraceConfig::default()),
+        ),
+    ] {
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(name, |b| b.iter(|| run(cfg)));
     }
     g.finish();
 }
@@ -287,6 +382,7 @@ criterion_group!(
     bench_event_queue,
     bench_fabric,
     bench_via_datapath,
+    bench_trace_overhead,
     bench_mpl_layer
 );
 criterion_main!(benches);

@@ -20,5 +20,8 @@ pub fn run_experiment(id: &str) {
     let t0 = std::time::Instant::now();
     let text = exp.run_text();
     println!("{text}");
-    println!("[regenerated in {:.2}s wall-clock]", t0.elapsed().as_secs_f64());
+    println!(
+        "[regenerated in {:.2}s wall-clock]",
+        t0.elapsed().as_secs_f64()
+    );
 }

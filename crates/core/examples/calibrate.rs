@@ -9,12 +9,17 @@ fn main() {
     if which == "all" || which == "lat" {
         println!("--- base latency (us, polling) ---");
         print!("{:>8}", "bytes");
-        for p in trio() { print!("{:>10}", p.name); }
+        for p in trio() {
+            print!("{:>10}", p.name);
+        }
         println!();
         for &s in &[4u64, 16, 64, 256, 1024, 4096, 12288, 20480, 28672] {
             print!("{s:>8}");
             for p in trio() {
-                let r = ping_pong(&DtConfig { iters: 20, ..DtConfig::base(p, s) });
+                let r = ping_pong(&DtConfig {
+                    iters: 20,
+                    ..DtConfig::base(p, s)
+                });
                 print!("{:>10.2}", r.latency_us);
             }
             println!();
@@ -23,13 +28,18 @@ fn main() {
     if which == "all" || which == "bw" {
         println!("--- base bandwidth (MB/s, polling, depth 16) ---");
         print!("{:>8}", "bytes");
-        for p in trio() { print!("{:>10}", p.name); }
+        for p in trio() {
+            print!("{:>10}", p.name);
+        }
         println!();
         for &s in &[4u64, 64, 256, 1024, 4096, 12288, 20480, 28672] {
             print!("{s:>8}");
             for p in trio() {
-                let iters = ((2u64<<20)/s.max(1)).clamp(64,512) as u32;
-                let r = bandwidth(&DtConfig { iters, ..DtConfig::base(p, s) });
+                let iters = ((2u64 << 20) / s.max(1)).clamp(64, 512) as u32;
+                let r = bandwidth(&DtConfig {
+                    iters,
+                    ..DtConfig::base(p, s)
+                });
                 print!("{:>10.2}", r.mbps);
             }
             println!();
@@ -40,34 +50,61 @@ fn main() {
         for &s in &[64u64, 4096, 28672] {
             print!("size {s:>6}:");
             for r in [100u32, 50, 0] {
-                let c = DtConfig { iters: 60, warmup: 0, reuse_percent: r, ..DtConfig::base(Profile::bvia(), s) };
+                let c = DtConfig {
+                    iters: 60,
+                    warmup: 0,
+                    reuse_percent: r,
+                    ..DtConfig::base(Profile::bvia(), s)
+                };
                 print!("  {r}%={:.2}", ping_pong(&c).latency_us);
             }
             println!();
         }
         println!("--- BVIA bw vs reuse at 28672 ---");
         for r in [100u32, 0] {
-            let c = DtConfig { iters: 256, warmup: 0, reuse_percent: r, ..DtConfig::base(Profile::bvia(), 28672) };
+            let c = DtConfig {
+                iters: 256,
+                warmup: 0,
+                reuse_percent: r,
+                ..DtConfig::base(Profile::bvia(), 28672)
+            };
             println!("  {r}% = {:.2} MB/s", bandwidth(&c).mbps);
         }
     }
     if which == "all" || which == "mvi" {
         println!("--- BVIA vs #VIs (256B) ---");
         for n in [1usize, 8, 32] {
-            let lc = DtConfig { iters: 30, active_vis: n, ..DtConfig::base(Profile::bvia(), 256) };
-            let bc = DtConfig { iters: 192, active_vis: n, ..DtConfig::base(Profile::bvia(), 1024) };
-            println!("  {n:>2} VIs: lat={:.2} bw(1024B)={:.2}", ping_pong(&lc).latency_us, bandwidth(&bc).mbps);
+            let lc = DtConfig {
+                iters: 30,
+                active_vis: n,
+                ..DtConfig::base(Profile::bvia(), 256)
+            };
+            let bc = DtConfig {
+                iters: 192,
+                active_vis: n,
+                ..DtConfig::base(Profile::bvia(), 1024)
+            };
+            println!(
+                "  {n:>2} VIs: lat={:.2} bw(1024B)={:.2}",
+                ping_pong(&lc).latency_us,
+                bandwidth(&bc).mbps
+            );
         }
     }
     if which == "all" || which == "cs" {
         println!("--- transactions/s (req 16) ---");
         print!("{:>8}", "reply");
-        for p in trio() { print!("{:>10}", p.name); }
+        for p in trio() {
+            print!("{:>10}", p.name);
+        }
         println!();
         for &rep in &[4u64, 256, 4096, 12288, 28672] {
             print!("{rep:>8}");
             for p in trio() {
-                let c = DtConfig { iters: 25, ..DtConfig::base(p, rep) };
+                let c = DtConfig {
+                    iters: 25,
+                    ..DtConfig::base(p, rep)
+                };
                 print!("{:>10.0}", transactions(&c, 16, rep));
             }
             println!();
@@ -75,8 +112,12 @@ fn main() {
     }
     if which == "all" || which == "pip" {
         println!("--- cLAN bw vs depth (4096B) ---");
-        for d in [1usize,2,4,16,64] {
-            let c = DtConfig { iters: 256, queue_depth: d, ..DtConfig::base(Profile::clan(), 4096) };
+        for d in [1usize, 2, 4, 16, 64] {
+            let c = DtConfig {
+                iters: 256,
+                queue_depth: d,
+                ..DtConfig::base(Profile::clan(), 4096)
+            };
             println!("  depth {d:>2} = {:.2} MB/s", bandwidth(&c).mbps);
         }
     }
@@ -84,9 +125,18 @@ fn main() {
         println!("--- blocking latency/cpu (4 B / 28672 B) ---");
         for p in trio() {
             for &s in &[16u64, 28672] {
-                let c = DtConfig { iters: 20, wait: WaitMode::Block, ..DtConfig::base(p.clone(), s) };
+                let c = DtConfig {
+                    iters: 20,
+                    wait: WaitMode::Block,
+                    ..DtConfig::base(p.clone(), s)
+                };
                 let r = ping_pong(&c);
-                println!("  {:>6} {s:>6}B: lat={:.2} cpu={:.1}%", p.name, r.latency_us, r.client_util*100.0);
+                println!(
+                    "  {:>6} {s:>6}B: lat={:.2} cpu={:.1}%",
+                    p.name,
+                    r.latency_us,
+                    r.client_util * 100.0
+                );
             }
         }
     }

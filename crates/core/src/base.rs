@@ -33,7 +33,10 @@ pub fn latency_figure_sized(profiles: &[Profile], mode: WaitMode, sizes: &[u64])
         WaitMode::Block => "blocking",
     };
     let mut fig = Figure::new(
-        format!("Base latency with {label} (Fig {})", if mode == WaitMode::Poll { 3 } else { 4 }),
+        format!(
+            "Base latency with {label} (Fig {})",
+            if mode == WaitMode::Poll { 3 } else { 4 }
+        ),
         "bytes",
         "one-way latency (us)",
     );
@@ -168,14 +171,20 @@ mod tests {
             bw(Profile::mvia(), 1024),
             bw(Profile::bvia(), 1024),
         );
-        assert!(c1 > m1 && c1 > b1, "mid-size: cLAN {c1} vs M-VIA {m1}, BVIA {b1}");
+        assert!(
+            c1 > m1 && c1 > b1,
+            "mid-size: cLAN {c1} vs M-VIA {m1}, BVIA {b1}"
+        );
         let (c28, m28, b28) = (
             bw(Profile::clan(), 28672),
             bw(Profile::mvia(), 28672),
             bw(Profile::bvia(), 28672),
         );
         assert!(b28 > c28, "large: BVIA {b28} !> cLAN {c28}");
-        assert!(b28 > m28 && c28 > m28, "M-VIA must trail for large messages");
+        assert!(
+            b28 > m28 && c28 > m28,
+            "M-VIA must trail for large messages"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the table a VIA implementor would read before deciding what to
 //! optimize.
 
-use via::{Profile, ProbeEvent, ViId};
+use via::{ProbeEvent, Profile, ViId};
 
 use crate::harness::{ping_pong, DtConfig, Pair};
 use crate::report::Table;
@@ -50,7 +50,13 @@ impl Timeline {
     }
 }
 
-fn collect(tx_events: &[ProbeEvent], rx_events: &[ProbeEvent], vi_tx: ViId, vi_rx: ViId, seq: u64) -> Timeline {
+fn collect(
+    tx_events: &[ProbeEvent],
+    rx_events: &[ProbeEvent],
+    vi_tx: ViId,
+    vi_rx: ViId,
+    seq: u64,
+) -> Timeline {
     let mut marks = Vec::new();
     let mut t0 = None;
     for stage in STAGES {
@@ -96,7 +102,10 @@ pub fn message_timeline(profile: Profile, size: u64, probe_seq: u64) -> Timeline
                 .unwrap();
             for _ in 0..total {
                 ep.vi
-                    .post_recv(ctx, Descriptor::recv().segment(buf, mh, cfg.msg_size as u32))
+                    .post_recv(
+                        ctx,
+                        Descriptor::recv().segment(buf, mh, cfg.msg_size as u32),
+                    )
                     .unwrap();
             }
             ep.sync(ctx);
@@ -117,7 +126,10 @@ pub fn message_timeline(profile: Profile, size: u64, probe_seq: u64) -> Timeline
             ep.sync(ctx);
             for _ in 0..total {
                 ep.vi
-                    .post_send(ctx, Descriptor::send().segment(buf, mh, cfg.msg_size as u32))
+                    .post_send(
+                        ctx,
+                        Descriptor::send().segment(buf, mh, cfg.msg_size as u32),
+                    )
                     .unwrap();
                 let c = ep.vi.send_wait(ctx, WaitMode::Poll);
                 assert!(c.is_ok());
@@ -143,8 +155,16 @@ pub fn breakdown_table(profiles: &[Profile], size: u64) -> Table {
         ("address translation", "desc_fetched", "translated"),
         ("data DMA (first frag)", "translated", "first_frag_wire"),
         ("tx streaming (rest)", "first_frag_wire", "last_frag_wire"),
-        ("wire + rx to arrival", "last_frag_wire", "last_frag_arrived"),
-        ("rx placement (DMA)", "last_frag_arrived", "last_frag_landed"),
+        (
+            "wire + rx to arrival",
+            "last_frag_wire",
+            "last_frag_arrived",
+        ),
+        (
+            "rx placement (DMA)",
+            "last_frag_arrived",
+            "last_frag_landed",
+        ),
         ("completion delivery", "last_frag_landed", "recv_completed"),
     ];
     let mut t = Table::new(
@@ -165,7 +185,10 @@ pub fn breakdown_table(profiles: &[Profile], size: u64) -> Table {
             t.push(*label, cells);
         }
     }
-    t.push("TOTAL (post -> recv completion)", timelines.iter().map(Timeline::total).collect());
+    t.push(
+        "TOTAL (post -> recv completion)",
+        timelines.iter().map(Timeline::total).collect(),
+    );
     t
 }
 

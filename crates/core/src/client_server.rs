@@ -62,7 +62,10 @@ mod tests {
             let c = tps(Profile::clan(), 16, rep);
             let m = tps(Profile::mvia(), 16, rep);
             let b = tps(Profile::bvia(), 16, rep);
-            assert!(c > m && c > b, "reply {rep}: cLAN {c} vs M-VIA {m}, BVIA {b}");
+            assert!(
+                c > m && c > b,
+                "reply {rep}: cLAN {c} vs M-VIA {m}, BVIA {b}"
+            );
         }
     }
 
@@ -72,7 +75,10 @@ mod tests {
         // outperformed by BVIA for mid-size messages."
         let m_short = tps(Profile::mvia(), 16, 4);
         let b_short = tps(Profile::bvia(), 16, 4);
-        assert!(m_short > b_short, "short replies: M-VIA {m_short} !> BVIA {b_short}");
+        assert!(
+            m_short > b_short,
+            "short replies: M-VIA {m_short} !> BVIA {b_short}"
+        );
         let m_mid = tps(Profile::mvia(), 16, 12288);
         let b_mid = tps(Profile::bvia(), 16, 12288);
         assert!(b_mid > m_mid, "mid replies: BVIA {b_mid} !> M-VIA {m_mid}");
@@ -90,7 +96,10 @@ mod tests {
         // ~1.35x in BVIA's favor and must not widen further out.
         let m_mid = tps(Profile::mvia(), 16, 12288);
         let b_mid = tps(Profile::bvia(), 16, 12288);
-        assert!(ratio < 1.8, "long replies: M-VIA {m} vs BVIA {b} (ratio {ratio})");
+        assert!(
+            ratio < 1.8,
+            "long replies: M-VIA {m} vs BVIA {b} (ratio {ratio})"
+        );
         let _ = (m_mid, b_mid);
     }
 

@@ -205,11 +205,15 @@ pub fn pip_figure(profiles: &[Profile], msg_size: u64) -> Figure {
         } else {
             Reliability::Unreliable
         };
-        let mut s = Series::new(format!("{} ({})", p.name, match level {
-            Reliability::Unreliable => "UD",
-            Reliability::ReliableDelivery => "RD",
-            Reliability::ReliableReception => "RR",
-        }));
+        let mut s = Series::new(format!(
+            "{} ({})",
+            p.name,
+            match level {
+                Reliability::Unreliable => "UD",
+                Reliability::ReliableDelivery => "RD",
+                Reliability::ReliableReception => "RR",
+            }
+        ));
         for &d in &pipeline_depths() {
             let cfg = DtConfig {
                 iters: 256,
@@ -240,12 +244,18 @@ pub fn mtu_values(p: &Profile) -> Vec<u32> {
 /// provider's wire fragmentation unit.
 pub fn mtu_figures(profile: Profile, msg_size: u64) -> (Figure, Figure) {
     let mut lat = Figure::new(
-        format!("{}: latency vs wire MTU ({msg_size} B message)", profile.name),
+        format!(
+            "{}: latency vs wire MTU ({msg_size} B message)",
+            profile.name
+        ),
         "wire MTU (bytes)",
         "one-way latency (us)",
     );
     let mut bw = Figure::new(
-        format!("{}: bandwidth vs wire MTU ({msg_size} B message)", profile.name),
+        format!(
+            "{}: bandwidth vs wire MTU ({msg_size} B message)",
+            profile.name
+        ),
         "wire MTU (bytes)",
         "bandwidth (MB/s)",
     );
@@ -320,6 +330,7 @@ pub fn rel_loss_table(profile: Profile, msg_size: u64, loss_rates: &[f64]) -> Ta
         vec![
             "bandwidth (MB/s)".to_string(),
             "retransmissions".to_string(),
+            "frames dropped".to_string(),
         ],
     );
     let mut one = |label: String, net: fabric::NetParams| {
@@ -335,10 +346,17 @@ pub fn rel_loss_table(profile: Profile, msg_size: u64, loss_rates: &[f64]) -> Ta
         };
         let pair = Pair::new(&cfg);
         let (retx, mbps) = run_lossy_bw(&pair, &cfg);
-        t.push(label, vec![mbps, retx as f64]);
+        // The fabric's own drop counter closes the loop on the injection:
+        // every recovery the sender pays for traces back to a frame the
+        // SAN actually discarded.
+        let dropped = pair.san_stats().frames_dropped;
+        t.push(label, vec![mbps, retx as f64, dropped as f64]);
     };
     for &loss in loss_rates {
-        one(format!("loss {:.0}%", loss * 100.0), profile.net.with_loss(loss));
+        one(
+            format!("loss {:.0}%", loss * 100.0),
+            profile.net.with_loss(loss),
+        );
     }
     if let Some(&max) = loss_rates.last() {
         if max > 0.0 {
@@ -449,6 +467,8 @@ pub fn rel_tail_table(profile: Profile, msg_size: u64, loss_rates: &[f64]) -> Ta
             "p99".to_string(),
             "max".to_string(),
             "mean".to_string(),
+            "retransmissions".to_string(),
+            "frames dropped".to_string(),
         ],
     );
     for &loss in loss_rates {
@@ -463,7 +483,7 @@ pub fn rel_tail_table(profile: Profile, msg_size: u64, loss_rates: &[f64]) -> Ta
             reliability: Reliability::ReliableDelivery,
             ..DtConfig::base(p, msg_size)
         };
-        let samples = ping_pong_samples(&cfg);
+        let (samples, retx, dropped) = ping_pong_samples(&cfg);
         t.push(
             format!("loss {:.0}%", loss * 100.0),
             vec![
@@ -471,14 +491,18 @@ pub fn rel_tail_table(profile: Profile, msg_size: u64, loss_rates: &[f64]) -> Ta
                 samples.percentile(99.0),
                 samples.percentile(100.0),
                 samples.mean(),
+                retx as f64,
+                dropped as f64,
             ],
         );
     }
     t
 }
 
-/// A ping-pong that keeps every one-way sample (half of each round trip).
-fn ping_pong_samples(cfg: &DtConfig) -> simkit::Samples {
+/// A ping-pong that keeps every one-way sample (half of each round trip),
+/// plus the run's total retransmissions (both providers) and the fabric's
+/// dropped-frame count.
+fn ping_pong_samples(cfg: &DtConfig) -> (simkit::Samples, u64, u64) {
     use simkit::Samples;
     use via::{Descriptor, MemAttributes};
     let pair = Pair::new(cfg);
@@ -494,7 +518,10 @@ fn ping_pong_samples(cfg: &DtConfig) -> simkit::Samples {
                 .register_mem(ctx, buf, cfg.msg_size.max(1), MemAttributes::default())
                 .unwrap();
             ep.vi
-                .post_recv(ctx, Descriptor::recv().segment(buf, mh, cfg.msg_size as u32))
+                .post_recv(
+                    ctx,
+                    Descriptor::recv().segment(buf, mh, cfg.msg_size as u32),
+                )
                 .unwrap();
             ep.sync(ctx);
             for i in 0..total {
@@ -502,11 +529,17 @@ fn ping_pong_samples(cfg: &DtConfig) -> simkit::Samples {
                 assert!(c.is_ok(), "{:?}", c.status);
                 if i + 1 < total {
                     ep.vi
-                        .post_recv(ctx, Descriptor::recv().segment(buf, mh, cfg.msg_size as u32))
+                        .post_recv(
+                            ctx,
+                            Descriptor::recv().segment(buf, mh, cfg.msg_size as u32),
+                        )
                         .unwrap();
                 }
                 ep.vi
-                    .post_send(ctx, Descriptor::send().segment(buf, mh, cfg.msg_size as u32))
+                    .post_send(
+                        ctx,
+                        Descriptor::send().segment(buf, mh, cfg.msg_size as u32),
+                    )
                     .unwrap();
                 assert!(ep.vi.send_wait(ctx, cfg.wait).is_ok());
             }
@@ -523,10 +556,16 @@ fn ping_pong_samples(cfg: &DtConfig) -> simkit::Samples {
             for i in 0..total {
                 let t0 = ctx.now();
                 ep.vi
-                    .post_recv(ctx, Descriptor::recv().segment(buf, mh, cfg.msg_size as u32))
+                    .post_recv(
+                        ctx,
+                        Descriptor::recv().segment(buf, mh, cfg.msg_size as u32),
+                    )
                     .unwrap();
                 ep.vi
-                    .post_send(ctx, Descriptor::send().segment(buf, mh, cfg.msg_size as u32))
+                    .post_send(
+                        ctx,
+                        Descriptor::send().segment(buf, mh, cfg.msg_size as u32),
+                    )
                     .unwrap();
                 let c = ep.recv_one(ctx, cfg.wait);
                 assert!(c.is_ok(), "{:?}", c.status);
@@ -538,7 +577,8 @@ fn ping_pong_samples(cfg: &DtConfig) -> simkit::Samples {
             samples
         },
     );
-    samples
+    let retx = pair.provider_stats(0).retransmissions + pair.provider_stats(1).retransmissions;
+    (samples, retx, pair.san_stats().frames_dropped)
 }
 
 /// CPU utilization of a blocking large-transfer send across reliability
@@ -624,7 +664,10 @@ mod tests {
         let s = fig.series("BVIA (UD)").unwrap();
         let d1 = s.at(1.0).unwrap();
         let d64 = s.at(64.0).unwrap();
-        assert!(d64 < d1 * 1.3, "UD curve should be nearly flat: {d1} vs {d64}");
+        assert!(
+            d64 < d1 * 1.3,
+            "UD curve should be nearly flat: {d1} vs {d64}"
+        );
     }
 
     #[test]
@@ -688,8 +731,16 @@ mod tests {
         let t = rel_loss_table(Profile::clan(), 4096, &[0.0, 0.05]);
         let clean = t.cell("loss 0%", "bandwidth (MB/s)").unwrap();
         let lossy = t.cell("loss 5%", "bandwidth (MB/s)").unwrap();
-        assert!(lossy < clean, "loss must cost bandwidth: {lossy} vs {clean}");
+        assert!(
+            lossy < clean,
+            "loss must cost bandwidth: {lossy} vs {clean}"
+        );
         assert!(t.cell("loss 0%", "retransmissions").unwrap() == 0.0);
         assert!(t.cell("loss 5%", "retransmissions").unwrap() > 0.0);
+        // The fabric's drop counter must corroborate: zero drops on the
+        // clean run, and every retransmission answers at least one drop.
+        assert!(t.cell("loss 0%", "frames dropped").unwrap() == 0.0);
+        let dropped = t.cell("loss 5%", "frames dropped").unwrap();
+        assert!(dropped > 0.0, "lossy run must record fabric drops");
     }
 }

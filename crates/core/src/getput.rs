@@ -168,8 +168,7 @@ pub fn get_latency(cfg: &DtConfig) -> f64 {
                 if i == cfg.warmup as u64 {
                     t0 = ctx.now();
                 }
-                let desc =
-                    Descriptor::rdma_read(rva, rmh).segment(buf, mh, cfg.msg_size as u32);
+                let desc = Descriptor::rdma_read(rva, rmh).segment(buf, mh, cfg.msg_size as u32);
                 ep.vi.post_send(ctx, desc).unwrap();
                 let c = ep.vi.send_wait(ctx, cfg.wait);
                 assert!(c.is_ok(), "{:?}", c.status);
@@ -274,6 +273,9 @@ mod tests {
         let fig = getput_figure(&[Profile::clan()], &[256]);
         assert!(fig.series("cLAN put/rdma").is_some());
         assert!(fig.series("cLAN put/sendrecv").is_some());
-        assert!(fig.series("cLAN get/rdma").is_none(), "cLAN has no RDMA read");
+        assert!(
+            fig.series("cLAN get/rdma").is_none(),
+            "cLAN has no RDMA read"
+        );
     }
 }

@@ -8,7 +8,7 @@ use fabric::NodeId;
 use simkit::{CpuMeter, ProcessCtx, Sim, SimBarrier, WaitMode};
 use via::{
     Cluster, Cq, Descriptor, Discriminator, MemAttributes, MemHandle, Profile, Provider,
-    Reliability, ViAttributes, Vi,
+    Reliability, Vi, ViAttributes,
 };
 
 pub use simkit::SimDuration;
@@ -201,7 +201,14 @@ impl Endpoint {
 
     /// Build a one-segment (or `segments`-way split) descriptor over
     /// `(va, mh)` covering `len` bytes.
-    pub fn split_desc(&self, op_recv: bool, va: u64, mh: MemHandle, len: u64, segments: usize) -> Descriptor {
+    pub fn split_desc(
+        &self,
+        op_recv: bool,
+        va: u64,
+        mh: MemHandle,
+        len: u64,
+        segments: usize,
+    ) -> Descriptor {
         let mut d = if op_recv {
             Descriptor::recv()
         } else {
@@ -254,6 +261,22 @@ impl Pair {
     /// The simulation handle.
     pub fn sim(&self) -> &Sim {
         &self.sim
+    }
+
+    /// Attach a tracer to every layer of this pair's cluster (providers,
+    /// fabric, and the engine's event hook). Call before [`Pair::run`].
+    pub fn enable_trace(&self, config: trace::TraceConfig) -> trace::Tracer {
+        self.cluster.enable_trace(config)
+    }
+
+    /// Fabric frame counters (sent / delivered / dropped / bytes).
+    pub fn san_stats(&self) -> fabric::SanStats {
+        self.cluster.san().stats()
+    }
+
+    /// Provider counters for node `node` (0 = client, 1 = server).
+    pub fn provider_stats(&self, node: usize) -> via::ProviderStats {
+        self.cluster.provider(node).stats()
     }
 
     /// Run `server` on node 1 and `client` on node 0, each handed a
@@ -356,11 +379,17 @@ pub fn ping_pong(cfg: &DtConfig) -> PingPongResult {
                 if i + 1 < total {
                     let (nva, nmh) = pool.pick(i + 1);
                     ep.vi
-                        .post_recv(ctx, ep.split_desc(true, nva, nmh, cfg.msg_size, cfg.segments))
+                        .post_recv(
+                            ctx,
+                            ep.split_desc(true, nva, nmh, cfg.msg_size, cfg.segments),
+                        )
                         .unwrap();
                 }
                 ep.vi
-                    .post_send(ctx, ep.split_desc(false, va, mh, cfg.msg_size, cfg.segments))
+                    .post_send(
+                        ctx,
+                        ep.split_desc(false, va, mh, cfg.msg_size, cfg.segments),
+                    )
                     .unwrap();
                 let comp = ep.vi.send_wait(ctx, cfg.wait);
                 assert!(comp.is_ok(), "server send {i}: {:?}", comp.status);
@@ -385,7 +414,10 @@ pub fn ping_pong(cfg: &DtConfig) -> PingPongResult {
                     .post_recv(ctx, ep.split_desc(true, va, mh, cfg.msg_size, cfg.segments))
                     .unwrap();
                 ep.vi
-                    .post_send(ctx, ep.split_desc(false, va, mh, cfg.msg_size, cfg.segments))
+                    .post_send(
+                        ctx,
+                        ep.split_desc(false, va, mh, cfg.msg_size, cfg.segments),
+                    )
                     .unwrap();
                 let comp = ep.recv_one(ctx, cfg.wait);
                 assert!(comp.is_ok(), "client recv {i}: {:?}", comp.status);
@@ -417,7 +449,9 @@ pub fn bandwidth(cfg: &DtConfig) -> BandwidthResult {
     let total = (cfg.warmup + cfg.iters) as u64;
     let pool_n = BufferPool::count_for(cfg.iters, cfg.warmup, cfg.reuse_percent);
     // Receive window and credit quantum.
-    let window = (cfg.profile.max_queue_depth as u64).saturating_sub(8).clamp(16, 64);
+    let window = (cfg.profile.max_queue_depth as u64)
+        .saturating_sub(8)
+        .clamp(16, 64);
     let burst = window / 2;
     let credits_total = total / burst; // + 1 final ack
     let scfg = cfg.clone();
@@ -506,7 +540,10 @@ pub fn bandwidth(cfg: &DtConfig) -> BandwidthResult {
                 }
                 let (va, mh) = pool.pick(i);
                 ep.vi
-                    .post_send(ctx, ep.split_desc(false, va, mh, cfg.msg_size, cfg.segments))
+                    .post_send(
+                        ctx,
+                        ep.split_desc(false, va, mh, cfg.msg_size, cfg.segments),
+                    )
                     .unwrap();
                 outstanding += 1;
                 if outstanding >= cfg.queue_depth as u64 {

@@ -47,6 +47,7 @@ pub mod runner;
 pub mod scale;
 pub mod sched_bench;
 pub mod suite;
+pub mod trace_bench;
 pub mod xlate;
 
 pub use harness::{

@@ -39,7 +39,10 @@ pub fn vi_latency_figure(profile: Profile, counts: &[usize], sizes: &[u64]) -> F
 /// Bandwidth vs. message size, one series per active-VI count.
 pub fn vi_bandwidth_figure(profile: Profile, counts: &[usize], sizes: &[u64]) -> Figure {
     let mut fig = Figure::new(
-        format!("{}: bandwidth vs number of active VIs (Fig 6)", profile.name),
+        format!(
+            "{}: bandwidth vs number of active VIs (Fig 6)",
+            profile.name
+        ),
         "bytes",
         "bandwidth (MB/s)",
     );
@@ -64,7 +67,10 @@ pub fn vi_bandwidth_figure(profile: Profile, counts: &[usize], sizes: &[u64]) ->
 /// accumulate on a polling-firmware implementation.
 pub fn vi_cpu_figure(profile: Profile, counts: &[usize], sizes: &[u64]) -> Figure {
     let mut fig = Figure::new(
-        format!("{}: CPU utilization vs number of active VIs (TR)", profile.name),
+        format!(
+            "{}: CPU utilization vs number of active VIs (TR)",
+            profile.name
+        ),
         "bytes",
         "CPU utilization (%)",
     );

@@ -36,7 +36,9 @@ pub fn measure(profile: Profile, iters: u32) -> NonDataCosts {
     {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             for _ in 0..iters {
                 pb.accept(ctx, &vi, Discriminator(1)).unwrap();
                 // Wait for the client's disconnect before re-accepting.
@@ -58,11 +60,14 @@ pub fn measure(profile: Profile, iters: u32) -> NonDataCosts {
             let mut destroy_cq = 0.0;
             for _ in 0..iters {
                 let t = ctx.now();
-                let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+                let vi = pa
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
                 create += us(ctx.now() - t);
 
                 let t = ctx.now();
-                pa.connect(ctx, &vi, NodeId(1), Discriminator(1), None).unwrap();
+                pa.connect(ctx, &vi, NodeId(1), Discriminator(1), None)
+                    .unwrap();
                 connect += us(ctx.now() - t);
 
                 let t = ctx.now();
@@ -105,11 +110,11 @@ pub fn table1(profiles: &[Profile], iters: u32) -> Table {
         "Table 1: non-data transfer micro-benchmarks (us)",
         profiles.iter().map(|p| p.name.to_string()).collect(),
     );
-    let costs: Vec<NonDataCosts> = profiles
-        .iter()
-        .map(|p| measure(p.clone(), iters))
-        .collect();
-    t.push("Creating VI", costs.iter().map(|c| c.create_vi_us).collect());
+    let costs: Vec<NonDataCosts> = profiles.iter().map(|p| measure(p.clone(), iters)).collect();
+    t.push(
+        "Creating VI",
+        costs.iter().map(|c| c.create_vi_us).collect(),
+    );
     t.push(
         "Destroying VI",
         costs.iter().map(|c| c.destroy_vi_us).collect(),
@@ -122,7 +127,10 @@ pub fn table1(profiles: &[Profile], iters: u32) -> Table {
         "Tearing Down Connection",
         costs.iter().map(|c| c.teardown_us).collect(),
     );
-    t.push("Creating CQ", costs.iter().map(|c| c.create_cq_us).collect());
+    t.push(
+        "Creating CQ",
+        costs.iter().map(|c| c.create_cq_us).collect(),
+    );
     t.push(
         "Destroying CQ",
         costs.iter().map(|c| c.destroy_cq_us).collect(),
@@ -188,11 +196,27 @@ mod tests {
         near(t.cell("Creating VI", "M-VIA").unwrap(), 93.0, 0.10);
         near(t.cell("Creating VI", "BVIA").unwrap(), 28.0, 0.10);
         near(t.cell("Creating VI", "cLAN").unwrap(), 3.0, 0.10);
-        near(t.cell("Establishing Connection", "M-VIA").unwrap(), 6465.0, 0.10);
-        near(t.cell("Establishing Connection", "BVIA").unwrap(), 496.0, 0.10);
-        near(t.cell("Establishing Connection", "cLAN").unwrap(), 2454.0, 0.10);
+        near(
+            t.cell("Establishing Connection", "M-VIA").unwrap(),
+            6465.0,
+            0.10,
+        );
+        near(
+            t.cell("Establishing Connection", "BVIA").unwrap(),
+            496.0,
+            0.10,
+        );
+        near(
+            t.cell("Establishing Connection", "cLAN").unwrap(),
+            2454.0,
+            0.10,
+        );
         near(t.cell("Creating CQ", "BVIA").unwrap(), 206.0, 0.10);
-        near(t.cell("Tearing Down Connection", "cLAN").unwrap(), 155.0, 0.10);
+        near(
+            t.cell("Tearing Down Connection", "cLAN").unwrap(),
+            155.0,
+            0.10,
+        );
         near(t.cell("Destroying CQ", "M-VIA").unwrap(), 8.44, 0.15);
     }
 

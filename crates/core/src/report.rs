@@ -201,7 +201,11 @@ impl Table {
         if self.columns == src.columns {
             self.rows.extend(src.rows);
         } else if self.rows.len() == src.rows.len()
-            && self.rows.iter().zip(&src.rows).all(|((a, _), (b, _))| a == b)
+            && self
+                .rows
+                .iter()
+                .zip(&src.rows)
+                .all(|((a, _), (b, _))| a == b)
         {
             self.columns.extend(src.columns);
             for ((_, dst), (_, cells)) in self.rows.iter_mut().zip(src.rows) {
@@ -304,7 +308,11 @@ impl Artifact {
                     if i > 0 {
                         out.push(',');
                     }
-                    let _ = write!(out, "\n    {{\"name\": {}, \"points\": [", json_str(&s.name));
+                    let _ = write!(
+                        out,
+                        "\n    {{\"name\": {}, \"points\": [",
+                        json_str(&s.name)
+                    );
                     for (j, (x, y)) in s.points.iter().enumerate() {
                         if j > 0 {
                             out.push_str(", ");
@@ -449,7 +457,11 @@ fn render_aligned(out: &mut String, headers: &[String], rows: &[Vec<String>]) {
         let _ = i;
     }
     let _ = writeln!(out, "{}", line.trim_end());
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+    );
     for row in rows {
         let mut line = String::new();
         for (i, cell) in row.iter().enumerate() {
@@ -579,7 +591,10 @@ mod tests {
         let mut dst = fig("p", &[("A", &[(1.0, 10.0)])]);
         dst.merge_from(fig("p", &[("A", &[(2.0, 20.0)]), ("B", &[(1.0, 5.0)])]));
         assert_eq!(dst.series.len(), 2);
-        assert_eq!(dst.series("A").unwrap().points, vec![(1.0, 10.0), (2.0, 20.0)]);
+        assert_eq!(
+            dst.series("A").unwrap().points,
+            vec![(1.0, 10.0), (2.0, 20.0)]
+        );
         assert_eq!(dst.series("B").unwrap().points, vec![(1.0, 5.0)]);
     }
 
@@ -618,7 +633,13 @@ mod tests {
     #[test]
     fn merge_artifacts_reproduces_serial_build() {
         // Serial: one figure with two 2-point series, built series-major.
-        let serial = fig("p", &[("A", &[(1.0, 10.0), (2.0, 20.0)]), ("B", &[(1.0, 5.0), (2.0, 6.0)])]);
+        let serial = fig(
+            "p",
+            &[
+                ("A", &[(1.0, 10.0), (2.0, 20.0)]),
+                ("B", &[(1.0, 5.0), (2.0, 6.0)]),
+            ],
+        );
         // Jobs: one slice per (series, x) point, in canonical sweep order.
         let parts: Vec<Vec<Artifact>> = vec![
             vec![fig("p", &[("A", &[(1.0, 10.0)])]).into()],

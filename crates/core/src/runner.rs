@@ -58,7 +58,11 @@ impl Job {
         seed: u64,
         run: impl FnOnce() -> Vec<Artifact> + Send + 'static,
     ) -> Job {
-        Job { label: label.into(), seed, run: Box::new(run) }
+        Job {
+            label: label.into(),
+            seed,
+            run: Box::new(run),
+        }
     }
 
     /// The job's display label.
@@ -178,32 +182,40 @@ impl SuiteRun {
         for e in &self.experiments {
             let njobs = self.jobs.iter().filter(|j| j.experiment == e.id).count();
             let secs = e.wall.as_secs_f64();
-            let meps = if secs > 0.0 { e.events as f64 / secs / 1e6 } else { 0.0 };
-            per_exp.push(
-                e.id,
-                vec![njobs as f64, secs * 1e3, e.events as f64, meps],
-            );
+            let meps = if secs > 0.0 {
+                e.events as f64 / secs / 1e6
+            } else {
+                0.0
+            };
+            per_exp.push(e.id, vec![njobs as f64, secs * 1e3, e.events as f64, meps]);
         }
-        let mut summary = Table::new(
-            "X-PAR: suite summary",
-            vec!["value".to_string()],
-        );
+        let mut summary = Table::new("X-PAR: suite summary", vec!["value".to_string()]);
         let wall = self.wall.as_secs_f64();
         let events = self.total_events();
         summary.push("workers", vec![self.workers as f64]);
         summary.push("jobs", vec![self.jobs.len() as f64]);
         summary.push("suite wall (ms)", vec![wall * 1e3]);
-        summary.push("serial-equivalent wall (ms)", vec![self.serial_wall().as_secs_f64() * 1e3]);
+        summary.push(
+            "serial-equivalent wall (ms)",
+            vec![self.serial_wall().as_secs_f64() * 1e3],
+        );
         summary.push("speedup", vec![self.speedup()]);
         summary.push("events", vec![events as f64]);
         summary.push(
             "Mevents/s (suite)",
-            vec![if wall > 0.0 { events as f64 / wall / 1e6 } else { 0.0 }],
+            vec![if wall > 0.0 {
+                events as f64 / wall / 1e6
+            } else {
+                0.0
+            }],
         );
         summary.push("events pooled", vec![self.pool.pooled() as f64]);
         summary.push("events boxed", vec![self.pool.boxed as f64]);
         summary.push("pool hit rate (%)", vec![self.pool.pool_hit_rate() * 100.0]);
-        summary.push("slot reuse rate (%)", vec![self.pool.slot_reuse_rate() * 100.0]);
+        summary.push(
+            "slot reuse rate (%)",
+            vec![self.pool.slot_reuse_rate() * 100.0],
+        );
         summary.push("same-time batches", vec![self.pool.batches as f64]);
         vec![per_exp.into(), summary.into()]
     }
@@ -276,7 +288,13 @@ pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
                 events: out.events,
             });
         }
-        return SuiteRun { experiments: runs, jobs, workers: 1, wall: t0.elapsed(), pool };
+        return SuiteRun {
+            experiments: runs,
+            jobs,
+            workers: 1,
+            wall: t0.elapsed(),
+            pool,
+        };
     }
 
     // Flatten every experiment's plan into one canonical job list.
@@ -290,10 +308,15 @@ pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
     }
     let labels: Vec<String> = slots
         .iter()
-        .map(|s| s.lock().as_ref().expect("job present before run").label().to_string())
+        .map(|s| {
+            s.lock()
+                .as_ref()
+                .expect("job present before run")
+                .label()
+                .to_string()
+        })
         .collect();
-    let results: Vec<Mutex<Option<JobOutcome>>> =
-        slots.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<JobOutcome>>> = slots.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -345,7 +368,13 @@ pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
         })
         .collect();
 
-    SuiteRun { experiments: runs, jobs, workers, wall: t0.elapsed(), pool }
+    SuiteRun {
+        experiments: runs,
+        jobs,
+        workers,
+        wall: t0.elapsed(),
+        pool,
+    }
 }
 
 #[cfg(test)]
@@ -385,7 +414,10 @@ mod tests {
         assert_eq!(run.workers, 1);
         assert_eq!(run.jobs.len(), 1);
         assert_eq!(run.jobs[0].label, "CQ/serial");
-        assert!(run.jobs[0].events > 0, "events attributed via thread counter");
+        assert!(
+            run.jobs[0].events > 0,
+            "events attributed via thread counter"
+        );
         assert!(run.pool.pooled() + run.pool.boxed > 0);
         let xpar = run.xpar_artifacts();
         assert_eq!(xpar.len(), 2);

@@ -104,13 +104,17 @@ pub fn fan_in(profile: Profile, clients: usize, size: u64, msgs: u64, seed: u64)
         let p = cluster.provider(c + 1);
         let start = start.clone();
         client_tasks.push(sim.spawn(format!("client{c}"), Some(p.cpu()), move |ctx| {
-            let vi = p.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = p
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = p.malloc(size.max(1));
             let mh = p
                 .register_mem(ctx, buf, size.max(1), MemAttributes::default())
                 .unwrap();
             let ack = p.malloc(16);
-            let ack_mh = p.register_mem(ctx, ack, 16, MemAttributes::default()).unwrap();
+            let ack_mh = p
+                .register_mem(ctx, ack, 16, MemAttributes::default())
+                .unwrap();
             p.connect(ctx, &vi, NodeId(0), Discriminator(c as u64), None)
                 .unwrap();
             for _ in 0..4u64.min(msgs / burst + 1) {
@@ -158,7 +162,10 @@ pub fn fan_in(profile: Profile, clients: usize, size: u64, msgs: u64, seed: u64)
 
     sim.run_to_completion();
     let (aggregate_mbps, server_us_per_msg) = server_task.expect_result();
-    let per_client: Vec<f64> = client_tasks.into_iter().map(|t| t.expect_result()).collect();
+    let per_client: Vec<f64> = client_tasks
+        .into_iter()
+        .map(|t| t.expect_result())
+        .collect();
     let (min, max) = per_client
         .iter()
         .fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));

@@ -9,7 +9,10 @@ use via::Profile;
 use crate::harness::BASE_SEED;
 use crate::report::Artifact;
 use crate::runner::Job;
-use crate::{base, breakdown, client_server, cqimpact, dsm_bench, extra, getput, harness, mpl_bench, mvi, nondata, scale, sched_bench, xlate};
+use crate::{
+    base, breakdown, client_server, cqimpact, dsm_bench, extra, getput, harness, mpl_bench, mvi,
+    nondata, scale, sched_bench, trace_bench, xlate,
+};
 use simkit::WaitMode;
 
 /// Which paper category an experiment belongs to.
@@ -89,7 +92,13 @@ pub fn render_csv(id: &str, artifacts: &[Artifact]) -> Vec<(String, String)> {
             let slug: String = a
                 .title()
                 .chars()
-                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             (format!("{}_{}_{}", id.to_lowercase(), i, slug), a.to_csv())
         })
@@ -247,6 +256,13 @@ fn run_breakdown() -> Vec<Artifact> {
     ]
 }
 
+const X_TRACE_SIZE: u64 = 4096;
+
+fn run_trace() -> Vec<Artifact> {
+    let (stages, counts) = trace_bench::x_trace_tables(&trio(), X_TRACE_SIZE);
+    vec![stages.into(), counts.into()]
+}
+
 fn run_scale() -> Vec<Artifact> {
     vec![scale::fan_in_figure(&trio(), &[1, 2, 4, 8], 1024).into()]
 }
@@ -257,7 +273,6 @@ fn run_sched() -> Vec<Artifact> {
         sched_bench::retx_timer_table(&trio(), &[0.0, 0.05], 64).into(),
     ]
 }
-
 
 // ---------------------------------------------------------------------
 // Plans: canonical job decompositions. Each job calls the same leaf
@@ -386,7 +401,12 @@ fn plan_f7() -> Vec<Job> {
         for &req in &client_server::request_sizes() {
             let p2 = p.clone();
             jobs.push(job(format!("F7/{}/{req}", p.name), move || {
-                vec![client_server::transaction_figure(&[p2], &[req], &client_server::reply_sizes()).into()]
+                vec![client_server::transaction_figure(
+                    &[p2],
+                    &[req],
+                    &client_server::reply_sizes(),
+                )
+                .into()]
             }));
         }
     }
@@ -473,6 +493,15 @@ fn plan_breakdown() -> Vec<Job> {
             })
         })
         .collect()
+}
+
+fn plan_trace() -> Vec<Job> {
+    // Both X-TRACE tables have fixed rows and one column per profile:
+    // per-profile jobs column-merge (each job emits both table slices).
+    per_profile_jobs("X-TRACE", |p| {
+        let (stages, counts) = trace_bench::x_trace_tables(&[p], X_TRACE_SIZE);
+        vec![stages.into(), counts.into()]
+    })
 }
 
 fn plan_scale() -> Vec<Job> {
@@ -624,6 +653,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             plan: plan_breakdown,
         },
         Experiment {
+            id: "X-TRACE",
+            title: "Extension: trace-derived stage latency & lifecycle counters",
+            category: DataTransfer,
+            produce: run_trace,
+            plan: plan_trace,
+        },
+        Experiment {
             id: "X-MPL",
             title: "Future work (Sec 5): message-passing layer over VIA",
             category: ProgrammingModel,
@@ -659,8 +695,7 @@ mod tests {
         }
         // The six TR-only benchmarks of §3.2.5 plus the extensions.
         for id in [
-            "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE",
-            "X-SCHED",
+            "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE", "X-SCHED",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

@@ -1,0 +1,366 @@
+//! X-TRACE: trace-derived per-stage latency and lifecycle counters.
+//!
+//! Where X-BRK reconstructs a message's journey from the `via` data-path
+//! probe, this experiment derives the same journey from the `trace` crate's
+//! layer-boundary records — doorbell, firmware scan, descriptor fetch,
+//! DMA, wire, landing, completion — and the two must agree exactly at
+//! every shared cut point, because trace records and probe events are
+//! stamped at the same sim times by colocated instrumentation. That
+//! cross-check (see `trace_stage_stamps_match_probe_breakdown`) is the
+//! suite's evidence that the always-on tracing layer observes the
+//! simulation without perturbing it.
+
+use std::io::Write as _;
+
+use simkit::{SimDuration, WaitMode};
+use trace::{chrome_trace_json, MsgId, Record, TraceConfig, TracePoint};
+use via::{Descriptor, MemAttributes, Profile};
+
+use crate::harness::{DtConfig, Pair};
+use crate::report::Table;
+
+/// A traced one-way message stream: the full record set, the id of the
+/// probed message, and the metrics snapshot of the run.
+pub struct TracedRun {
+    /// Every span record the run captured, in ring order.
+    pub records: Vec<Record>,
+    /// [`MsgId`] of the `probe_seq`-th message the client posted.
+    pub msg: MsgId,
+    /// Counters, gauges, and engine-event tallies at end of run.
+    pub snapshot: trace::MetricsSnapshot,
+}
+
+/// Stream `probe_seq + 1` one-way messages of `size` bytes on `profile`
+/// with tracing enabled, mirroring the X-BRK probe stream (same seed, same
+/// spacing) so the two runs have identical timelines.
+pub fn traced_stream(profile: Profile, size: u64, probe_seq: u64) -> TracedRun {
+    let cfg = DtConfig {
+        iters: 4,
+        warmup: 0,
+        ..DtConfig::base(profile, size)
+    };
+    let pair = Pair::new(&cfg);
+    let tracer = pair.enable_trace(TraceConfig::default());
+    let total = probe_seq + 1;
+    let scfg = cfg.clone();
+    let ccfg = cfg.clone();
+    pair.run(
+        move |ctx, ep| {
+            let cfg = scfg;
+            let buf = ep.provider.malloc(cfg.msg_size.max(1));
+            let mh = ep
+                .provider
+                .register_mem(ctx, buf, cfg.msg_size.max(1), MemAttributes::default())
+                .unwrap();
+            for _ in 0..total {
+                ep.vi
+                    .post_recv(
+                        ctx,
+                        Descriptor::recv().segment(buf, mh, cfg.msg_size as u32),
+                    )
+                    .unwrap();
+            }
+            ep.sync(ctx);
+            for _ in 0..total {
+                let c = ep.vi.recv_wait(ctx, WaitMode::Poll);
+                assert!(c.is_ok());
+            }
+        },
+        move |ctx, ep| {
+            let cfg = ccfg;
+            let buf = ep.provider.malloc(cfg.msg_size.max(1));
+            let mh = ep
+                .provider
+                .register_mem(ctx, buf, cfg.msg_size.max(1), MemAttributes::default())
+                .unwrap();
+            ep.sync(ctx);
+            for _ in 0..total {
+                ep.vi
+                    .post_send(
+                        ctx,
+                        Descriptor::send().segment(buf, mh, cfg.msg_size as u32),
+                    )
+                    .unwrap();
+                let c = ep.vi.send_wait(ctx, WaitMode::Poll);
+                assert!(c.is_ok());
+                // Space messages so timelines never overlap (as X-BRK does).
+                ctx.sleep(SimDuration::from_millis(2));
+            }
+        },
+    );
+    let records = tracer.records();
+    // The probed message is the `probe_seq`-th send the client posted.
+    let mut posts: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.point == TracePoint::SendPosted && r.node == 0)
+        .collect();
+    posts.sort_by_key(|r| r.at_ns);
+    let msg = posts
+        .get(probe_seq as usize)
+        .and_then(|r| r.msg)
+        .expect("probed message was posted");
+    TracedRun {
+        records,
+        msg,
+        snapshot: tracer.snapshot(),
+    }
+}
+
+/// The named cut points a stage table is built from, in pipeline order.
+const CUTS: &[&str] = &[
+    "posted",
+    "doorbell",
+    "fw_scanned",
+    "desc_fetched",
+    "first_dma",
+    "first_wire_tx",
+    "last_wire_tx",
+    "last_wire_rx",
+    "landed",
+    "recv_completed",
+];
+
+/// Absolute ns of each `CUTS` entry for `msg`, from its trace records. A
+/// cut an architecture skips (e.g. the firmware scan on M-VIA) inherits
+/// the previous cut's stamp, so skipped stages read as zero-duration rows
+/// and every nanosecond stays attributed to some row.
+pub fn cut_stamps(records: &[Record], msg: MsgId) -> Vec<(&'static str, u64)> {
+    let of: Vec<&Record> = records.iter().filter(|r| r.msg == Some(msg)).collect();
+    let first = |p: TracePoint| of.iter().filter(|r| r.point == p).map(|r| r.at_ns).min();
+    let last = |p: TracePoint| of.iter().filter(|r| r.point == p).map(|r| r.at_ns).max();
+    let raw: Vec<Option<u64>> = vec![
+        first(TracePoint::SendPosted),
+        first(TracePoint::DoorbellRing),
+        first(TracePoint::FwScan),
+        first(TracePoint::DescFetch),
+        first(TracePoint::DmaStart),
+        first(TracePoint::WireTx),
+        last(TracePoint::WireTx),
+        last(TracePoint::WireRx),
+        last(TracePoint::RecvLanded),
+        of.iter()
+            .filter(|r| r.point == TracePoint::CqCompletion && r.aux == 1)
+            .map(|r| r.at_ns)
+            .max(),
+    ];
+    let mut out = Vec::with_capacity(CUTS.len());
+    let mut prev = 0u64;
+    for (name, at) in CUTS.iter().zip(raw) {
+        let at = at.unwrap_or(prev);
+        out.push((*name, at));
+        prev = at;
+    }
+    out
+}
+
+/// Fixed stage-latency rows: `(label, from-cut, to-cut)`.
+const STAGE_ROWS: &[(&str, &str, &str)] = &[
+    ("post -> doorbell", "posted", "doorbell"),
+    ("doorbell -> firmware scan", "doorbell", "fw_scanned"),
+    (
+        "firmware scan -> desc fetched",
+        "fw_scanned",
+        "desc_fetched",
+    ),
+    ("desc fetched -> first DMA", "desc_fetched", "first_dma"),
+    ("first DMA -> first wire tx", "first_dma", "first_wire_tx"),
+    (
+        "tx streaming (first -> last wire)",
+        "first_wire_tx",
+        "last_wire_tx",
+    ),
+    (
+        "wire + rx (last tx -> last rx)",
+        "last_wire_tx",
+        "last_wire_rx",
+    ),
+    ("rx placement (last rx -> landed)", "last_wire_rx", "landed"),
+    ("landed -> recv completion", "landed", "recv_completed"),
+    (
+        "TOTAL (post -> recv completion)",
+        "posted",
+        "recv_completed",
+    ),
+];
+
+fn stamp(cuts: &[(&'static str, u64)], name: &str) -> u64 {
+    cuts.iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, t)| *t)
+        .unwrap_or(0)
+}
+
+/// Both X-TRACE tables for `profiles` at `size` bytes, from one traced run
+/// per profile: per-stage latency of the warm probed message, and the
+/// run's lifecycle-point counters.
+pub fn x_trace_tables(profiles: &[Profile], size: u64) -> (Table, Table) {
+    let cols: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+    let mut stages = Table::new(
+        format!("X-TRACE: trace-derived stage latency of one warm {size} B transfer (us)"),
+        cols.clone(),
+    );
+    let mut counts = Table::new(
+        format!("X-TRACE: lifecycle records of a {size} B one-way stream (count)"),
+        cols,
+    );
+    // Probe message 2 (0-indexed), matching X-BRK: caches warm, queues quiet.
+    let runs: Vec<TracedRun> = profiles
+        .iter()
+        .map(|p| traced_stream(p.clone(), size, 2))
+        .collect();
+    let cuts: Vec<Vec<(&'static str, u64)>> =
+        runs.iter().map(|r| cut_stamps(&r.records, r.msg)).collect();
+    for (label, from, to) in STAGE_ROWS {
+        let cells: Vec<f64> = cuts
+            .iter()
+            .map(|c| (stamp(c, to).saturating_sub(stamp(c, from))) as f64 / 1_000.0)
+            .collect();
+        stages.push(*label, cells);
+    }
+    for point in TracePoint::ALL {
+        let cells: Vec<f64> = runs
+            .iter()
+            .map(|r| r.snapshot.points[point.index()].1 as f64)
+            .collect();
+        counts.push(point.name(), cells);
+    }
+    counts.push(
+        "engine events (hooked)",
+        runs.iter()
+            .map(|r| {
+                r.snapshot
+                    .engine_events
+                    .iter()
+                    .map(|(_, n)| *n)
+                    .sum::<u64>() as f64
+            })
+            .collect(),
+    );
+    (stages, counts)
+}
+
+/// Write one Perfetto/Chrome-loadable JSON trace per profile into `dir`
+/// (created if needed); returns the written file names. Each trace is a
+/// `size`-byte one-way stream, the same workload the X-TRACE tables use.
+pub fn write_chrome_traces(dir: &std::path::Path, size: u64) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for profile in Profile::paper_trio() {
+        let name = format!("x_trace_{}_{size}b.json", profile.name.to_lowercase());
+        let run = traced_stream(profile, size, 2);
+        let mut f = std::fs::File::create(dir.join(&name))?;
+        f.write_all(chrome_trace_json(&run.records).as_bytes())?;
+        written.push(name);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown;
+
+    /// Shared cut points between the probe vocabulary and the trace
+    /// vocabulary. Both are stamped at the same sim times by colocated
+    /// instrumentation, so a traced run and a probed run of the same
+    /// deterministic workload must agree exactly.
+    const SHARED: &[(&str, &str)] = &[
+        ("posted", "posted"),
+        ("fw_scanned", "fw_scanned"),
+        ("desc_fetched", "desc_fetched"),
+        ("first_frag_wire", "first_wire_tx"),
+        ("last_frag_wire", "last_wire_tx"),
+        ("last_frag_landed", "landed"),
+        ("recv_completed", "recv_completed"),
+    ];
+
+    #[test]
+    fn trace_stage_stamps_match_probe_breakdown() {
+        for profile in [Profile::bvia(), Profile::clan(), Profile::mvia()] {
+            let name = profile.name;
+            let tl = breakdown::message_timeline(profile.clone(), 4096, 2);
+            let run = traced_stream(profile, 4096, 2);
+            let cuts = cut_stamps(&run.records, run.msg);
+            let posted_ns = stamp(&cuts, "posted");
+            for (probe_stage, cut) in SHARED {
+                let Some(probe_us) = tl
+                    .marks
+                    .iter()
+                    .find(|(s, _)| s == probe_stage)
+                    .map(|(_, t)| *t)
+                else {
+                    continue; // stage skipped by this architecture
+                };
+                let trace_us = (stamp(&cuts, cut).saturating_sub(posted_ns)) as f64 / 1_000.0;
+                assert!(
+                    (probe_us - trace_us).abs() < 1e-6,
+                    "{name}/{probe_stage}: probe {probe_us} us vs trace {trace_us} us"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_table_is_monotone_and_totals_add_up() {
+        let (stages, counts) = x_trace_tables(&[Profile::bvia()], 4096);
+        let col = "BVIA";
+        let parts: f64 = STAGE_ROWS[..STAGE_ROWS.len() - 1]
+            .iter()
+            .map(|(label, _, _)| stages.cell(label, col).unwrap())
+            .sum();
+        let total = stages.cell("TOTAL (post -> recv completion)", col).unwrap();
+        assert!(
+            (parts - total).abs() < 1e-6,
+            "rows {parts} != total {total}"
+        );
+        assert!(total > 10.0, "a 4 KiB transfer takes tens of us: {total}");
+        // The full offload pipeline leaves records at every forward stage.
+        for point in [
+            "send_posted",
+            "doorbell_ring",
+            "fw_scan",
+            "desc_fetch",
+            "dma_start",
+            "wire_tx",
+            "wire_rx",
+            "recv_landed",
+            "cq_completion",
+        ] {
+            assert!(counts.cell(point, col).unwrap() > 0.0, "no {point} records");
+        }
+    }
+
+    #[test]
+    fn host_emulated_skips_device_stage_rows() {
+        let (stages, counts) = x_trace_tables(&[Profile::mvia()], 1024);
+        // M-VIA has no firmware scan or descriptor-fetch DMA: those rows
+        // read zero, and no FwScan/DescFetch records exist at all.
+        assert_eq!(
+            stages.cell("firmware scan -> desc fetched", "M-VIA"),
+            Some(0.0)
+        );
+        assert_eq!(counts.cell("fw_scan", "M-VIA"), Some(0.0));
+        assert_eq!(counts.cell("desc_fetch", "M-VIA"), Some(0.0));
+        // But the kernel-trap doorbell and the wire still leave records.
+        assert!(counts.cell("doorbell_ring", "M-VIA").unwrap() > 0.0);
+        assert!(counts.cell("wire_tx", "M-VIA").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn chrome_export_writes_loadable_json() {
+        let dir = std::env::temp_dir().join("vibe_x_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let files = write_chrome_traces(&dir, 4096).unwrap();
+        assert_eq!(files.len(), 3);
+        for f in &files {
+            let body = std::fs::read_to_string(dir.join(f)).unwrap();
+            assert!(
+                body.starts_with("{\"traceEvents\":["),
+                "{f}: not a chrome trace"
+            );
+            assert!(body.contains("\"ph\":\"X\""), "{f}: no spans");
+            assert!(body.contains("process_name"), "{f}: no node metadata");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -137,8 +137,14 @@ mod tests {
             large_us > small_us * 3.0,
             "added latency must grow with size: small {small_us} us, large {large_us} us"
         );
-        assert!(small_ratio > 1.10, "even 1-page messages must feel it: {small_ratio}");
-        assert!(large_us > 30.0, "7-page messages must lose tens of us: {large_us}");
+        assert!(
+            small_ratio > 1.10,
+            "even 1-page messages must feel it: {small_ratio}"
+        );
+        assert!(
+            large_us > 30.0,
+            "7-page messages must lose tens of us: {large_us}"
+        );
     }
 
     #[test]

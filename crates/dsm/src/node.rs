@@ -6,8 +6,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use simkit::{Notify, ProcessCtx, ProcessHandle, Sim, WaitMode};
 use via::{
-    Cluster, Cq, Descriptor, Discriminator, MemAttributes, MemHandle, Profile, Provider,
-    QueueKind, ViAttributes, Vi, ViId,
+    Cluster, Cq, Descriptor, Discriminator, MemAttributes, MemHandle, Profile, Provider, QueueKind,
+    Vi, ViAttributes, ViId,
 };
 
 use crate::wire::Msg;
@@ -102,13 +102,7 @@ fn home_of(page: u64, ranks: u32) -> u32 {
     (page % ranks as u64) as u32
 }
 
-fn send_msg(
-    ctx: &mut ProcessCtx,
-    provider: &Provider,
-    vi: &Vi,
-    buf: (u64, MemHandle),
-    msg: &Msg,
-) {
+fn send_msg(ctx: &mut ProcessCtx, provider: &Provider, vi: &Vi, buf: (u64, MemHandle), msg: &Msg) {
     let bytes = msg.encode();
     provider.mem_write(buf.0, &bytes);
     vi.post_send(
@@ -154,13 +148,7 @@ impl Dsm {
             self.with_owned_page(ctx, page, |data| {
                 out.extend_from_slice(&data[off..off + take]);
             });
-            ctx.busy(
-                self.shared
-                    .provider
-                    .profile()
-                    .host
-                    .copy_time(take as u64),
-            );
+            ctx.busy(self.shared.provider.profile().host.copy_time(take as u64));
             cursor += take as u64;
         }
         out
@@ -439,9 +427,7 @@ impl Pager {
                     }
                     st.directory.insert(page, requester);
                     if owner == self.shared.rank {
-                        if st.owned.remove(&page)
-                            && st.reserved_for_app != Some(page)
-                        {
+                        if st.owned.remove(&page) && st.reserved_for_app != Some(page) {
                             st.stats.pages_shipped += 1;
                             let data = st
                                 .store
@@ -543,8 +529,14 @@ impl Dsm {
                 let ranks = ranks as u32;
                 let finished = Arc::clone(&finished);
                 sim.spawn(format!("dsm-app{rank}"), Some(provider.cpu()), move |ctx| {
-                    let (dsm, pager) =
-                        build_node(ctx, provider, rank as u32, ranks, cfg, Arc::clone(&finished));
+                    let (dsm, pager) = build_node(
+                        ctx,
+                        provider,
+                        rank as u32,
+                        ranks,
+                        cfg,
+                        Arc::clone(&finished),
+                    );
                     let shared = Arc::clone(&dsm.shared);
                     let sim2 = ctx.sim().clone();
                     let mut pager = pager;
@@ -610,7 +602,9 @@ fn build_node(
                 .expect("connect app lane");
         } else {
             provider.accept(ctx, &mesh_vi, d_mesh).expect("accept mesh");
-            provider.accept(ctx, &app_vi, d_app).expect("accept app lane");
+            provider
+                .accept(ctx, &app_vi, d_app)
+                .expect("accept app lane");
         }
         let mesh_ring = make_lane(ctx, &mesh_vi, &provider);
         let app_ring = make_lane(ctx, &app_vi, &provider);

@@ -106,10 +106,22 @@ mod tests {
     #[test]
     fn roundtrip_all_variants() {
         for m in [
-            Msg::Req { page: 7, requester: 3 },
-            Msg::Fwd { page: u64::MAX, requester: 0 },
-            Msg::Page { page: 0, data: vec![1, 2, 3, 4] },
-            Msg::Page { page: 9, data: vec![0; 4096] },
+            Msg::Req {
+                page: 7,
+                requester: 3,
+            },
+            Msg::Fwd {
+                page: u64::MAX,
+                requester: 0,
+            },
+            Msg::Page {
+                page: 0,
+                data: vec![1, 2, 3, 4],
+            },
+            Msg::Page {
+                page: 9,
+                data: vec![0; 4096],
+            },
         ] {
             let bytes = m.encode();
             assert_eq!(bytes.len(), m.encoded_len());
@@ -120,7 +132,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown DSM opcode")]
     fn bad_opcode_panics() {
-        let mut bytes = Msg::Req { page: 1, requester: 1 }.encode();
+        let mut bytes = Msg::Req {
+            page: 1,
+            requester: 1,
+        }
+        .encode();
         bytes[0] = 99;
         let _ = Msg::decode(&bytes);
     }

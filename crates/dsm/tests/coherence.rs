@@ -31,9 +31,7 @@ fn shared_counter_sees_every_increment() {
             // others a synchronization grace period via a spin on the value.
             if dsm.rank() == 0 {
                 loop {
-                    let v = u64::from_le_bytes(
-                        dsm.read(ctx, 128, 8).try_into().unwrap(),
-                    );
+                    let v = u64::from_le_bytes(dsm.read(ctx, 128, 8).try_into().unwrap());
                     if v == RANKS as u64 * PER_RANK {
                         return v;
                     }
@@ -242,7 +240,10 @@ fn stats_account_for_migrations() {
     run_world(&sim);
     let s0 = handles[0].expect_result();
     let s1 = handles[1].expect_result();
-    assert!(s0.pages_shipped >= 1, "rank0 shipped page 0 to rank1: {s0:?}");
+    assert!(
+        s0.pages_shipped >= 1,
+        "rank0 shipped page 0 to rank1: {s0:?}"
+    );
     assert!(s1.pages_shipped >= 1, "rank1 shipped it back: {s1:?}");
     assert!(s0.faults >= 1 && s1.faults >= 1);
 }

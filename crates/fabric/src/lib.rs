@@ -33,4 +33,4 @@ pub mod params;
 pub mod san;
 
 pub use params::{LinkParams, LossModel, NetParams, SwitchParams};
-pub use san::{Delivery, NodeId, RxHandler, San, SanStats};
+pub use san::{Delivery, LossState, NodeId, RxHandler, San, SanStats};

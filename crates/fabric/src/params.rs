@@ -177,7 +177,13 @@ impl NetParams {
     }
 
     /// Builder-style override: Gilbert–Elliott burst loss.
-    pub fn with_burst_loss(mut self, p_g2b: f64, p_b2g: f64, loss_good: f64, loss_bad: f64) -> Self {
+    pub fn with_burst_loss(
+        mut self,
+        p_g2b: f64,
+        p_b2g: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> Self {
         for v in [p_g2b, p_b2g, loss_good, loss_bad] {
             assert!((0.0..=1.0).contains(&v), "probability out of range");
         }

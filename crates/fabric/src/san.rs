@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simkit::{EventClass, Sim, SimDuration, SimRng, SimTime};
+use trace::{MsgId, TracePoint, Tracer};
 
 use crate::params::{LossModel, NetParams};
 
@@ -49,8 +50,57 @@ pub type RxHandler = Arc<dyn Fn(&Sim, Delivery) + Send + Sync>;
 #[derive(Default)]
 struct DirLink {
     busy_until: SimTime,
+    loss: LossState,
+}
+
+/// Per-link loss-channel state: the Gilbert–Elliott good/bad automaton
+/// (trivial for the memoryless models). One instance lives on every link
+/// direction; it is public so tests can pin the state-transition-then-draw
+/// order against the model's analytic stationary loss rate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LossState {
     /// Gilbert–Elliott channel state (false = Good, true = Bad).
     bad: bool,
+}
+
+impl LossState {
+    /// Fresh channel in the Good state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True while the channel sits in the Bad state.
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// Advance the channel state and roll one per-frame drop decision.
+    ///
+    /// Draw order is load-bearing for seeded reproducibility: the state
+    /// transition consumes its RNG draw(s) *before* the loss draw, every
+    /// frame, so a trace of `rng` calls maps 1:1 onto frames.
+    pub fn roll(&mut self, rng: &mut SimRng, model: LossModel) -> bool {
+        match model {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => rng.chance(p),
+            LossModel::GilbertElliott {
+                p_g2b,
+                p_b2g,
+                loss_good,
+                loss_bad,
+            } => {
+                // State transition first, then the per-frame loss draw.
+                if self.bad {
+                    if rng.chance(p_b2g) {
+                        self.bad = false;
+                    }
+                } else if rng.chance(p_g2b) {
+                    self.bad = true;
+                }
+                rng.chance(if self.bad { loss_bad } else { loss_good })
+            }
+        }
+    }
 }
 
 /// Aggregate traffic counters.
@@ -66,32 +116,6 @@ pub struct SanStats {
     pub bytes_delivered: u64,
 }
 
-impl SanState {
-    /// Advance the link's loss-channel state and roll one drop decision.
-    fn roll_loss(rng: &mut SimRng, model: LossModel, link_bad: &mut bool) -> bool {
-        match model {
-            LossModel::None => false,
-            LossModel::Bernoulli { p } => rng.chance(p),
-            LossModel::GilbertElliott {
-                p_g2b,
-                p_b2g,
-                loss_good,
-                loss_bad,
-            } => {
-                // State transition first, then the per-frame loss draw.
-                if *link_bad {
-                    if rng.chance(p_b2g) {
-                        *link_bad = false;
-                    }
-                } else if rng.chance(p_g2b) {
-                    *link_bad = true;
-                }
-                rng.chance(if *link_bad { loss_bad } else { loss_good })
-            }
-        }
-    }
-}
-
 struct SanState {
     params: NetParams,
     uplinks: Vec<DirLink>,
@@ -99,6 +123,7 @@ struct SanState {
     handlers: Vec<Option<RxHandler>>,
     rng: SimRng,
     stats: SanStats,
+    tracer: Tracer,
 }
 
 /// Handle to the SAN; cheap to clone.
@@ -121,8 +146,15 @@ impl San {
                 handlers: (0..nodes).map(|_| None).collect(),
                 rng: SimRng::derive(seed, "fabric-loss"),
                 stats: SanStats::default(),
+                tracer: Tracer::disabled(),
             })),
         }
+    }
+
+    /// Install a tracer recording wire tx/rx/drop points. Pass
+    /// [`Tracer::disabled`] to detach.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.state.lock().tracer = tracer;
     }
 
     /// Number of attached nodes.
@@ -150,15 +182,34 @@ impl San {
     /// layers own fragmentation) or if src == dst (no loopback path in the
     /// paper's testbed; VIA loopback short-circuits above the fabric).
     pub fn send(&self, src: NodeId, dst: NodeId, payload_bytes: u32, body: Box<dyn Any + Send>) {
-        self.send_inner(src, dst, payload_bytes, body, true)
+        self.send_inner(src, dst, payload_bytes, body, true, None)
+    }
+
+    /// Like [`San::send`], but tagged with the message the frame belongs
+    /// to, so wire-level trace records correlate with the upper layers.
+    pub fn send_msg(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+        body: Box<dyn Any + Send>,
+        msg: Option<MsgId>,
+    ) {
+        self.send_inner(src, dst, payload_bytes, body, true, msg)
     }
 
     /// Like [`San::send`], but exempt from loss injection. Connection
     /// managers use this: real VIA implementations run their connection
     /// dialogs over a reliable (kernel-mediated) control channel even when
     /// the data path is unreliable.
-    pub fn send_control(&self, src: NodeId, dst: NodeId, payload_bytes: u32, body: Box<dyn Any + Send>) {
-        self.send_inner(src, dst, payload_bytes, body, false)
+    pub fn send_control(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+        body: Box<dyn Any + Send>,
+    ) {
+        self.send_inner(src, dst, payload_bytes, body, false, None)
     }
 
     fn send_inner(
@@ -168,6 +219,7 @@ impl San {
         payload_bytes: u32,
         body: Box<dyn Any + Send>,
         lossy: bool,
+        msg: Option<MsgId>,
     ) {
         assert_ne!(src, dst, "fabric has no loopback path");
         let now = self.sim.now();
@@ -197,13 +249,15 @@ impl San {
             let model = st.params.loss;
             let st_ref = &mut *st;
             let dropped = lossy
-                && SanState::roll_loss(
-                    &mut st_ref.rng,
-                    model,
-                    &mut st_ref.uplinks[src.index()].bad,
-                );
+                && st_ref.uplinks[src.index()]
+                    .loss
+                    .roll(&mut st_ref.rng, model);
+            st.tracer
+                .record(now, TracePoint::WireTx, src.0, msg, payload_bytes as u64);
             if dropped {
                 st.stats.frames_dropped += 1;
+                // aux = 1: dropped on the source uplink.
+                st.tracer.record(now, TracePoint::WireDrop, src.0, msg, 1);
             }
             (at_switch, dropped)
         };
@@ -213,12 +267,20 @@ impl San {
         let san = self.clone();
         self.sim
             .call_at_as(EventClass::Fabric, arrive_switch, move |_| {
-                san.forward(src, dst, payload_bytes, body, lossy);
+                san.forward(src, dst, payload_bytes, body, lossy, msg);
             });
     }
 
     /// Switch egress stage: occupy the destination downlink, then deliver.
-    fn forward(&self, src: NodeId, dst: NodeId, payload_bytes: u32, body: Box<dyn Any + Send>, lossy: bool) {
+    fn forward(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+        body: Box<dyn Any + Send>,
+        lossy: bool,
+        msg: Option<MsgId>,
+    ) {
         let now = self.sim.now();
         let (arrive_nic, dropped) = {
             let mut st = self.state.lock();
@@ -231,13 +293,13 @@ impl San {
             let model = st.params.loss;
             let st_ref = &mut *st;
             let dropped = lossy
-                && SanState::roll_loss(
-                    &mut st_ref.rng,
-                    model,
-                    &mut st_ref.downlinks[dst.index()].bad,
-                );
+                && st_ref.downlinks[dst.index()]
+                    .loss
+                    .roll(&mut st_ref.rng, model);
             if dropped {
                 st.stats.frames_dropped += 1;
+                // aux = 2: dropped on the destination downlink.
+                st.tracer.record(now, TracePoint::WireDrop, dst.0, msg, 2);
             }
             (arrive, dropped)
         };
@@ -245,26 +307,34 @@ impl San {
             return;
         }
         let san = self.clone();
-        self.sim.call_at_as(EventClass::Fabric, arrive_nic, move |sim| {
-            let handler = {
-                let mut st = san.state.lock();
-                st.stats.frames_delivered += 1;
-                st.stats.bytes_delivered += payload_bytes as u64;
-                st.handlers[dst.index()].clone()
-            };
-            let handler = handler.unwrap_or_else(|| {
-                panic!("frame delivered to node {dst} with no handler attached")
+        self.sim
+            .call_at_as(EventClass::Fabric, arrive_nic, move |sim| {
+                let handler = {
+                    let mut st = san.state.lock();
+                    st.stats.frames_delivered += 1;
+                    st.stats.bytes_delivered += payload_bytes as u64;
+                    st.tracer.record(
+                        sim.now(),
+                        TracePoint::WireRx,
+                        dst.0,
+                        msg,
+                        payload_bytes as u64,
+                    );
+                    st.handlers[dst.index()].clone()
+                };
+                let handler = handler.unwrap_or_else(|| {
+                    panic!("frame delivered to node {dst} with no handler attached")
+                });
+                handler(
+                    sim,
+                    Delivery {
+                        src,
+                        dst,
+                        payload_bytes,
+                        body,
+                    },
+                );
             });
-            handler(
-                sim,
-                Delivery {
-                    src,
-                    dst,
-                    payload_bytes,
-                    body,
-                },
-            );
-        });
     }
 
     /// Unloaded one-way frame latency for a given payload (no queueing):
@@ -273,7 +343,11 @@ impl San {
     pub fn unloaded_latency(&self, payload_bytes: u32) -> SimDuration {
         let st = self.state.lock();
         let ser = st.params.link.serialization(payload_bytes);
-        let sers = if st.params.switch.cut_through { ser } else { ser * 2 };
+        let sers = if st.params.switch.cut_through {
+            ser
+        } else {
+            ser * 2
+        };
         sers + st.params.link.propagation * 2 + st.params.switch.latency
     }
 
@@ -450,8 +524,7 @@ mod tests {
             }
             (longest, san.stats().frames_dropped)
         }
-        let burst =
-            NetParams::myrinet().with_burst_loss(0.005, 0.10, 0.0, 0.95);
+        let burst = NetParams::myrinet().with_burst_loss(0.005, 0.10, 0.0, 0.95);
         let (burst_run, burst_drops) = longest_drop_run(burst, 5);
         let bern = NetParams::myrinet().with_loss(burst.loss.mean_loss());
         let (bern_run, bern_drops) = longest_drop_run(bern, 5);
@@ -461,6 +534,58 @@ mod tests {
             burst_run >= bern_run * 2,
             "burst runs ({burst_run}) must dwarf Bernoulli runs ({bern_run})"
         );
+    }
+
+    #[test]
+    fn tracer_records_wire_tx_rx_with_msgid() {
+        use trace::TraceConfig;
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+        let _log = collect_arrivals(&san, NodeId(1));
+        let tracer = Tracer::new(TraceConfig::default());
+        san.set_tracer(tracer.clone());
+        let id = MsgId {
+            src_node: 0,
+            vi: 2,
+            seq: 9,
+        };
+        san.send_msg(NodeId(0), NodeId(1), 512, Box::new(()), Some(id));
+        sim.run_to_completion();
+        let recs = tracer.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].point, TracePoint::WireTx);
+        assert_eq!(recs[0].node, 0);
+        assert_eq!(recs[0].msg, Some(id));
+        assert_eq!(recs[0].aux, 512);
+        assert_eq!(recs[1].point, TracePoint::WireRx);
+        assert_eq!(recs[1].node, 1);
+        assert_eq!(recs[1].msg, Some(id));
+        // The rx stamp is the delivery time, strictly after the tx stamp.
+        assert!(recs[1].at_ns > recs[0].at_ns);
+    }
+
+    #[test]
+    fn tracer_records_drops_with_hop_tag() {
+        use trace::TraceConfig;
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet().with_loss(0.5), 2, 99);
+        let _log = collect_arrivals(&san, NodeId(1));
+        let tracer = Tracer::new(TraceConfig::default());
+        san.set_tracer(tracer.clone());
+        for _ in 0..100 {
+            san.send(NodeId(0), NodeId(1), 64, Box::new(()));
+        }
+        sim.run_to_completion();
+        let drops = tracer.count(TracePoint::WireDrop);
+        assert_eq!(drops, san.stats().frames_dropped);
+        assert!(drops > 0);
+        let recs = tracer.records();
+        // Hop tags: 1 = uplink (recorded on src), 2 = downlink (on dst).
+        assert!(recs
+            .iter()
+            .filter(|r| r.point == TracePoint::WireDrop)
+            .all(|r| (r.aux == 1 && r.node == 0) || (r.aux == 2 && r.node == 1)));
+        assert_eq!(tracer.count(TracePoint::WireTx), 100);
     }
 
     #[test]
@@ -476,7 +601,12 @@ mod tests {
                 *got2.lock() = Some((*v).clone());
             }),
         );
-        san.send(NodeId(0), NodeId(1), 11, Box::new("hello world".to_string()));
+        san.send(
+            NodeId(0),
+            NodeId(1),
+            11,
+            Box::new("hello world".to_string()),
+        );
         sim.run_to_completion();
         assert_eq!(got.lock().as_deref(), Some("hello world"));
     }

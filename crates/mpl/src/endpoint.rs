@@ -21,7 +21,7 @@
 use simkit::{ProcessCtx, SimDuration, WaitMode};
 use via::{
     Cq, Descriptor, Discriminator, MemAttributes, MemHandle, Profile, Provider, QueueKind,
-    Reliability, ViAttributes, Vi, ViId,
+    Reliability, Vi, ViAttributes, ViId,
 };
 
 use crate::proto::{self, Kind, Tag};
@@ -265,7 +265,11 @@ impl Mpl {
             self.peer(src).bulk_done = Some(comp.length);
             return;
         }
-        let comp = self.peer(src).eager.recv_done(ctx).expect("eager completion");
+        let comp = self
+            .peer(src)
+            .eager
+            .recv_done(ctx)
+            .expect("eager completion");
         assert!(comp.is_ok(), "eager recv: {:?}", comp.status);
         let (kind, tag) = proto::unpack(comp.immediate.expect("layer messages carry imm"))
             .expect("valid layer immediate");
@@ -313,7 +317,9 @@ impl Mpl {
         let vi = self.peer(dst).eager.clone();
         vi.post_send(
             ctx,
-            Descriptor::send().segment(slot.0, slot.1, len as u32).immediate(imm),
+            Descriptor::send()
+                .segment(slot.0, slot.1, len as u32)
+                .immediate(imm),
         )
         .expect("eager post");
         let comp = vi.send_wait(ctx, WaitMode::Poll);

@@ -7,12 +7,18 @@ use simkit::Sim;
 use via::Profile;
 
 fn pattern(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(13).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(13).wrapping_add(salt))
+        .collect()
 }
 
 /// Two-rank exchange of one message of `len` bytes; returns (receiver's
 /// bytes, sender stats, receiver stats).
-fn exchange(profile: Profile, cfg: MplConfig, len: usize) -> (Vec<u8>, mpl::MplStats, mpl::MplStats) {
+fn exchange(
+    profile: Profile,
+    cfg: MplConfig,
+    len: usize,
+) -> (Vec<u8>, mpl::MplStats, mpl::MplStats) {
     let sim = Sim::new();
     let handles = Mpl::spawn_world(&sim, profile, 2, cfg, 1, move |ctx, mut mpl| {
         let buf = mpl.malloc((len as u64).max(1) + 64);
@@ -121,13 +127,23 @@ fn interleaved_eager_and_rendezvous_same_pair() {
             let buf = mpl.malloc(64 * 1024);
             let mh = mpl.register(ctx, buf, 64 * 1024);
             if mpl.rank() == 0 {
-                for (tag, len, salt) in [(1u16, 128usize, 1u8), (2, 30_000, 2), (3, 64, 3), (4, 25_000, 4)] {
+                for (tag, len, salt) in [
+                    (1u16, 128usize, 1u8),
+                    (2, 30_000, 2),
+                    (3, 64, 3),
+                    (4, 25_000, 4),
+                ] {
                     mpl.mem_write(buf, &pattern(len, salt));
                     mpl.send(ctx, 1, tag, buf, mh, len as u64);
                 }
                 true
             } else {
-                for (tag, len, salt) in [(1u16, 128usize, 1u8), (2, 30_000, 2), (3, 64, 3), (4, 25_000, 4)] {
+                for (tag, len, salt) in [
+                    (1u16, 128usize, 1u8),
+                    (2, 30_000, 2),
+                    (3, 64, 3),
+                    (4, 25_000, 4),
+                ] {
                     let n = mpl.recv(ctx, 0, tag, buf, mh, 64 * 1024);
                     assert_eq!(n, len as u64, "tag {tag}");
                     assert_eq!(mpl.mem_read(buf, n), pattern(len, salt), "tag {tag}");

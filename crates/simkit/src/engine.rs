@@ -129,8 +129,9 @@ impl EventClass {
         }
     }
 
+    /// Dense index into per-class arrays, matching [`EventClass::ALL`] order.
     #[inline]
-    fn index(self) -> usize {
+    pub fn index(self) -> usize {
         match self {
             EventClass::Fabric => 0,
             EventClass::Firmware => 1,
@@ -415,7 +416,9 @@ impl SchedStats {
 
     /// Iterate `(class, tally)` pairs in display order.
     pub fn classes(&self) -> impl Iterator<Item = (EventClass, ClassTally)> + '_ {
-        EventClass::ALL.iter().map(|&c| (c, self.by_class[c.index()]))
+        EventClass::ALL
+            .iter()
+            .map(|&c| (c, self.by_class[c.index()]))
     }
 }
 
@@ -497,7 +500,22 @@ pub(crate) struct SimInner {
     pub(crate) procs: Mutex<Vec<Arc<ProcessRecord>>>,
     pub(crate) cpus: Mutex<Vec<CpuRecord>>,
     pub(crate) shutdown: AtomicBool,
+    /// Fast-path guard for `hook`: the run loop checks this relaxed flag
+    /// before touching the mutex, so an unhooked simulation pays one
+    /// predictable-branch load per event and nothing else.
+    hook_set: AtomicBool,
+    /// Observer invoked after each fired event (outside the scheduler
+    /// lock), installed by [`Sim::set_event_hook`].
+    hook: Mutex<Option<EventHook>>,
 }
+
+/// Observer called once per fired event with its timestamp and class.
+///
+/// Hooks run on the scheduler thread *after* the event's bookkeeping but
+/// *before* its action executes, and never under the scheduler lock — a
+/// hook may inspect the [`Sim`] but must not block. Tracing layers use
+/// this to tally engine activity without the engine depending on them.
+pub type EventHook = Arc<dyn Fn(SimTime, EventClass) + Send + Sync>;
 
 /// Handle to a simulation. Cheap to clone; all clones share one virtual
 /// world. The thread that calls [`Sim::run`] becomes the scheduler thread.
@@ -627,8 +645,19 @@ impl Sim {
                 procs: Mutex::new(Vec::new()),
                 cpus: Mutex::new(Vec::new()),
                 shutdown: AtomicBool::new(false),
+                hook_set: AtomicBool::new(false),
+                hook: Mutex::new(None),
             }),
         }
+    }
+
+    /// Install (or clear, with `None`) the per-event observer. See
+    /// [`EventHook`] for the contract. The disabled path costs one relaxed
+    /// atomic load per event.
+    pub fn set_event_hook(&self, hook: Option<EventHook>) {
+        let set = hook.is_some();
+        *self.inner.hook.lock() = hook;
+        self.inner.hook_set.store(set, AtomicOrdering::Release);
     }
 
     /// Current virtual time.
@@ -675,7 +704,12 @@ impl Sim {
     }
 
     /// [`Sim::call_at`] with an explicit [`EventClass`] tag.
-    pub fn call_at_as(&self, class: EventClass, at: SimTime, f: impl FnOnce(&Sim) + Send + 'static) {
+    pub fn call_at_as(
+        &self,
+        class: EventClass,
+        at: SimTime,
+        f: impl FnOnce(&Sim) + Send + 'static,
+    ) {
         self.push_as(at, class, Action::from_closure(f));
     }
 
@@ -768,7 +802,12 @@ impl Sim {
     /// the baton protocol guarantees it never executes concurrently with the
     /// scheduler or another process. `cpu`, when given, is charged by
     /// [`ProcessCtx::busy`] and the `*_charged` waits.
-    pub fn spawn<T, F>(&self, name: impl Into<String>, cpu: Option<CpuId>, body: F) -> ProcessHandle<T>
+    pub fn spawn<T, F>(
+        &self,
+        name: impl Into<String>,
+        cpu: Option<CpuId>,
+        body: F,
+    ) -> ProcessHandle<T>
     where
         T: Send + 'static,
         F: FnOnce(&mut ProcessCtx) -> T + Send + 'static,
@@ -820,7 +859,7 @@ impl Sim {
     /// only at this point — not at batch-fill — so a cohort member
     /// cancelling a later same-timestamp timer still wins, exactly as in
     /// the one-at-a-time pop loop.
-    fn pop_live(&self) -> Option<(SimTime, Action)> {
+    fn pop_live(&self) -> Option<(SimTime, EventClass, Action)> {
         let mut s = self.inner.sched.lock();
         loop {
             let entry = match s.batch.pop_front() {
@@ -851,7 +890,7 @@ impl Sim {
             let action = s.free_slot(entry.slot);
             s.stats.fired += 1;
             s.stats.by_class[entry.class.index()].fired += 1;
-            return Some((entry.at, action));
+            return Some((entry.at, entry.class, action));
         }
     }
 
@@ -859,10 +898,18 @@ impl Sim {
     pub fn run(&self) -> RunReport {
         let pool_at_entry = self.inner.sched.lock().stats.pool;
         let mut events = 0u64;
-        while let Some((at, action)) = self.pop_live() {
+        while let Some((at, class, action)) = self.pop_live() {
             debug_assert!(at.as_nanos() >= self.inner.now_ns.load(AtomicOrdering::Relaxed));
-            self.inner.now_ns.store(at.as_nanos(), AtomicOrdering::Release);
+            self.inner
+                .now_ns
+                .store(at.as_nanos(), AtomicOrdering::Release);
             events += 1;
+            if self.inner.hook_set.load(AtomicOrdering::Relaxed) {
+                let hook = self.inner.hook.lock().clone();
+                if let Some(hook) = hook {
+                    hook(at, class);
+                }
+            }
             match action {
                 Action::Small(cell) => cell.invoke(self),
                 Action::Large(cell) => cell.invoke(self),
@@ -871,7 +918,13 @@ impl Sim {
             }
         }
         THREAD_EVENTS.with(|c| c.set(c.get() + events));
-        let pool_delta = self.inner.sched.lock().stats.pool.delta_since(&pool_at_entry);
+        let pool_delta = self
+            .inner
+            .sched
+            .lock()
+            .stats
+            .pool
+            .delta_since(&pool_at_entry);
         THREAD_POOL.with(|c| {
             let mut p = c.get();
             p.merge(&pool_delta);
@@ -973,6 +1026,34 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     #[test]
+    fn event_hook_sees_fired_events_not_cancelled_ones() {
+        let sim = Sim::new();
+        let log: Arc<Mutex<Vec<(SimTime, EventClass)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        sim.set_event_hook(Some(Arc::new(move |at, class| {
+            log2.lock().push((at, class));
+        })));
+        sim.call_in_as(EventClass::Doorbell, SimDuration::from_nanos(5), |_| {});
+        sim.call_in_as(EventClass::Fabric, SimDuration::from_nanos(9), |_| {});
+        let t = sim.timer_in(EventClass::Retransmit, SimDuration::from_nanos(7), |_| {});
+        assert!(t.cancel());
+        sim.run();
+        assert_eq!(
+            *log.lock(),
+            vec![
+                (SimTime::from_nanos(5), EventClass::Doorbell),
+                (SimTime::from_nanos(9), EventClass::Fabric),
+            ],
+            "hook must see fired events in order and skip cancelled timers"
+        );
+        // Clearing the hook stops observation.
+        sim.set_event_hook(None);
+        sim.call_in(SimDuration::from_nanos(1), |_| {});
+        sim.run();
+        assert_eq!(log.lock().len(), 2);
+    }
+
+    #[test]
     fn events_run_in_time_order() {
         let sim = Sim::new();
         let log = Arc::new(Mutex::new(Vec::new()));
@@ -1009,7 +1090,9 @@ mod tests {
                 return;
             }
             count.fetch_add(1, AtomicOrdering::Relaxed);
-            sim.call_in(SimDuration::from_micros(1), move |s| chain(s, count, left - 1));
+            sim.call_in(SimDuration::from_micros(1), move |s| {
+                chain(s, count, left - 1)
+            });
         }
         let c = Arc::clone(&count);
         sim.call_soon(move |s| chain(s, c, 100));
@@ -1058,9 +1141,13 @@ mod tests {
         let hit = Arc::new(AtomicUsize::new(0));
         let h = {
             let hit = Arc::clone(&hit);
-            sim.timer_in(EventClass::Retransmit, SimDuration::from_micros(10), move |_| {
-                hit.fetch_add(1, AtomicOrdering::Relaxed);
-            })
+            sim.timer_in(
+                EventClass::Retransmit,
+                SimDuration::from_micros(10),
+                move |_| {
+                    hit.fetch_add(1, AtomicOrdering::Relaxed);
+                },
+            )
         };
         assert!(h.is_pending());
         assert!(h.cancel());
@@ -1072,7 +1159,11 @@ mod tests {
         assert_eq!(report.sched.cancelled, 1);
         assert_eq!(report.sched.dead_popped, 1);
         assert_eq!(report.sched.class(EventClass::Retransmit).cancelled, 1);
-        assert_eq!(report.end_time, SimTime::ZERO, "dead entry must not advance time");
+        assert_eq!(
+            report.end_time,
+            SimTime::ZERO,
+            "dead entry must not advance time"
+        );
     }
 
     #[test]
@@ -1162,12 +1253,20 @@ mod tests {
             assert!(b.cancel(), "same-timestamp cancel must still win");
         });
         let hit2 = Arc::clone(&hit);
-        let b = sim.timer_in(EventClass::Retransmit, SimDuration::from_micros(5), move |_| {
-            hit2.fetch_add(1, AtomicOrdering::Relaxed);
-        });
+        let b = sim.timer_in(
+            EventClass::Retransmit,
+            SimDuration::from_micros(5),
+            move |_| {
+                hit2.fetch_add(1, AtomicOrdering::Relaxed);
+            },
+        );
         *b_handle.lock() = Some(b);
         let report = sim.run();
-        assert_eq!(hit.load(AtomicOrdering::Relaxed), 0, "cancelled cohort member fired");
+        assert_eq!(
+            hit.load(AtomicOrdering::Relaxed),
+            0,
+            "cancelled cohort member fired"
+        );
         assert_eq!(report.sched.cancelled, 1);
         assert_eq!(report.sched.dead_popped, 1);
     }

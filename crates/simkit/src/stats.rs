@@ -293,7 +293,51 @@ mod tests {
     fn empty_histogram_is_zero() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        // Every rank of an empty histogram is zero, including the edges.
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn single_sample_histogram_returns_that_sample_at_every_rank() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(5));
+        assert_eq!(h.count(), 1);
+        // One sample: the bucket upper bound clamps to max_ns, so every
+        // percentile is the sample itself, exactly.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), SimDuration::from_micros(5), "p={p}");
+        }
+    }
+
+    #[test]
+    fn zero_duration_sample_lands_in_the_bottom_bucket() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        // ns.max(1) maps zero into bucket 0; the upper bound then clamps
+        // to the recorded max of 0.
+        assert_eq!(h.percentile(50.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn values_past_top_bucket_clamp_without_overflow() {
+        // 2^63 and u64::MAX both land in bucket 63, whose upper bound
+        // would be 2^64: the clamp must return u64::MAX (then min'd with
+        // the recorded max), not shift-overflow.
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(1u64 << 63));
+        h.record(SimDuration::from_nanos(u64::MAX));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), SimDuration::from_nanos(u64::MAX));
+        assert_eq!(h.percentile(50.0), SimDuration::from_nanos(u64::MAX));
+        assert_eq!(h.percentile(100.0), SimDuration::from_nanos(u64::MAX));
+        // With only the 2^63 sample, the top-bucket bound clamps to it.
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(1u64 << 63));
+        assert_eq!(h.percentile(99.0), SimDuration::from_nanos(1u64 << 63));
     }
 
     #[test]

@@ -300,7 +300,9 @@ mod tests {
         });
         let rx = ch.clone();
         let h = sim.spawn("consumer", None, move |ctx| {
-            (0..5).map(|_| rx.recv(ctx, WaitMode::Block)).collect::<Vec<_>>()
+            (0..5)
+                .map(|_| rx.recv(ctx, WaitMode::Block))
+                .collect::<Vec<_>>()
         });
         sim.run_to_completion();
         assert_eq!(h.expect_result(), vec![0, 1, 2, 3, 4]);

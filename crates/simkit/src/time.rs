@@ -260,7 +260,10 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_micros(10);
         assert_eq!(t.as_nanos(), 10_000);
         assert_eq!((t - SimTime::ZERO).as_micros_f64(), 10.0);
-        assert_eq!(t.duration_since(SimTime::from_nanos(4_000)).as_nanos(), 6_000);
+        assert_eq!(
+            t.duration_since(SimTime::from_nanos(4_000)).as_nanos(),
+            6_000
+        );
         assert_eq!(
             SimTime::from_nanos(5).saturating_duration_since(SimTime::from_nanos(9)),
             SimDuration::ZERO

@@ -322,7 +322,9 @@ mod tests {
         let ch = {
             let pa = pa.clone();
             sim.spawn("client", Some(pa.cpu()), move |ctx| {
-                let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+                let vi = pa
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
                 pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(3), None)
             })
         };
@@ -330,7 +332,9 @@ mod tests {
             let pb = pb.clone();
             sim.spawn("late-server", Some(pb.cpu()), move |ctx| {
                 ctx.sleep(simkit::SimDuration::from_millis(10));
-                let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+                let vi = pb
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
                 pb.accept(ctx, &vi, Discriminator(3)).unwrap();
             });
         }
@@ -344,7 +348,9 @@ mod tests {
         let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 0);
         let pa = cluster.provider(0);
         sim.spawn("t", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             assert_eq!(pa.disconnect(ctx, &vi), Err(ViaError::InvalidState));
         });
         sim.run_to_completion();
@@ -375,7 +381,8 @@ mod tests {
                     ..Default::default()
                 };
                 let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
-                pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+                pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                    .unwrap();
                 vi.conn_state()
             })
         };

@@ -213,7 +213,9 @@ mod tests {
     fn wire_size_grows_per_segment() {
         let base = Descriptor::send().wire_size();
         let one = Descriptor::send().segment(0, h(0), 1).wire_size();
-        let rdma = Descriptor::rdma_write(0, h(0)).segment(0, h(0), 1).wire_size();
+        let rdma = Descriptor::rdma_write(0, h(0))
+            .segment(0, h(0), 1)
+            .wire_size();
         assert_eq!(one - base, SEGMENT_BYTES);
         assert_eq!(rdma - one, SEGMENT_BYTES); // the address segment
     }
@@ -230,7 +232,10 @@ mod tests {
     #[test]
     fn send_with_remote_segment_rejected() {
         let mut d = Descriptor::send().segment(0x1000, h(0), 8);
-        d.remote = Some(RemoteSegment { va: 0, handle: h(1) });
+        d.remote = Some(RemoteSegment {
+            va: 0,
+            handle: h(1),
+        });
         assert_eq!(d.validate_shape(), Err(ViaError::DescriptorError));
     }
 

@@ -72,7 +72,6 @@ pub use mem::MemAttributes;
 pub use profile::{DataCosts, DataPathKind, Profile, SetupCosts};
 pub use provider::{Cluster, ProbeEvent, Provider, ProviderStats};
 pub use types::{
-    CqId, Discriminator, MemHandle, QueueKind, Reliability, ViAttributes, ViId, ViaError,
-    ViaResult,
+    CqId, Discriminator, MemHandle, QueueKind, Reliability, ViAttributes, ViId, ViaError, ViaResult,
 };
 pub use vi::{ConnState, Vi};

@@ -49,7 +49,10 @@ impl ProcessMem {
     /// Fresh address space. Addresses start away from zero so that a null
     /// address is always invalid.
     pub fn new(page_size: u32) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         ProcessMem {
             page_size: page_size as u64,
             next_va: 0x1000_0000,
@@ -250,7 +253,9 @@ mod tests {
     fn check_registered_enforces_bounds() {
         let mut m = mem();
         let va = m.malloc(4096);
-        let h = m.register(va + 100, 1000, MemAttributes::default()).unwrap();
+        let h = m
+            .register(va + 100, 1000, MemAttributes::default())
+            .unwrap();
         assert!(m.check_registered(h, va + 100, 1000).is_ok());
         assert!(m.check_registered(h, va + 500, 600).is_ok());
         assert_eq!(
@@ -274,7 +279,10 @@ mod tests {
         assert_eq!(last, va / 4096);
         assert_eq!(m.live_registrations(), 0);
         assert_eq!(m.deregister(h), Err(ViaError::InvalidMemHandle));
-        assert_eq!(m.check_registered(h, va, 1), Err(ViaError::InvalidMemHandle));
+        assert_eq!(
+            m.check_registered(h, va, 1),
+            Err(ViaError::InvalidMemHandle)
+        );
     }
 
     #[test]

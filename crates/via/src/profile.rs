@@ -159,8 +159,8 @@ impl Profile {
             supports_rdma_write: true,
             supports_rdma_read: false,
             setup: SetupCosts {
-                create_vi: SimDuration::from_micros(93), // Table 1
-                destroy_vi: SimDuration::from_nanos(190), // Table 1
+                create_vi: SimDuration::from_micros(93),         // Table 1
+                destroy_vi: SimDuration::from_nanos(190),        // Table 1
                 connect_client: SimDuration::from_micros(3_600), // Table 1 (6465 total)
                 connect_server: SimDuration::from_micros(2_850),
                 teardown: SimDuration::from_micros(3), // Table 1
@@ -220,8 +220,8 @@ impl Profile {
             supports_rdma_write: false,
             supports_rdma_read: false,
             setup: SetupCosts {
-                create_vi: SimDuration::from_micros(28), // Table 1
-                destroy_vi: SimDuration::from_nanos(190), // Table 1
+                create_vi: SimDuration::from_micros(28),       // Table 1
+                destroy_vi: SimDuration::from_nanos(190),      // Table 1
                 connect_client: SimDuration::from_micros(260), // Table 1 (496 total)
                 connect_server: SimDuration::from_micros(225),
                 teardown: SimDuration::from_micros(9), // Table 1
@@ -283,14 +283,14 @@ impl Profile {
             supports_rdma_write: true,
             supports_rdma_read: false,
             setup: SetupCosts {
-                create_vi: SimDuration::from_micros(3), // Table 1
-                destroy_vi: SimDuration::from_nanos(110), // Table 1
+                create_vi: SimDuration::from_micros(3),          // Table 1
+                destroy_vi: SimDuration::from_nanos(110),        // Table 1
                 connect_client: SimDuration::from_micros(1_350), // Table 1 (2454 total)
                 connect_server: SimDuration::from_micros(1_095),
                 teardown: SimDuration::from_micros(155), // Table 1
                 create_cq: SimDuration::from_micros(54), // Table 1
                 destroy_cq: SimDuration::from_micros(15), // Table 1
-                reg_base: SimDuration::from_micros(4), // Fig 1 shape
+                reg_base: SimDuration::from_micros(4),   // Fig 1 shape
                 reg_per_page: SimDuration::from_nanos(1_100),
                 dereg_base: SimDuration::from_micros(3), // Fig 2 shape
                 dereg_per_page: SimDuration::from_nanos(3),

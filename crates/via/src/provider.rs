@@ -6,6 +6,7 @@ use std::sync::Arc;
 use fabric::{NodeId, San};
 use parking_lot::{Mutex, MutexGuard};
 use simkit::{CpuId, ProcessCtx, Sim, SimDuration, WaitMode};
+use trace::{TraceConfig, Tracer};
 use vnic::{InterruptController, PciBus, TlbStats, XlateEngine};
 
 use crate::cq::{Cq, CqState};
@@ -13,7 +14,9 @@ use crate::descriptor::Completion;
 use crate::mem::{MemAttributes, ProcessMem};
 use crate::profile::Profile;
 use crate::transport;
-use crate::types::{CqId, Discriminator, MemHandle, QueueKind, ViAttributes, ViId, ViaError, ViaResult};
+use crate::types::{
+    CqId, Discriminator, MemHandle, QueueKind, ViAttributes, ViId, ViaError, ViaResult,
+};
 use crate::vi::{Vi, ViState};
 use crate::wire::Frame;
 
@@ -100,6 +103,9 @@ pub(crate) struct ProviderState {
     pub mem: ProcessMem,
     /// Data-path probe: when `Some`, transport stages append events here.
     pub probe: Option<Vec<ProbeEvent>>,
+    /// Message-lifecycle tracer; disabled (a single branch per would-be
+    /// record) unless [`Cluster::enable_trace`] attached one.
+    pub tracer: Tracer,
     /// Busy-until of the receive-side processing engine (NIC processor on
     /// the offload path, kernel on the emulated path): per-fragment receive
     /// work is serial on one engine.
@@ -420,7 +426,12 @@ impl Provider {
         st.cq_mut(cq).entries.pop_front()
     }
 
-    pub(crate) fn cq_wait(&self, ctx: &mut ProcessCtx, cq: CqId, mode: WaitMode) -> (ViId, QueueKind) {
+    pub(crate) fn cq_wait(
+        &self,
+        ctx: &mut ProcessCtx,
+        cq: CqId,
+        mode: WaitMode,
+    ) -> (ViId, QueueKind) {
         loop {
             let token = {
                 let mut st = self.lock();
@@ -504,6 +515,7 @@ impl Cluster {
                     mem: ProcessMem::new(profile.host.page_size),
                     rx_engine_busy: simkit::SimTime::ZERO,
                     probe: None,
+                    tracer: Tracer::disabled(),
                     vis: Vec::new(),
                     cqs: Vec::new(),
                     xlate: XlateEngine::new(profile.xlate),
@@ -527,7 +539,7 @@ impl Cluster {
                         .body
                         .downcast::<Frame>()
                         .expect("non-VIA frame on a VIA SAN");
-                    transport::handle_frame(&pc, sim, *frame);
+                    transport::handle_frame(&pc, sim, delivery.src, *frame);
                 }),
             );
         }
@@ -563,6 +575,23 @@ impl Cluster {
     pub fn profile(&self) -> &Profile {
         &self.profile
     }
+
+    /// Attach a message-lifecycle [`Tracer`] to every layer of this
+    /// cluster: all providers (doorbell / firmware / translation / DMA /
+    /// ACK / completion / interrupt points), the SAN (wire tx / rx /
+    /// drop), and the scheduler (per-class engine event tallies via
+    /// [`simkit::Sim::set_event_hook`]). Returns the tracer handle;
+    /// tracing adds **no virtual-time cost**, so a traced run's timeline
+    /// is identical to an untraced one.
+    pub fn enable_trace(&self, config: TraceConfig) -> Tracer {
+        let tracer = Tracer::new(config);
+        for p in &self.providers {
+            p.state.lock().tracer = tracer.clone();
+        }
+        self.san.set_tracer(tracer.clone());
+        self.sim.set_event_hook(tracer.engine_hook());
+        tracer
+    }
 }
 
 #[cfg(test)]
@@ -582,7 +611,10 @@ mod tests {
     fn create_cq_rejects_zero_depth() {
         let (sim, p) = one_node_pair();
         sim.spawn("t", Some(p.cpu()), move |ctx| {
-            assert!(matches!(p.create_cq(ctx, 0), Err(ViaError::InvalidParameter)));
+            assert!(matches!(
+                p.create_cq(ctx, 0),
+                Err(ViaError::InvalidParameter)
+            ));
         });
         sim.run_to_completion();
     }
@@ -602,8 +634,12 @@ mod tests {
         let p2 = p.clone();
         sim.spawn("t", Some(p.cpu()), move |ctx| {
             assert_eq!(p2.active_vis(), 0);
-            let a = p2.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            let _b = p2.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let a = p2
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            let _b = p2
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             assert_eq!(p2.active_vis(), 2);
             p2.destroy_vi(ctx, a).unwrap();
             assert_eq!(p2.active_vis(), 1);

@@ -19,7 +19,8 @@
 use std::sync::Arc;
 
 use fabric::NodeId;
-use simkit::{EventClass, ProcessCtx, Sim, SimDuration, WaitMode, WaitToken};
+use simkit::{EventClass, ProcessCtx, Sim, SimDuration, SimTime, WaitMode, WaitToken};
+use trace::{MsgId, TracePoint};
 
 use crate::descriptor::{Completion, DescOp, Descriptor};
 use crate::mem::ProcessMem;
@@ -45,6 +46,33 @@ fn probe(provider: &Provider, vi: ViId, seq: u64, stage: &'static str) {
             at: now,
         });
     }
+}
+
+/// [`MsgId`] of a message this node originated (transmit side).
+fn tx_msg(provider: &Provider, vi: ViId, seq: u64) -> MsgId {
+    MsgId {
+        src_node: provider.node.0,
+        vi: vi.raw(),
+        seq,
+    }
+}
+
+/// [`MsgId`] reconstructed on the receive side: the *sender's* coordinates,
+/// taken from the fabric's source-node field and the frame header, so both
+/// ends of a message stamp the same id.
+fn rx_msg(src: NodeId, src_vi: ViId, seq: u64) -> MsgId {
+    MsgId {
+        src_node: src.0,
+        vi: src_vi.raw(),
+        seq,
+    }
+}
+
+/// Record a lifecycle trace point (single branch when tracing is off).
+/// Must not be called while holding the provider lock.
+fn trace_at(provider: &Provider, at: SimTime, point: TracePoint, msg: MsgId, aux: u64) {
+    let st = provider.lock();
+    st.tracer.record(at, point, provider.node.0, Some(msg), aux);
 }
 
 // ---------------------------------------------------------------------
@@ -153,7 +181,11 @@ struct JobSpec {
 
 enum JobPayload {
     Data(MsgKind),
-    ReadReq { remote_va: u64, remote_handle: u32, len: u64 },
+    ReadReq {
+        remote_va: u64,
+        remote_handle: u32,
+        len: u64,
+    },
 }
 
 /// `VipPostSend` body (send / RDMA write / RDMA read).
@@ -176,7 +208,8 @@ pub(crate) fn post_send(
     let (reliability, kind, data, pages) = {
         let st = provider.lock();
         for seg in &desc.segments {
-            st.mem.check_registered(seg.handle, seg.va, seg.len as u64)?;
+            st.mem
+                .check_registered(seg.handle, seg.va, seg.len as u64)?;
         }
         let vi = st.vi(vi_id);
         let Some(mtu) = vi.conn_mtu() else {
@@ -283,6 +316,14 @@ pub(crate) fn post_send(
     };
 
     probe(provider, vi_id, seq, "posted");
+    let msg = tx_msg(provider, vi_id, seq);
+    trace_at(
+        provider,
+        provider.sim.now(),
+        TracePoint::SendPosted,
+        msg,
+        total_len,
+    );
     if complete_inline {
         // Host-emulated unreliable: the buffer is reusable once the kernel
         // copy finished, i.e. now.
@@ -305,17 +346,27 @@ pub(crate) fn post_send(
     // Hand the job to the device path. Both architectures serialize
     // messages through the (real or emulated) device transmit queue so a
     // connection's fragments hit the wire in message order.
+    let ring = {
+        let st = provider.lock();
+        profile.doorbell.propagation_traced(
+            &st.tracer,
+            provider.sim.now(),
+            provider.node.0,
+            Some(msg),
+        )
+    };
     if host_emulated {
         nic_enqueue(provider, TxJobRef { vi: vi_id, seq });
     } else {
         // The doorbell write propagates to the device; the firmware's
         // scheduling scan is charged per job in nic_tx_start (a polling
         // firmware walks every VI's send block before each dispatch).
-        let delay = profile.doorbell.propagation();
         let p = provider.clone();
-        provider.sim.call_in_as(EventClass::Doorbell, delay, move |_| {
-            nic_enqueue(&p, TxJobRef { vi: vi_id, seq });
-        });
+        provider
+            .sim
+            .call_in_as(EventClass::Doorbell, ring, move |_| {
+                nic_enqueue(&p, TxJobRef { vi: vi_id, seq });
+            });
     }
     Ok(())
 }
@@ -332,7 +383,8 @@ pub(crate) fn post_recv(
     {
         let mut st = provider.lock();
         for seg in &desc.segments {
-            st.mem.check_registered(seg.handle, seg.va, seg.len as u64)?;
+            st.mem
+                .check_registered(seg.handle, seg.va, seg.len as u64)?;
         }
         let vi = st.vi_mut(vi_id);
         if vi.recv_posted.len() >= profile.max_queue_depth {
@@ -453,34 +505,55 @@ fn nic_tx_start(provider: &Provider, job: TxJobRef) {
     // One firmware scheduling pass (scan of every VI's send block on a
     // polling firmware; O(1) FIFO pop on hardware), then the descriptor
     // fetch DMA.
+    let msg = tx_msg(provider, spec.src_vi, spec.seq);
     let scan = {
         let st = provider.lock();
-        provider.profile.firmware.service_delay(st.active_vis())
+        provider.profile.firmware.service_delay_traced(
+            st.active_vis(),
+            &st.tracer,
+            provider.sim.now(),
+            provider.node.0,
+            Some(msg),
+        )
     };
     let p = provider.clone();
-    provider.sim.call_in_as(EventClass::Firmware, scan, move |_| {
-        probe(&p, spec.src_vi, spec.seq, "fw_scanned");
-        let fetch_end = p.pci.reserve(spec.desc_wire);
-        let p2 = p.clone();
-        p.sim.call_at_as(EventClass::Firmware, fetch_end, move |_| {
-            probe(&p2, spec.src_vi, spec.seq, "desc_fetched");
-            nic_tx_xlate(&p2, spec)
+    provider
+        .sim
+        .call_in_as(EventClass::Firmware, scan, move |_| {
+            probe(&p, spec.src_vi, spec.seq, "fw_scanned");
+            let fetch_end = p.pci.reserve(spec.desc_wire);
+            trace_at(&p, fetch_end, TracePoint::DescFetch, msg, spec.desc_wire);
+            let p2 = p.clone();
+            p.sim.call_at_as(EventClass::Firmware, fetch_end, move |_| {
+                probe(&p2, spec.src_vi, spec.seq, "desc_fetched");
+                nic_tx_xlate(&p2, spec)
+            });
         });
-    });
 }
 
 /// Stage 2: translate every page the descriptor touches.
 fn nic_tx_xlate(provider: &Provider, spec: JobSpec) {
+    let msg = tx_msg(provider, spec.src_vi, spec.seq);
     let delay = {
         let mut st = provider.lock();
         let pages = spec.pages.clone();
-        st.xlate.nic_translate(pages.into_iter(), &provider.pci)
+        let st = &mut *st;
+        st.xlate.nic_translate_traced(
+            pages.into_iter(),
+            &provider.pci,
+            &st.tracer,
+            provider.sim.now(),
+            provider.node.0,
+            Some(msg),
+        )
     };
     let p = provider.clone();
-    provider.sim.call_in_as(EventClass::Firmware, delay, move |_| {
-        probe(&p, spec.src_vi, spec.seq, "translated");
-        tx_fragment(&p, spec, 0)
-    });
+    provider
+        .sim
+        .call_in_as(EventClass::Firmware, delay, move |_| {
+            probe(&p, spec.src_vi, spec.seq, "translated");
+            tx_fragment(&p, spec, 0)
+        });
 }
 
 /// Stage 3 (repeated): DMA one fragment across PCI, then hand it to the
@@ -502,16 +575,24 @@ fn tx_fragment(provider: &Provider, spec: JobSpec, idx: usize) {
             remote_handle,
             len,
         });
-        provider
-            .san
-            .send(provider.node, spec.dst_node, RDMA_READ_REQ_BYTES, Box::new(frame));
+        provider.san.send_msg(
+            provider.node,
+            spec.dst_node,
+            RDMA_READ_REQ_BYTES,
+            Box::new(frame),
+            Some(tx_msg(provider, spec.src_vi, spec.seq)),
+        );
         nic_tx_next(provider);
         return;
     }
 
+    let msg = tx_msg(provider, spec.src_vi, spec.seq);
     let frags = fragments(spec.total_len, profile.wire_mtu);
     let (off, len) = frags[idx];
+    let dma_start = provider.sim.now();
     let dma_end = provider.pci.reserve(len as u64);
+    trace_at(provider, dma_start, TracePoint::DmaStart, msg, len as u64);
+    trace_at(provider, dma_end, TracePoint::DmaEnd, msg, len as u64);
     let is_last = idx + 1 == frags.len();
     // Per-fragment engine cost: LANai/cLAN firmware on the offload path;
     // kernel framing + driver work (charged to the host CPU, serialized
@@ -519,7 +600,9 @@ fn tx_fragment(provider: &Provider, spec: JobSpec, idx: usize) {
     let engine_cost = match profile.data_path {
         DataPathKind::NicOffload => profile.data.tx_frag_nic,
         DataPathKind::HostEmulated => {
-            provider.sim.charge(provider.cpu, profile.data.kernel_tx_per_frag);
+            provider
+                .sim
+                .charge(provider.cpu, profile.data.kernel_tx_per_frag);
             profile.data.kernel_tx_per_frag
         }
     };
@@ -593,11 +676,12 @@ fn wire_send(provider: &Provider, spec: JobSpec, idx: usize, off: u64, len: u32,
         kind,
         reliability: spec.reliability,
     });
-    provider.san.send(
+    provider.san.send_msg(
         provider.node,
         spec.dst_node,
         len + profile.frag_header_bytes,
         Box::new(frame),
+        Some(tx_msg(provider, spec.src_vi, spec.seq)),
     );
     if idx == 0 {
         probe(provider, spec.src_vi, spec.seq, "first_frag_wire");
@@ -614,11 +698,13 @@ fn wire_send(provider: &Provider, spec: JobSpec, idx: usize, off: u64, len: u32,
         LastAction::CompleteLocal => {
             let p = provider.clone();
             let (vi, seq) = (spec.src_vi, spec.seq);
-            provider
-                .sim
-                .call_in_as(EventClass::Completion, profile.data.completion_write, move |_| {
+            provider.sim.call_in_as(
+                EventClass::Completion,
+                profile.data.completion_write,
+                move |_| {
                     complete_send(&p, vi, seq, Ok(()));
-                });
+                },
+            );
         }
         LastAction::AlreadyCompleted => {
             let mut st = provider.lock();
@@ -641,15 +727,29 @@ fn send_ack(provider: &Provider, dst_node: NodeId, dst_vi: ViId, seq: u64) {
     {
         let mut st = provider.lock();
         st.stats.acks_sent += 1;
+        // The ACK carries the *sender's* message coordinates back.
+        st.tracer.record(
+            provider.sim.now(),
+            TracePoint::AckTx,
+            provider.node.0,
+            Some(rx_msg(dst_node, dst_vi, seq)),
+            0,
+        );
     }
     let p = provider.clone();
     let bytes = profile.data.ack_bytes;
-    provider
-        .sim
-        .call_in_as(EventClass::Retransmit, profile.data.ack_processing, move |_| {
-            p.san
-                .send(p.node, dst_node, bytes, Box::new(Frame::Ack { dst_vi, seq }));
-        });
+    provider.sim.call_in_as(
+        EventClass::Retransmit,
+        profile.data.ack_processing,
+        move |_| {
+            p.san.send(
+                p.node,
+                dst_node,
+                bytes,
+                Box::new(Frame::Ack { dst_vi, seq }),
+            );
+        },
+    );
 }
 
 fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
@@ -718,7 +818,16 @@ fn arm_retransmit(provider: &Provider, vi_id: ViId, seq: u64) {
             };
             match action {
                 RetxAction::Fail => fail_connection(&p, vi_id),
-                RetxAction::Resend => nic_enqueue(&p, TxJobRef { vi: vi_id, seq }),
+                RetxAction::Resend => {
+                    trace_at(
+                        &p,
+                        p.sim.now(),
+                        TracePoint::Retransmit,
+                        tx_msg(&p, vi_id, seq),
+                        0,
+                    );
+                    nic_enqueue(&p, TxJobRef { vi: vi_id, seq });
+                }
             }
         });
     let mut st = provider.lock();
@@ -779,6 +888,13 @@ fn fail_connection(provider: &Provider, vi_id: ViId) {
 
 fn complete_send(provider: &Provider, vi_id: ViId, seq: u64, status: ViaResult<()>) {
     probe(provider, vi_id, seq, "send_completed");
+    trace_at(
+        provider,
+        provider.sim.now(),
+        TracePoint::CqCompletion,
+        tx_msg(provider, vi_id, seq),
+        0,
+    );
     let comp = {
         let mut st = provider.lock();
         let Some(vi) = st.try_vi_mut(vi_id) else {
@@ -840,39 +956,56 @@ fn wake_waiter(provider: &Provider, token: WaitToken, mode: WaitMode) {
         // The poller notices the status flip as soon as it is written.
         WaitMode::Poll => provider.sim.wake(token),
         // The blocked process needs an interrupt.
-        WaitMode::Block => provider.intr.deliver(&provider.sim, token),
+        WaitMode::Block => {
+            let tracer = provider.lock().tracer.clone();
+            provider
+                .intr
+                .deliver_traced(&provider.sim, token, &tracer, provider.node.0, None);
+        }
     }
 }
 
 fn cq_notify(provider: &Provider, cq: crate::types::CqId, vi: ViId, kind: QueueKind) {
     let p = provider.clone();
     let delay = provider.profile.data.cq_post;
-    provider.sim.call_in_as(EventClass::Completion, delay, move |_| {
-        let waiter = {
-            let mut st = p.lock();
-            let c = st.cq_mut(cq);
-            if c.entries.len() >= c.depth {
-                c.overflows += 1;
-                return;
+    provider
+        .sim
+        .call_in_as(EventClass::Completion, delay, move |_| {
+            let waiter = {
+                let mut st = p.lock();
+                let c = st.cq_mut(cq);
+                if c.entries.len() >= c.depth {
+                    c.overflows += 1;
+                    return;
+                }
+                c.entries.push_back((vi, kind));
+                c.waiters.pop_front()
+            };
+            if let Some((token, mode)) = waiter {
+                wake_waiter(&p, token, mode);
             }
-            c.entries.push_back((vi, kind));
-            c.waiters.pop_front()
-        };
-        if let Some((token, mode)) = waiter {
-            wake_waiter(&p, token, mode);
-        }
-    });
+        });
 }
 
 // ---------------------------------------------------------------------
 // Receive path.
 // ---------------------------------------------------------------------
 
-/// Entry point for every frame the fabric delivers to this node.
-pub(crate) fn handle_frame(provider: &Provider, sim: &Sim, frame: Frame) {
+/// Entry point for every frame the fabric delivers to this node. `src` is
+/// the fabric's source node, used to reconstruct the sender's [`MsgId`] on
+/// the receive side.
+pub(crate) fn handle_frame(provider: &Provider, sim: &Sim, src: NodeId, frame: Frame) {
     match frame {
         Frame::Conn(cf) => crate::connect::handle_conn_frame(provider, sim, cf),
         Frame::Ack { dst_vi, seq } => {
+            // The ACK names a message *this* node originated.
+            trace_at(
+                provider,
+                sim.now(),
+                TracePoint::AckRx,
+                tx_msg(provider, dst_vi, seq),
+                0,
+            );
             let p = provider.clone();
             sim.call_in_as(
                 EventClass::Retransmit,
@@ -883,7 +1016,7 @@ pub(crate) fn handle_frame(provider: &Provider, sim: &Sim, frame: Frame) {
             );
         }
         Frame::RdmaRead(req) => rx_read_request(provider, req),
-        Frame::Data(df) => rx_data(provider, df),
+        Frame::Data(df) => rx_data(provider, src, df),
     }
 }
 
@@ -894,13 +1027,15 @@ fn rx_read_request(provider: &Provider, req: RdmaReadReq) {
         let mut st = provider.lock();
         let valid = st
             .try_vi_mut(req.dst_vi)
-            .map(|vi| {
-                matches!(vi.conn, ConnState::Connected { .. }) && vi.attrs.enable_rdma_read
-            })
+            .map(|vi| matches!(vi.conn, ConnState::Connected { .. }) && vi.attrs.enable_rdma_read)
             .unwrap_or(false)
             && st
                 .mem
-                .check_registered(crate::types::MemHandle(req.remote_handle), req.remote_va, req.len)
+                .check_registered(
+                    crate::types::MemHandle(req.remote_handle),
+                    req.remote_va,
+                    req.len,
+                )
                 .is_ok()
             && st
                 .mem
@@ -942,14 +1077,21 @@ fn rx_read_request(provider: &Provider, req: RdmaReadReq) {
         });
         seq
     };
-    nic_enqueue(provider, TxJobRef { vi: req.dst_vi, seq });
+    nic_enqueue(
+        provider,
+        TxJobRef {
+            vi: req.dst_vi,
+            seq,
+        },
+    );
 }
 
 /// A data fragment arrived at the NIC.
-fn rx_data(provider: &Provider, df: DataFrame) {
+fn rx_data(provider: &Provider, src: NodeId, df: DataFrame) {
     let profile = Arc::clone(&provider.profile);
     let now = provider.sim.now();
     let host_emulated = profile.data_path == DataPathKind::HostEmulated;
+    let msg = rx_msg(src, df.src_vi, df.seq);
 
     let mut first_frag_xlate = SimDuration::ZERO;
     {
@@ -963,8 +1105,7 @@ fn rx_data(provider: &Provider, df: DataFrame) {
             }
         }
         // Reliable-mode dedup of fully delivered messages.
-        if df.reliability != Reliability::Unreliable
-            && st.vi(df.dst_vi).delivered.contains(df.seq)
+        if df.reliability != Reliability::Unreliable && st.vi(df.dst_vi).delivered.contains(df.seq)
         {
             if df.frag_idx == 0 {
                 st.stats.duplicates_dropped += 1;
@@ -1042,8 +1183,15 @@ fn rx_data(provider: &Provider, df: DataFrame) {
                     Some(desc) => {
                         if !host_emulated {
                             let pages = pages_of_desc(&st.mem, &desc);
-                            first_frag_xlate =
-                                st.xlate.nic_translate(pages.into_iter(), &provider.pci);
+                            let st = &mut *st;
+                            first_frag_xlate = st.xlate.nic_translate_traced(
+                                pages.into_iter(),
+                                &provider.pci,
+                                &st.tracer,
+                                now,
+                                provider.node.0,
+                                Some(msg),
+                            );
                         }
                         RxTarget::Recv { desc, imm }
                     }
@@ -1067,8 +1215,15 @@ fn rx_data(provider: &Provider, df: DataFrame) {
                     if allowed {
                         if !host_emulated {
                             let pages = pages_of_range(&st.mem, remote_va, df.msg_len);
-                            first_frag_xlate =
-                                st.xlate.nic_translate(pages.into_iter(), &provider.pci);
+                            let st = &mut *st;
+                            first_frag_xlate = st.xlate.nic_translate_traced(
+                                pages.into_iter(),
+                                &provider.pci,
+                                &st.tracer,
+                                now,
+                                provider.node.0,
+                                Some(msg),
+                            );
                         }
                         RxTarget::Rdma {
                             base_va: remote_va,
@@ -1128,8 +1283,8 @@ fn rx_data(provider: &Provider, df: DataFrame) {
             reass.arrived += 1;
             // A message that consumed a descriptor (even in error) is ACKed;
             // discarded ones are not, so the sender retries.
-            let ackable = !matches!(reass.target, RxTarget::Discard { .. })
-                || reass.error.is_some();
+            let ackable =
+                !matches!(reass.target, RxTarget::Discard { .. }) || reass.error.is_some();
             (reass.arrived == reass.frag_count, ackable)
         };
 
@@ -1177,11 +1332,13 @@ fn rx_data(provider: &Provider, df: DataFrame) {
     let p = provider.clone();
     provider
         .sim
-        .call_at_as(EventClass::Firmware, landed_at, move |_| rx_landed(&p, df));
+        .call_at_as(EventClass::Firmware, landed_at, move |_| {
+            rx_landed(&p, src, df)
+        });
 }
 
 /// A fragment's bytes finished DMA into their destination.
-fn rx_landed(provider: &Provider, df: DataFrame) {
+fn rx_landed(provider: &Provider, src: NodeId, df: DataFrame) {
     let profile = Arc::clone(&provider.profile);
 
     enum Place {
@@ -1287,13 +1444,22 @@ fn rx_landed(provider: &Provider, df: DataFrame) {
                 // the initiator and bypass the recv-ordering machinery.
                 drop(st);
                 probe(provider, df.dst_vi, df.seq, "last_frag_landed");
+                trace_at(
+                    provider,
+                    provider.sim.now(),
+                    TracePoint::RecvLanded,
+                    rx_msg(src, df.src_vi, df.seq),
+                    df.msg_len,
+                );
                 let p = provider.clone();
                 let vi_id = df.dst_vi;
-                provider
-                    .sim
-                    .call_in_as(EventClass::Completion, profile.data.completion_write, move |_| {
+                provider.sim.call_in_as(
+                    EventClass::Completion,
+                    profile.data.completion_write,
+                    move |_| {
                         complete_send(&p, vi_id, req_seq, Ok(()));
-                    });
+                    },
+                );
                 return;
             }
             RxTarget::Discard { .. } => None,
@@ -1333,6 +1499,13 @@ fn rx_landed(provider: &Provider, df: DataFrame) {
 
     if !matches!(finish, Finish::None) || ack_rr {
         probe(provider, df.dst_vi, df.seq, "last_frag_landed");
+        trace_at(
+            provider,
+            provider.sim.now(),
+            TracePoint::RecvLanded,
+            rx_msg(src, df.src_vi, df.seq),
+            df.msg_len,
+        );
     }
 
     // Reliable Reception ACKs only after the data is in memory.
@@ -1345,14 +1518,26 @@ fn rx_landed(provider: &Provider, df: DataFrame) {
         Finish::RecvCompletions(comps) => {
             let p = provider.clone();
             let vi_id = df.dst_vi;
-            provider
-                .sim
-                .call_in_as(EventClass::Completion, profile.data.completion_write, move |_| {
+            // A VI is point-to-point connected, so every parked completion
+            // released here came from the same peer (node, VI).
+            let src_vi = df.src_vi;
+            provider.sim.call_in_as(
+                EventClass::Completion,
+                profile.data.completion_write,
+                move |_| {
                     for (seq, comp) in comps {
                         probe(&p, vi_id, seq, "recv_completed");
+                        trace_at(
+                            &p,
+                            p.sim.now(),
+                            TracePoint::CqCompletion,
+                            rx_msg(src, src_vi, seq),
+                            1,
+                        );
                         deliver_recv_completion(&p, vi_id, comp);
                     }
-                });
+                },
+            );
         }
         Finish::None => {}
     }

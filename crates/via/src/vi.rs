@@ -160,7 +160,12 @@ impl DeliveredTracker {
 }
 
 impl ViState {
-    pub(crate) fn new(id: ViId, attrs: ViAttributes, send_cq: Option<CqId>, recv_cq: Option<CqId>) -> Self {
+    pub(crate) fn new(
+        id: ViId,
+        attrs: ViAttributes,
+        send_cq: Option<CqId>,
+        recv_cq: Option<CqId>,
+    ) -> Self {
         ViState {
             id,
             attrs,

@@ -15,7 +15,9 @@ fn second_listener_on_same_discriminator_is_refused() {
     let h1 = {
         let pb = pb.clone();
         sim.spawn("listener1", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             // Registers the listener, then blocks until the client below
             // finally connects.
             pb.accept(ctx, &vi, Discriminator(7)).is_ok()
@@ -26,7 +28,9 @@ fn second_listener_on_same_discriminator_is_refused() {
         sim.spawn("listener2", Some(pb.cpu()), move |ctx| {
             // Let listener1 get its registration in first.
             ctx.sleep(SimDuration::from_millis(1));
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let r = pb.accept(ctx, &vi, Discriminator(7));
             assert_eq!(r, Err(ViaError::Busy), "duplicate listener must be refused");
         });
@@ -37,8 +41,11 @@ fn second_listener_on_same_discriminator_is_refused() {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
             ctx.sleep(SimDuration::from_millis(5));
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(7), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(7), None)
+                .unwrap();
         });
     }
     sim.run_to_completion();
@@ -53,7 +60,9 @@ fn connect_timeout_when_nobody_listens() {
     let h = {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let t0 = ctx.now();
             let r = pa.connect(
                 ctx,
@@ -70,7 +79,11 @@ fn connect_timeout_when_nobody_listens() {
     assert_eq!(r, Err(ViaError::ConnectFailed));
     // Client-side processing (3.6 ms on M-VIA) + the 3 ms timeout.
     assert!(waited_us >= 3_000.0, "waited {waited_us}");
-    assert_eq!(state, ConnState::Idle, "VI must be reusable after a timeout");
+    assert_eq!(
+        state,
+        ConnState::Idle,
+        "VI must be reusable after a timeout"
+    );
 }
 
 #[test]
@@ -85,7 +98,9 @@ fn late_accept_after_timeout_is_ignored_by_client() {
         sim.spawn("slow-server", Some(pb.cpu()), move |ctx| {
             // Busy elsewhere: starts listening long after the client quit.
             ctx.sleep(SimDuration::from_millis(20));
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             // The parked request is still in the pending queue; accept
             // completes on the server side (it cannot know the client
             // gave up — its Accept frame is simply ignored over there).
@@ -96,7 +111,9 @@ fn late_accept_after_timeout_is_ignored_by_client() {
     let h = {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let r = pa.connect(
                 ctx,
                 &vi,
@@ -120,7 +137,9 @@ fn connect_to_self_is_rejected() {
     let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 4);
     let pa = cluster.provider(0);
     sim.spawn("p", Some(pa.cpu()), move |ctx| {
-        let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+        let vi = pa
+            .create_vi(ctx, ViAttributes::default(), None, None)
+            .unwrap();
         let r = pa.connect(ctx, &vi, fabric::NodeId(0), Discriminator(1), None);
         assert_eq!(r, Err(ViaError::InvalidParameter));
     });
@@ -148,7 +167,9 @@ fn connect_while_connected_is_invalid() {
     {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             ctx.sleep(SimDuration::from_millis(1));
         });
@@ -156,8 +177,11 @@ fn connect_while_connected_is_invalid() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             // A VI holds exactly one connection.
             let r = pa.connect(ctx, &vi, fabric::NodeId(2), Discriminator(2), None);
             assert_eq!(r, Err(ViaError::InvalidState));
@@ -187,10 +211,14 @@ fn peer_disconnect_fails_outstanding_sends() {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
             let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let buf = pa.malloc(64);
-            let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
-            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64)).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 64, MemAttributes::default())
+                .unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64))
+                .unwrap();
             let comp = vi.send_wait(ctx, WaitMode::Block);
             comp.status
         })
@@ -209,11 +237,16 @@ fn post_recv_before_connection_is_allowed() {
     let sh = {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = pb.malloc(256);
-            let mh = pb.register_mem(ctx, buf, 256, MemAttributes::default()).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, 256, MemAttributes::default())
+                .unwrap();
             // Post BEFORE accept: must succeed and catch the first message.
-            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 256)).unwrap();
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 256))
+                .unwrap();
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             let comp = vi.recv_wait(ctx, WaitMode::Poll);
             comp.is_ok()
@@ -222,11 +255,17 @@ fn post_recv_before_connection_is_allowed() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let buf = pa.malloc(256);
-            let mh = pa.register_mem(ctx, buf, 256, MemAttributes::default()).unwrap();
-            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 128)).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 256, MemAttributes::default())
+                .unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 128))
+                .unwrap();
             vi.send_wait(ctx, WaitMode::Poll);
         });
     }
@@ -244,10 +283,15 @@ fn multifragment_immediate_is_delivered_exactly_once() {
     let sh = {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = pb.malloc(28672);
-            let mh = pb.register_mem(ctx, buf, 28672, MemAttributes::default()).unwrap();
-            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 28672)).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, 28672, MemAttributes::default())
+                .unwrap();
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 28672))
+                .unwrap();
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             let comp = vi.recv_wait(ctx, WaitMode::Poll);
             assert!(comp.is_ok());
@@ -257,11 +301,16 @@ fn multifragment_immediate_is_delivered_exactly_once() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             ctx.sleep(SimDuration::from_micros(300));
             let buf = pa.malloc(28672);
-            let mh = pa.register_mem(ctx, buf, 28672, MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 28672, MemAttributes::default())
+                .unwrap();
             vi.post_send(
                 ctx,
                 Descriptor::send().segment(buf, mh, 28672).immediate(0xFEED),

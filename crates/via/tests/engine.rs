@@ -4,8 +4,7 @@
 
 use simkit::{Sim, SimDuration, WaitMode};
 use via::{
-    Cluster, Descriptor, Discriminator, MemAttributes, Profile, Reliability, ViAttributes,
-    ViaError,
+    Cluster, Descriptor, Discriminator, MemAttributes, Profile, Reliability, ViAttributes, ViaError,
 };
 
 /// Spawn a connected pair and run `server`/`client` bodies against it.
@@ -58,7 +57,9 @@ where
 }
 
 fn patterned(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -104,7 +105,11 @@ fn roundtrip_sizes(profile: Profile) {
         },
     );
     for (i, bytes) in got.iter().enumerate() {
-        assert_eq!(bytes, &patterned(bytes.len(), i as u8), "payload {i} corrupted");
+        assert_eq!(
+            bytes,
+            &patterned(bytes.len(), i as u8),
+            "payload {i} corrupted"
+        );
     }
 }
 
@@ -179,7 +184,9 @@ fn zero_length_send_with_immediate() {
         3,
         |ctx, p, vi| {
             let buf = p.malloc(64);
-            let mh = p.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 64, MemAttributes::default())
+                .unwrap();
             vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
                 .unwrap();
             let comp = vi.recv_wait(ctx, WaitMode::Poll);
@@ -250,10 +257,15 @@ fn polling_burns_cpu_blocking_does_not() {
         let sh = {
             let pb = pb.clone();
             sim.spawn("server", Some(pb.cpu()), move |ctx| {
-                let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+                let vi = pb
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
                 let buf = pb.malloc(64);
-                let mh = pb.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
-                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64)).unwrap();
+                let mh = pb
+                    .register_mem(ctx, buf, 64, MemAttributes::default())
+                    .unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                    .unwrap();
                 pb.accept(ctx, &vi, Discriminator(1)).unwrap();
                 // Busy time of the wait itself, excluding setup/handshake.
                 let meter = simkit::CpuMeter::start(ctx.sim(), pb.cpu());
@@ -264,13 +276,19 @@ fn polling_burns_cpu_blocking_does_not() {
         {
             let pa = pa.clone();
             sim.spawn("client", Some(pa.cpu()), move |ctx| {
-                let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-                pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+                let vi = pa
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
+                pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                    .unwrap();
                 // Make the receiver wait a long, measurable time.
                 ctx.sleep(SimDuration::from_millis(5));
                 let buf = pa.malloc(64);
-                let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
-                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64)).unwrap();
+                let mh = pa
+                    .register_mem(ctx, buf, 64, MemAttributes::default())
+                    .unwrap();
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64))
+                    .unwrap();
                 vi.send_wait(ctx, WaitMode::Poll);
             });
         }
@@ -305,7 +323,9 @@ fn cq_merges_two_vis() {
                 .unwrap();
             for vi in [&vi1, &vi2] {
                 let buf = pb.malloc(256);
-                let mh = pb.register_mem(ctx, buf, 256, MemAttributes::default()).unwrap();
+                let mh = pb
+                    .register_mem(ctx, buf, 256, MemAttributes::default())
+                    .unwrap();
                 vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 256))
                     .unwrap();
             }
@@ -328,14 +348,23 @@ fn cq_merges_two_vis() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi1 = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            let vi2 = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi1, fabric::NodeId(1), Discriminator(1), None).unwrap();
-            pa.connect(ctx, &vi2, fabric::NodeId(1), Discriminator(2), None).unwrap();
+            let vi1 = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            let vi2 = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi1, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
+            pa.connect(ctx, &vi2, fabric::NodeId(1), Discriminator(2), None)
+                .unwrap();
             for vi in [&vi2, &vi1] {
                 let buf = pa.malloc(256);
-                let mh = pa.register_mem(ctx, buf, 256, MemAttributes::default()).unwrap();
-                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 128)).unwrap();
+                let mh = pa
+                    .register_mem(ctx, buf, 256, MemAttributes::default())
+                    .unwrap();
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 128))
+                    .unwrap();
                 vi.send_wait(ctx, WaitMode::Poll);
             }
         });
@@ -359,9 +388,12 @@ fn cq_overflow_is_counted() {
                 .create_vi(ctx, ViAttributes::default(), None, Some(&cq))
                 .unwrap();
             let buf = pb.malloc(4096);
-            let mh = pb.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             for _ in 0..4 {
-                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64)).unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                    .unwrap();
             }
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             // Sleep until all four messages have landed, then count.
@@ -376,12 +408,18 @@ fn cq_overflow_is_counted() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let buf = pa.malloc(64);
-            let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 64, MemAttributes::default())
+                .unwrap();
             for _ in 0..4 {
-                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64)).unwrap();
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64))
+                    .unwrap();
                 vi.send_wait(ctx, WaitMode::Poll);
             }
         });
@@ -410,9 +448,12 @@ fn reliable_delivery_survives_loss() {
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
             let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
             let buf = pb.malloc(8192);
-            let mh = pb.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, 8192, MemAttributes::default())
+                .unwrap();
             for _ in 0..n_msgs {
-                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192)).unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192))
+                    .unwrap();
             }
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             let mut received = Vec::new();
@@ -428,15 +469,15 @@ fn reliable_delivery_survives_loss() {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
             let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
-            let buf = pa.malloc(8192);
-            let mh = pa.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
-            for i in 0..n_msgs {
-                vi.post_send(
-                    ctx,
-                    Descriptor::send().segment(buf, mh, 6000).immediate(i),
-                )
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
                 .unwrap();
+            let buf = pa.malloc(8192);
+            let mh = pa
+                .register_mem(ctx, buf, 8192, MemAttributes::default())
+                .unwrap();
+            for i in 0..n_msgs {
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 6000).immediate(i))
+                    .unwrap();
                 let comp = vi.send_wait(ctx, WaitMode::Block);
                 assert!(comp.is_ok(), "send {i}: {:?}", comp.status);
             }
@@ -469,9 +510,12 @@ fn zero_loss_stream_cancels_every_retransmit_timer() {
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
             let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
             let buf = pb.malloc(8192);
-            let mh = pb.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, 8192, MemAttributes::default())
+                .unwrap();
             for _ in 0..n_msgs {
-                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192)).unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192))
+                    .unwrap();
             }
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             let mut got = 0u32;
@@ -486,9 +530,12 @@ fn zero_loss_stream_cancels_every_retransmit_timer() {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
             let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let buf = pa.malloc(8192);
-            let mh = pa.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 8192, MemAttributes::default())
+                .unwrap();
             for i in 0..n_msgs {
                 vi.post_send(ctx, Descriptor::send().segment(buf, mh, 6000).immediate(i))
                     .unwrap();
@@ -499,7 +546,10 @@ fn zero_loss_stream_cancels_every_retransmit_timer() {
     sim.run_to_completion();
     assert_eq!(sh.expect_result(), n_msgs);
     let stats = pa.stats();
-    assert_eq!(stats.retransmissions, 0, "loss-free stream never retransmits");
+    assert_eq!(
+        stats.retransmissions, 0,
+        "loss-free stream never retransmits"
+    );
     assert_eq!(
         stats.retx_timers_armed, n_msgs as u64,
         "one retransmit timer per reliable message"
@@ -528,11 +578,16 @@ fn unreliable_mode_drops_on_loss() {
     let sh = {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = pb.malloc(4096);
-            let mh = pb.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             for _ in 0..n_msgs {
-                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096)).unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096))
+                    .unwrap();
             }
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             // Drain whatever arrives within a generous window.
@@ -549,10 +604,15 @@ fn unreliable_mode_drops_on_loss() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let buf = pa.malloc(4096);
-            let mh = pa.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             for i in 0..n_msgs {
                 vi.post_send(ctx, Descriptor::send().segment(buf, mh, 2048).immediate(i))
                     .unwrap();
@@ -564,7 +624,11 @@ fn unreliable_mode_drops_on_loss() {
     let delivered = sh.expect_result();
     assert!(delivered < n_msgs, "25% loss must lose messages");
     assert!(delivered > 0, "some messages must get through");
-    assert_eq!(pa.stats().retransmissions, 0, "unreliable never retransmits");
+    assert_eq!(
+        pa.stats().retransmissions,
+        0,
+        "unreliable never retransmits"
+    );
 }
 
 #[test]
@@ -577,16 +641,22 @@ fn reliable_reception_completes_after_placement() {
         ViAttributes::reliable(Reliability::ReliableReception),
         |ctx, p, vi| {
             let buf = p.malloc(16 * 1024);
-            let mh = p.register_mem(ctx, buf, 16 * 1024, MemAttributes::default()).unwrap();
-            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 16 * 1024)).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 16 * 1024, MemAttributes::default())
+                .unwrap();
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 16 * 1024))
+                .unwrap();
             let comp = vi.recv_wait(ctx, WaitMode::Poll);
             assert!(comp.is_ok());
             ctx.now().as_nanos()
         },
         |ctx, p, vi| {
             let buf = p.malloc(16 * 1024);
-            let mh = p.register_mem(ctx, buf, 16 * 1024, MemAttributes::default()).unwrap();
-            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 16 * 1024)).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 16 * 1024, MemAttributes::default())
+                .unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 16 * 1024))
+                .unwrap();
             let comp = vi.send_wait(ctx, WaitMode::Poll);
             assert!(comp.is_ok());
             ctx.now().as_nanos()
@@ -626,8 +696,11 @@ fn retry_exhaustion_kills_connection() {
             pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
                 .unwrap();
             let buf = pa.malloc(64);
-            let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
-            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64)).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 64, MemAttributes::default())
+                .unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64))
+                .unwrap();
             let comp = vi.send_wait(ctx, WaitMode::Block);
             (comp.status, vi.conn_state())
         })
@@ -667,8 +740,11 @@ fn send_fails_with_connection_lost_after_retries() {
             pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
                 .unwrap();
             let buf = pa.malloc(64);
-            let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
-            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64)).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 64, MemAttributes::default())
+                .unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64))
+                .unwrap();
             let comp = vi.send_wait(ctx, WaitMode::Block);
             Some(comp.status)
         })
@@ -698,7 +774,9 @@ fn rdma_write_places_data_without_recv_descriptor() {
         let pb = pb.clone();
         let slot = slot.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = pb.malloc(8192);
             let mh = pb
                 .register_mem(
@@ -721,11 +799,16 @@ fn rdma_write_places_data_without_recv_descriptor() {
         let pa = pa.clone();
         let slot = slot.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let (rva, rmh) = slot.lock().expect("server registered first");
             let buf = pa.malloc(4096);
-            let mh = pa.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             pa.mem_write(buf, &patterned(3000, 99));
             let desc = Descriptor::rdma_write(rva + 16, rmh).segment(buf, mh, 3000);
             vi.post_send(ctx, desc).unwrap();
@@ -747,7 +830,9 @@ fn rdma_write_with_immediate_consumes_recv_descriptor() {
         10,
         move |ctx, p, vi| {
             let buf = p.malloc(4096);
-            let mh = p.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             *slot.lock() = Some((buf, mh));
             vi.post_recv(ctx, Descriptor::recv()).unwrap(); // zero-segment recv for the imm
             let comp = vi.recv_wait(ctx, WaitMode::Poll);
@@ -761,7 +846,9 @@ fn rdma_write_with_immediate_consumes_recv_descriptor() {
             }
             let (rva, rmh) = slot2.lock().unwrap();
             let buf = p.malloc(4096);
-            let mh = p.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             let desc = Descriptor::rdma_write(rva, rmh)
                 .segment(buf, mh, 512)
                 .immediate(777);
@@ -782,7 +869,9 @@ fn rdma_write_protection_violation_is_refused() {
     let sh = {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = pb.malloc(4096);
             // RDMA write NOT enabled on this registration.
             let mh = pb
@@ -805,11 +894,16 @@ fn rdma_write_protection_violation_is_refused() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let (rva, rmh) = slot2.lock().expect("published");
             let buf = pa.malloc(4096);
-            let mh = pa.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             pa.mem_write(buf, &[0xFFu8; 16]);
             vi.post_send(ctx, Descriptor::rdma_write(rva, rmh).segment(buf, mh, 16))
                 .unwrap();
@@ -862,7 +956,9 @@ fn rdma_read_fetches_remote_memory() {
             }
             let (rva, rmh) = slot2.lock().unwrap();
             let buf = p.malloc(8192);
-            let mh = p.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 8192, MemAttributes::default())
+                .unwrap();
             let desc = Descriptor::rdma_read(rva + 100, rmh).segment(buf, mh, 5000);
             vi.post_send(ctx, desc).unwrap();
             let comp = vi.send_wait(ctx, WaitMode::Poll);
@@ -884,9 +980,13 @@ fn post_on_unconnected_vi_fails() {
     let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 13);
     let pa = cluster.provider(0);
     sim.spawn("p", Some(pa.cpu()), move |ctx| {
-        let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+        let vi = pa
+            .create_vi(ctx, ViAttributes::default(), None, None)
+            .unwrap();
         let buf = pa.malloc(64);
-        let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
+        let mh = pa
+            .register_mem(ctx, buf, 64, MemAttributes::default())
+            .unwrap();
         let r = vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64));
         assert_eq!(r, Err(ViaError::InvalidState));
     });
@@ -904,7 +1004,9 @@ fn oversized_send_is_rejected() {
         |ctx, p, vi| {
             let len = 64 * 1024;
             let buf = p.malloc(len);
-            let mh = p.register_mem(ctx, buf, len, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, len, MemAttributes::default())
+                .unwrap();
             let r = vi.post_send(ctx, Descriptor::send().segment(buf, mh, len as u32));
             assert_eq!(r, Err(ViaError::DescriptorError));
         },
@@ -919,7 +1021,9 @@ fn unregistered_memory_is_rejected() {
         |ctx, _p, _vi| ctx.sleep(SimDuration::from_millis(1)),
         |ctx, p, vi| {
             let buf = p.malloc(4096);
-            let mh = p.register_mem(ctx, buf, 100, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 100, MemAttributes::default())
+                .unwrap();
             // Segment extends past the registered 100 bytes.
             let r = vi.post_send(ctx, Descriptor::send().segment(buf, mh, 200));
             assert_eq!(r, Err(ViaError::DescriptorError));
@@ -938,15 +1042,21 @@ fn message_longer_than_recv_buffer_completes_in_error() {
         16,
         |ctx, p, vi| {
             let buf = p.malloc(4096);
-            let mh = p.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
-            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 100)).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 100))
+                .unwrap();
             let comp = vi.recv_wait(ctx, WaitMode::Poll);
             comp.status
         },
         |ctx, p, vi| {
             let buf = p.malloc(4096);
-            let mh = p.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
-            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 2000)).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 2000))
+                .unwrap();
             vi.send_wait(ctx, WaitMode::Poll);
         },
     );
@@ -961,7 +1071,9 @@ fn send_without_posted_recv_is_dropped_and_counted() {
     {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             ctx.sleep(SimDuration::from_millis(2));
         });
@@ -969,11 +1081,17 @@ fn send_without_posted_recv_is_dropped_and_counted() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let buf = pa.malloc(64);
-            let mh = pa.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
-            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64)).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 64, MemAttributes::default())
+                .unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 64))
+                .unwrap();
             vi.send_wait(ctx, WaitMode::Poll); // unreliable: completes at wire
         });
     }
@@ -991,7 +1109,12 @@ fn reliability_mismatch_is_rejected() {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
             let vi = pb
-                .create_vi(ctx, ViAttributes::reliable(Reliability::ReliableDelivery), None, None)
+                .create_vi(
+                    ctx,
+                    ViAttributes::reliable(Reliability::ReliableDelivery),
+                    None,
+                    None,
+                )
                 .unwrap();
             pb.accept(ctx, &vi, Discriminator(1))
         })
@@ -999,7 +1122,9 @@ fn reliability_mismatch_is_rejected() {
     let ch = {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
         })
     };
@@ -1033,7 +1158,9 @@ fn rdma_unsupported_on_bvia() {
         |ctx, _p, _vi| ctx.sleep(SimDuration::from_millis(1)),
         |ctx, p, vi| {
             let buf = p.malloc(64);
-            let mh = p.register_mem(ctx, buf, 64, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 64, MemAttributes::default())
+                .unwrap();
             let r = vi.post_send(ctx, Descriptor::rdma_write(0x1000, mh).segment(buf, mh, 16));
             assert_eq!(r, Err(ViaError::NotSupported));
         },
@@ -1050,7 +1177,9 @@ fn queue_depth_limit_enforced() {
         |ctx, _p, _vi| ctx.sleep(SimDuration::from_millis(5)),
         |ctx, p, vi| {
             let buf = p.malloc(4096);
-            let mh = p.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             let mut hit_full = false;
             for _ in 0..10 {
                 match vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4096)) {
@@ -1062,7 +1191,10 @@ fn queue_depth_limit_enforced() {
                     Err(e) => panic!("unexpected error {e:?}"),
                 }
             }
-            assert!(hit_full, "posting 10 into a depth-4 queue must hit QueueFull");
+            assert!(
+                hit_full,
+                "posting 10 into a depth-4 queue must hit QueueFull"
+            );
         },
     );
 }
@@ -1075,7 +1207,9 @@ fn disconnect_then_reconnect_works() {
     let sh = {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             // Wait to observe the client-initiated disconnect.
             while matches!(vi.conn_state(), via::ConnState::Connected { .. }) {
@@ -1089,11 +1223,15 @@ fn disconnect_then_reconnect_works() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             pa.disconnect(ctx, &vi).unwrap();
             ctx.sleep(SimDuration::from_millis(1));
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
         });
     }
     sim.run_to_completion();
@@ -1108,7 +1246,9 @@ fn destroy_vi_guards() {
     {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             ctx.sleep(SimDuration::from_millis(1));
         });
@@ -1116,8 +1256,11 @@ fn destroy_vi_guards() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             // Connected VI cannot be destroyed.
             assert_eq!(pa.destroy_vi(ctx, vi.clone()), Err(ViaError::Busy));
             pa.disconnect(ctx, &vi).unwrap();
@@ -1156,11 +1299,16 @@ fn determinism_same_seed_same_timeline() {
         {
             let pb = pb.clone();
             sim.spawn("server", Some(pb.cpu()), move |ctx| {
-                let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+                let vi = pb
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
                 let buf = pb.malloc(8192);
-                let mh = pb.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
+                let mh = pb
+                    .register_mem(ctx, buf, 8192, MemAttributes::default())
+                    .unwrap();
                 for _ in 0..20 {
-                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192)).unwrap();
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192))
+                        .unwrap();
                 }
                 pb.accept(ctx, &vi, Discriminator(1)).unwrap();
                 ctx.sleep(SimDuration::from_millis(20));
@@ -1170,12 +1318,18 @@ fn determinism_same_seed_same_timeline() {
         {
             let pa = pa.clone();
             sim.spawn("client", Some(pa.cpu()), move |ctx| {
-                let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-                pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+                let vi = pa
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
+                pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                    .unwrap();
                 let buf = pa.malloc(8192);
-                let mh = pa.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
+                let mh = pa
+                    .register_mem(ctx, buf, 8192, MemAttributes::default())
+                    .unwrap();
                 for _ in 0..20 {
-                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 6000)).unwrap();
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 6000))
+                        .unwrap();
                     vi.send_wait(ctx, WaitMode::Poll);
                 }
             });
@@ -1184,4 +1338,159 @@ fn determinism_same_seed_same_timeline() {
         (report.end_time.as_nanos(), report.events)
     }
     assert_eq!(run_once(), run_once(), "same seed must replay identically");
+}
+
+// ---------------------------------------------------------------------
+// Message-lifecycle tracing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_captures_full_message_lifecycle() {
+    use trace::{TraceConfig, TracePoint};
+
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), Profile::bvia(), 2, 7);
+    let tracer = cluster.enable_trace(TraceConfig::default());
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            let buf = pb.malloc(4096);
+            let mh = pb
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096))
+                .unwrap();
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            vi.recv_wait(ctx, WaitMode::Poll)
+        });
+    }
+    {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
+            let buf = pa.malloc(4096);
+            let mh = pa
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1024))
+                .unwrap();
+            vi.send_wait(ctx, WaitMode::Poll)
+        });
+    }
+    sim.run_to_completion();
+
+    // Every NIC-offload lifecycle stage fired at least once.
+    for point in [
+        TracePoint::SendPosted,
+        TracePoint::DoorbellRing,
+        TracePoint::FwScan,
+        TracePoint::DescFetch,
+        TracePoint::DmaStart,
+        TracePoint::DmaEnd,
+        TracePoint::WireTx,
+        TracePoint::WireRx,
+        TracePoint::RecvLanded,
+        TracePoint::CqCompletion,
+    ] {
+        assert!(tracer.count(point) > 0, "no {point:?} records");
+    }
+
+    // The client's data message carries one MsgId across both nodes.
+    let records = tracer.records();
+    let msg = records
+        .iter()
+        .find(|r| r.point == TracePoint::SendPosted && r.node == 0)
+        .and_then(|r| r.msg)
+        .expect("client posted a send");
+    let chain: Vec<_> = records.iter().filter(|r| r.msg == Some(msg)).collect();
+    assert!(chain
+        .iter()
+        .any(|r| r.point == TracePoint::WireTx && r.node == 0));
+    assert!(chain
+        .iter()
+        .any(|r| r.point == TracePoint::WireRx && r.node == 1));
+    assert!(chain
+        .iter()
+        .any(|r| r.point == TracePoint::RecvLanded && r.node == 1));
+    let posted = chain
+        .iter()
+        .find(|r| r.point == TracePoint::SendPosted)
+        .unwrap()
+        .at_ns;
+    let landed = chain
+        .iter()
+        .find(|r| r.point == TracePoint::RecvLanded)
+        .unwrap()
+        .at_ns;
+    assert!(posted < landed, "post must precede landing in sim time");
+
+    // The engine hook tallied scheduler events alongside lifecycle points.
+    let snap = tracer.snapshot();
+    assert!(snap.engine_events.iter().map(|(_, n)| n).sum::<u64>() > 0);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_timeline() {
+    fn run_once(traced: bool) -> u64 {
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.clone(), Profile::bvia(), 2, 42);
+        if traced {
+            cluster.enable_trace(trace::TraceConfig::default());
+        }
+        let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+        {
+            let pb = pb.clone();
+            sim.spawn("server", Some(pb.cpu()), move |ctx| {
+                let vi = pb
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
+                let buf = pb.malloc(8192);
+                let mh = pb
+                    .register_mem(ctx, buf, 8192, MemAttributes::default())
+                    .unwrap();
+                for _ in 0..8 {
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192))
+                        .unwrap();
+                }
+                pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+                for _ in 0..8 {
+                    vi.recv_wait(ctx, WaitMode::Poll);
+                }
+            });
+        }
+        {
+            let pa = pa.clone();
+            sim.spawn("client", Some(pa.cpu()), move |ctx| {
+                let vi = pa
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
+                pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                    .unwrap();
+                let buf = pa.malloc(8192);
+                let mh = pa
+                    .register_mem(ctx, buf, 8192, MemAttributes::default())
+                    .unwrap();
+                for _ in 0..8 {
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 6000))
+                        .unwrap();
+                    vi.send_wait(ctx, WaitMode::Poll);
+                }
+            });
+        }
+        let report = sim.run_to_completion();
+        report.end_time.as_nanos()
+    }
+    assert_eq!(
+        run_once(false),
+        run_once(true),
+        "tracing is observational: identical timeline with and without it"
+    );
 }

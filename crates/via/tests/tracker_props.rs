@@ -11,9 +11,7 @@
 //! depth × message count), fully deterministic, no external dependency.
 
 use simkit::{Sim, SimDuration, SimRng, WaitMode};
-use via::{
-    Cluster, Descriptor, Discriminator, MemAttributes, Profile, Reliability, ViAttributes,
-};
+use via::{Cluster, Descriptor, Discriminator, MemAttributes, Profile, Reliability, ViAttributes};
 
 fn run_case(loss: f64, seed: u64, depth: usize, msgs: u32) {
     // Unlike the serial property in the repo-level tests, this one
@@ -33,9 +31,12 @@ fn run_case(loss: f64, seed: u64, depth: usize, msgs: u32) {
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
             let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
             let buf = pb.malloc(2048);
-            let mh = pb.register_mem(ctx, buf, 2048, MemAttributes::default()).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, 2048, MemAttributes::default())
+                .unwrap();
             for _ in 0..msgs.min(64) {
-                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 2048)).unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 2048))
+                    .unwrap();
             }
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             let mut seen = Vec::new();
@@ -44,7 +45,8 @@ fn run_case(loss: f64, seed: u64, depth: usize, msgs: u32) {
                 assert!(c.is_ok(), "{:?}", c.status);
                 seen.push(c.immediate.unwrap());
                 if i as u64 + 64 < msgs as u64 {
-                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 2048)).unwrap();
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 2048))
+                        .unwrap();
                 }
             }
             seen
@@ -54,12 +56,16 @@ fn run_case(loss: f64, seed: u64, depth: usize, msgs: u32) {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
             let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let buf = pa.malloc(2048);
-            let mh = pa.register_mem(ctx, buf, 2048, MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 2048, MemAttributes::default())
+                .unwrap();
             let mut outstanding = 0usize;
             for i in 0..msgs {
-                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1500).immediate(i)).unwrap();
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1500).immediate(i))
+                    .unwrap();
                 outstanding += 1;
                 if outstanding >= depth {
                     let c = vi.send_wait(ctx, WaitMode::Block);

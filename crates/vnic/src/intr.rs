@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simkit::{CpuId, EventClass, Sim, SimDuration, SimTime, TimerHandle, WaitToken};
+use trace::{MsgId, TracePoint, Tracer};
 
 use crate::host::HostParams;
 
@@ -52,6 +53,27 @@ impl InterruptController {
     pub fn deliver(&self, sim: &Sim, token: WaitToken) {
         sim.charge(self.cpu, self.cpu_cost);
         sim.wake_in_as(EventClass::Completion, self.latency, token);
+    }
+
+    /// Like [`InterruptController::deliver`], but stamps a
+    /// [`TracePoint::Interrupt`] record (aux = dispatch latency in ns) at
+    /// assert time.
+    pub fn deliver_traced(
+        &self,
+        sim: &Sim,
+        token: WaitToken,
+        tracer: &Tracer,
+        node: u32,
+        msg: Option<MsgId>,
+    ) {
+        tracer.record(
+            sim.now(),
+            TracePoint::Interrupt,
+            node,
+            msg,
+            self.latency.as_nanos(),
+        );
+        self.deliver(sim, token);
     }
 
     /// The dispatch latency of this controller.
@@ -102,8 +124,7 @@ impl CoalescedInterrupts {
         if let Some(p) = pending.as_ref() {
             if p.deadline >= now && p.timer.cancel() {
                 // Merge: same deadline, newest token, no extra handler cost.
-                let timer =
-                    sim.wake_timer_in(EventClass::Completion, p.deadline - now, token);
+                let timer = sim.wake_timer_in(EventClass::Completion, p.deadline - now, token);
                 *pending = Some(PendingIntr {
                     deadline: p.deadline,
                     timer,

@@ -34,4 +34,6 @@ pub use firmware::FirmwareModel;
 pub use host::HostParams;
 pub use intr::{CoalescedInterrupts, InterruptController};
 pub use pci::{PciBus, PciParams, PciStats};
-pub use xlate::{NicTlb, PageOutcome, TableLocation, TlbStats, Translator, XlateConfig, XlateEngine};
+pub use xlate::{
+    NicTlb, PageOutcome, TableLocation, TlbStats, Translator, XlateConfig, XlateEngine,
+};

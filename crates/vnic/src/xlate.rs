@@ -9,7 +9,8 @@
 //! — hits and misses depend on the actual page-number reference stream — so
 //! the buffer-reuse benchmark (Fig. 5) exercises genuine locality behaviour.
 
-use simkit::SimDuration;
+use simkit::{SimDuration, SimTime};
+use trace::{MsgId, TracePoint, Tracer};
 
 use crate::pci::PciBus;
 
@@ -192,13 +193,15 @@ impl XlateEngine {
     /// Engine for `config`.
     pub fn new(config: XlateConfig) -> Self {
         XlateEngine {
-            tlb: NicTlb::new(if config.tables == TableLocation::HostMemory
-                && config.translator == Translator::Nic
-            {
-                config.nic_cache_entries
-            } else {
-                0
-            }),
+            tlb: NicTlb::new(
+                if config.tables == TableLocation::HostMemory
+                    && config.translator == Translator::Nic
+                {
+                    config.nic_cache_entries
+                } else {
+                    0
+                },
+            ),
             config,
         }
     }
@@ -219,6 +222,23 @@ impl XlateEngine {
     /// Price the NIC-side translation of `pages`, reserving PCI for PTE
     /// fetches on misses. Returns the total added NIC delay.
     pub fn nic_translate(&mut self, pages: impl Iterator<Item = u64>, pci: &PciBus) -> SimDuration {
+        self.nic_translate_traced(pages, pci, &Tracer::disabled(), SimTime::ZERO, 0, None)
+    }
+
+    /// Like [`XlateEngine::nic_translate`], but stamps a
+    /// [`TracePoint::XlateHit`] / [`TracePoint::XlateMiss`] record per page
+    /// (aux = the page number; local NIC-memory lookups count as hits).
+    /// Records are stamped `at` — the translation start — since per-page
+    /// completion times are not individually modeled.
+    pub fn nic_translate_traced(
+        &mut self,
+        pages: impl Iterator<Item = u64>,
+        pci: &PciBus,
+        tracer: &Tracer,
+        at: SimTime,
+        node: u32,
+        msg: Option<MsgId>,
+    ) -> SimDuration {
         if self.config.translator == Translator::Host {
             return SimDuration::ZERO; // host already attached physical addrs
         }
@@ -228,15 +248,18 @@ impl XlateEngine {
                 TableLocation::NicMemory => {
                     self.tlb.stats.local += 1;
                     total += self.config.nic_local_lookup;
+                    tracer.record(at, TracePoint::XlateHit, node, msg, page);
                 }
                 TableLocation::HostMemory => {
                     if self.tlb.access(page) {
                         total += self.config.nic_cache_hit;
+                        tracer.record(at, TracePoint::XlateHit, node, msg, page);
                     } else {
                         total += self.config.nic_miss_penalty
                             + pci.unloaded(self.config.pte_fetch_bytes);
                         // Actually occupy the bus so concurrent DMA contends.
                         pci.reserve(self.config.pte_fetch_bytes);
+                        tracer.record(at, TracePoint::XlateMiss, node, msg, page);
                     }
                 }
             }

@@ -40,7 +40,9 @@ fn measure(strategy: Strategy, size: u64) -> f64 {
     {
         let pb = pb.clone();
         sim.spawn("receiver", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = pb.malloc(64 * 1024);
             let mh = pb
                 .register_mem(ctx, buf, 64 * 1024, MemAttributes::default())
@@ -56,7 +58,8 @@ fn measure(strategy: Strategy, size: u64) -> f64 {
                         .unwrap();
                 }
                 // 4-byte ack so the sender can time the full delivery.
-                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4)).unwrap();
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4))
+                    .unwrap();
                 vi.send_wait(ctx, WaitMode::Poll);
             }
         });
@@ -64,12 +67,16 @@ fn measure(strategy: Strategy, size: u64) -> f64 {
     let sender = {
         let pa = pa.clone();
         sim.spawn("sender", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
                 .unwrap();
             // Ack landing zone.
             let ack = pa.malloc(64);
-            let ack_mh = pa.register_mem(ctx, ack, 64, MemAttributes::default()).unwrap();
+            let ack_mh = pa
+                .register_mem(ctx, ack, 64, MemAttributes::default())
+                .unwrap();
             // The application's messages live in a large, *unregistered*
             // heap area: a different region every message, as real
             // applications produce.
@@ -120,13 +127,20 @@ fn measure(strategy: Strategy, size: u64) -> f64 {
 fn main() {
     println!("buffer-management study on Berkeley VIA (NIC xlate, host tables)");
     println!("per-message latency (us) of a messaging layer, by strategy:\n");
-    println!("{:>8}  {:>12}  {:>12}  winner", "bytes", "bounce-pool", "zero-copy");
+    println!(
+        "{:>8}  {:>12}  {:>12}  winner",
+        "bytes", "bounce-pool", "zero-copy"
+    );
     println!("{}", "-".repeat(52));
     let mut crossover: Option<u64> = None;
     for &size in &[64u64, 256, 1024, 4096, 8192, 16384, 28672] {
         let bounce = measure(Strategy::BouncePool, size);
         let zero = measure(Strategy::ZeroCopy, size);
-        let winner = if bounce < zero { "bounce-pool" } else { "zero-copy" };
+        let winner = if bounce < zero {
+            "bounce-pool"
+        } else {
+            "zero-copy"
+        };
         if bounce >= zero && crossover.is_none() {
             crossover = Some(size);
         }

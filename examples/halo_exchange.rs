@@ -33,7 +33,9 @@ fn b2f(b: &[u8]) -> Vec<f64> {
 /// Single-node reference: the same diffusion, no communication.
 fn reference() -> Vec<f64> {
     let n = RANKS * CELLS_PER_RANK;
-    let mut grid: Vec<f64> = (0..n).map(|i| if i == n / 3 { 1000.0 } else { 0.0 }).collect();
+    let mut grid: Vec<f64> = (0..n)
+        .map(|i| if i == n / 3 { 1000.0 } else { 0.0 })
+        .collect();
     for _ in 0..ITERS {
         let prev = grid.clone();
         for i in 0..n {
@@ -100,8 +102,14 @@ fn main() {
                     }
                 };
                 if rank + 1 < RANKS {
-                    ghost_right =
-                        exchange(ctx, &mut mpl, rank + 1, TAG_RIGHT, TAG_LEFT, local[CELLS_PER_RANK - 1]);
+                    ghost_right = exchange(
+                        ctx,
+                        &mut mpl,
+                        rank + 1,
+                        TAG_RIGHT,
+                        TAG_LEFT,
+                        local[CELLS_PER_RANK - 1],
+                    );
                 }
                 if rank > 0 {
                     ghost_left = exchange(ctx, &mut mpl, rank - 1, TAG_LEFT, TAG_RIGHT, local[0]);

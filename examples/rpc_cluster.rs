@@ -45,7 +45,9 @@ fn main() {
                     .unwrap();
                 vi.post_recv(ctx, Descriptor::recv().segment(req, req_mh, REQUEST_BYTES))
                     .unwrap();
-                server.accept(ctx, &vi, Discriminator(c as u64)).expect("accept");
+                server
+                    .accept(ctx, &vi, Discriminator(c as u64))
+                    .expect("accept");
                 vis.push((vi, req, req_mh));
                 reply_bufs.push((rep, rep_mh));
             }
@@ -66,8 +68,11 @@ fn main() {
                 let comp = vi.recv_done(ctx).expect("cq said so");
                 assert!(comp.is_ok());
                 // Re-arm the request buffer, then reply.
-                vi.post_recv(ctx, Descriptor::recv().segment(*req, *req_mh, REQUEST_BYTES))
-                    .unwrap();
+                vi.post_recv(
+                    ctx,
+                    Descriptor::recv().segment(*req, *req_mh, REQUEST_BYTES),
+                )
+                .unwrap();
                 let (rep, rep_mh) = reply_bufs[idx];
                 vi.post_send(ctx, Descriptor::send().segment(rep, rep_mh, REPLY_BYTES))
                     .unwrap();
@@ -84,7 +89,9 @@ fn main() {
     for c in 0..CLIENTS {
         let p = cluster.provider(c + 1);
         let task = sim.spawn(format!("client-{c}"), Some(p.cpu()), move |ctx| {
-            let vi = p.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = p
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let req = p.malloc(REQUEST_BYTES as u64);
             let req_mh = p
                 .register_mem(ctx, req, REQUEST_BYTES as u64, MemAttributes::default())

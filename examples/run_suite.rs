@@ -9,6 +9,8 @@
 //! VIBE_JOBS=4 cargo run --release --example run_suite -- --all    # same
 //! cargo run --release --example run_suite -- --all --csv out/     # also emit CSV files
 //! cargo run --release --example run_suite -- F3 --json out/       # machine-readable dumps
+//! cargo run --release --example run_suite -- T1 --trace out/      # Perfetto/Chrome traces
+//! VIBE_TRACE=out/ cargo run --release --example run_suite -- T1  # same
 //! ```
 //!
 //! Worker count: `--jobs N` wins, then the `VIBE_JOBS` env var, then the
@@ -24,22 +26,32 @@ use vibe::suite::{all_experiments, find, render_json, Category};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: run_suite [--list | --all | <id>...] [--jobs <n>] [--csv <dir>] [--json <dir>]");
-        println!("       ids: T1 F1-F2 F3 F4 F5 CQ F6 F7 X-MDS X-ASY X-RDMA X-PIP X-MTU X-REL X-GETPUT X-SCALE X-SCHED");
+        println!("usage: run_suite [--list | --all | <id>...] [--jobs <n>] [--csv <dir>] [--json <dir>] [--trace <dir>]");
+        println!("       ids: T1 F1-F2 F3 F4 F5 CQ F6 F7 X-MDS X-ASY X-RDMA X-PIP X-MTU X-REL X-GETPUT X-SCALE X-SCHED X-TRACE");
         println!("       --jobs <n>: worker threads (default: VIBE_JOBS env, else all cores; 1 = serial)");
+        println!("       --trace <dir>: also write Perfetto/Chrome message-lifecycle traces (default: VIBE_TRACE env)");
         return;
     }
     let take_val = |flag: &str, args: &mut Vec<String>| {
         args.iter().position(|a| a == flag).map(|i| {
-            let v = args.get(i + 1).unwrap_or_else(|| panic!("{flag} needs a value")).clone();
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone();
             args.drain(i..=i + 1);
             v
         })
     };
     let csv_dir = take_val("--csv", &mut args);
     let json_dir = take_val("--json", &mut args);
+    let trace_dir = take_val("--trace", &mut args).or_else(|| std::env::var("VIBE_TRACE").ok());
     let workers = take_val("--jobs", &mut args)
-        .map(|v| v.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| panic!("--jobs must be a positive integer, got '{v}'")))
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| panic!("--jobs must be a positive integer, got '{v}'"))
+        })
         .unwrap_or_else(default_workers);
     if args.iter().any(|a| a == "--list") {
         println!("{:<8}  {:<18}  title", "id", "category");
@@ -58,7 +70,9 @@ fn main() {
         all_experiments()
     } else {
         args.iter()
-            .map(|id| find(id).unwrap_or_else(|| panic!("unknown experiment id '{id}' (try --list)")))
+            .map(|id| {
+                find(id).unwrap_or_else(|| panic!("unknown experiment id '{id}' (try --list)"))
+            })
             .collect()
     };
     for dir in [&csv_dir, &json_dir].into_iter().flatten() {
@@ -82,6 +96,15 @@ fn main() {
             println!("[wrote {}]", path.display());
         }
         println!("[{} regenerated in {:.2}s]", e.id, e.wall.as_secs_f64());
+    }
+    if let Some(dir) = &trace_dir {
+        // One Perfetto/Chrome-loadable lifecycle trace per paper profile,
+        // from the same deterministic workload the X-TRACE tables use.
+        let dir = std::path::Path::new(dir);
+        let written = vibe::trace_bench::write_chrome_traces(dir, 4096).expect("write traces");
+        for name in written {
+            println!("[wrote {}]", dir.join(name).display());
+        }
     }
     // The runner's own telemetry artifact (wall-clock dependent — never a
     // golden).

@@ -30,7 +30,8 @@ fn check(id: &str) {
         )
     });
     assert_eq!(
-        got, want,
+        got,
+        want,
         "{id} artifacts drifted from {}; if intentional, re-bless with \
          UPDATE_GOLDENS=1 cargo test --test goldens",
         path.display()
@@ -60,4 +61,12 @@ fn x_sched_matches_golden() {
     // The scheduler-ledger extension: pins the exact per-class event and
     // timer-cancellation counts, so any scheduling change is visible.
     check("X-SCHED");
+}
+
+#[test]
+fn x_trace_matches_golden() {
+    // The tracing extension: pins every trace-derived stage latency and
+    // lifecycle-record count, so any instrumentation or data-path change
+    // is visible down to the record.
+    check("X-TRACE");
 }

@@ -61,9 +61,13 @@ fn eight_clients_fan_into_one_server() {
         let p = cluster.provider(c + 1);
         let start = start.clone();
         sim.spawn(format!("client{c}"), Some(p.cpu()), move |ctx| {
-            let vi = p.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = p
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = p.malloc(4096);
-            let mh = p.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             p.connect(ctx, &vi, fabric::NodeId(0), Discriminator(c as u64), None)
                 .unwrap();
             start.wait(ctx);
@@ -103,15 +107,20 @@ fn pairwise_mesh_of_connections() {
         let p = cluster.provider(me);
         tasks.push(sim.spawn(format!("node{me}"), Some(p.cpu()), move |ctx| {
             let buf = p.malloc(8192);
-            let mh = p.register_mem(ctx, buf, 8192, MemAttributes::default()).unwrap();
+            let mh = p
+                .register_mem(ctx, buf, 8192, MemAttributes::default())
+                .unwrap();
             let mut vis = Vec::new();
             // Deterministic rendezvous: lower index connects, higher accepts.
             for peer in 0..NODES {
                 if peer == me {
                     continue;
                 }
-                let vi = p.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192)).unwrap();
+                let vi = p
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 8192))
+                    .unwrap();
                 let disc = Discriminator((me.min(peer) * NODES + me.max(peer)) as u64);
                 if me < peer {
                     // Give the acceptor time to register its listener.
@@ -126,7 +135,8 @@ fn pairwise_mesh_of_connections() {
             // Send one message on every connection, then collect one from
             // every connection.
             for vi in &vis {
-                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1024)).unwrap();
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1024))
+                    .unwrap();
             }
             let mut got = 0;
             for vi in &vis {
@@ -161,14 +171,27 @@ fn mixed_reliability_connections_share_a_fabric() {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
             let vi_rd = pb
-                .create_vi(ctx, ViAttributes::reliable(Reliability::ReliableDelivery), None, None)
+                .create_vi(
+                    ctx,
+                    ViAttributes::reliable(Reliability::ReliableDelivery),
+                    None,
+                    None,
+                )
                 .unwrap();
-            let vi_ud = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi_ud = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = pb.malloc(4096);
-            let mh = pb.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             for _ in 0..MSGS {
-                vi_rd.post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096)).unwrap();
-                vi_ud.post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096)).unwrap();
+                vi_rd
+                    .post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096))
+                    .unwrap();
+                vi_ud
+                    .post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096))
+                    .unwrap();
             }
             pb.accept(ctx, &vi_rd, Discriminator(1)).unwrap();
             pb.accept(ctx, &vi_ud, Discriminator(2)).unwrap();
@@ -193,13 +216,24 @@ fn mixed_reliability_connections_share_a_fabric() {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
             let vi_rd = pa
-                .create_vi(ctx, ViAttributes::reliable(Reliability::ReliableDelivery), None, None)
+                .create_vi(
+                    ctx,
+                    ViAttributes::reliable(Reliability::ReliableDelivery),
+                    None,
+                    None,
+                )
                 .unwrap();
-            let vi_ud = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi_rd, fabric::NodeId(1), Discriminator(1), None).unwrap();
-            pa.connect(ctx, &vi_ud, fabric::NodeId(1), Discriminator(2), None).unwrap();
+            let vi_ud = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi_rd, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
+            pa.connect(ctx, &vi_ud, fabric::NodeId(1), Discriminator(2), None)
+                .unwrap();
             let buf = pa.malloc(4096);
-            let mh = pa.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             for i in 0..MSGS {
                 vi_rd
                     .post_send(ctx, Descriptor::send().segment(buf, mh, 2048).immediate(i))
@@ -215,8 +249,15 @@ fn mixed_reliability_connections_share_a_fabric() {
     }
     sim.run_to_completion();
     let (rd_imms, ud_ok) = server_task.expect_result();
-    assert_eq!(rd_imms, (0..MSGS).collect::<Vec<_>>(), "RD must deliver all, in order");
-    assert!(ud_ok < MSGS, "8% loss must cost the UD connection something");
+    assert_eq!(
+        rd_imms,
+        (0..MSGS).collect::<Vec<_>>(),
+        "RD must deliver all, in order"
+    );
+    assert!(
+        ud_ok < MSGS,
+        "8% loss must cost the UD connection something"
+    );
 }
 
 #[test]
@@ -228,11 +269,16 @@ fn provider_counters_are_consistent() {
     {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = pb.malloc(4096);
-            let mh = pb.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             for _ in 0..MSGS {
-                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096)).unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096))
+                    .unwrap();
             }
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             for _ in 0..MSGS {
@@ -243,12 +289,18 @@ fn provider_counters_are_consistent() {
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let buf = pa.malloc(4096);
-            let mh = pa.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
             for _ in 0..MSGS {
-                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 3000)).unwrap();
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 3000))
+                    .unwrap();
                 assert!(vi.send_wait(ctx, WaitMode::Poll).is_ok());
             }
         });

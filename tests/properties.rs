@@ -26,7 +26,13 @@ fn pick_profile(gen: &mut SimRng) -> Profile {
 }
 
 /// Send one arbitrarily-shaped message and return what the receiver saw.
-fn roundtrip(profile: Profile, payload: Vec<u8>, send_segs: usize, recv_segs: usize, seed: u64) -> Vec<u8> {
+fn roundtrip(
+    profile: Profile,
+    payload: Vec<u8>,
+    send_segs: usize,
+    recv_segs: usize,
+    seed: u64,
+) -> Vec<u8> {
     let len = payload.len() as u64;
     let sim = Sim::new();
     let cluster = Cluster::new(sim.clone(), profile, 2, seed);
@@ -34,7 +40,9 @@ fn roundtrip(profile: Profile, payload: Vec<u8>, send_segs: usize, recv_segs: us
     let server = {
         let pb = pb.clone();
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
-            let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
             let buf = pb.malloc(len.max(1) + 64);
             let mh = pb
                 .register_mem(ctx, buf, len.max(1) + 64, MemAttributes::default())
@@ -66,8 +74,11 @@ fn roundtrip(profile: Profile, payload: Vec<u8>, send_segs: usize, recv_segs: us
     {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
-            let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             // Let the server post its receive first.
             ctx.sleep(SimDuration::from_micros(300));
             let buf = pa.malloc(len.max(1) + 64);
@@ -135,9 +146,12 @@ fn reliable_case(loss: f64, seed: u64, msgs: u32, size: u64) {
         sim.spawn("server", Some(pb.cpu()), move |ctx| {
             let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
             let buf = pb.malloc(size.max(1));
-            let mh = pb.register_mem(ctx, buf, size.max(1), MemAttributes::default()).unwrap();
+            let mh = pb
+                .register_mem(ctx, buf, size.max(1), MemAttributes::default())
+                .unwrap();
             for _ in 0..msgs {
-                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, size as u32)).unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, size as u32))
+                    .unwrap();
             }
             pb.accept(ctx, &vi, Discriminator(1)).unwrap();
             let mut seen = Vec::new();
@@ -153,11 +167,20 @@ fn reliable_case(loss: f64, seed: u64, msgs: u32, size: u64) {
         let pa = pa.clone();
         sim.spawn("client", Some(pa.cpu()), move |ctx| {
             let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
-            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
             let buf = pa.malloc(size.max(1));
-            let mh = pa.register_mem(ctx, buf, size.max(1), MemAttributes::default()).unwrap();
+            let mh = pa
+                .register_mem(ctx, buf, size.max(1), MemAttributes::default())
+                .unwrap();
             for i in 0..msgs {
-                vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32).immediate(i)).unwrap();
+                vi.post_send(
+                    ctx,
+                    Descriptor::send()
+                        .segment(buf, mh, size as u32)
+                        .immediate(i),
+                )
+                .unwrap();
                 let c = vi.send_wait(ctx, WaitMode::Block);
                 assert!(c.is_ok(), "{:?}", c.status);
             }
@@ -201,11 +224,16 @@ fn timelines_are_reproducible() {
             {
                 let pb = pb.clone();
                 sim.spawn("s", Some(pb.cpu()), move |ctx| {
-                    let vi = pb.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
+                    let vi = pb
+                        .create_vi(ctx, ViAttributes::default(), None, None)
+                        .unwrap();
                     let buf = pb.malloc(4096);
-                    let mh = pb.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+                    let mh = pb
+                        .register_mem(ctx, buf, 4096, MemAttributes::default())
+                        .unwrap();
                     for _ in 0..10 {
-                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096)).unwrap();
+                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 4096))
+                            .unwrap();
                     }
                     pb.accept(ctx, &vi, Discriminator(1)).unwrap();
                     ctx.sleep(SimDuration::from_millis(4));
@@ -215,12 +243,18 @@ fn timelines_are_reproducible() {
             {
                 let pa = pa.clone();
                 sim.spawn("c", Some(pa.cpu()), move |ctx| {
-                    let vi = pa.create_vi(ctx, ViAttributes::default(), None, None).unwrap();
-                    pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None).unwrap();
+                    let vi = pa
+                        .create_vi(ctx, ViAttributes::default(), None, None)
+                        .unwrap();
+                    pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                        .unwrap();
                     let buf = pa.malloc(4096);
-                    let mh = pa.register_mem(ctx, buf, 4096, MemAttributes::default()).unwrap();
+                    let mh = pa
+                        .register_mem(ctx, buf, 4096, MemAttributes::default())
+                        .unwrap();
                     for _ in 0..10 {
-                        vi.post_send(ctx, Descriptor::send().segment(buf, mh, 2500)).unwrap();
+                        vi.post_send(ctx, Descriptor::send().segment(buf, mh, 2500))
+                            .unwrap();
                         vi.send_wait(ctx, WaitMode::Poll);
                     }
                 });
@@ -276,6 +310,58 @@ fn buffer_pool_fresh_fraction_matches_reuse() {
         let want = (iters * (100 - reuse) as u64).div_ceil(100);
         assert_eq!(fresh_used, want, "reuse={reuse} iters={iters}");
         assert!(fresh_used <= iters);
+    }
+}
+
+#[test]
+fn gilbert_elliott_converges_to_analytic_stationary_loss() {
+    // Drives the per-link loss automaton directly (the same
+    // transition-then-draw order the fabric uses on every frame — each
+    // frame rolls it twice in flight, once per link direction) and checks
+    // the empirical drop fraction against `LossModel::mean_loss()`, the
+    // analytic stationary rate pi_bad = p_g2b / (p_g2b + p_b2g).
+    let mut gen = SimRng::derive(17, "prop-gilbert-elliott");
+    for case in 0..12 {
+        let p_g2b = 0.002 + gen.unit() * 0.08;
+        let p_b2g = 0.02 + gen.unit() * 0.30;
+        let loss_good = gen.unit() * 0.01;
+        let loss_bad = 0.10 + gen.unit() * 0.60;
+        let model = fabric::LossModel::GilbertElliott {
+            p_g2b,
+            p_b2g,
+            loss_good,
+            loss_bad,
+        };
+        let mut rng = SimRng::derive(gen.next_u64(), "ge-rolls");
+        let mut state = fabric::LossState::new();
+        let (mut dropped, mut bad_frames) = (0u64, 0u64);
+        const FRAMES: u64 = 400_000;
+        for _ in 0..FRAMES {
+            if state.roll(&mut rng, model) {
+                dropped += 1;
+            }
+            if state.is_bad() {
+                bad_frames += 1;
+            }
+        }
+        let mean = model.mean_loss();
+        let pi_bad = p_g2b / (p_g2b + p_b2g);
+        // 6-sigma binomial band (the per-frame draws are correlated
+        // through the channel state, so pad by the burst length).
+        let burst = 1.0 + 1.0 / p_b2g;
+        let tol = 6.0 * (mean * (1.0 - mean) * burst / FRAMES as f64).sqrt();
+        let empirical = dropped as f64 / FRAMES as f64;
+        assert!(
+            (empirical - mean).abs() < tol,
+            "case {case}: empirical {empirical:.5} vs analytic {mean:.5} (tol {tol:.5}) \
+             p_g2b={p_g2b} p_b2g={p_b2g} loss_good={loss_good} loss_bad={loss_bad}"
+        );
+        let occ_tol = 6.0 * (pi_bad * (1.0 - pi_bad) * burst / FRAMES as f64).sqrt();
+        let occupancy = bad_frames as f64 / FRAMES as f64;
+        assert!(
+            (occupancy - pi_bad).abs() < occ_tol,
+            "case {case}: bad-state occupancy {occupancy:.5} vs pi_bad {pi_bad:.5} (tol {occ_tol:.5})"
+        );
     }
 }
 

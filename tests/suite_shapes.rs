@@ -20,7 +20,9 @@ fn full_table1_reproduces_paper_within_ten_percent() {
     ];
     for (row, want) in paper {
         for (col, want) in ["M-VIA", "BVIA", "cLAN"].iter().zip(want) {
-            let got = t.cell(row, col).unwrap_or_else(|| panic!("{row}/{col} missing"));
+            let got = t
+                .cell(row, col)
+                .unwrap_or_else(|| panic!("{row}/{col} missing"));
             assert!(
                 (got - want).abs() <= want * 0.10 + 0.02,
                 "{row}/{col}: got {got}, paper {want}"
@@ -127,5 +129,8 @@ fn headline_crossovers_hold() {
         bw(Profile::clan(), 28672),
         bw(Profile::mvia(), 28672),
     );
-    assert!(b28 > c28 && b28 > m28 && c28 > m28, "b={b28} c={c28} m={m28}");
+    assert!(
+        b28 > c28 && b28 > m28 && c28 > m28,
+        "b={b28} c={c28} m={m28}"
+    );
 }
