@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fabric::{NetParams, NodeId, San};
-use simkit::{EventClass, Sim, SimDuration, WaitMode};
+use fabric::{FaultPlan, NetParams, NodeId, San};
+use simkit::{EventClass, Sim, SimDuration, SimTime, WaitMode};
 use via::{Cluster, Descriptor, Discriminator, MemAttributes, Profile, ViAttributes};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -170,6 +170,70 @@ fn bench_fabric(c: &mut Criterion) {
             || {
                 let sim = Sim::new();
                 let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+                let count = Arc::new(AtomicU64::new(0));
+                let c2 = Arc::clone(&count);
+                san.attach(
+                    NodeId(1),
+                    Arc::new(move |_, _| {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                (sim, san, count)
+            },
+            |(sim, san, count)| {
+                for _ in 0..1_000 {
+                    san.send(NodeId(0), NodeId(1), 1024, Box::new(()));
+                }
+                sim.run();
+                assert_eq!(count.load(Ordering::Relaxed), 1_000);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // The fault hooks must be free when no plan is armed: a suite run with
+    // an empty FaultPlan takes the exact same send path as one with no
+    // plan at all. Compare against `deliver_1k_frames` — any separation
+    // between the two is overhead leaking into every fault-free benchmark.
+    g.bench_function("deliver_1k_frames_empty_fault_plan", |b| {
+        b.iter_batched(
+            || {
+                let sim = Sim::new();
+                let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+                san.install_faults(&FaultPlan::new());
+                let count = Arc::new(AtomicU64::new(0));
+                let c2 = Arc::clone(&count);
+                san.attach(
+                    NodeId(1),
+                    Arc::new(move |_, _| {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                (sim, san, count)
+            },
+            |(sim, san, count)| {
+                for _ in 0..1_000 {
+                    san.send(NodeId(0), NodeId(1), 1024, Box::new(()));
+                }
+                sim.run();
+                assert_eq!(count.load(Ordering::Relaxed), 1_000);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // Contrast case: a latency-only degrade window held open across the
+    // whole run prices the armed-fault path (per-hop window lookup).
+    g.bench_function("deliver_1k_frames_active_degrade", |b| {
+        b.iter_batched(
+            || {
+                let sim = Sim::new();
+                let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+                san.install_faults(&FaultPlan::new().degrade(
+                    NodeId(1),
+                    SimTime::ZERO,
+                    SimDuration::from_secs(3600),
+                    SimDuration::from_micros(1),
+                    0.0,
+                ));
                 let count = Arc::new(AtomicU64::new(0));
                 let c2 = Arc::clone(&count);
                 san.attach(

@@ -469,6 +469,7 @@ pub fn rel_tail_table(profile: Profile, msg_size: u64, loss_rates: &[f64]) -> Ta
             "mean".to_string(),
             "retransmissions".to_string(),
             "frames dropped".to_string(),
+            "conn failures".to_string(),
         ],
     );
     for &loss in loss_rates {
@@ -483,7 +484,7 @@ pub fn rel_tail_table(profile: Profile, msg_size: u64, loss_rates: &[f64]) -> Ta
             reliability: Reliability::ReliableDelivery,
             ..DtConfig::base(p, msg_size)
         };
-        let (samples, retx, dropped) = ping_pong_samples(&cfg);
+        let (samples, retx, dropped, conn_failures) = ping_pong_samples(&cfg);
         t.push(
             format!("loss {:.0}%", loss * 100.0),
             vec![
@@ -493,6 +494,9 @@ pub fn rel_tail_table(profile: Profile, msg_size: u64, loss_rates: &[f64]) -> Ta
                 samples.mean(),
                 retx as f64,
                 dropped as f64,
+                // The generous retry budget must ride out every loss rate
+                // in the sweep without tripping the VI error state.
+                conn_failures as f64,
             ],
         );
     }
@@ -500,9 +504,9 @@ pub fn rel_tail_table(profile: Profile, msg_size: u64, loss_rates: &[f64]) -> Ta
 }
 
 /// A ping-pong that keeps every one-way sample (half of each round trip),
-/// plus the run's total retransmissions (both providers) and the fabric's
-/// dropped-frame count.
-fn ping_pong_samples(cfg: &DtConfig) -> (simkit::Samples, u64, u64) {
+/// plus the run's total retransmissions and connection failures (both
+/// providers) and the fabric's dropped-frame count.
+fn ping_pong_samples(cfg: &DtConfig) -> (simkit::Samples, u64, u64, u64) {
     use simkit::Samples;
     use via::{Descriptor, MemAttributes};
     let pair = Pair::new(cfg);
@@ -578,7 +582,13 @@ fn ping_pong_samples(cfg: &DtConfig) -> (simkit::Samples, u64, u64) {
         },
     );
     let retx = pair.provider_stats(0).retransmissions + pair.provider_stats(1).retransmissions;
-    (samples, retx, pair.san_stats().frames_dropped)
+    let conn_failures = pair.provider_stats(0).conn_failures + pair.provider_stats(1).conn_failures;
+    (
+        samples,
+        retx,
+        pair.san_stats().frames_dropped,
+        conn_failures,
+    )
 }
 
 /// CPU utilization of a blocking large-transfer send across reliability

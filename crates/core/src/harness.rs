@@ -274,6 +274,27 @@ impl Pair {
         self.cluster.san().stats()
     }
 
+    /// Install a scripted fault plan on the pair's fabric. Call before
+    /// [`Pair::run`]; an empty plan leaves the timeline bit-identical to a
+    /// fault-free run.
+    pub fn install_faults(&self, plan: &fabric::FaultPlan) {
+        self.cluster.san().install_faults(plan);
+    }
+
+    /// Provider handle for node `node` (0 = client, 1 = server), e.g. to
+    /// script a firmware stall before [`Pair::run`].
+    pub fn provider(&self, node: usize) -> via::Provider {
+        self.cluster.provider(node)
+    }
+
+    /// Clone of the fabric handle. Workload closures capture this to
+    /// install fault windows timed relative to their own progress (VI
+    /// setup and the connection handshake consume sim time, so absolute
+    /// pre-run timestamps would land the fault in the wrong phase).
+    pub fn san(&self) -> fabric::San {
+        self.cluster.san().clone()
+    }
+
     /// Provider counters for node `node` (0 = client, 1 = server).
     pub fn provider_stats(&self, node: usize) -> via::ProviderStats {
         self.cluster.provider(node).stats()

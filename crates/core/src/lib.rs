@@ -19,9 +19,11 @@
 //!
 //! [`scale`] adds the fan-in scalability study the paper's introduction
 //! motivates ("insight about the number of VIs to be used in an
-//! implementation and scalability studies"), and [`sched_bench`] surfaces
+//! implementation and scalability studies"), [`sched_bench`] surfaces
 //! the simulator's own per-class scheduler ledger (timer cancellation
-//! behavior) as artifacts.
+//! behavior) as artifacts, and [`fault_bench`] drives scripted fault
+//! windows through the fabric to measure recovery and the VI error-state
+//! machinery.
 //!
 //! [`harness`] holds the measurement machinery; [`report`] renders
 //! paper-style tables/figures; [`suite`] is the experiment registry the
@@ -37,6 +39,7 @@ pub mod client_server;
 pub mod cqimpact;
 pub mod dsm_bench;
 pub mod extra;
+pub mod fault_bench;
 pub mod getput;
 pub mod harness;
 pub mod mpl_bench;

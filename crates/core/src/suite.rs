@@ -10,8 +10,8 @@ use crate::harness::BASE_SEED;
 use crate::report::Artifact;
 use crate::runner::Job;
 use crate::{
-    base, breakdown, client_server, cqimpact, dsm_bench, extra, getput, harness, mpl_bench, mvi,
-    nondata, scale, sched_bench, trace_bench, xlate,
+    base, breakdown, client_server, cqimpact, dsm_bench, extra, fault_bench, getput, harness,
+    mpl_bench, mvi, nondata, scale, sched_bench, trace_bench, xlate,
 };
 use simkit::WaitMode;
 
@@ -274,6 +274,17 @@ fn run_sched() -> Vec<Artifact> {
     ]
 }
 
+const X_FAULT_FLAPS: [u64; 4] = [0, 500, 2_000, 8_000];
+
+fn run_fault() -> Vec<Artifact> {
+    vec![
+        fault_bench::recovery_table(&trio(), &X_FAULT_FLAPS).into(),
+        fault_bench::burst_goodput_table(&trio()).into(),
+        fault_bench::stall_table(&trio()).into(),
+        fault_bench::reconnect_table(Profile::clan()).into(),
+    ]
+}
+
 // ---------------------------------------------------------------------
 // Plans: canonical job decompositions. Each job calls the same leaf
 // builder the serial path uses, narrowed to one slice (one profile, one
@@ -522,6 +533,24 @@ fn plan_sched() -> Vec<Job> {
     jobs
 }
 
+fn plan_fault() -> Vec<Job> {
+    // Per-profile jobs for each table; rows merge in registry order.
+    // Unreliable-only profiles contribute zero-row recovery slices.
+    let mut jobs = per_profile_jobs("X-FAULT/recovery", |p| {
+        vec![fault_bench::recovery_table(&[p], &X_FAULT_FLAPS).into()]
+    });
+    jobs.extend(per_profile_jobs("X-FAULT/burst", |p| {
+        vec![fault_bench::burst_goodput_table(&[p]).into()]
+    }));
+    jobs.extend(per_profile_jobs("X-FAULT/stall", |p| {
+        vec![fault_bench::stall_table(&[p]).into()]
+    }));
+    jobs.push(job("X-FAULT/reconnect".to_string(), || {
+        vec![fault_bench::reconnect_table(Profile::clan()).into()]
+    }));
+    jobs
+}
+
 /// Every experiment, in the paper's reporting order.
 pub fn all_experiments() -> Vec<Experiment> {
     use Category::*;
@@ -660,6 +689,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             plan: plan_trace,
         },
         Experiment {
+            id: "X-FAULT",
+            title: "Extension: fault injection, recovery latency & VI error states",
+            category: DataTransfer,
+            produce: run_fault,
+            plan: plan_fault,
+        },
+        Experiment {
             id: "X-MPL",
             title: "Future work (Sec 5): message-passing layer over VIA",
             category: ProgrammingModel,
@@ -695,7 +731,8 @@ mod tests {
         }
         // The six TR-only benchmarks of §3.2.5 plus the extensions.
         for id in [
-            "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE", "X-SCHED",
+            "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE",
+            "X-SCHED", "X-FAULT",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

@@ -1,0 +1,360 @@
+//! Scripted, seeded fault injection for the SAN.
+//!
+//! A [`FaultPlan`] is a list of sim-time-scheduled fault windows — link
+//! down/up flaps, per-link degradation bursts (extra latency and loss),
+//! frame corruption (CRC-fail drops, counted separately from congestion
+//! loss), and switch brownouts. [`crate::San::install_faults`] schedules
+//! the window edges on the engine's slab timer core; inside a window the
+//! send path consults the active fault set on every frame.
+//!
+//! Determinism: all fault drop decisions come from a dedicated
+//! `SimRng::derive(seed, "fabric-fault")` stream, so the loss-injection
+//! stream (`"fabric-loss"`) sees exactly the draws it sees without a plan.
+//! With no plan installed the per-frame cost is a single `Option` branch
+//! and the timeline is bit-identical to a fault-free build.
+
+use simkit::{SimDuration, SimRng, SimTime};
+
+use crate::san::NodeId;
+
+/// Trace-record node id used for switch-scope fault edges (brownouts),
+/// which belong to no attached node.
+pub const SWITCH_NODE: u32 = u32::MAX;
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The node's link (both directions) is down: every frame entering or
+    /// leaving the node during the window is dropped.
+    LinkDown {
+        /// The node whose link flaps.
+        node: NodeId,
+    },
+    /// The node's link degrades: frames crossing it pay `extra_latency`
+    /// and are dropped with probability `extra_loss` (on top of the
+    /// configured loss model).
+    Degrade {
+        /// The node whose link degrades.
+        node: NodeId,
+        /// Added one-way latency per traversal.
+        extra_latency: SimDuration,
+        /// Added drop probability per traversal.
+        extra_loss: f64,
+    },
+    /// Frames are corrupted (and dropped at CRC check) with probability
+    /// `p`, network-wide. Checked once per frame at fabric ingress and
+    /// counted in [`crate::SanStats::frames_corrupted`], distinct from
+    /// loss-model drops.
+    Corrupt {
+        /// Per-frame corruption probability.
+        p: f64,
+    },
+    /// Switch brownout: every frame traversing the switch pays
+    /// `extra_latency` on top of the configured switch latency.
+    Brownout {
+        /// Added switch traversal latency.
+        extra_latency: SimDuration,
+    },
+}
+
+/// One scheduled fault window: `kind` is active on `[at, at + duration)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultWindow {
+    /// Sim time the fault begins.
+    pub at: SimTime,
+    /// How long the fault lasts.
+    pub duration: SimDuration,
+    /// What happens during the window.
+    pub kind: FaultKind,
+}
+
+/// A script of fault windows, applied to a [`crate::San`] via
+/// [`crate::San::install_faults`]. Windows may overlap; effects stack
+/// (latencies add, drop probabilities add with a cap at 1.0).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; provably free on the send path).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan schedules no fault windows.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled windows, in insertion order.
+    pub fn events(&self) -> &[FaultWindow] {
+        &self.events
+    }
+
+    /// Add an arbitrary window.
+    pub fn window(mut self, at: SimTime, duration: SimDuration, kind: FaultKind) -> Self {
+        assert!(
+            duration > SimDuration::ZERO,
+            "fault window must have extent"
+        );
+        self.events.push(FaultWindow { at, duration, kind });
+        self
+    }
+
+    /// Take `node`'s link down for `duration` starting at `at`.
+    pub fn link_flap(self, node: NodeId, at: SimTime, duration: SimDuration) -> Self {
+        self.window(at, duration, FaultKind::LinkDown { node })
+    }
+
+    /// Degrade `node`'s link for `duration` starting at `at`.
+    pub fn degrade(
+        self,
+        node: NodeId,
+        at: SimTime,
+        duration: SimDuration,
+        extra_latency: SimDuration,
+        extra_loss: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&extra_loss),
+            "probability out of range"
+        );
+        self.window(
+            at,
+            duration,
+            FaultKind::Degrade {
+                node,
+                extra_latency,
+                extra_loss,
+            },
+        )
+    }
+
+    /// Corrupt frames network-wide with probability `p` during the window.
+    pub fn corrupt(self, at: SimTime, duration: SimDuration, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.window(at, duration, FaultKind::Corrupt { p })
+    }
+
+    /// Brown the switch out (add `extra_latency` per traversal) during the
+    /// window.
+    pub fn brownout(self, at: SimTime, duration: SimDuration, extra_latency: SimDuration) -> Self {
+        self.window(at, duration, FaultKind::Brownout { extra_latency })
+    }
+}
+
+/// What the active fault set did to one frame on one hop.
+pub(crate) enum HopFault {
+    /// Frame passes, delayed by `extra` (degradation + brownout).
+    Pass {
+        /// Added latency on this hop.
+        extra: SimDuration,
+    },
+    /// Frame dropped: the link is down.
+    Down,
+    /// Frame dropped: corrupted (failed CRC).
+    Corrupt,
+    /// Frame dropped: degradation-burst loss.
+    Lost,
+}
+
+/// Runtime fault state, boxed into the SAN once a non-empty plan is
+/// installed. Holds the currently active windows (window edges push/pop
+/// entries) and the dedicated fault RNG stream.
+pub(crate) struct FaultState {
+    active: Vec<FaultKind>,
+    rng: SimRng,
+}
+
+impl FaultState {
+    pub(crate) fn new(rng: SimRng) -> Self {
+        FaultState {
+            active: Vec::new(),
+            rng,
+        }
+    }
+
+    /// A window opened.
+    pub(crate) fn begin(&mut self, kind: FaultKind) {
+        self.active.push(kind);
+    }
+
+    /// A window closed: retire one matching active entry.
+    pub(crate) fn end(&mut self, kind: FaultKind) {
+        if let Some(pos) = self.active.iter().position(|k| *k == kind) {
+            self.active.remove(pos);
+        }
+    }
+
+    /// True while any window is open (used by tests).
+    #[cfg(test)]
+    fn any_active(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Evaluate the active set for a frame entering the fabric on `src`'s
+    /// uplink. Corruption is checked here (once per frame, at ingress);
+    /// brownout latency is charged here too, since the uplink hop ends at
+    /// the switch. `lossy` is false for loss-exempt control frames: a
+    /// downed link still kills them (the wire is physically gone), but
+    /// corruption and degradation loss honor the control channel's
+    /// reliable-transport fiction, exactly like the configured loss model.
+    pub(crate) fn on_uplink(&mut self, src: NodeId, lossy: bool) -> HopFault {
+        self.on_hop(src, true, lossy)
+    }
+
+    /// Evaluate the active set for a frame leaving the switch on `dst`'s
+    /// downlink.
+    pub(crate) fn on_downlink(&mut self, dst: NodeId, lossy: bool) -> HopFault {
+        self.on_hop(dst, false, lossy)
+    }
+
+    fn on_hop(&mut self, endpoint: NodeId, ingress: bool, lossy: bool) -> HopFault {
+        let mut extra = SimDuration::ZERO;
+        let mut corrupt_p = 0.0f64;
+        let mut loss_p = 0.0f64;
+        for k in &self.active {
+            match *k {
+                FaultKind::LinkDown { node } if node == endpoint => return HopFault::Down,
+                FaultKind::Degrade {
+                    node,
+                    extra_latency,
+                    extra_loss,
+                } if node == endpoint => {
+                    extra += extra_latency;
+                    if lossy {
+                        loss_p += extra_loss;
+                    }
+                }
+                FaultKind::Corrupt { p } if ingress && lossy => corrupt_p += p,
+                FaultKind::Brownout { extra_latency } if ingress => extra += extra_latency,
+                _ => {}
+            }
+        }
+        if corrupt_p > 0.0 && self.rng.chance(corrupt_p.min(1.0)) {
+            return HopFault::Corrupt;
+        }
+        if loss_p > 0.0 && self.rng.chance(loss_p.min(1.0)) {
+            return HopFault::Lost;
+        }
+        HopFault::Pass { extra }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(FaultPlan::default(), FaultPlan::new());
+    }
+
+    #[test]
+    fn builders_append_windows() {
+        let t0 = SimTime::ZERO + SimDuration::from_micros(10);
+        let plan = FaultPlan::new()
+            .link_flap(NodeId(0), t0, SimDuration::from_micros(50))
+            .degrade(
+                NodeId(1),
+                t0,
+                SimDuration::from_micros(5),
+                SimDuration::from_micros(1),
+                0.25,
+            )
+            .corrupt(t0, SimDuration::from_micros(5), 0.1)
+            .brownout(t0, SimDuration::from_micros(5), SimDuration::from_micros(2));
+        assert_eq!(plan.events().len(), 4);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.events()[0].kind,
+            FaultKind::LinkDown { node: NodeId(0) }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn corrupt_rejects_bad_probability() {
+        let _ = FaultPlan::new().corrupt(SimTime::ZERO, SimDuration::from_micros(1), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have extent")]
+    fn zero_length_window_rejected() {
+        let _ = FaultPlan::new().corrupt(SimTime::ZERO, SimDuration::ZERO, 0.5);
+    }
+
+    #[test]
+    fn link_down_beats_everything_on_its_node_only() {
+        let mut st = FaultState::new(SimRng::derive(1, "t"));
+        st.begin(FaultKind::LinkDown { node: NodeId(2) });
+        assert!(matches!(st.on_uplink(NodeId(2), true), HopFault::Down));
+        assert!(matches!(st.on_downlink(NodeId(2), true), HopFault::Down));
+        // Control frames die on a downed link too.
+        assert!(matches!(st.on_uplink(NodeId(2), false), HopFault::Down));
+        assert!(matches!(
+            st.on_uplink(NodeId(0), true),
+            HopFault::Pass {
+                extra: SimDuration::ZERO
+            }
+        ));
+        st.end(FaultKind::LinkDown { node: NodeId(2) });
+        assert!(!st.any_active());
+        assert!(matches!(
+            st.on_uplink(NodeId(2), true),
+            HopFault::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn degradation_and_brownout_latencies_stack() {
+        let mut st = FaultState::new(SimRng::derive(1, "t"));
+        st.begin(FaultKind::Degrade {
+            node: NodeId(0),
+            extra_latency: SimDuration::from_micros(3),
+            extra_loss: 0.0,
+        });
+        st.begin(FaultKind::Brownout {
+            extra_latency: SimDuration::from_micros(2),
+        });
+        match st.on_uplink(NodeId(0), true) {
+            HopFault::Pass { extra } => assert_eq!(extra, SimDuration::from_micros(5)),
+            _ => panic!("expected pass"),
+        }
+        // Brownout is charged at the switch (ingress hop) only.
+        match st.on_downlink(NodeId(0), true) {
+            HopFault::Pass { extra } => assert_eq!(extra, SimDuration::from_micros(3)),
+            _ => panic!("expected pass"),
+        }
+    }
+
+    #[test]
+    fn corruption_only_rolls_at_ingress_on_lossy_frames() {
+        let mut st = FaultState::new(SimRng::derive(7, "t"));
+        st.begin(FaultKind::Corrupt { p: 1.0 });
+        assert!(matches!(st.on_uplink(NodeId(0), true), HopFault::Corrupt));
+        assert!(matches!(
+            st.on_downlink(NodeId(1), true),
+            HopFault::Pass { .. }
+        ));
+        // Control frames keep their reliable-channel exemption.
+        assert!(matches!(
+            st.on_uplink(NodeId(0), false),
+            HopFault::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn overlapping_windows_retire_one_at_a_time() {
+        let k = FaultKind::Corrupt { p: 1.0 };
+        let mut st = FaultState::new(SimRng::derive(7, "t"));
+        st.begin(k);
+        st.begin(k);
+        st.end(k);
+        assert!(st.any_active());
+        st.end(k);
+        assert!(!st.any_active());
+    }
+}

@@ -29,8 +29,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod params;
 pub mod san;
 
+pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use params::{LinkParams, LossModel, NetParams, SwitchParams};
 pub use san::{Delivery, LossState, NodeId, RxHandler, San, SanStats};

@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use simkit::{EventClass, Sim, SimDuration, SimRng, SimTime};
 use trace::{MsgId, TracePoint, Tracer};
 
+use crate::fault::{FaultKind, FaultPlan, FaultState, HopFault, SWITCH_NODE};
 use crate::params::{LossModel, NetParams};
 
 /// Index of a node attached to the SAN.
@@ -110,10 +111,16 @@ pub struct SanStats {
     pub frames_sent: u64,
     /// Frames delivered to a receive handler.
     pub frames_delivered: u64,
-    /// Frames dropped by loss injection.
+    /// Frames dropped by loss injection (the configured [`LossModel`] plus
+    /// any degradation-burst loss from an installed fault plan).
     pub frames_dropped: u64,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// Frames dropped by corruption injection (failed CRC) — distinct
+    /// from loss-model drops.
+    pub frames_corrupted: u64,
+    /// Frames dropped because a fault plan had the link down.
+    pub frames_faulted: u64,
 }
 
 struct SanState {
@@ -124,6 +131,10 @@ struct SanState {
     rng: SimRng,
     stats: SanStats,
     tracer: Tracer,
+    seed: u64,
+    /// Present only once a non-empty [`FaultPlan`] is installed, so the
+    /// fault-free send path pays exactly one `Option` branch.
+    faults: Option<Box<FaultState>>,
 }
 
 /// Handle to the SAN; cheap to clone.
@@ -147,7 +158,72 @@ impl San {
                 rng: SimRng::derive(seed, "fabric-loss"),
                 stats: SanStats::default(),
                 tracer: Tracer::disabled(),
+                seed,
+                faults: None,
             })),
+        }
+    }
+
+    /// Install a fault plan: schedule every window's open/close edge on
+    /// the engine's timer core. An empty plan is a no-op — the send path
+    /// stays on its fault-free fast path. May be called more than once;
+    /// plans accumulate.
+    ///
+    /// Fault decisions draw from a dedicated `"fabric-fault"` RNG stream
+    /// derived from the SAN seed, so the loss-injection stream is
+    /// untouched and fault-free timelines are bit-identical with or
+    /// without this subsystem compiled in.
+    pub fn install_faults(&self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.state.lock();
+            if st.faults.is_none() {
+                let rng = SimRng::derive(st.seed, "fabric-fault");
+                st.faults = Some(Box::new(FaultState::new(rng)));
+            }
+        }
+        for w in plan.events() {
+            let kind = w.kind;
+            let open = self.clone();
+            self.sim.call_at_as(EventClass::Fabric, w.at, move |sim| {
+                let mut st = open.state.lock();
+                let st = &mut *st;
+                st.faults
+                    .as_mut()
+                    .expect("fault state installed")
+                    .begin(kind);
+                match kind {
+                    FaultKind::LinkDown { node } => {
+                        st.tracer
+                            .record(sim.now(), TracePoint::LinkDown, node.0, None, 1);
+                    }
+                    FaultKind::Brownout { .. } => {
+                        st.tracer
+                            .record(sim.now(), TracePoint::LinkDown, SWITCH_NODE, None, 2);
+                    }
+                    _ => {}
+                }
+            });
+            let close = self.clone();
+            self.sim
+                .call_at_as(EventClass::Fabric, w.at + w.duration, move |sim| {
+                    let mut st = close.state.lock();
+                    let st = &mut *st;
+                    st.faults.as_mut().expect("fault state installed").end(kind);
+                    match kind {
+                        FaultKind::LinkDown { node } => {
+                            st.tracer
+                                .record(sim.now(), TracePoint::LinkUp, node.0, None, 1);
+                        }
+                        FaultKind::Brownout { .. } => {
+                            st.tracer
+                                .record(sim.now(), TracePoint::LinkUp, SWITCH_NODE, None, 2);
+                        }
+                        _ => {}
+                    }
+                });
         }
     }
 
@@ -241,23 +317,57 @@ impl San {
             // in (the egress link still pays a full serialization, so the
             // unloaded path costs one serialization overall). Store-and-
             // forward: the whole frame must land first.
-            let at_switch = if st.params.switch.cut_through {
+            let mut at_switch = if st.params.switch.cut_through {
                 start + prop + st.params.switch.latency
             } else {
                 start + ser + prop + st.params.switch.latency
             };
             let model = st.params.loss;
             let st_ref = &mut *st;
-            let dropped = lossy
+            let mut dropped = lossy
                 && st_ref.uplinks[src.index()]
                     .loss
                     .roll(&mut st_ref.rng, model);
-            st.tracer
+            st_ref
+                .tracer
                 .record(now, TracePoint::WireTx, src.0, msg, payload_bytes as u64);
             if dropped {
-                st.stats.frames_dropped += 1;
+                st_ref.stats.frames_dropped += 1;
                 // aux = 1: dropped on the source uplink.
-                st.tracer.record(now, TracePoint::WireDrop, src.0, msg, 1);
+                st_ref
+                    .tracer
+                    .record(now, TracePoint::WireDrop, src.0, msg, 1);
+            } else if let Some(f) = st_ref.faults.as_mut() {
+                match f.on_uplink(src, lossy) {
+                    HopFault::Pass { extra } => at_switch += extra,
+                    HopFault::Down => {
+                        dropped = true;
+                        st_ref.stats.frames_faulted += 1;
+                        // aux = 3: the source's link was down.
+                        st_ref
+                            .tracer
+                            .record(now, TracePoint::WireDrop, src.0, msg, 3);
+                    }
+                    HopFault::Corrupt => {
+                        dropped = true;
+                        st_ref.stats.frames_corrupted += 1;
+                        st_ref.tracer.record(
+                            now,
+                            TracePoint::FrameCorrupt,
+                            src.0,
+                            msg,
+                            payload_bytes as u64,
+                        );
+                    }
+                    HopFault::Lost => {
+                        dropped = true;
+                        st_ref.stats.frames_dropped += 1;
+                        // aux = 5: degradation-burst loss on the uplink.
+                        st_ref
+                            .tracer
+                            .record(now, TracePoint::WireDrop, src.0, msg, 5);
+                    }
+                }
             }
             (at_switch, dropped)
         };
@@ -289,17 +399,41 @@ impl San {
             let link = &mut st.downlinks[dst.index()];
             let start = link.busy_until.max(now);
             link.busy_until = start + ser;
-            let arrive = start + ser + prop;
+            let mut arrive = start + ser + prop;
             let model = st.params.loss;
             let st_ref = &mut *st;
-            let dropped = lossy
+            let mut dropped = lossy
                 && st_ref.downlinks[dst.index()]
                     .loss
                     .roll(&mut st_ref.rng, model);
             if dropped {
-                st.stats.frames_dropped += 1;
+                st_ref.stats.frames_dropped += 1;
                 // aux = 2: dropped on the destination downlink.
-                st.tracer.record(now, TracePoint::WireDrop, dst.0, msg, 2);
+                st_ref
+                    .tracer
+                    .record(now, TracePoint::WireDrop, dst.0, msg, 2);
+            } else if let Some(f) = st_ref.faults.as_mut() {
+                match f.on_downlink(dst, lossy) {
+                    HopFault::Pass { extra } => arrive += extra,
+                    HopFault::Down => {
+                        dropped = true;
+                        st_ref.stats.frames_faulted += 1;
+                        // aux = 4: the destination's link was down.
+                        st_ref
+                            .tracer
+                            .record(now, TracePoint::WireDrop, dst.0, msg, 4);
+                    }
+                    // Corruption is rolled once per frame, at ingress.
+                    HopFault::Corrupt => unreachable!("corruption rolls at ingress"),
+                    HopFault::Lost => {
+                        dropped = true;
+                        st_ref.stats.frames_dropped += 1;
+                        // aux = 6: degradation-burst loss on the downlink.
+                        st_ref
+                            .tracer
+                            .record(now, TracePoint::WireDrop, dst.0, msg, 6);
+                    }
+                }
             }
             (arrive, dropped)
         };
@@ -586,6 +720,202 @@ mod tests {
             .filter(|r| r.point == TracePoint::WireDrop)
             .all(|r| (r.aux == 1 && r.node == 0) || (r.aux == 2 && r.node == 1)));
         assert_eq!(tracer.count(TracePoint::WireTx), 100);
+    }
+
+    #[test]
+    fn empty_fault_plan_installs_nothing() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+        san.install_faults(&FaultPlan::new());
+        assert!(san.state.lock().faults.is_none());
+    }
+
+    #[test]
+    fn link_flap_window_drops_frames_and_recovers() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+        let log = collect_arrivals(&san, NodeId(1));
+        let flap_at = SimTime::ZERO + SimDuration::from_micros(100);
+        let plan = FaultPlan::new().link_flap(NodeId(0), flap_at, SimDuration::from_micros(50));
+        san.install_faults(&plan);
+        // One frame before, one inside, one after the window.
+        for delay_us in [0u64, 120, 300] {
+            let san2 = san.clone();
+            sim.call_in_as(
+                EventClass::Fabric,
+                SimDuration::from_micros(delay_us),
+                move |_| {
+                    san2.send(NodeId(0), NodeId(1), 64, Box::new(()));
+                },
+            );
+        }
+        sim.run_to_completion();
+        let stats = san.stats();
+        assert_eq!(stats.frames_sent, 3);
+        assert_eq!(stats.frames_delivered, 2);
+        assert_eq!(stats.frames_faulted, 1);
+        assert_eq!(stats.frames_dropped, 0);
+        assert_eq!(log.lock().len(), 2);
+    }
+
+    #[test]
+    fn link_down_kills_control_frames_too() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+        let _log = collect_arrivals(&san, NodeId(1));
+        let plan =
+            FaultPlan::new().link_flap(NodeId(1), SimTime::ZERO, SimDuration::from_micros(50));
+        san.install_faults(&plan);
+        let san2 = san.clone();
+        sim.call_in_as(EventClass::Fabric, SimDuration::from_micros(1), move |_| {
+            san2.send_control(NodeId(0), NodeId(1), 64, Box::new(()));
+        });
+        sim.run_to_completion();
+        assert_eq!(san.stats().frames_faulted, 1);
+        assert_eq!(san.stats().frames_delivered, 0);
+    }
+
+    #[test]
+    fn corruption_has_its_own_counter() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 2, 9);
+        let log = collect_arrivals(&san, NodeId(1));
+        let plan = FaultPlan::new().corrupt(SimTime::ZERO, SimDuration::from_millis(10), 0.5);
+        san.install_faults(&plan);
+        let san2 = san.clone();
+        sim.call_in_as(EventClass::Fabric, SimDuration::from_micros(1), move |_| {
+            for _ in 0..200 {
+                san2.send(NodeId(0), NodeId(1), 64, Box::new(()));
+            }
+        });
+        sim.run_to_completion();
+        let stats = san.stats();
+        assert_eq!(stats.frames_sent, 200);
+        assert!(stats.frames_corrupted > 50, "{stats:?}");
+        // Corruption is not loss: the loss counter stays clean.
+        assert_eq!(stats.frames_dropped, 0);
+        assert_eq!(stats.frames_faulted, 0);
+        assert_eq!(
+            stats.frames_delivered + stats.frames_corrupted,
+            200,
+            "{stats:?}"
+        );
+        assert_eq!(log.lock().len() as u64, stats.frames_delivered);
+    }
+
+    #[test]
+    fn degradation_burst_adds_latency_and_loss() {
+        let sim = Sim::new();
+        let params = NetParams::myrinet();
+        let san = San::new(sim.clone(), params, 2, 3);
+        let log = collect_arrivals(&san, NodeId(1));
+        let extra = SimDuration::from_micros(7);
+        let plan = FaultPlan::new().degrade(
+            NodeId(0),
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+            extra,
+            0.0,
+        );
+        san.install_faults(&plan);
+        let san2 = san.clone();
+        sim.call_in_as(EventClass::Fabric, SimDuration::from_micros(1), move |_| {
+            san2.send(NodeId(0), NodeId(1), 1024, Box::new(()));
+        });
+        sim.run_to_completion();
+        let log = log.lock();
+        assert_eq!(log.len(), 1);
+        let base = SimTime::ZERO + SimDuration::from_micros(1) + san.unloaded_latency(1024);
+        // Degrading the source's link delays the one (uplink) traversal.
+        assert_eq!(log[0].0, base + extra);
+    }
+
+    #[test]
+    fn brownout_slows_the_switch_for_everyone() {
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 3, 3);
+        let log = collect_arrivals(&san, NodeId(2));
+        let extra = SimDuration::from_micros(11);
+        let plan = FaultPlan::new().brownout(SimTime::ZERO, SimDuration::from_millis(10), extra);
+        san.install_faults(&plan);
+        let san2 = san.clone();
+        sim.call_in_as(EventClass::Fabric, SimDuration::from_micros(1), move |_| {
+            san2.send(NodeId(1), NodeId(2), 512, Box::new(()));
+        });
+        sim.run_to_completion();
+        let log = log.lock();
+        assert_eq!(log.len(), 1);
+        let base = SimTime::ZERO + SimDuration::from_micros(1) + san.unloaded_latency(512);
+        assert_eq!(log[0].0, base + extra);
+    }
+
+    #[test]
+    fn fault_edges_are_traced() {
+        use trace::TraceConfig;
+        let sim = Sim::new();
+        let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
+        let _log = collect_arrivals(&san, NodeId(1));
+        let tracer = Tracer::new(TraceConfig::default());
+        san.set_tracer(tracer.clone());
+        let at = SimTime::ZERO + SimDuration::from_micros(5);
+        let plan = FaultPlan::new().link_flap(NodeId(0), at, SimDuration::from_micros(10));
+        san.install_faults(&plan);
+        let san2 = san.clone();
+        sim.call_in_as(EventClass::Fabric, SimDuration::from_micros(8), move |_| {
+            san2.send(NodeId(0), NodeId(1), 64, Box::new(()));
+        });
+        sim.run_to_completion();
+        assert_eq!(tracer.count(TracePoint::LinkDown), 1);
+        assert_eq!(tracer.count(TracePoint::LinkUp), 1);
+        let recs = tracer.records();
+        let down = recs
+            .iter()
+            .find(|r| r.point == TracePoint::LinkDown)
+            .unwrap();
+        assert_eq!(down.node, 0);
+        assert_eq!(down.aux, 1);
+        // The frame sent mid-window died with the link-down hop tag.
+        assert!(recs
+            .iter()
+            .any(|r| r.point == TracePoint::WireDrop && r.aux == 3));
+    }
+
+    #[test]
+    fn fault_rng_leaves_the_loss_stream_untouched() {
+        // Same seed, same traffic, same loss model: a corruption window
+        // must not perturb which frames the loss model drops.
+        fn delivered_ids(with_corruption: bool) -> Vec<u64> {
+            let sim = Sim::new();
+            let san = San::new(sim.clone(), NetParams::myrinet().with_loss(0.2), 2, 42);
+            let got = Arc::new(Mutex::new(Vec::new()));
+            let g2 = Arc::clone(&got);
+            san.attach(
+                NodeId(1),
+                Arc::new(move |_, d| {
+                    g2.lock().push(*d.body.downcast::<u64>().unwrap());
+                }),
+            );
+            if with_corruption {
+                // A window that has expired before any traffic flows: the
+                // FaultState is installed (the Option branch is taken) but
+                // no fault decision ever fires.
+                san.install_faults(&FaultPlan::new().corrupt(
+                    SimTime::ZERO,
+                    SimDuration::from_nanos(1),
+                    1.0,
+                ));
+            }
+            let san2 = san.clone();
+            sim.call_in_as(EventClass::Fabric, SimDuration::from_micros(1), move |_| {
+                for i in 0..500u64 {
+                    san2.send(NodeId(0), NodeId(1), 64, Box::new(i));
+                }
+            });
+            sim.run_to_completion();
+            let got = got.lock().clone();
+            got
+        }
+        assert_eq!(delivered_ids(false), delivered_ids(true));
     }
 
     #[test]

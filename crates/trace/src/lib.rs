@@ -98,11 +98,56 @@ pub enum TracePoint {
     CqCompletion,
     /// Interrupt delivered to wake a blocked waiter.
     Interrupt,
+    /// A fault plan took a link (or the switch) down. aux = 1 for a node
+    /// link, 2 for a switch brownout.
+    LinkDown,
+    /// The fault window closed and the link (or switch) came back.
+    LinkUp,
+    /// Frame dropped by CRC-failure corruption injection (distinct from
+    /// congestion/loss drops).
+    FrameCorrupt,
+    /// The adaptive RTO backed off after a retransmit; aux = the new
+    /// timeout in nanoseconds.
+    RtoBackoff,
+    /// A VI transitioned to the Error state; aux = descriptors flushed.
+    ViError,
+    /// One outstanding descriptor flushed with error status during the
+    /// Error transition; aux = 0 for a send, 1 for a receive.
+    ViFlush,
 }
 
 impl TracePoint {
-    /// Every point, in lifecycle order.
-    pub const ALL: [TracePoint; 17] = [
+    /// Every point, in lifecycle order (fault/recovery points trail the
+    /// message-lifecycle ones: new variants append so indices stay stable).
+    pub const ALL: [TracePoint; 23] = [
+        TracePoint::SendPosted,
+        TracePoint::DoorbellRing,
+        TracePoint::FwScan,
+        TracePoint::DescFetch,
+        TracePoint::XlateHit,
+        TracePoint::XlateMiss,
+        TracePoint::DmaStart,
+        TracePoint::DmaEnd,
+        TracePoint::WireTx,
+        TracePoint::WireRx,
+        TracePoint::WireDrop,
+        TracePoint::Retransmit,
+        TracePoint::AckTx,
+        TracePoint::AckRx,
+        TracePoint::RecvLanded,
+        TracePoint::CqCompletion,
+        TracePoint::Interrupt,
+        TracePoint::LinkDown,
+        TracePoint::LinkUp,
+        TracePoint::FrameCorrupt,
+        TracePoint::RtoBackoff,
+        TracePoint::ViError,
+        TracePoint::ViFlush,
+    ];
+
+    /// The original message-lifecycle vocabulary (no fault/recovery
+    /// points) — the stable row set of the X-TRACE lifecycle-count table.
+    pub const LIFECYCLE: [TracePoint; 17] = [
         TracePoint::SendPosted,
         TracePoint::DoorbellRing,
         TracePoint::FwScan,
@@ -147,6 +192,12 @@ impl TracePoint {
             TracePoint::RecvLanded => "recv_landed",
             TracePoint::CqCompletion => "cq_completion",
             TracePoint::Interrupt => "interrupt",
+            TracePoint::LinkDown => "link_down",
+            TracePoint::LinkUp => "link_up",
+            TracePoint::FrameCorrupt => "frame_corrupt",
+            TracePoint::RtoBackoff => "rto_backoff",
+            TracePoint::ViError => "vi_error",
+            TracePoint::ViFlush => "vi_flush",
         }
     }
 
@@ -160,6 +211,12 @@ impl TracePoint {
                 | TracePoint::XlateMiss
                 | TracePoint::XlateHit
                 | TracePoint::Interrupt
+                | TracePoint::LinkDown
+                | TracePoint::LinkUp
+                | TracePoint::FrameCorrupt
+                | TracePoint::RtoBackoff
+                | TracePoint::ViError
+                | TracePoint::ViFlush
         )
     }
 }

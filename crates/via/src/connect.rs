@@ -176,25 +176,31 @@ pub(crate) fn accept(
     Ok(req.client_node)
 }
 
-/// Initiator-side disconnect.
+/// Initiator-side disconnect. Also the only exit from the VI error state:
+/// disconnecting an errored VI returns it to Idle (no peer notification —
+/// the transport already gave the connection up for dead), after which the
+/// application may reconnect and resume.
 pub(crate) fn disconnect(provider: &Provider, ctx: &mut ProcessCtx, vi_id: ViId) -> ViaResult<()> {
     let peer = {
         let st = provider.lock();
         match st.vi(vi_id).conn {
             ConnState::Connected {
                 peer_node, peer_vi, ..
-            } => (peer_node, peer_vi),
+            } => Some((peer_node, peer_vi)),
+            ConnState::Error => None,
             _ => return Err(ViaError::InvalidState),
         }
     };
     ctx.busy(provider.profile.setup.teardown);
     teardown_local(provider, vi_id);
-    provider.san.send_control(
-        provider.node,
-        peer.0,
-        CONN_FRAME_BYTES,
-        Box::new(Frame::Conn(ConnFrame::Disconnect { dst_vi: peer.1 })),
-    );
+    if let Some(peer) = peer {
+        provider.san.send_control(
+            provider.node,
+            peer.0,
+            CONN_FRAME_BYTES,
+            Box::new(Frame::Conn(ConnFrame::Disconnect { dst_vi: peer.1 })),
+        );
+    }
     Ok(())
 }
 
@@ -212,7 +218,18 @@ pub(crate) fn teardown_local(provider: &Provider, vi_id: ViId) {
         vi.reassembly.clear();
         vi.delivered.clear();
         vi.parked_recv.clear();
-        while let Some(inflight) = vi.send_inflight.pop_front() {
+        vi.rto.reset();
+        // Sequence numbers are per-connection: a VI that reconnects must
+        // restart at 0 to line up with its new peer's fresh in-order state.
+        vi.next_seq = 0;
+        let mut cancelled = 0u64;
+        while let Some(mut inflight) = vi.send_inflight.pop_front() {
+            // Disarm the retransmission timer: without this, a teardown
+            // with sends still awaiting their ACK leaks the timer, which
+            // fires dead at its deadline (and holds its closure until then).
+            if inflight.retx_timer.take().is_some_and(|t| t.cancel()) {
+                cancelled += 1;
+            }
             completions.push(Completion {
                 op: inflight.desc.op,
                 status: Err(ViaError::ConnectionLost),
@@ -220,6 +237,7 @@ pub(crate) fn teardown_local(provider: &Provider, vi_id: ViId) {
                 immediate: None,
             });
         }
+        st.stats.retx_timers_cancelled += cancelled;
     }
     for c in completions {
         crate::transport::deliver_send_completion(provider, vi_id, c);

@@ -81,8 +81,15 @@ pub struct DataCosts {
     pub ack_bytes: u32,
     /// NIC/kernel cost to emit or absorb an ACK.
     pub ack_processing: SimDuration,
-    /// Retransmission timer for reliable modes.
+    /// Retransmission timer for reliable modes. With the adaptive RTO
+    /// estimator this is the *floor*: the provider never times out faster
+    /// than its calibrated constant, so a clean wire behaves exactly as a
+    /// fixed-timeout build.
     pub retransmit_timeout: SimDuration,
+    /// Upper bound on the adaptive retransmission timeout, including
+    /// exponential backoff (the cap keeps a flapping link from pushing
+    /// recovery out to seconds).
+    pub max_rto: SimDuration,
     /// Retries before the connection is declared lost.
     pub max_retries: u32,
 }
@@ -183,6 +190,7 @@ impl Profile {
                 ack_bytes: 16,
                 ack_processing: SimDuration::from_micros(2),
                 retransmit_timeout: SimDuration::from_millis(2),
+                max_rto: SimDuration::from_millis(64),
                 max_retries: 10,
             },
         }
@@ -244,6 +252,7 @@ impl Profile {
                 ack_bytes: 16,
                 ack_processing: SimDuration::from_micros(3),
                 retransmit_timeout: SimDuration::from_millis(2),
+                max_rto: SimDuration::from_millis(64),
                 max_retries: 10,
             },
         }
@@ -307,6 +316,7 @@ impl Profile {
                 ack_bytes: 16,
                 ack_processing: SimDuration::from_nanos(600),
                 retransmit_timeout: SimDuration::from_millis(1),
+                max_rto: SimDuration::from_millis(32),
                 max_retries: 10,
             },
         }

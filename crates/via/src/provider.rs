@@ -7,7 +7,7 @@ use fabric::{NodeId, San};
 use parking_lot::{Mutex, MutexGuard};
 use simkit::{CpuId, ProcessCtx, Sim, SimDuration, WaitMode};
 use trace::{TraceConfig, Tracer};
-use vnic::{InterruptController, PciBus, TlbStats, XlateEngine};
+use vnic::{FirmwareStalls, InterruptController, PciBus, TlbStats, XlateEngine};
 
 use crate::cq::{Cq, CqState};
 use crate::descriptor::Completion;
@@ -33,6 +33,10 @@ pub struct ProviderStats {
     pub msgs_delivered: u64,
     /// Inbound messages dropped because no receive descriptor was posted.
     pub recv_no_descriptor: u64,
+    /// Out-of-order reliable messages turned away to keep the last posted
+    /// receive descriptor free for the next in-order sequence (prevents
+    /// parked out-of-order traffic from starving a gap message's retries).
+    pub recv_descriptor_reserved: u64,
     /// Unreliable messages abandoned because fragments were lost.
     pub msgs_dropped_partial: u64,
     /// Duplicate messages discarded (reliable-mode retransmits).
@@ -55,6 +59,9 @@ pub struct ProviderStats {
     /// or the connection was torn down). On a loss-free stream this equals
     /// `retx_timers_armed`: no timer ever fires dead.
     pub retx_timers_cancelled: u64,
+    /// Connections declared dead (retry exhaustion drove a VI into the
+    /// Error state and flushed its descriptors).
+    pub conn_failures: u64,
 }
 
 /// A pending inbound connection request (no listener yet).
@@ -116,6 +123,9 @@ pub(crate) struct ProviderState {
     pub listeners: HashMap<Discriminator, Listener>,
     pub pending_conn: HashMap<Discriminator, VecDeque<PendingConnReq>>,
     pub nic_tx: NicTx,
+    /// Scripted firmware-stall fault windows (empty unless a fault
+    /// experiment installed some via [`Provider::stall_firmware`]).
+    pub fw_stalls: FirmwareStalls,
     pub stats: ProviderStats,
 }
 
@@ -159,6 +169,8 @@ pub struct Provider {
     pub(crate) profile: Arc<Profile>,
     pub(crate) node: NodeId,
     pub(crate) cpu: CpuId,
+    /// Cluster seed; keys the deterministic retransmission-backoff jitter.
+    pub(crate) seed: u64,
     pub(crate) pci: PciBus,
     pub(crate) intr: InterruptController,
     pub(crate) state: Arc<Mutex<ProviderState>>,
@@ -347,6 +359,14 @@ impl Provider {
         self.lock().stats
     }
 
+    /// Install a firmware-stall fault window: doorbells rung during
+    /// `[at, at + duration)` are not serviced until the window closes (a
+    /// wedged device scheduler). A no-op on host-emulated providers, which
+    /// have no firmware to stall.
+    pub fn stall_firmware(&self, at: simkit::SimTime, duration: SimDuration) {
+        self.lock().fw_stalls.add(at, duration);
+    }
+
     /// Snapshot of the NIC translation-cache counters.
     pub fn xlate_stats(&self) -> TlbStats {
         self.lock().xlate.stats()
@@ -509,6 +529,7 @@ impl Cluster {
                 profile: Arc::clone(&profile),
                 node: NodeId(i as u32),
                 cpu,
+                seed,
                 pci,
                 intr: InterruptController::from_host(cpu, &profile.host),
                 state: Arc::new(Mutex::new(ProviderState {
@@ -525,6 +546,7 @@ impl Cluster {
                         queue: VecDeque::new(),
                         busy: false,
                     },
+                    fw_stalls: FirmwareStalls::new(),
                     stats: ProviderStats::default(),
                 })),
             };

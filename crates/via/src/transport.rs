@@ -305,6 +305,7 @@ pub(crate) fn post_send(
                 DescOp::Recv => unreachable!(),
             },
             retries: 0,
+            first_tx_at: None,
             done: false,
             retx_timer: None,
         });
@@ -387,6 +388,12 @@ pub(crate) fn post_recv(
                 .check_registered(seg.handle, seg.va, seg.len as u64)?;
         }
         let vi = st.vi_mut(vi_id);
+        // A VI in the error state refuses all posts until the application
+        // acknowledges the failure with a disconnect (VIA spec error
+        // semantics); Idle is fine — receives may be pre-posted.
+        if vi.conn == ConnState::Error {
+            return Err(ViaError::InvalidState);
+        }
         if vi.recv_posted.len() >= profile.max_queue_depth {
             return Err(ViaError::QueueFull);
         }
@@ -508,13 +515,17 @@ fn nic_tx_start(provider: &Provider, job: TxJobRef) {
     let msg = tx_msg(provider, spec.src_vi, spec.seq);
     let scan = {
         let st = provider.lock();
-        provider.profile.firmware.service_delay_traced(
-            st.active_vis(),
-            &st.tracer,
-            provider.sim.now(),
-            provider.node.0,
-            Some(msg),
-        )
+        // A stalled firmware notices nothing until its stall window closes;
+        // the scan itself runs only after release.
+        let stall = st.fw_stalls.delay_from(provider.sim.now());
+        stall
+            + provider.profile.firmware.service_delay_traced(
+                st.active_vis(),
+                &st.tracer,
+                provider.sim.now() + stall,
+                provider.node.0,
+                Some(msg),
+            )
     };
     let p = provider.clone();
     provider
@@ -738,15 +749,21 @@ fn send_ack(provider: &Provider, dst_node: NodeId, dst_vi: ViId, seq: u64) {
     }
     let p = provider.clone();
     let bytes = profile.data.ack_bytes;
+    // The ACK rides the lossy data path like every other frame and is
+    // correlated to the message it acknowledges, so a traced run shows the
+    // ACK's wire hop under the message's id — and a lost ACK shows up as a
+    // WireDrop followed by the sender's retransmission.
+    let msg = rx_msg(dst_node, dst_vi, seq);
     provider.sim.call_in_as(
         EventClass::Retransmit,
         profile.data.ack_processing,
         move |_| {
-            p.san.send(
+            p.san.send_msg(
                 p.node,
                 dst_node,
                 bytes,
                 Box::new(Frame::Ack { dst_vi, seq }),
+                Some(msg),
             );
         },
     );
@@ -763,6 +780,7 @@ fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
         Disarm(Option<simkit::TimerHandle>),
         Ignore,
     }
+    let now = provider.sim.now();
     let outcome = {
         let mut st = provider.lock();
         st.stats.acks_received += 1;
@@ -772,6 +790,15 @@ fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
         match vi.send_inflight.iter_mut().find(|i| i.seq == seq) {
             Some(inf) if !inf.done => {
                 inf.done = true;
+                // Karn's rule: only a never-retransmitted message yields an
+                // RTT sample — an ACK after a retry is ambiguous.
+                let rtt = (inf.retries == 0)
+                    .then_some(inf.first_tx_at)
+                    .flatten()
+                    .map(|t| now.saturating_duration_since(t));
+                if let Some(rtt) = rtt {
+                    vi.rto.sample(rtt);
+                }
                 AckOutcome::Complete
             }
             Some(inf) => AckOutcome::Disarm(inf.retx_timer.take()),
@@ -789,9 +816,58 @@ fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
     }
 }
 
+/// The adaptive timeout to arm for `(vi, seq)` at its current retry count:
+/// the estimator's backed-off quote, plus (on backed-off timers only) a
+/// deterministic jitter in `[0, timeout/16]` that de-synchronizes the retry
+/// herd a burst fault creates. The jitter is content-keyed on
+/// `(cluster seed, node, vi, seq, retries)`, so it is identical run-to-run
+/// and independent of event-execution order, and it is *absent* on the
+/// first retry — a clean or lightly lossy run arms exactly the timeouts a
+/// fixed-timeout build would.
+fn retx_timeout_for(provider: &Provider, vi_id: ViId, seq: u64, retries: u32) -> SimDuration {
+    let data = &provider.profile.data;
+    let base = {
+        let st = provider.lock();
+        match st.vis.get(vi_id.index()).and_then(|v| v.as_ref()) {
+            Some(vi) => vi
+                .rto
+                .backed_off(data.retransmit_timeout, data.max_rto, retries),
+            None => data.retransmit_timeout,
+        }
+    };
+    if retries == 0 {
+        return base;
+    }
+    let key = provider.seed
+        ^ (provider.node.0 as u64).rotate_left(48)
+        ^ (vi_id.raw() as u64).rotate_left(32)
+        ^ seq.rotate_left(16)
+        ^ retries as u64;
+    let mut rng = simkit::SimRng::derive(key, "rto-jitter");
+    base + SimDuration::from_nanos(rng.below(base.as_nanos() / 16 + 1))
+}
+
 fn arm_retransmit(provider: &Provider, vi_id: ViId, seq: u64) {
     let p = provider.clone();
-    let timeout = provider.profile.data.retransmit_timeout;
+    let retries = {
+        let st = provider.lock();
+        st.vis
+            .get(vi_id.index())
+            .and_then(|v| v.as_ref())
+            .and_then(|vi| vi.send_inflight.iter().find(|i| i.seq == seq))
+            .map(|inf| inf.retries)
+            .unwrap_or(0)
+    };
+    let timeout = retx_timeout_for(provider, vi_id, seq, retries);
+    if retries > 0 {
+        trace_at(
+            provider,
+            provider.sim.now(),
+            TracePoint::RtoBackoff,
+            tx_msg(provider, vi_id, seq),
+            timeout.as_nanos(),
+        );
+    }
     // A cancellable timer: the ACK path cancels it on arrival instead of
     // letting a dead closure ride the heap until the timeout elapses.
     let handle = provider
@@ -830,11 +906,19 @@ fn arm_retransmit(provider: &Provider, vi_id: ViId, seq: u64) {
                 }
             }
         });
+    let now = provider.sim.now();
     let mut st = provider.lock();
     let stored = st
         .try_vi_mut(vi_id)
         .and_then(|vi| vi.send_inflight.iter_mut().find(|i| i.seq == seq))
-        .map(|inf| inf.retx_timer = Some(handle.clone()))
+        .map(|inf| {
+            if inf.retries == 0 && inf.first_tx_at.is_none() {
+                // Last fragment of the first transmission just hit the
+                // wire: the Karn-eligible RTT clock starts here.
+                inf.first_tx_at = Some(now);
+            }
+            inf.retx_timer = Some(handle.clone());
+        })
         .is_some();
     if stored {
         st.stats.retx_timers_armed += 1;
@@ -851,34 +935,67 @@ enum RetxAction {
     Resend,
 }
 
-/// Retry exhaustion: the connection is dead; every outstanding send
-/// completes with `ConnectionLost` and the VI enters the error state.
+/// Retry exhaustion: the connection is dead. The VIA spec's VI error
+/// state machine: the VI transitions to Error, **every** outstanding
+/// descriptor — in-flight sends *and* posted receives — is flushed to its
+/// completion queue with an error status, and new posts are refused until
+/// the application disconnects and reconnects.
 fn fail_connection(provider: &Provider, vi_id: ViId) {
-    let mut completions = Vec::new();
+    let now = provider.sim.now();
+    let mut send_comps = Vec::new();
+    let mut recv_comps = Vec::new();
     {
         let mut st = provider.lock();
         let Some(vi) = st.try_vi_mut(vi_id) else {
             return;
         };
+        if vi.conn == ConnState::Error {
+            return; // several exhausted timers can race to the same verdict
+        }
         vi.conn = ConnState::Error;
         vi.reassembly.clear();
         vi.parked_recv.clear();
+        vi.delivered.clear();
+        vi.rto.reset();
         let mut cancelled = 0u64;
         while let Some(mut inf) = vi.send_inflight.pop_front() {
             if inf.retx_timer.take().is_some_and(|t| t.cancel()) {
                 cancelled += 1;
             }
-            completions.push(Completion {
+            send_comps.push(Completion {
                 op: inf.desc.op,
                 status: Err(ViaError::ConnectionLost),
                 length: 0,
                 immediate: None,
             });
         }
+        while let Some(desc) = vi.recv_posted.pop_front() {
+            recv_comps.push(Completion {
+                op: desc.op,
+                status: Err(ViaError::ConnectionLost),
+                length: 0,
+                immediate: None,
+            });
+        }
         st.stats.retx_timers_cancelled += cancelled;
+        st.stats.conn_failures += 1;
+        let flushed = (send_comps.len() + recv_comps.len()) as u64;
+        st.tracer
+            .record(now, TracePoint::ViError, provider.node.0, None, flushed);
+        for _ in &send_comps {
+            st.tracer
+                .record(now, TracePoint::ViFlush, provider.node.0, None, 0);
+        }
+        for _ in &recv_comps {
+            st.tracer
+                .record(now, TracePoint::ViFlush, provider.node.0, None, 1);
+        }
     }
-    for c in completions {
+    for c in send_comps {
         deliver_send_completion(provider, vi_id, c);
+    }
+    for c in recv_comps {
+        deliver_recv_completion(provider, vi_id, c);
     }
 }
 
@@ -1072,6 +1189,7 @@ fn rx_read_request(provider: &Provider, req: RdmaReadReq) {
                 req_seq: req.req_seq,
             },
             retries: 0,
+            first_tx_at: None,
             done: true, // never produces a local completion
             retx_timer: None,
         });
@@ -1154,7 +1272,30 @@ fn rx_data(provider: &Provider, src: NodeId, df: DataFrame) {
             // Classify the new message and (for NIC offload) translate the
             // destination pages up front. (The over-long case inserts its
             // entry itself so it can keep the consumed descriptor.)
+            // Reliable modes park out-of-order messages until the gap seq
+            // arrives, and every parked message consumes a posted receive
+            // descriptor. If out-of-order arrivals are allowed to drain the
+            // pool to zero, the gap seq's retransmissions find no descriptor,
+            // are discarded un-ACKed, and retry until exhaustion while the
+            // receiving application — blocked on the in-order prefix — never
+            // reposts: a permanent starvation cycle. Reserving the *last*
+            // descriptor for the next in-order seq breaks the cycle: the gap
+            // message can always land, releasing the parked prefix.
+            let reserve_for_in_order = df.reliability != Reliability::Unreliable
+                && matches!(df.kind, MsgKind::Send { .. })
+                && st.vi(df.dst_vi).recv_posted.len() == 1
+                && st
+                    .vi(df.dst_vi)
+                    .delivered
+                    .highwater()
+                    .map_or(df.seq != 0, |h| df.seq != h + 1);
             let target = match df.kind {
+                MsgKind::Send { .. } if reserve_for_in_order => {
+                    st.stats.recv_descriptor_reserved += 1;
+                    RxTarget::Discard {
+                        reason: ViaError::MessageDropped,
+                    }
+                }
                 MsgKind::Send { imm } => match st.vi_mut(df.dst_vi).recv_posted.pop_front() {
                     None => {
                         st.stats.recv_no_descriptor += 1;

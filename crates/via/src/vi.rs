@@ -4,7 +4,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use fabric::NodeId;
-use simkit::{ProcessCtx, WaitMode, WaitToken};
+use simkit::{ProcessCtx, SimDuration, SimTime, WaitMode, WaitToken};
 
 use crate::descriptor::{Completion, DescOp, Descriptor};
 use crate::provider::Provider;
@@ -44,6 +44,10 @@ pub(crate) struct InflightSend {
     pub pages: Vec<u64>,
     pub kind: MsgKind,
     pub retries: u32,
+    /// When the last fragment of the *first* transmission hit the wire.
+    /// Karn's algorithm: only un-retransmitted messages yield RTT samples,
+    /// so an ambiguous ACK (original or retry?) never poisons the estimator.
+    pub first_tx_at: Option<SimTime>,
     /// Set once the wire/ack protocol finished; the completion may still be
     /// waiting on the completion-write delay.
     pub done: bool,
@@ -111,6 +115,81 @@ pub(crate) struct ViState {
     /// until every earlier message has landed (the spec's in-order
     /// delivery guarantee).
     pub parked_recv: std::collections::BTreeMap<u64, Completion>,
+    /// Adaptive retransmission-timeout estimator (reliable modes).
+    pub rto: RtoEstimator,
+}
+
+/// Jacobson/Karels smoothed-RTT estimator driving the adaptive
+/// retransmission timeout.
+///
+/// The estimator learns the connection's round-trip time from ACKs of
+/// *un-retransmitted* messages (Karn's rule) and quotes
+/// `SRTT + 4·RTTVAR`, clamped to `[floor, cap]`. The floor is the
+/// profile's configured `retransmit_timeout`, so a provider never times
+/// out *faster* than its calibrated constant — on a clean wire the
+/// adaptive path is timing-identical to the fixed one — while a
+/// congested or degraded path raises the quote instead of spraying
+/// spurious retransmissions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtoEstimator {
+    /// Smoothed RTT; `None` until the first sample.
+    srtt: Option<SimDuration>,
+    /// Mean RTT deviation.
+    rttvar: SimDuration,
+    /// Samples absorbed (diagnostics).
+    samples: u64,
+}
+
+impl RtoEstimator {
+    /// Absorb one RTT sample (RFC 6298 constants: α=1/8, β=1/4).
+    pub fn sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let dev = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar - self.rttvar / 4 + dev / 4;
+                self.srtt = Some(srtt - srtt / 8 + rtt / 8);
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// The base (un-backed-off) timeout: `SRTT + 4·RTTVAR` clamped to
+    /// `[floor, cap]`; just `floor` before the first sample.
+    pub fn base_timeout(&self, floor: SimDuration, cap: SimDuration) -> SimDuration {
+        match self.srtt {
+            None => floor,
+            Some(srtt) => (srtt + self.rttvar * 4).clamp(floor, cap),
+        }
+    }
+
+    /// The timeout to arm for a message already retried `retries` times:
+    /// exponential backoff (×2 per retry) on the base, capped at `cap`.
+    pub fn backed_off(&self, floor: SimDuration, cap: SimDuration, retries: u32) -> SimDuration {
+        let base = self.base_timeout(floor, cap);
+        let shift = retries.min(32);
+        let ns = base.as_nanos().saturating_mul(1u64 << shift);
+        SimDuration::from_nanos(ns).min(cap)
+    }
+
+    /// Smoothed RTT, if any sample has been absorbed.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Samples absorbed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Forget everything (connection teardown: the next connection may
+    /// cross a different path).
+    pub fn reset(&mut self) {
+        *self = RtoEstimator::default();
+    }
 }
 
 /// Compact tracker of delivered message sequences: a contiguous highwater
@@ -184,6 +263,7 @@ impl ViState {
             reassembly: HashMap::new(),
             delivered: DeliveredTracker::default(),
             parked_recv: std::collections::BTreeMap::new(),
+            rto: RtoEstimator::default(),
         }
     }
 
@@ -349,6 +429,68 @@ mod tests {
         assert!(t.contains(4));
         t.clear();
         assert!(!t.contains(0));
+    }
+
+    #[test]
+    fn rto_estimator_quotes_floor_until_sampled() {
+        let floor = SimDuration::from_millis(2);
+        let cap = SimDuration::from_millis(64);
+        let est = RtoEstimator::default();
+        assert_eq!(est.base_timeout(floor, cap), floor);
+        assert_eq!(est.srtt(), None);
+        assert_eq!(est.samples(), 0);
+    }
+
+    #[test]
+    fn rto_estimator_first_sample_sets_srtt_and_half_var() {
+        let mut est = RtoEstimator::default();
+        est.sample(SimDuration::from_micros(100));
+        assert_eq!(est.srtt(), Some(SimDuration::from_micros(100)));
+        // base = srtt + 4 * (srtt/2) = 300us, below a 2ms floor → floor.
+        let floor = SimDuration::from_millis(2);
+        let cap = SimDuration::from_millis(64);
+        assert_eq!(est.base_timeout(floor, cap), floor);
+        // With a lower floor the learned quote shows through.
+        assert_eq!(
+            est.base_timeout(SimDuration::from_micros(10), cap),
+            SimDuration::from_micros(300)
+        );
+    }
+
+    #[test]
+    fn rto_estimator_converges_toward_a_steady_rtt() {
+        let mut est = RtoEstimator::default();
+        for _ in 0..64 {
+            est.sample(SimDuration::from_micros(50));
+        }
+        let srtt = est.srtt().unwrap();
+        assert_eq!(srtt, SimDuration::from_micros(50));
+        // Variance decays to (near) zero on a steady stream.
+        let quote = est.base_timeout(SimDuration::from_nanos(1), SimDuration::from_millis(64));
+        assert!(quote < SimDuration::from_micros(60), "quote {quote}");
+    }
+
+    #[test]
+    fn rto_backoff_doubles_and_caps() {
+        let est = RtoEstimator::default();
+        let floor = SimDuration::from_millis(1);
+        let cap = SimDuration::from_millis(8);
+        let seq: Vec<_> = (0..6).map(|r| est.backed_off(floor, cap, r)).collect();
+        assert_eq!(seq[0], SimDuration::from_millis(1));
+        assert_eq!(seq[1], SimDuration::from_millis(2));
+        assert_eq!(seq[2], SimDuration::from_millis(4));
+        assert_eq!(seq[3], SimDuration::from_millis(8));
+        assert_eq!(seq[4], SimDuration::from_millis(8)); // capped
+        assert!(seq.windows(2).all(|w| w[0] <= w[1]), "monotone");
+    }
+
+    #[test]
+    fn rto_reset_forgets_samples() {
+        let mut est = RtoEstimator::default();
+        est.sample(SimDuration::from_micros(400));
+        est.reset();
+        assert_eq!(est.srtt(), None);
+        assert_eq!(est.samples(), 0);
     }
 
     #[test]

@@ -274,6 +274,105 @@ fn post_recv_before_connection_is_allowed() {
 }
 
 #[test]
+fn retry_exhaustion_drives_vi_to_error_then_reconnect_recovers() {
+    // A link flap longer than the whole retry budget must push the VI into
+    // the Error state: the stuck send completes with ConnectionLost, new
+    // posts are refused, and only an explicit disconnect returns the VI to
+    // Idle — after which a fresh connect on the same VI works, including
+    // the per-connection sequence restart.
+    let sim = Sim::new();
+    let mut p = Profile::clan();
+    p.data.retransmit_timeout = SimDuration::from_micros(200);
+    p.data.max_rto = SimDuration::from_millis(1);
+    p.data.max_retries = 2;
+    let cluster = Cluster::new(sim.clone(), p, 2, 11);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    let san = cluster.san().clone();
+    let attrs = ViAttributes::reliable(via::Reliability::ReliableDelivery);
+    let flap = SimDuration::from_millis(10);
+    let sh = {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
+            let buf = pb.malloc(4096);
+            let mh = pb
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 1024))
+                .unwrap();
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            assert!(vi.recv_wait(ctx, WaitMode::Block).is_ok());
+            // Listen again for the client's post-error reconnect on a
+            // fresh VI (the dead one keeps its half-open server state).
+            let vi2 = pb.create_vi(ctx, attrs, None, None).unwrap();
+            vi2.post_recv(ctx, Descriptor::recv().segment(buf + 1024, mh, 1024))
+                .unwrap();
+            pb.accept(ctx, &vi2, Discriminator(2)).unwrap();
+            vi2.recv_wait(ctx, WaitMode::Block).is_ok()
+        })
+    };
+    let ch = {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
+            let buf = pa.malloc(4096);
+            let mh = pa
+                .register_mem(ctx, buf, 4096, MemAttributes::default())
+                .unwrap();
+            // One clean round proves the path before the fault.
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1024))
+                .unwrap();
+            assert!(vi.send_wait(ctx, WaitMode::Block).is_ok());
+
+            let flap_at = ctx.now() + SimDuration::from_micros(10);
+            san.install_faults(&fabric::FaultPlan::new().link_flap(
+                fabric::NodeId(0),
+                flap_at,
+                flap,
+            ));
+            let flap_end = flap_at + flap;
+            ctx.sleep(SimDuration::from_micros(20));
+            // This send's every (re)transmission dies on the downed link.
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1024))
+                .unwrap();
+            let comp = vi.send_wait(ctx, WaitMode::Block);
+            assert_eq!(comp.status, Err(ViaError::ConnectionLost));
+            assert_eq!(vi.conn_state(), ConnState::Error);
+            // An errored VI refuses all work until the owner clears it.
+            let d = Descriptor::send().segment(buf, mh, 64);
+            assert_eq!(vi.post_send(ctx, d), Err(ViaError::InvalidState));
+            let d = Descriptor::recv().segment(buf, mh, 64);
+            assert_eq!(vi.post_recv(ctx, d), Err(ViaError::InvalidState));
+            pa.disconnect(ctx, &vi).unwrap();
+            assert_eq!(vi.conn_state(), ConnState::Idle);
+
+            // Outlive the flap, then the same VI must connect cleanly.
+            while ctx.now() < flap_end + SimDuration::from_millis(1) {
+                ctx.sleep(SimDuration::from_millis(1));
+            }
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(2), None)
+                .unwrap();
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, 1024))
+                .unwrap();
+            assert!(vi.send_wait(ctx, WaitMode::Block).is_ok());
+            pa.stats().conn_failures
+        })
+    };
+    sim.run_to_completion();
+    assert!(
+        sh.expect_result(),
+        "server must see the post-reconnect send"
+    );
+    assert_eq!(
+        ch.expect_result(),
+        1,
+        "exactly one declared connection death"
+    );
+}
+
+#[test]
 fn multifragment_immediate_is_delivered_exactly_once() {
     // Immediate data rides the control segment; a 7-fragment message must
     // still deliver it once, with the completion.

@@ -85,6 +85,66 @@ impl FirmwareModel {
     }
 }
 
+/// Scripted firmware-stall windows: while a window is open the device's
+/// descriptor scheduler services nothing (a wedged firmware loop, a
+/// management-interrupt storm), so a doorbell rung inside the window is
+/// noticed only once the window closes.
+///
+/// The fault layer of a provider installs windows; the transmit path adds
+/// [`FirmwareStalls::delay_from`] on top of the normal
+/// [`FirmwareModel::service_delay`]. With no windows installed the check is
+/// one empty-`Vec` branch, so fault-free runs are timing-identical.
+/// Meaningless on [`FirmwareModel::HostEmulated`] providers, which have no
+/// device-side scheduler to stall.
+#[derive(Clone, Debug, Default)]
+pub struct FirmwareStalls {
+    /// Closed-open stall intervals `[start, end)`.
+    windows: Vec<(SimTime, SimTime)>,
+}
+
+impl FirmwareStalls {
+    /// No stalls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no window has been installed.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Install a stall of `duration` starting at `at`.
+    pub fn add(&mut self, at: SimTime, duration: SimDuration) {
+        assert!(duration > SimDuration::ZERO, "stall must have extent");
+        self.windows.push((at, at + duration));
+    }
+
+    /// Extra service delay for a doorbell being serviced at `now`: zero
+    /// outside every window, otherwise the time left until the latest
+    /// covering window closes (overlapping stalls extend each other).
+    pub fn delay_from(&self, now: SimTime) -> SimDuration {
+        if self.windows.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut release = now;
+        // A stall can end inside another stall; chase the release time
+        // until no window covers it.
+        loop {
+            let covered = self
+                .windows
+                .iter()
+                .filter(|(start, end)| *start <= release && release < *end)
+                .map(|&(_, end)| end)
+                .max();
+            match covered {
+                Some(end) if end > release => release = end,
+                _ => break,
+            }
+        }
+        release.saturating_duration_since(now)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +176,56 @@ mod tests {
     fn zero_vis_treated_as_one() {
         let fw = FirmwareModel::bvia();
         assert_eq!(fw.service_delay(0), fw.service_delay(1));
+    }
+
+    #[test]
+    fn empty_stalls_are_free() {
+        let stalls = FirmwareStalls::new();
+        assert!(stalls.is_empty());
+        assert_eq!(
+            stalls.delay_from(SimTime::from_nanos(123)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn stall_delays_until_window_close() {
+        let mut stalls = FirmwareStalls::new();
+        stalls.add(SimTime::from_nanos(100), SimDuration::from_nanos(50));
+        // Before, at the edge, inside, and after.
+        assert_eq!(
+            stalls.delay_from(SimTime::from_nanos(99)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            stalls.delay_from(SimTime::from_nanos(100)),
+            SimDuration::from_nanos(50)
+        );
+        assert_eq!(
+            stalls.delay_from(SimTime::from_nanos(130)),
+            SimDuration::from_nanos(20)
+        );
+        assert_eq!(
+            stalls.delay_from(SimTime::from_nanos(150)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn overlapping_stalls_chain() {
+        let mut stalls = FirmwareStalls::new();
+        stalls.add(SimTime::from_nanos(100), SimDuration::from_nanos(50));
+        stalls.add(SimTime::from_nanos(140), SimDuration::from_nanos(100));
+        // Caught by the first window, released only when the second ends.
+        assert_eq!(
+            stalls.delay_from(SimTime::from_nanos(120)),
+            SimDuration::from_nanos(120)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must have extent")]
+    fn zero_length_stall_rejected() {
+        FirmwareStalls::new().add(SimTime::ZERO, SimDuration::ZERO);
     }
 }

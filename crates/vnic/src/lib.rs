@@ -30,7 +30,7 @@ pub mod pci;
 pub mod xlate;
 
 pub use doorbell::DoorbellKind;
-pub use firmware::FirmwareModel;
+pub use firmware::{FirmwareModel, FirmwareStalls};
 pub use host::HostParams;
 pub use intr::{CoalescedInterrupts, InterruptController};
 pub use pci::{PciBus, PciParams, PciStats};

@@ -70,3 +70,21 @@ fn x_trace_matches_golden() {
     // is visible down to the record.
     check("X-TRACE");
 }
+
+#[test]
+fn x_rel_matches_golden() {
+    // The reliability extension: pins retransmission counts, ACK traffic
+    // and the tail-latency table (including the conn-failures column), so
+    // any change to the retransmit/ACK protocol is visible.
+    check("X-REL");
+}
+
+#[test]
+fn x_fault_matches_golden() {
+    // The fault-injection extension: pins recovery latencies, degraded
+    // goodput, firmware-stall penalties and the full error/reconnect
+    // accounting. Fault windows are seeded sim events, so these numbers
+    // are exact — any drift means the fault plumbing or the VI error
+    // state machine changed behaviour.
+    check("X-FAULT");
+}
