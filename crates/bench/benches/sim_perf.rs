@@ -406,6 +406,76 @@ fn bench_trace_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_credit_ledger(c: &mut Criterion) {
+    // The credit-flow pin: the same cLAN ping-pong workload, but Reliable
+    // Delivery (the credit-gated level), run with the ledger on (ample
+    // credits — the shipped default) and off. The fast path is a counter
+    // compare per reliable send; the two must sit within noise of each
+    // other, or the ledger is taxing every send in the suite.
+    let run = |credit_enabled: bool| {
+        let mut profile = Profile::clan();
+        profile.credit_flow.enabled = credit_enabled;
+        let attrs = ViAttributes::reliable(via::Reliability::ReliableDelivery);
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.clone(), profile, 2, 1);
+        let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+        {
+            let pb = pb.clone();
+            sim.spawn("server", Some(pb.cpu()), move |ctx| {
+                let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
+                let buf = pb.malloc(64);
+                let mh = pb
+                    .register_mem(ctx, buf, 64, MemAttributes::default())
+                    .unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                    .unwrap();
+                pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+                for i in 0..100 {
+                    vi.recv_wait(ctx, WaitMode::Poll);
+                    if i < 99 {
+                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                            .unwrap();
+                    }
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4))
+                        .unwrap();
+                    vi.send_wait(ctx, WaitMode::Poll);
+                }
+            });
+        }
+        {
+            let pa = pa.clone();
+            sim.spawn("client", Some(pa.cpu()), move |ctx| {
+                let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
+                pa.connect(ctx, &vi, NodeId(1), Discriminator(1), None)
+                    .unwrap();
+                let buf = pa.malloc(64);
+                let mh = pa
+                    .register_mem(ctx, buf, 64, MemAttributes::default())
+                    .unwrap();
+                for _ in 0..100 {
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                        .unwrap();
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4))
+                        .unwrap();
+                    vi.recv_wait(ctx, WaitMode::Poll);
+                    vi.send_wait(ctx, WaitMode::Poll);
+                }
+            });
+        }
+        sim.run_to_completion().events
+    };
+    let mut g = c.benchmark_group("credit");
+    g.sample_size(20);
+    for (name, enabled) in [
+        ("clan_rd_100_pingpongs_4B_ledger", true),
+        ("clan_rd_100_pingpongs_4B_no_ledger", false),
+    ] {
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(name, |b| b.iter(|| run(enabled)));
+    }
+    g.finish();
+}
+
 fn bench_mpl_layer(c: &mut Criterion) {
     let mut g = c.benchmark_group("mpl");
     g.sample_size(20);
@@ -447,6 +517,7 @@ criterion_group!(
     bench_fabric,
     bench_via_datapath,
     bench_trace_overhead,
+    bench_credit_ledger,
     bench_mpl_layer
 );
 criterion_main!(benches);

@@ -35,6 +35,7 @@
 
 pub mod base;
 pub mod breakdown;
+pub mod chaos;
 pub mod client_server;
 pub mod cqimpact;
 pub mod dsm_bench;

@@ -92,6 +92,15 @@ pub fn fan_in(profile: Profile, clients: usize, size: u64, msgs: u64, seed: u64)
             }
             let elapsed = ctx.now() - t0;
             let usage = meter.stop(ctx.sim());
+            // CQ overflow is attributed to the owning VI; the shared-CQ
+            // fan-in is the densest CQ consumer in the suite, so pin the
+            // per-VI ledger against the provider aggregate here.
+            let per_vi: u64 = conns.iter().map(|(vi, ..)| vi.cq_overflows()).sum();
+            assert_eq!(
+                per_vi,
+                server.stats().cq_overflows,
+                "per-VI CQ overflow attribution must sum to the provider total"
+            );
             (
                 simkit::megabytes_per_second(size * total, elapsed),
                 usage.busy.as_micros_f64() / total as f64,

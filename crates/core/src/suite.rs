@@ -10,8 +10,8 @@ use crate::harness::BASE_SEED;
 use crate::report::Artifact;
 use crate::runner::Job;
 use crate::{
-    base, breakdown, client_server, cqimpact, dsm_bench, extra, fault_bench, getput, harness,
-    mpl_bench, mvi, nondata, scale, sched_bench, trace_bench, xlate,
+    base, breakdown, chaos, client_server, cqimpact, dsm_bench, extra, fault_bench, getput,
+    harness, mpl_bench, mvi, nondata, scale, sched_bench, trace_bench, xlate,
 };
 use simkit::WaitMode;
 
@@ -285,6 +285,10 @@ fn run_fault() -> Vec<Artifact> {
     ]
 }
 
+fn run_chaos() -> Vec<Artifact> {
+    vec![chaos::chaos_table().into()]
+}
+
 // ---------------------------------------------------------------------
 // Plans: canonical job decompositions. Each job calls the same leaf
 // builder the serial path uses, narrowed to one slice (one profile, one
@@ -551,6 +555,18 @@ fn plan_fault() -> Vec<Job> {
     jobs
 }
 
+fn plan_chaos() -> Vec<Job> {
+    // One job per episode: each emits a single-row slice of the shared
+    // table, and same-column slices row-merge back in episode order.
+    (0..chaos::EPISODES)
+        .map(|i| {
+            job(format!("X-CHAOS/ep{i:02}"), move || {
+                vec![chaos::episode_table(i).into()]
+            })
+        })
+        .collect()
+}
+
 /// Every experiment, in the paper's reporting order.
 pub fn all_experiments() -> Vec<Experiment> {
     use Category::*;
@@ -696,6 +712,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             plan: plan_fault,
         },
         Experiment {
+            id: "X-CHAOS",
+            title: "Extension: seeded chaos episodes & conservation invariants",
+            category: DataTransfer,
+            produce: run_chaos,
+            plan: plan_chaos,
+        },
+        Experiment {
             id: "X-MPL",
             title: "Future work (Sec 5): message-passing layer over VIA",
             category: ProgrammingModel,
@@ -732,7 +755,7 @@ mod tests {
         // The six TR-only benchmarks of §3.2.5 plus the extensions.
         for id in [
             "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE",
-            "X-SCHED", "X-FAULT",
+            "X-SCHED", "X-FAULT", "X-CHAOS",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

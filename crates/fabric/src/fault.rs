@@ -142,6 +142,43 @@ impl FaultPlan {
     pub fn brownout(self, at: SimTime, duration: SimDuration, extra_latency: SimDuration) -> Self {
         self.window(at, duration, FaultKind::Brownout { extra_latency })
     }
+
+    /// Compose a randomized plan from a seeded RNG stream: zero to four
+    /// fault windows of mixed kinds, each starting inside
+    /// `[base, base + span)` with a duration of at most half the span and
+    /// at least one microsecond. Every decision — window count, kind,
+    /// placement, severity, victim node — draws from `rng` in a fixed
+    /// order, so a given (seed, base, span, nodes) tuple always yields
+    /// the same plan; the chaos harness's reproducibility hangs on this.
+    /// All draws are integer-nanosecond, keeping the plan exactly
+    /// representable at any worker count.
+    pub fn randomized(rng: &mut SimRng, base: SimTime, span: SimDuration, nodes: u32) -> Self {
+        assert!(nodes > 0, "need at least one node to fault");
+        assert!(
+            span >= SimDuration::from_micros(2),
+            "need a usable span to place windows in"
+        );
+        let mut plan = FaultPlan::new();
+        let windows = rng.below(5);
+        for _ in 0..windows {
+            let at = base + SimDuration::from_nanos(rng.below(span.as_nanos()));
+            let duration = SimDuration::from_nanos(rng.below(span.as_nanos() / 2).max(1_000));
+            let node = NodeId(rng.below(nodes as u64) as u32);
+            plan = match rng.below(4) {
+                0 => plan.link_flap(node, at, duration),
+                1 => plan.degrade(
+                    node,
+                    at,
+                    duration,
+                    SimDuration::from_micros(1 + rng.below(20)),
+                    rng.unit() * 0.3,
+                ),
+                2 => plan.corrupt(at, duration, rng.unit() * 0.3),
+                _ => plan.brownout(at, duration, SimDuration::from_micros(1 + rng.below(30))),
+            };
+        }
+        plan
+    }
 }
 
 /// What the active fault set did to one frame on one hop.
@@ -272,6 +309,37 @@ mod tests {
             plan.events()[0].kind,
             FaultKind::LinkDown { node: NodeId(0) }
         );
+    }
+
+    #[test]
+    fn randomized_is_deterministic_and_bounded() {
+        let base = SimTime::ZERO + SimDuration::from_micros(100);
+        let span = SimDuration::from_millis(2);
+        let gen = |seed| {
+            let mut rng = SimRng::derive(seed, "chaos-test");
+            FaultPlan::randomized(&mut rng, base, span, 2)
+        };
+        // Same seed, same plan — across as many windows as it schedules.
+        assert_eq!(gen(11), gen(11));
+        // Different seeds eventually differ.
+        assert!((0..32).any(|s| gen(s) != gen(s + 100)));
+        for seed in 0..32 {
+            let plan = gen(seed);
+            assert!(plan.events().len() <= 4);
+            for w in plan.events() {
+                assert!(w.at >= base);
+                assert!(w.at < base + span);
+                assert!(w.duration >= SimDuration::from_micros(1));
+                assert!(w.duration <= span);
+                match w.kind {
+                    FaultKind::LinkDown { node } | FaultKind::Degrade { node, .. } => {
+                        assert!(node.0 < 2)
+                    }
+                    FaultKind::Corrupt { p } => assert!((0.0..=0.3).contains(&p)),
+                    FaultKind::Brownout { .. } => {}
+                }
+            }
+        }
     }
 
     #[test]

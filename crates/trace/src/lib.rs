@@ -114,12 +114,18 @@ pub enum TracePoint {
     /// One outstanding descriptor flushed with error status during the
     /// Error transition; aux = 0 for a send, 1 for a receive.
     ViFlush,
+    /// A reliable send was parked by credit-based flow control (no receiver
+    /// credits available); aux = the parked sequence number.
+    CreditStall,
+    /// An ACK-carried credit update released a parked send back onto the
+    /// transmit path; aux = the released sequence number.
+    CreditGrant,
 }
 
 impl TracePoint {
     /// Every point, in lifecycle order (fault/recovery points trail the
     /// message-lifecycle ones: new variants append so indices stay stable).
-    pub const ALL: [TracePoint; 23] = [
+    pub const ALL: [TracePoint; 25] = [
         TracePoint::SendPosted,
         TracePoint::DoorbellRing,
         TracePoint::FwScan,
@@ -143,6 +149,8 @@ impl TracePoint {
         TracePoint::RtoBackoff,
         TracePoint::ViError,
         TracePoint::ViFlush,
+        TracePoint::CreditStall,
+        TracePoint::CreditGrant,
     ];
 
     /// The original message-lifecycle vocabulary (no fault/recovery
@@ -198,6 +206,8 @@ impl TracePoint {
             TracePoint::RtoBackoff => "rto_backoff",
             TracePoint::ViError => "vi_error",
             TracePoint::ViFlush => "vi_flush",
+            TracePoint::CreditStall => "credit_stall",
+            TracePoint::CreditGrant => "credit_grant",
         }
     }
 
@@ -217,6 +227,8 @@ impl TracePoint {
                 | TracePoint::RtoBackoff
                 | TracePoint::ViError
                 | TracePoint::ViFlush
+                | TracePoint::CreditStall
+                | TracePoint::CreditGrant
         )
     }
 }

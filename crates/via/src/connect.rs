@@ -161,6 +161,7 @@ pub(crate) fn accept(
             peer_vi: req.client_vi,
             mtu,
         };
+        vi.credit_reset();
     }
     provider.san.send_control(
         provider.node,
@@ -219,6 +220,14 @@ pub(crate) fn teardown_local(provider: &Provider, vi_id: ViId) {
         vi.delivered.clear();
         vi.parked_recv.clear();
         vi.rto.reset();
+        // Credit-parked sends drain below with the rest of send_inflight
+        // (flushed as ConnectionLost — they never reached the wire); the
+        // ledger re-arms from the surviving posted receives at the next
+        // Connected transition.
+        vi.credit_waiting.clear();
+        vi.credits_consumed = 0;
+        vi.credit_seen_total = 0;
+        vi.credits_granted_total = 0;
         // Sequence numbers are per-connection: a VI that reconnects must
         // restart at 0 to line up with its new peer's fresh in-order state.
         vi.next_seq = 0;
@@ -293,6 +302,7 @@ pub(crate) fn handle_conn_frame(provider: &Provider, sim: &Sim, frame: ConnFrame
                         peer_vi: server_vi,
                         mtu,
                     };
+                    vi.credit_reset();
                     vi.connect_result = Some(Ok(()));
                     if let Some(token) = vi.connect_waiter {
                         drop(st);

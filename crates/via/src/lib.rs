@@ -69,8 +69,8 @@ pub(crate) mod wire;
 pub use cq::Cq;
 pub use descriptor::{Completion, DataSegment, DescOp, Descriptor, RemoteSegment};
 pub use mem::MemAttributes;
-pub use profile::{DataCosts, DataPathKind, Profile, SetupCosts};
-pub use provider::{Cluster, ProbeEvent, Provider, ProviderStats};
+pub use profile::{CreditFlow, DataCosts, DataPathKind, Profile, SetupCosts};
+pub use provider::{AuditReport, Cluster, ProbeEvent, Provider, ProviderStats};
 pub use types::{
     CqId, Discriminator, MemHandle, QueueKind, Reliability, ViAttributes, ViId, ViaError, ViaResult,
 };

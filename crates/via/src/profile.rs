@@ -94,6 +94,25 @@ pub struct DataCosts {
     pub max_retries: u32,
 }
 
+/// Credit-based receive flow control for the reliable modes.
+///
+/// The receiver counts every receive descriptor it makes available as one
+/// *credit*; the cumulative grant total rides back to the sender
+/// piggybacked on each ACK. The sender consumes one credit per reliable
+/// send and parks descriptors (never transmitting them) once the ledger
+/// runs dry — instead of blasting messages the peer must drop for want of
+/// a descriptor and rediscovering that via retransmission timeouts.
+/// Unreliable VIs are exempt: the spec's UD semantics are silent drops.
+#[derive(Clone, Copy, Debug)]
+pub struct CreditFlow {
+    /// Gate reliable sends on receiver credits.
+    pub enabled: bool,
+    /// Credits the sender assumes at connect time, before the first
+    /// ACK-carried grant arrives. Sized to the work-queue depth so a
+    /// receiver that pre-posts keeps the wire full from the first send.
+    pub initial: u32,
+}
+
 /// A complete VIA provider architecture + cost calibration.
 #[derive(Clone, Debug)]
 pub struct Profile {
@@ -122,6 +141,12 @@ pub struct Profile {
     pub max_transfer_size: u32,
     /// Work-queue depth limit.
     pub max_queue_depth: usize,
+    /// NIC transmit descriptor-ring capacity (jobs queued on the device
+    /// awaiting the transmit engine). A full ring fails the post with
+    /// `DescriptorError` instead of queueing unboundedly.
+    pub nic_tx_ring: usize,
+    /// Credit-based receive flow control (reliable modes).
+    pub credit_flow: CreditFlow,
     /// Reliability levels this provider implements.
     pub reliability_levels: &'static [Reliability],
     /// RDMA Write support.
@@ -162,6 +187,11 @@ impl Profile {
             frag_header_bytes: 24,
             max_transfer_size: 32 * 1024,
             max_queue_depth: 1024,
+            nic_tx_ring: 4096,
+            credit_flow: CreditFlow {
+                enabled: true,
+                initial: 1024,
+            },
             reliability_levels: &[Reliability::Unreliable, Reliability::ReliableDelivery],
             supports_rdma_write: true,
             supports_rdma_read: false,
@@ -224,6 +254,11 @@ impl Profile {
             frag_header_bytes: 16,
             max_transfer_size: 32 * 1024,
             max_queue_depth: 128,
+            nic_tx_ring: 4096,
+            credit_flow: CreditFlow {
+                enabled: true,
+                initial: 128,
+            },
             reliability_levels: &[Reliability::Unreliable],
             supports_rdma_write: false,
             supports_rdma_read: false,
@@ -284,6 +319,11 @@ impl Profile {
             frag_header_bytes: 16,
             max_transfer_size: 64 * 1024,
             max_queue_depth: 1024,
+            nic_tx_ring: 4096,
+            credit_flow: CreditFlow {
+                enabled: true,
+                initial: 1024,
+            },
             reliability_levels: &[
                 Reliability::Unreliable,
                 Reliability::ReliableDelivery,

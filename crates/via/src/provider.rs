@@ -7,7 +7,7 @@ use fabric::{NodeId, San};
 use parking_lot::{Mutex, MutexGuard};
 use simkit::{CpuId, ProcessCtx, Sim, SimDuration, WaitMode};
 use trace::{TraceConfig, Tracer};
-use vnic::{FirmwareStalls, InterruptController, PciBus, TlbStats, XlateEngine};
+use vnic::{DescRing, FirmwareStalls, InterruptController, PciBus, TlbStats, XlateEngine};
 
 use crate::cq::{Cq, CqState};
 use crate::descriptor::Completion;
@@ -19,6 +19,21 @@ use crate::types::{
 };
 use crate::vi::{Vi, ViState};
 use crate::wire::Frame;
+
+/// Result of a [`Provider::audit`]: every resource-conservation violation
+/// found, empty when the provider leaked nothing.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Human-readable description of each violation.
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// True when the audit found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
 
 /// Traffic / protocol counters for one provider.
 #[derive(Clone, Copy, Debug, Default)]
@@ -62,6 +77,17 @@ pub struct ProviderStats {
     /// Connections declared dead (retry exhaustion drove a VI into the
     /// Error state and flushed its descriptors).
     pub conn_failures: u64,
+    /// Reliable sends parked by credit-based flow control (receiver
+    /// credits exhausted at post time).
+    pub credit_stalls: u64,
+    /// Parked sends released by ACK-carried credit grants.
+    pub credit_grants: u64,
+    /// Completion notifications lost to a full CQ, attributed per VI in
+    /// [`crate::Vi::cq_overflows`]; this is the provider-wide total.
+    pub cq_overflows: u64,
+    /// Transmit jobs refused because the NIC descriptor ring was full
+    /// (surfaced to the poster as `DescriptorError`).
+    pub nic_ring_full: u64,
 }
 
 /// A pending inbound connection request (no listener yet).
@@ -89,7 +115,9 @@ pub(crate) struct TxJobRef {
 }
 
 pub(crate) struct NicTx {
-    pub queue: VecDeque<TxJobRef>,
+    /// Bounded device transmit ring: a full ring rejects the job (the
+    /// transport fails it with `DescriptorError`) instead of growing.
+    pub queue: DescRing<TxJobRef>,
     pub busy: bool,
 }
 
@@ -359,6 +387,89 @@ impl Provider {
         self.lock().stats
     }
 
+    /// Audit resource conservation. After a run has quiesced nothing may be
+    /// leaked: an errored VI holds no descriptors (the Error transition
+    /// flushed everything), every credit-parked send still has its
+    /// in-flight entry, no credit ledger has gone negative, CQ reference
+    /// counts match the VIs that actually point at them, no job is stuck in
+    /// the NIC transmit ring, and no retransmit timer was cancelled more
+    /// often than armed. Returns every violation found — an empty report is
+    /// a clean bill of health.
+    pub fn audit(&self) -> AuditReport {
+        use crate::vi::ConnState;
+        let st = self.lock();
+        let node = self.node.0;
+        let mut violations = Vec::new();
+        let initial = self.profile.credit_flow.initial as u64;
+        for vi in st.vis.iter().flatten() {
+            let tag = format!("node {node} vi {}", vi.id.raw());
+            if vi.conn == ConnState::Error {
+                for (what, count) in [
+                    ("in-flight sends", vi.send_inflight.len()),
+                    ("posted receives", vi.recv_posted.len()),
+                    ("reassemblies", vi.reassembly.len()),
+                    ("parked completions", vi.parked_recv.len()),
+                    ("credit-parked sends", vi.credit_waiting.len()),
+                ] {
+                    if count > 0 {
+                        violations.push(format!("{tag}: Error state holds {count} {what}"));
+                    }
+                }
+            }
+            for &seq in &vi.credit_waiting {
+                if !vi.send_inflight.iter().any(|i| i.seq == seq) {
+                    violations.push(format!(
+                        "{tag}: credit-parked seq {seq} has no in-flight entry"
+                    ));
+                }
+            }
+            if vi.credit_waiting.len() > vi.send_inflight.len() {
+                violations.push(format!(
+                    "{tag}: more credit-parked sends ({}) than in-flight entries ({})",
+                    vi.credit_waiting.len(),
+                    vi.send_inflight.len()
+                ));
+            }
+            if vi.credits_consumed > initial + vi.credit_seen_total {
+                violations.push(format!(
+                    "{tag}: credit ledger negative (consumed {} > initial {initial} + seen {})",
+                    vi.credits_consumed, vi.credit_seen_total
+                ));
+            }
+        }
+        for (i, cq) in st.cqs.iter().enumerate() {
+            let Some(cq) = cq else { continue };
+            let refs = st
+                .vis
+                .iter()
+                .flatten()
+                .flat_map(|v| [v.send_cq, v.recv_cq])
+                .flatten()
+                .filter(|c| c.index() == i)
+                .count();
+            if refs != cq.refs {
+                violations.push(format!(
+                    "node {node} cq {i}: {} VI references recorded, {refs} found",
+                    cq.refs
+                ));
+            }
+        }
+        if !st.nic_tx.queue.is_empty() || st.nic_tx.busy {
+            violations.push(format!(
+                "node {node}: NIC transmit ring not drained ({} queued, busy={})",
+                st.nic_tx.queue.len(),
+                st.nic_tx.busy
+            ));
+        }
+        if st.stats.retx_timers_cancelled > st.stats.retx_timers_armed {
+            violations.push(format!(
+                "node {node}: {} retransmit timers cancelled but only {} armed",
+                st.stats.retx_timers_cancelled, st.stats.retx_timers_armed
+            ));
+        }
+        AuditReport { violations }
+    }
+
     /// Install a firmware-stall fault window: doorbells rung during
     /// `[at, at + duration)` are not serviced until the window closes (a
     /// wedged device scheduler). A no-op on host-emulated providers, which
@@ -543,7 +654,7 @@ impl Cluster {
                     listeners: HashMap::new(),
                     pending_conn: HashMap::new(),
                     nic_tx: NicTx {
-                        queue: VecDeque::new(),
+                        queue: DescRing::new(profile.nic_tx_ring),
                         busy: false,
                     },
                     fw_stalls: FirmwareStalls::new(),

@@ -274,7 +274,7 @@ pub(crate) fn post_send(
     ctx.busy(host_cost);
 
     // Enqueue the in-flight entry.
-    let (seq, complete_inline) = {
+    let (seq, complete_inline, parked) = {
         let mut st = provider.lock();
         let vi = st.vi_mut(vi_id);
         // Re-check: the connection may have died during our busy time.
@@ -310,10 +310,39 @@ pub(crate) fn post_send(
             retx_timer: None,
         });
         st.stats.sends_posted += 1;
+        // Credit-based flow control: a reliable send consumes one receiver
+        // credit; with the ledger dry — or older sends already parked,
+        // since reliable delivery is in-order — the descriptor parks here
+        // and enters the device pipeline only when an ACK-carried grant
+        // releases it. RDMA ops are exempt (they consume no receive
+        // descriptor), as is UD (the spec's silent-drop semantics).
+        let credit = profile.credit_flow;
+        let parked = if credit.enabled
+            && reliability != Reliability::Unreliable
+            && desc.op == DescOp::Send
+        {
+            let vi = st.vi_mut(vi_id);
+            let stall = vi.credits_available(credit.initial) == 0 || !vi.credit_waiting.is_empty();
+            if stall {
+                vi.credit_waiting.push_back(seq);
+            } else {
+                vi.credits_consumed += 1;
+            }
+            stall
+        } else {
+            false
+        };
+        if parked {
+            st.stats.credit_stalls += 1;
+            let c = st.tracer.metrics(|m| m.counter("via.credit_stalls"));
+            if let Some(c) = c {
+                st.tracer.metrics(|m| m.inc(c, 1));
+            }
+        }
         let inline = host_emulated
             && reliability == Reliability::Unreliable
             && matches!(desc.op, DescOp::Send | DescOp::RdmaWrite);
-        (seq, inline)
+        (seq, inline, parked)
     };
 
     probe(provider, vi_id, seq, "posted");
@@ -342,6 +371,19 @@ pub(crate) fn post_send(
             }
         };
         deliver_send_completion(provider, vi_id, comp);
+    }
+
+    if parked {
+        // No doorbell: the descriptor reaches the device only when an
+        // ACK-carried grant releases it (or teardown flushes it).
+        trace_at(
+            provider,
+            provider.sim.now(),
+            TracePoint::CreditStall,
+            msg,
+            seq,
+        );
+        return Ok(());
     }
 
     // Hand the job to the device path. Both architectures serialize
@@ -398,6 +440,16 @@ pub(crate) fn post_recv(
             return Err(ViaError::QueueFull);
         }
         vi.recv_posted.push_back(desc.clone());
+        // Each descriptor made available on a connected reliable VI is one
+        // flow-control credit; the cumulative total rides out on the next
+        // ACK. (Pre-connect posts are folded in by `credit_reset` at the
+        // Connected transition instead.)
+        if profile.credit_flow.enabled
+            && vi.attrs.reliability != Reliability::Unreliable
+            && matches!(vi.conn, ConnState::Connected { .. })
+        {
+            vi.credits_granted_total += 1;
+        }
         st.stats.recvs_posted += 1;
     }
     let nsegs = desc.segments.len() as u64;
@@ -463,21 +515,66 @@ fn resolve_job(provider: &Provider, job: &TxJobRef) -> Option<JobSpec> {
     })
 }
 
-/// Queue a job on the NIC transmit engine (runs as an event).
+/// Queue a job on the NIC transmit engine (runs as an event). The device
+/// transmit ring is bounded: a full ring fails the job with
+/// `DescriptorError` instead of queueing unboundedly in host memory.
 pub(crate) fn nic_enqueue(provider: &Provider, job: TxJobRef) {
     probe(provider, job.vi, job.seq, "dev_queued");
-    let start = {
+    enum Enq {
+        Start(TxJobRef),
+        Queued,
+        /// Ring full. `silent` when the user already saw this entry
+        /// complete (inline host-emulated unreliable completions, synthetic
+        /// RDMA-read responses): it just retires, nothing to fail.
+        Rejected {
+            vi: ViId,
+            seq: u64,
+            silent: bool,
+        },
+    }
+    let outcome = {
         let mut st = provider.lock();
         if st.nic_tx.busy {
-            st.nic_tx.queue.push_back(job);
-            None
+            match st.nic_tx.queue.try_push(job) {
+                Ok(()) => Enq::Queued,
+                Err(job) => {
+                    st.stats.nic_ring_full += 1;
+                    let silent = st
+                        .vis
+                        .get(job.vi.index())
+                        .and_then(|v| v.as_ref())
+                        .and_then(|vi| vi.send_inflight.iter().find(|i| i.seq == job.seq))
+                        .is_none_or(|inf| inf.done);
+                    Enq::Rejected {
+                        vi: job.vi,
+                        seq: job.seq,
+                        silent,
+                    }
+                }
+            }
         } else {
             st.nic_tx.busy = true;
-            Some(job)
+            Enq::Start(job)
         }
     };
-    if let Some(job) = start {
-        nic_tx_start(provider, job);
+    match outcome {
+        Enq::Start(job) => nic_tx_start(provider, job),
+        Enq::Queued => {}
+        Enq::Rejected {
+            vi,
+            seq,
+            silent: false,
+        } => complete_send(provider, vi, seq, Err(ViaError::DescriptorError)),
+        Enq::Rejected {
+            vi,
+            seq,
+            silent: true,
+        } => {
+            let mut st = provider.lock();
+            if let Some(v) = st.try_vi_mut(vi) {
+                v.send_inflight.retain(|i| i.seq != seq);
+            }
+        }
     }
 }
 
@@ -733,9 +830,11 @@ fn wire_send(provider: &Provider, spec: JobSpec, idx: usize, off: u64, len: u32,
 // Reliability: ACKs and retransmission.
 // ---------------------------------------------------------------------
 
-fn send_ack(provider: &Provider, dst_node: NodeId, dst_vi: ViId, seq: u64) {
+/// Emit an ACK for `(dst_vi, seq)` on the peer, reading the piggybacked
+/// credit grant total off `local_vi` (the VI the message arrived on).
+fn send_ack(provider: &Provider, dst_node: NodeId, dst_vi: ViId, seq: u64, local_vi: ViId) {
     let profile = &provider.profile;
-    {
+    let credit_total = {
         let mut st = provider.lock();
         st.stats.acks_sent += 1;
         // The ACK carries the *sender's* message coordinates back.
@@ -746,7 +845,9 @@ fn send_ack(provider: &Provider, dst_node: NodeId, dst_vi: ViId, seq: u64) {
             Some(rx_msg(dst_node, dst_vi, seq)),
             0,
         );
-    }
+        st.try_vi_mut(local_vi)
+            .map_or(0, |vi| vi.credits_granted_total)
+    };
     let p = provider.clone();
     let bytes = profile.data.ack_bytes;
     // The ACK rides the lossy data path like every other frame and is
@@ -762,14 +863,18 @@ fn send_ack(provider: &Provider, dst_node: NodeId, dst_vi: ViId, seq: u64) {
                 p.node,
                 dst_node,
                 bytes,
-                Box::new(Frame::Ack { dst_vi, seq }),
+                Box::new(Frame::Ack {
+                    dst_vi,
+                    seq,
+                    credit_total,
+                }),
                 Some(msg),
             );
         },
     );
 }
 
-fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
+fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64, credit_total: u64) {
     enum AckOutcome {
         /// First ACK for a live send: complete it (its timer is cancelled
         /// by `complete_send` when the entry is removed).
@@ -781,13 +886,17 @@ fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
         Ignore,
     }
     let now = provider.sim.now();
-    let outcome = {
+    let initial = provider.profile.credit_flow.initial;
+    let (outcome, released) = {
         let mut st = provider.lock();
         st.stats.acks_received += 1;
         let Some(vi) = st.try_vi_mut(vi_id) else {
             return;
         };
-        match vi.send_inflight.iter_mut().find(|i| i.seq == seq) {
+        // Absorb the piggybacked grant. The total is cumulative and the
+        // ledger monotone, so late/reordered ACKs can never regress it.
+        vi.credit_seen_total = vi.credit_seen_total.max(credit_total);
+        let outcome = match vi.send_inflight.iter_mut().find(|i| i.seq == seq) {
             Some(inf) if !inf.done => {
                 inf.done = true;
                 // Karn's rule: only a never-retransmitted message yields an
@@ -803,7 +912,24 @@ fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
             }
             Some(inf) => AckOutcome::Disarm(inf.retx_timer.take()),
             None => AckOutcome::Ignore,
+        };
+        // Fresh credits release parked sends, oldest first (preserving the
+        // connection's post order).
+        let mut released = Vec::new();
+        while vi.credits_available(initial) > 0 && !vi.credit_waiting.is_empty() {
+            let s = vi.credit_waiting.pop_front().expect("non-empty");
+            vi.credits_consumed += 1;
+            released.push(s);
         }
+        if !released.is_empty() {
+            st.stats.credit_grants += released.len() as u64;
+            let n = released.len() as u64;
+            let c = st.tracer.metrics(|m| m.counter("via.credit_grants"));
+            if let Some(c) = c {
+                st.tracer.metrics(|m| m.inc(c, n));
+            }
+        }
+        (outcome, released)
     };
     match outcome {
         AckOutcome::Complete => complete_send(provider, vi_id, seq, Ok(())),
@@ -813,6 +939,16 @@ fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64) {
             }
         }
         AckOutcome::Disarm(None) | AckOutcome::Ignore => {}
+    }
+    for s in released {
+        trace_at(
+            provider,
+            now,
+            TracePoint::CreditGrant,
+            tx_msg(provider, vi_id, s),
+            s,
+        );
+        nic_enqueue(provider, TxJobRef { vi: vi_id, seq: s });
     }
 }
 
@@ -957,6 +1093,13 @@ fn fail_connection(provider: &Provider, vi_id: ViId) {
         vi.parked_recv.clear();
         vi.delivered.clear();
         vi.rto.reset();
+        // Credit-parked sends are flushed below with the rest of
+        // send_inflight (they were never transmitted); the ledger itself
+        // re-arms at the next Connected transition.
+        vi.credit_waiting.clear();
+        vi.credits_consumed = 0;
+        vi.credit_seen_total = 0;
+        vi.credits_granted_total = 0;
         let mut cancelled = 0u64;
         while let Some(mut inf) = vi.send_inflight.pop_front() {
             if inf.retx_timer.take().is_some_and(|t| t.cancel()) {
@@ -1093,6 +1236,12 @@ fn cq_notify(provider: &Provider, cq: crate::types::CqId, vi: ViId, kind: QueueK
                 let c = st.cq_mut(cq);
                 if c.entries.len() >= c.depth {
                     c.overflows += 1;
+                    // Attribute the lost notification to the VI that owns
+                    // it, not just the shared queue's aggregate counter.
+                    st.stats.cq_overflows += 1;
+                    if let Some(v) = st.try_vi_mut(vi) {
+                        v.cq_overflows += 1;
+                    }
                     return;
                 }
                 c.entries.push_back((vi, kind));
@@ -1114,7 +1263,11 @@ fn cq_notify(provider: &Provider, cq: crate::types::CqId, vi: ViId, kind: QueueK
 pub(crate) fn handle_frame(provider: &Provider, sim: &Sim, src: NodeId, frame: Frame) {
     match frame {
         Frame::Conn(cf) => crate::connect::handle_conn_frame(provider, sim, cf),
-        Frame::Ack { dst_vi, seq } => {
+        Frame::Ack {
+            dst_vi,
+            seq,
+            credit_total,
+        } => {
             // The ACK names a message *this* node originated.
             trace_at(
                 provider,
@@ -1128,7 +1281,7 @@ pub(crate) fn handle_frame(provider: &Provider, sim: &Sim, src: NodeId, frame: F
                 EventClass::Retransmit,
                 provider.profile.data.ack_processing,
                 move |_| {
-                    handle_ack(&p, dst_vi, seq);
+                    handle_ack(&p, dst_vi, seq, credit_total);
                 },
             );
         }
@@ -1230,7 +1383,7 @@ fn rx_data(provider: &Provider, src: NodeId, df: DataFrame) {
                 let (peer_node, _) = st.vi(df.dst_vi).peer().expect("connected");
                 drop(st);
                 // Re-ACK: the original ACK may have been lost.
-                send_ack(provider, peer_node, df.src_vi, df.seq);
+                send_ack(provider, peer_node, df.src_vi, df.seq, df.dst_vi);
             }
             return;
         }
@@ -1440,7 +1593,7 @@ fn rx_data(provider: &Provider, src: NodeId, df: DataFrame) {
         if fully_arrived && df.reliability == Reliability::ReliableDelivery && ackable {
             let (peer_node, _) = st.vi(df.dst_vi).peer().expect("connected");
             drop(st);
-            send_ack(provider, peer_node, df.src_vi, df.seq);
+            send_ack(provider, peer_node, df.src_vi, df.seq, df.dst_vi);
         }
     }
 
@@ -1652,7 +1805,7 @@ fn rx_landed(provider: &Provider, src: NodeId, df: DataFrame) {
     // Reliable Reception ACKs only after the data is in memory.
     if ack_rr {
         if let Some((peer_node, _)) = peer {
-            send_ack(provider, peer_node, df.src_vi, df.seq);
+            send_ack(provider, peer_node, df.src_vi, df.seq, df.dst_vi);
         }
     }
     match finish {

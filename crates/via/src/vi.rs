@@ -117,6 +117,21 @@ pub(crate) struct ViState {
     pub parked_recv: std::collections::BTreeMap<u64, Completion>,
     /// Adaptive retransmission-timeout estimator (reliable modes).
     pub rto: RtoEstimator,
+    /// Sender-side flow control: credits consumed by reliable sends this
+    /// connection. Available = `initial + credit_seen_total - consumed`.
+    pub credits_consumed: u64,
+    /// Sender-side flow control: highest cumulative grant total any ACK
+    /// has carried back (monotone; stale/reordered ACKs can't regress it).
+    pub credit_seen_total: u64,
+    /// Sequence numbers of sends parked for want of credits, FIFO. Each is
+    /// also in `send_inflight`; none has ever been transmitted.
+    pub credit_waiting: VecDeque<u64>,
+    /// Receiver-side flow control: cumulative receive descriptors made
+    /// available to the peer since connect (piggybacked on every ACK).
+    pub credits_granted_total: u64,
+    /// Completion notifications this VI lost to a full CQ (per-VI
+    /// attribution of the CQ's aggregate overflow counter).
+    pub cq_overflows: u64,
 }
 
 /// Jacobson/Karels smoothed-RTT estimator driving the adaptive
@@ -264,7 +279,28 @@ impl ViState {
             delivered: DeliveredTracker::default(),
             parked_recv: std::collections::BTreeMap::new(),
             rto: RtoEstimator::default(),
+            credits_consumed: 0,
+            credit_seen_total: 0,
+            credit_waiting: VecDeque::new(),
+            credits_granted_total: 0,
+            cq_overflows: 0,
         }
+    }
+
+    /// Re-arm the credit ledger for a fresh connection: nothing consumed,
+    /// no grants seen, and every already-posted receive descriptor counts
+    /// as granted (receives may be pre-posted before connecting, and they
+    /// survive a teardown).
+    pub(crate) fn credit_reset(&mut self) {
+        self.credits_consumed = 0;
+        self.credit_seen_total = 0;
+        self.credit_waiting.clear();
+        self.credits_granted_total = self.recv_posted.len() as u64;
+    }
+
+    /// Sender-side credits still available under `initial` assumed credits.
+    pub(crate) fn credits_available(&self, initial: u32) -> u64 {
+        (initial as u64 + self.credit_seen_total).saturating_sub(self.credits_consumed)
     }
 
     /// The connection's negotiated MTU, if connected.
@@ -378,6 +414,18 @@ impl Vi {
     /// Completions ready to be collected from the receive queue.
     pub fn recv_completions_ready(&self) -> usize {
         self.provider.with_vi(self.id, |vi| vi.recv_completed.len())
+    }
+
+    /// Sends parked by credit-based flow control (posted, in flight, but
+    /// not yet allowed onto the wire).
+    pub fn sends_credit_parked(&self) -> usize {
+        self.provider.with_vi(self.id, |vi| vi.credit_waiting.len())
+    }
+
+    /// Completion notifications this VI lost to a full CQ. The sum over a
+    /// CQ's VIs equals that CQ's aggregate [`crate::Cq::overflows`].
+    pub fn cq_overflows(&self) -> u64 {
+        self.provider.with_vi(self.id, |vi| vi.cq_overflows)
     }
 }
 

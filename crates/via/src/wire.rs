@@ -128,6 +128,11 @@ pub(crate) enum Frame {
         dst_vi: ViId,
         /// Acknowledged message sequence.
         seq: u64,
+        /// Piggybacked flow-control grant: the cumulative count of receive
+        /// descriptors the acknowledging VI has made available since it
+        /// connected. Cumulative (not a delta) so a lost ACK never loses
+        /// credits — the next ACK's total covers it.
+        credit_total: u64,
     },
     /// Connection management.
     Conn(ConnFrame),

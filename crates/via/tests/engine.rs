@@ -1239,6 +1239,69 @@ fn disconnect_then_reconnect_works() {
 }
 
 #[test]
+fn teardown_under_load_flushes_credits_and_leaks_nothing() {
+    // Disconnect while the credit ledger is dry and the peer is stalled:
+    // two sends in flight (unacknowledged — the peer posted no receives),
+    // three more parked on credits. The teardown must flush all five as
+    // ConnectionLost and leave both providers audit-clean.
+    let mut profile = Profile::clan();
+    profile.credit_flow.initial = 2;
+    // Keep the retransmitter quiet for the test's duration so the
+    // in-flight sends are still outstanding when the teardown lands.
+    profile.data.retransmit_timeout = SimDuration::from_millis(50);
+    profile.data.max_rto = SimDuration::from_millis(50);
+    let attrs = ViAttributes::reliable(Reliability::ReliableDelivery);
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), profile, 2, 33);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb.create_vi(ctx, attrs, None, None).unwrap();
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            // Stalled peer: no receives posted, no ACKs, no grants.
+            ctx.sleep(SimDuration::from_millis(10));
+        });
+    }
+    let ch = {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa.create_vi(ctx, attrs, None, None).unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
+            let buf = pa.malloc(512);
+            let mh = pa
+                .register_mem(ctx, buf, 512, MemAttributes::default())
+                .unwrap();
+            for _ in 0..5 {
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, 512))
+                    .unwrap();
+            }
+            assert_eq!(vi.sends_credit_parked(), 3, "5 posts on 2 credits");
+            // Let the two credited sends reach the (descriptor-less) peer.
+            ctx.sleep(SimDuration::from_millis(1));
+            pa.disconnect(ctx, &vi).unwrap();
+            // Every send — in flight or credit-parked — flushes exactly
+            // once, as ConnectionLost.
+            let mut lost = 0;
+            for _ in 0..5 {
+                let c = vi.send_wait(ctx, WaitMode::Poll);
+                assert_eq!(c.status, Err(ViaError::ConnectionLost));
+                lost += 1;
+            }
+            assert_eq!(vi.sends_credit_parked(), 0);
+            lost
+        })
+    };
+    sim.run_to_completion();
+    assert_eq!(ch.expect_result(), 5);
+    for (node, p) in [(0, &pa), (1, &pb)] {
+        let audit = p.audit();
+        assert!(audit.is_clean(), "node {node}: {:?}", audit.violations);
+    }
+}
+
+#[test]
 fn destroy_vi_guards() {
     let sim = Sim::new();
     let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 23);

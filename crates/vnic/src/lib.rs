@@ -16,6 +16,8 @@
 //!   number of open VIs (Fig. 6).
 //! * [`intr::InterruptController`] — blocking-wait interrupt delivery
 //!   (Fig. 4's latency/CPU trade).
+//! * [`ring::DescRing`] — capacity-bounded device descriptor rings, so
+//!   resource exhaustion is a visible, accountable event.
 //!
 //! The VIA engine in the `via` crate composes these mechanisms into the
 //! three provider profiles.
@@ -27,6 +29,7 @@ pub mod firmware;
 pub mod host;
 pub mod intr;
 pub mod pci;
+pub mod ring;
 pub mod xlate;
 
 pub use doorbell::DoorbellKind;
@@ -34,6 +37,7 @@ pub use firmware::{FirmwareModel, FirmwareStalls};
 pub use host::HostParams;
 pub use intr::{CoalescedInterrupts, InterruptController};
 pub use pci::{PciBus, PciParams, PciStats};
+pub use ring::DescRing;
 pub use xlate::{
     NicTlb, PageOutcome, TableLocation, TlbStats, Translator, XlateConfig, XlateEngine,
 };

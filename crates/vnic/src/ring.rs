@@ -1,0 +1,119 @@
+//! Bounded device descriptor rings.
+//!
+//! Real NICs stage work in fixed-size descriptor rings; when a ring is
+//! full the post *fails visibly* instead of queueing unboundedly in host
+//! memory. [`DescRing`] models that: a capacity-bounded FIFO that rejects
+//! pushes past capacity and keeps an occupancy high-water mark plus a
+//! rejected-push count, so exhaustion shows up as an accountable event
+//! rather than silent elastic growth.
+
+use std::collections::VecDeque;
+
+/// A capacity-bounded FIFO of device descriptors (transmit jobs, receive
+/// slots, …). Rejecting, not elastic: `try_push` hands the item back when
+/// the ring is full.
+#[derive(Debug)]
+pub struct DescRing<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+    rejected: u64,
+}
+
+impl<T> DescRing<T> {
+    /// An empty ring holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a descriptor ring needs at least one slot");
+        DescRing {
+            items: VecDeque::new(),
+            capacity,
+            high_water: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Append `item`, or give it back if the ring is at capacity (the
+    /// rejected-push counter records the refusal either way).
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Pop the oldest item, if any.
+    pub fn pop_front(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Pushes refused because the ring was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_occupancy() {
+        let mut r = DescRing::new(3);
+        assert!(r.is_empty());
+        for i in 0..3 {
+            r.try_push(i).unwrap();
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.high_water(), 3);
+        assert_eq!(r.pop_front(), Some(0));
+        assert_eq!(r.pop_front(), Some(1));
+        r.try_push(9).unwrap();
+        assert_eq!(r.pop_front(), Some(2));
+        assert_eq!(r.pop_front(), Some(9));
+        assert_eq!(r.pop_front(), None);
+        assert_eq!(r.high_water(), 3, "high water survives drain");
+    }
+
+    #[test]
+    fn full_ring_rejects_and_counts() {
+        let mut r = DescRing::new(2);
+        r.try_push("a").unwrap();
+        r.try_push("b").unwrap();
+        assert_eq!(r.try_push("c"), Err("c"));
+        assert_eq!(r.try_push("d"), Err("d"));
+        assert_eq!(r.rejected(), 2);
+        assert_eq!(r.len(), 2);
+        r.pop_front();
+        r.try_push("c").unwrap();
+        assert_eq!(r.rejected(), 2, "a successful push is not a rejection");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = DescRing::<u32>::new(0);
+    }
+}

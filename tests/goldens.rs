@@ -80,6 +80,15 @@ fn x_rel_matches_golden() {
 }
 
 #[test]
+fn x_chaos_matches_golden() {
+    // The chaos extension: 25 seeded randomized fault episodes whose
+    // conservation invariants panic on violation, so this regeneration
+    // doubles as the chaos smoke test; the pinned table makes any drift
+    // in episode composition or outcome visible row by row.
+    check("X-CHAOS");
+}
+
+#[test]
 fn x_fault_matches_golden() {
     // The fault-injection extension: pins recovery latencies, degraded
     // goodput, firmware-stall penalties and the full error/reconnect

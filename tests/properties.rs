@@ -266,6 +266,43 @@ fn timelines_are_reproducible() {
     }
 }
 
+#[test]
+fn fault_windows_without_traffic_touch_nothing() {
+    // A randomly composed fault plan over an idle fabric must be inert:
+    // every San counter stays zero no matter what windows fire, because
+    // faults only act on frames in flight.
+    let mut gen = SimRng::derive(18, "prop-idle-faults");
+    for case in 0..24 {
+        let seed = gen.next_u64();
+        let sim = Sim::new();
+        let san = fabric::San::new(sim.clone(), fabric::NetParams::myrinet(), 2, seed);
+        let mut rng = SimRng::derive(seed, "idle-fault-plan");
+        let plan = fabric::FaultPlan::randomized(
+            &mut rng,
+            simkit::SimTime::ZERO + SimDuration::from_micros(50),
+            SimDuration::from_micros(3_000),
+            2,
+        );
+        let windows = plan.events().len();
+        san.install_faults(&plan);
+        sim.run_to_completion();
+        let st = san.stats();
+        for (name, v) in [
+            ("frames_sent", st.frames_sent),
+            ("frames_delivered", st.frames_delivered),
+            ("frames_dropped", st.frames_dropped),
+            ("bytes_delivered", st.bytes_delivered),
+            ("frames_corrupted", st.frames_corrupted),
+            ("frames_faulted", st.frames_faulted),
+        ] {
+            assert_eq!(
+                v, 0,
+                "case {case}: {name} != 0 (seed={seed}, {windows} windows)"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Pure-data properties (no simulation): cheap, so many cases.
 // ---------------------------------------------------------------------
