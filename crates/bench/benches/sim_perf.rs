@@ -476,6 +476,48 @@ fn bench_credit_ledger(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sharded_engine(c: &mut Criterion) {
+    // The sharding pin: the same 8-node VIA ring the X-SHARD experiment
+    // runs, priced four ways. `ring_serial_baseline` is the pre-refactor
+    // path (one plain `Sim`, no shard machinery anywhere). `ring_1shard`
+    // drives the ShardedSim *bypass* — it must sit within noise of the
+    // baseline, or the shard layer is taxing every single-shard run in the
+    // suite. The 2-/4-shard legs report events/sec across the conservative
+    // lookahead windows (same virtual-time result, different host cost).
+    use vibe::shard_bench::{ring, ring_pinned, RING_NODES};
+    let mut g = c.benchmark_group("shard");
+    g.sample_size(20);
+    const MSGS: u64 = 24;
+    const SIZE: u64 = 1024;
+    g.throughput(Throughput::Elements(RING_NODES as u64 * MSGS));
+    g.bench_function("ring_serial_baseline", |b| {
+        b.iter(|| {
+            ring(Profile::clan(), RING_NODES, MSGS, SIZE, 3, 1)
+                .per_node
+                .len()
+        });
+    });
+    g.throughput(Throughput::Elements(RING_NODES as u64 * MSGS));
+    g.bench_function("ring_1shard_bypass", |b| {
+        b.iter(|| {
+            ring_pinned(Profile::clan(), RING_NODES, MSGS, SIZE, 3, 1)
+                .per_node
+                .len()
+        });
+    });
+    for shards in [2usize, 4] {
+        g.throughput(Throughput::Elements(RING_NODES as u64 * MSGS));
+        g.bench_function(format!("ring_{shards}shards"), |b| {
+            b.iter(|| {
+                ring_pinned(Profile::clan(), RING_NODES, MSGS, SIZE, 3, shards)
+                    .per_node
+                    .len()
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_mpl_layer(c: &mut Criterion) {
     let mut g = c.benchmark_group("mpl");
     g.sample_size(20);
@@ -518,6 +560,7 @@ criterion_group!(
     bench_via_datapath,
     bench_trace_overhead,
     bench_credit_ledger,
+    bench_sharded_engine,
     bench_mpl_layer
 );
 criterion_main!(benches);

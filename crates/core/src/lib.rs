@@ -50,6 +50,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod sched_bench;
+pub mod shard_bench;
 pub mod suite;
 pub mod trace_bench;
 pub mod xlate;
@@ -59,5 +60,8 @@ pub use harness::{
     DtConfig, Endpoint, Pair, PingPongResult,
 };
 pub use report::{merge_artifacts, Artifact, Figure, Series, Table};
-pub use runner::{default_workers, run_suite, Job, JobReport, SuiteRun};
+pub use runner::{
+    default_shards, default_workers, record_shard_run, run_suite, take_shard_runs, Job, JobReport,
+    ShardRunRecord, SuiteRun,
+};
 pub use suite::{all_experiments, Experiment};

@@ -139,6 +139,9 @@ pub struct SuiteRun {
     pub wall: Duration,
     /// Event-arena churn aggregated over every job.
     pub pool: PoolStats,
+    /// Sharded-engine runs recorded by this suite's jobs (empty when every
+    /// experiment ran on a serial engine).
+    pub shard_runs: Vec<ShardRunRecord>,
 }
 
 impl SuiteRun {
@@ -217,7 +220,37 @@ impl SuiteRun {
             vec![self.pool.slot_reuse_rate() * 100.0],
         );
         summary.push("same-time batches", vec![self.pool.batches as f64]);
-        vec![per_exp.into(), summary.into()]
+        let mut artifacts = vec![per_exp.into(), summary.into()];
+        if !self.shard_runs.is_empty() {
+            let mut shard_tbl = Table::new(
+                "X-PAR: sharded-engine balance (per shard)",
+                vec![
+                    "shards".to_string(),
+                    "horizon grants".to_string(),
+                    "events".to_string(),
+                    "msgs sent".to_string(),
+                    "msgs received".to_string(),
+                    "barrier stall (ms)".to_string(),
+                ],
+            );
+            for rec in &self.shard_runs {
+                for (i, s) in rec.per_shard.iter().enumerate() {
+                    shard_tbl.push(
+                        format!("{}/s{i}", rec.label),
+                        vec![
+                            rec.shards as f64,
+                            rec.rounds as f64,
+                            s.events as f64,
+                            s.sent as f64,
+                            s.received as f64,
+                            s.stall.as_secs_f64() * 1e3,
+                        ],
+                    );
+                }
+            }
+            artifacts.push(shard_tbl.into());
+        }
+        artifacts
     }
 }
 
@@ -233,6 +266,56 @@ pub fn default_workers() -> usize {
             .unwrap_or_else(|| panic!("VIBE_JOBS must be a positive integer, got '{v}'")),
         Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
     }
+}
+
+/// Engine shard count selected by the environment: `VIBE_SHARDS` if set
+/// (must be a positive integer), else 1 — the serial engine, the exact
+/// path the committed goldens pin. Experiments that drive a sharded
+/// engine (X-SHARD) read this; their artifacts are byte-identical at any
+/// value, which CI enforces.
+pub fn default_shards() -> usize {
+    match std::env::var("VIBE_SHARDS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("VIBE_SHARDS must be a positive integer, got '{v}'")),
+        Err(_) => 1,
+    }
+}
+
+/// Telemetry from one sharded-engine run, recorded by workloads that
+/// drive a [`simkit::ShardedSim`] so the X-PAR artifact can surface
+/// shard balance. One horizon grant = one synchronization round (every
+/// shard receives one granted horizon per round).
+#[derive(Clone, Debug)]
+pub struct ShardRunRecord {
+    /// Workload label ("mvia-ring", …).
+    pub label: String,
+    /// Shard count the engine ran with.
+    pub shards: usize,
+    /// Synchronization rounds == horizon grants per shard.
+    pub rounds: u64,
+    /// Per-shard engine telemetry for the run.
+    pub per_shard: Vec<simkit::ShardStats>,
+}
+
+static SHARD_RUNS: std::sync::Mutex<Vec<ShardRunRecord>> = std::sync::Mutex::new(Vec::new());
+
+/// Record one sharded-engine run for the next [`SuiteRun::xpar_artifacts`]
+/// snapshot. Serial runs (one shard, zero rounds) are worth recording
+/// too: they pin the bypass path's zero barrier-stall in the artifact.
+pub fn record_shard_run(rec: ShardRunRecord) {
+    SHARD_RUNS.lock().unwrap().push(rec);
+}
+
+/// Drain every recorded sharded-engine run, sorted by label for a
+/// worker-schedule-independent order.
+pub fn take_shard_runs() -> Vec<ShardRunRecord> {
+    let mut runs = std::mem::take(&mut *SHARD_RUNS.lock().unwrap());
+    runs.sort_by(|a, b| a.label.cmp(&b.label));
+    runs
 }
 
 struct JobOutcome {
@@ -260,6 +343,9 @@ fn execute(job: Job) -> JobOutcome {
 /// byte-identical at any worker count).
 pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
     let t0 = Instant::now();
+    // Drop stale sharded-engine records from earlier runs in this process
+    // so the X-PAR snapshot covers exactly this suite's jobs.
+    drop(take_shard_runs());
     if workers <= 1 {
         // Serial fallback: the exact pre-parallel path — `produce` on the
         // calling thread, no plan, no pool. CI pins goldens in this mode.
@@ -294,6 +380,7 @@ pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
             workers: 1,
             wall: t0.elapsed(),
             pool,
+            shard_runs: take_shard_runs(),
         };
     }
 
@@ -374,6 +461,7 @@ pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
         workers,
         wall: t0.elapsed(),
         pool,
+        shard_runs: take_shard_runs(),
     }
 }
 

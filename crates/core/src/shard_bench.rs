@@ -1,0 +1,345 @@
+//! Sharded-engine ring benchmark (extension X-SHARD).
+//!
+//! An 8-node ring where every node streams messages to its successor over
+//! a connected VI while receiving from its predecessor — the smallest
+//! workload in which *every* shard of a sharded engine both sends and
+//! receives cross-shard traffic continuously. The artifact reports only
+//! virtual-time quantities (per-node delivery counts and times, goodput,
+//! SAN counters), so it is byte-identical at any `VIBE_SHARDS` value —
+//! the invariant CI's golden matrix pins. The shard count *does* shape
+//! the engine telemetry (barrier stalls, horizon grants), which flows
+//! into the non-golden X-PAR artifact via
+//! [`crate::runner::record_shard_run`].
+//!
+//! Client starts are staggered by odd per-node offsets so no two nodes
+//! inject at the same nanosecond: the ring stays tie-free, which keeps
+//! the delivery timeline independent of how simultaneous events would
+//! interleave across engines.
+
+use fabric::{NodeId, SanStats};
+use simkit::{ShardedSim, Sim, SimDuration, SimTime, WaitMode};
+use via::{Cluster, Descriptor, Discriminator, MemAttributes, Profile, ViAttributes};
+
+use crate::report::Table;
+use crate::runner::{default_shards, record_shard_run, ShardRunRecord};
+
+/// Nodes in the ring (enough that 2- and 4-shard maps split them).
+pub const RING_NODES: usize = 8;
+/// Messages each node sends to its successor.
+pub const RING_MSGS: u64 = 48;
+/// Message payload size in bytes.
+pub const RING_SIZE: u64 = 1024;
+
+/// Per-node delivery telemetry (all virtual-time).
+#[derive(Clone, Debug)]
+pub struct RingNode {
+    /// Messages fully delivered into this node.
+    pub delivered: u64,
+    /// Payload bytes delivered into this node.
+    pub bytes: u64,
+    /// Completion time of the node's first delivery.
+    pub first_rx: SimTime,
+    /// Completion time of the node's last delivery.
+    pub last_rx: SimTime,
+}
+
+/// Outcome of one ring run.
+#[derive(Clone, Debug)]
+pub struct RingOutcome {
+    /// Per-node delivery telemetry, indexed by node.
+    pub per_node: Vec<RingNode>,
+    /// Latest `last_rx` across the ring (start of time to all-delivered).
+    pub makespan: SimDuration,
+    /// Fabric counters for the whole run.
+    pub san: SanStats,
+}
+
+/// Run the ring on `shards` engine shards (1 = the plain serial engine).
+/// Every virtual-time observable in the result is shard-count-invariant.
+pub fn ring(
+    profile: Profile,
+    nodes: usize,
+    msgs: u64,
+    size: u64,
+    seed: u64,
+    shards: usize,
+) -> RingOutcome {
+    let lookahead = profile.net.min_cross_latency();
+    let engine = (shards > 1).then(|| ShardedSim::new(shards, lookahead));
+    ring_with(profile, nodes, msgs, size, seed, engine)
+}
+
+/// Like [`ring`], but always drives the sharded engine — including at
+/// `shards == 1`, where the engine must take its barrier/channel *bypass*
+/// and run the exact serial scheduler path. The `sim_perf` bench pins that
+/// bypass against [`ring`]'s plain-`Sim` baseline: any separation between
+/// the two is sharding overhead taxing every single-shard run.
+pub fn ring_pinned(
+    profile: Profile,
+    nodes: usize,
+    msgs: u64,
+    size: u64,
+    seed: u64,
+    shards: usize,
+) -> RingOutcome {
+    let lookahead = profile.net.min_cross_latency();
+    let engine = ShardedSim::new(shards, lookahead);
+    ring_with(profile, nodes, msgs, size, seed, Some(engine))
+}
+
+fn ring_with(
+    profile: Profile,
+    nodes: usize,
+    msgs: u64,
+    size: u64,
+    seed: u64,
+    engine: Option<ShardedSim>,
+) -> RingOutcome {
+    assert!(nodes >= 2, "a ring needs at least two nodes");
+    let label = format!("{}-ring", profile.name);
+    let serial = engine.is_none().then(Sim::new);
+    let cluster = match &engine {
+        Some(eng) => Cluster::new_sharded(eng, profile, nodes, seed),
+        None => Cluster::new(serial.clone().expect("serial engine"), profile, nodes, seed),
+    };
+
+    // Receivers: accept from the predecessor, pre-post the whole window,
+    // drain by polling.
+    let mut servers = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let p = cluster.provider(i);
+        let sim = cluster.node_sim(i).clone();
+        servers.push(
+            sim.spawn(format!("ring-srv{i}"), Some(p.cpu()), move |ctx| {
+                let vi = p
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .expect("vi");
+                let buf = p.malloc(size);
+                let mh = p
+                    .register_mem(ctx, buf, size, MemAttributes::default())
+                    .expect("register");
+                for _ in 0..msgs {
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, size as u32))
+                        .expect("post_recv");
+                }
+                p.accept(ctx, &vi, Discriminator(i as u64)).expect("accept");
+                let mut first = SimTime::MAX;
+                let mut last = SimTime::ZERO;
+                let mut bytes = 0u64;
+                for _ in 0..msgs {
+                    let comp = vi.recv_wait(ctx, WaitMode::Poll);
+                    assert!(comp.is_ok(), "ring delivery failed: {:?}", comp.status);
+                    bytes += comp.length;
+                    first = first.min(ctx.now());
+                    last = last.max(ctx.now());
+                }
+                RingNode {
+                    delivered: msgs,
+                    bytes,
+                    first_rx: first,
+                    last_rx: last,
+                }
+            }),
+        );
+    }
+
+    // Senders: connect to the successor, then stream after a staggered,
+    // tie-breaking start offset.
+    let mut clients = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let p = cluster.provider(i);
+        let sim = cluster.node_sim(i).clone();
+        let dst = (i + 1) % nodes;
+        clients.push(
+            sim.spawn(format!("ring-cli{i}"), Some(p.cpu()), move |ctx| {
+                let vi = p
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .expect("vi");
+                let buf = p.malloc(size);
+                let mh = p
+                    .register_mem(ctx, buf, size, MemAttributes::default())
+                    .expect("register");
+                p.connect(
+                    ctx,
+                    &vi,
+                    NodeId(dst as u32),
+                    Discriminator(dst as u64),
+                    None,
+                )
+                .expect("connect");
+                ctx.sleep(SimDuration::from_nanos(5_000 + 1_713 * i as u64));
+                for _ in 0..msgs {
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32))
+                        .expect("post_send");
+                    let comp = vi.send_wait(ctx, WaitMode::Poll);
+                    assert!(comp.is_ok(), "ring send failed: {:?}", comp.status);
+                }
+            }),
+        );
+    }
+
+    match (&engine, &serial) {
+        (Some(eng), _) => {
+            let rep = eng.run_to_completion();
+            record_shard_run(ShardRunRecord {
+                label,
+                shards: eng.shards(),
+                rounds: rep.rounds,
+                per_shard: rep.per_shard,
+            });
+        }
+        (None, Some(sim)) => {
+            let rep = sim.run_to_completion();
+            record_shard_run(ShardRunRecord {
+                label,
+                shards: 1,
+                rounds: 0,
+                per_shard: vec![simkit::ShardStats {
+                    events: rep.events,
+                    ..Default::default()
+                }],
+            });
+        }
+        (None, None) => unreachable!("one engine flavor is always built"),
+    }
+    for c in clients {
+        c.expect_result();
+    }
+    let per_node: Vec<RingNode> = servers.into_iter().map(|s| s.expect_result()).collect();
+    let makespan = per_node
+        .iter()
+        .map(|n| n.last_rx)
+        .max()
+        .expect("nonempty ring")
+        .duration_since(SimTime::ZERO);
+    RingOutcome {
+        per_node,
+        makespan,
+        san: cluster.san().stats(),
+    }
+}
+
+/// The X-SHARD table for one profile: per-node delivery rows plus ring
+/// totals. Runs on [`default_shards`] engine shards; every cell is
+/// virtual-time-derived and therefore shard-count-invariant.
+pub fn ring_table(profile: Profile) -> Table {
+    let name = profile.name;
+    let outcome = ring(
+        profile,
+        RING_NODES,
+        RING_MSGS,
+        RING_SIZE,
+        0x5A4D,
+        default_shards(),
+    );
+    let mut t = Table::new(
+        format!("X-SHARD: {RING_NODES}-node ring, {RING_MSGS} x {RING_SIZE} B per hop ({name})"),
+        vec![
+            "msgs".to_string(),
+            "KB".to_string(),
+            "first rx (us)".to_string(),
+            "last rx (us)".to_string(),
+            "goodput (MB/s)".to_string(),
+        ],
+    );
+    for (i, n) in outcome.per_node.iter().enumerate() {
+        let span = n.last_rx.saturating_duration_since(n.first_rx);
+        let goodput = if span.is_zero() {
+            0.0
+        } else {
+            simkit::megabytes_per_second(n.bytes, span)
+        };
+        t.push(
+            format!("node{i}"),
+            vec![
+                n.delivered as f64,
+                n.bytes as f64 / 1024.0,
+                n.first_rx.as_micros_f64(),
+                n.last_rx.as_micros_f64(),
+                goodput,
+            ],
+        );
+    }
+    let total_msgs: u64 = outcome.per_node.iter().map(|n| n.delivered).sum();
+    let total_bytes: u64 = outcome.per_node.iter().map(|n| n.bytes).sum();
+    let aggregate = simkit::megabytes_per_second(total_bytes, outcome.makespan);
+    t.push(
+        "ring total",
+        vec![
+            total_msgs as f64,
+            total_bytes as f64 / 1024.0,
+            0.0,
+            outcome.makespan.as_micros_f64(),
+            aggregate,
+        ],
+    );
+    t.push(
+        "fabric frames (sent/delivered)",
+        vec![
+            outcome.san.frames_sent as f64,
+            outcome.san.frames_delivered as f64,
+            0.0,
+            0.0,
+            0.0,
+        ],
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(o: &RingOutcome) -> Vec<(u64, u64, u64, u64)> {
+        o.per_node
+            .iter()
+            .map(|n| {
+                (
+                    n.delivered,
+                    n.bytes,
+                    n.first_rx.as_nanos(),
+                    n.last_rx.as_nanos(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_delivers_everything() {
+        let o = ring(Profile::clan(), 4, 12, 512, 7, 1);
+        assert_eq!(o.per_node.len(), 4);
+        for n in &o.per_node {
+            assert_eq!(n.delivered, 12);
+            assert_eq!(n.bytes, 12 * 512);
+            assert!(n.first_rx <= n.last_rx);
+        }
+        assert!(o.makespan > SimDuration::ZERO);
+        assert_eq!(o.san.frames_dropped, 0);
+    }
+
+    #[test]
+    fn ring_timeline_is_shard_count_invariant() {
+        let serial = ring(Profile::clan(), RING_NODES, 16, 1024, 11, 1);
+        for shards in [2usize, 4] {
+            let sharded = ring(Profile::clan(), RING_NODES, 16, 1024, 11, shards);
+            assert_eq!(
+                key(&sharded),
+                key(&serial),
+                "per-node timeline diverged at shards={shards}"
+            );
+            assert_eq!(sharded.san, serial.san);
+            assert_eq!(sharded.makespan, serial.makespan);
+        }
+    }
+
+    #[test]
+    fn one_shard_bypass_matches_plain_sim() {
+        // ring_pinned(shards=1) runs the ShardedSim bypass; it must be
+        // observationally identical to ring()'s plain-Sim baseline.
+        let serial = ring(Profile::clan(), RING_NODES, 16, 1024, 11, 1);
+        let bypass = ring_pinned(Profile::clan(), RING_NODES, 16, 1024, 11, 1);
+        assert_eq!(key(&bypass), key(&serial));
+        assert_eq!(bypass.san, serial.san);
+        assert_eq!(bypass.makespan, serial.makespan);
+    }
+}

@@ -11,7 +11,7 @@ use crate::report::Artifact;
 use crate::runner::Job;
 use crate::{
     base, breakdown, chaos, client_server, cqimpact, dsm_bench, extra, fault_bench, getput,
-    harness, mpl_bench, mvi, nondata, scale, sched_bench, trace_bench, xlate,
+    harness, mpl_bench, mvi, nondata, scale, sched_bench, shard_bench, trace_bench, xlate,
 };
 use simkit::WaitMode;
 
@@ -567,6 +567,19 @@ fn plan_chaos() -> Vec<Job> {
         .collect()
 }
 
+fn run_shard() -> Vec<Artifact> {
+    trio()
+        .into_iter()
+        .map(|p| shard_bench::ring_table(p).into())
+        .collect()
+}
+
+fn plan_shard() -> Vec<Job> {
+    // One ring per profile; each job is a whole table, so slices
+    // column-merge trivially.
+    per_profile_jobs("X-SHARD", |p| vec![shard_bench::ring_table(p).into()])
+}
+
 /// Every experiment, in the paper's reporting order.
 pub fn all_experiments() -> Vec<Experiment> {
     use Category::*;
@@ -719,6 +732,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             plan: plan_chaos,
         },
         Experiment {
+            id: "X-SHARD",
+            title: "Extension: sharded-engine ring traffic (lookahead synchronization)",
+            category: DataTransfer,
+            produce: run_shard,
+            plan: plan_shard,
+        },
+        Experiment {
             id: "X-MPL",
             title: "Future work (Sec 5): message-passing layer over VIA",
             category: ProgrammingModel,
@@ -755,7 +775,7 @@ mod tests {
         // The six TR-only benchmarks of §3.2.5 plus the extensions.
         for id in [
             "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE",
-            "X-SCHED", "X-FAULT", "X-CHAOS",
+            "X-SCHED", "X-FAULT", "X-CHAOS", "X-SHARD",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

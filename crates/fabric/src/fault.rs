@@ -7,11 +7,15 @@
 //! the window edges on the engine's slab timer core; inside a window the
 //! send path consults the active fault set on every frame.
 //!
-//! Determinism: all fault drop decisions come from a dedicated
-//! `SimRng::derive(seed, "fabric-fault")` stream, so the loss-injection
-//! stream (`"fabric-loss"`) sees exactly the draws it sees without a plan.
-//! With no plan installed the per-frame cost is a single `Option` branch
-//! and the timeline is bit-identical to a fault-free build.
+//! Determinism: all fault drop decisions come from dedicated per-node
+//! `SimRng::derive(seed, "fabric-fault-n*")` streams (a frame's decision
+//! draws from the stream of the endpoint whose hop it is crossing), so
+//! the per-link loss-injection streams see exactly the draws they see
+//! without a plan, and a draw depends only on the frame order through
+//! that endpoint — never on unrelated traffic or on how nodes are
+//! distributed over engine shards. With no plan installed the per-frame
+//! cost is a single `Option` branch and the timeline is bit-identical to
+//! a fault-free build.
 
 use simkit::{SimDuration, SimRng, SimTime};
 
@@ -198,17 +202,19 @@ pub(crate) enum HopFault {
 
 /// Runtime fault state, boxed into the SAN once a non-empty plan is
 /// installed. Holds the currently active windows (window edges push/pop
-/// entries) and the dedicated fault RNG stream.
+/// entries) and one dedicated fault RNG stream per node.
 pub(crate) struct FaultState {
     active: Vec<FaultKind>,
-    rng: SimRng,
+    rngs: Vec<SimRng>,
 }
 
 impl FaultState {
-    pub(crate) fn new(rng: SimRng) -> Self {
+    pub(crate) fn new(seed: u64, nodes: usize) -> Self {
         FaultState {
             active: Vec::new(),
-            rng,
+            rngs: (0..nodes)
+                .map(|n| SimRng::derive(seed, &format!("fabric-fault-n{n}")))
+                .collect(),
         }
     }
 
@@ -269,10 +275,11 @@ impl FaultState {
                 _ => {}
             }
         }
-        if corrupt_p > 0.0 && self.rng.chance(corrupt_p.min(1.0)) {
+        let rng = &mut self.rngs[endpoint.index()];
+        if corrupt_p > 0.0 && rng.chance(corrupt_p.min(1.0)) {
             return HopFault::Corrupt;
         }
-        if loss_p > 0.0 && self.rng.chance(loss_p.min(1.0)) {
+        if loss_p > 0.0 && rng.chance(loss_p.min(1.0)) {
             return HopFault::Lost;
         }
         HopFault::Pass { extra }
@@ -356,7 +363,7 @@ mod tests {
 
     #[test]
     fn link_down_beats_everything_on_its_node_only() {
-        let mut st = FaultState::new(SimRng::derive(1, "t"));
+        let mut st = FaultState::new(1, 3);
         st.begin(FaultKind::LinkDown { node: NodeId(2) });
         assert!(matches!(st.on_uplink(NodeId(2), true), HopFault::Down));
         assert!(matches!(st.on_downlink(NodeId(2), true), HopFault::Down));
@@ -378,7 +385,7 @@ mod tests {
 
     #[test]
     fn degradation_and_brownout_latencies_stack() {
-        let mut st = FaultState::new(SimRng::derive(1, "t"));
+        let mut st = FaultState::new(1, 3);
         st.begin(FaultKind::Degrade {
             node: NodeId(0),
             extra_latency: SimDuration::from_micros(3),
@@ -400,7 +407,7 @@ mod tests {
 
     #[test]
     fn corruption_only_rolls_at_ingress_on_lossy_frames() {
-        let mut st = FaultState::new(SimRng::derive(7, "t"));
+        let mut st = FaultState::new(7, 3);
         st.begin(FaultKind::Corrupt { p: 1.0 });
         assert!(matches!(st.on_uplink(NodeId(0), true), HopFault::Corrupt));
         assert!(matches!(
@@ -417,7 +424,7 @@ mod tests {
     #[test]
     fn overlapping_windows_retire_one_at_a_time() {
         let k = FaultKind::Corrupt { p: 1.0 };
-        let mut st = FaultState::new(SimRng::derive(7, "t"));
+        let mut st = FaultState::new(7, 3);
         st.begin(k);
         st.begin(k);
         st.end(k);

@@ -4,13 +4,29 @@
 //! link direction is a FIFO resource with busy-until occupancy, so
 //! back-to-back sends queue behind each other and bandwidth contention
 //! emerges naturally. Loss injection (for the reliability benchmarks) drops
-//! frames independently on each link traversal with a seeded RNG.
+//! frames with a seeded RNG stream *per link direction*, so the draw a
+//! frame sees depends only on the order of frames over its own link —
+//! never on unrelated traffic elsewhere, and never on how nodes are
+//! distributed over engine shards.
+//!
+//! # Sharded operation
+//!
+//! A SAN built with [`San::new_sharded`] splits its link-layer state by
+//! shard: node `n`'s uplink is touched only while `n`'s shard executes a
+//! send, and its downlink only while `n`'s shard executes the switch
+//! egress, so each shard owns the state it mutates. The uplink stage ends
+//! by scheduling the egress stage on the *destination's* shard — same
+//! shard: a direct local event (the exact serial path); different shard: a
+//! [`simkit::ShardSender`] channel message. The scheduling delay is at
+//! least `propagation + switch latency` ([`NetParams::min_cross_latency`]),
+//! which is precisely the conservative lookahead the sharded engine
+//! synchronizes on.
 
 use std::any::Any;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use simkit::{EventClass, Sim, SimDuration, SimRng, SimTime};
+use simkit::{EventClass, ShardMap, ShardSender, ShardedSim, Sim, SimDuration, SimRng, SimTime};
 use trace::{MsgId, TracePoint, Tracer};
 
 use crate::fault::{FaultKind, FaultPlan, FaultState, HopFault, SWITCH_NODE};
@@ -48,10 +64,25 @@ pub struct Delivery {
 /// Handler invoked on the scheduler thread when a frame reaches a node.
 pub type RxHandler = Arc<dyn Fn(&Sim, Delivery) + Send + Sync>;
 
-#[derive(Default)]
 struct DirLink {
     busy_until: SimTime,
     loss: LossState,
+    /// Dedicated loss-draw stream for this link direction, derived from
+    /// the SAN seed and the (node, direction) label. Per-link streams make
+    /// drop decisions a function of the frame order on *this* link alone —
+    /// the property that keeps seeded runs identical at any shard count.
+    rng: SimRng,
+}
+
+impl DirLink {
+    fn new(seed: u64, node: usize, up: bool) -> DirLink {
+        let dir = if up { "up" } else { "down" };
+        DirLink {
+            busy_until: SimTime::ZERO,
+            loss: LossState::new(),
+            rng: SimRng::derive(seed, &format!("fabric-loss-{dir}-n{node}")),
+        }
+    }
 }
 
 /// Per-link loss-channel state: the Gilbert–Elliott good/bad automaton
@@ -105,7 +136,7 @@ impl LossState {
 }
 
 /// Aggregate traffic counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SanStats {
     /// Frames handed to the fabric.
     pub frames_sent: u64,
@@ -123,135 +154,252 @@ pub struct SanStats {
     pub frames_faulted: u64,
 }
 
-struct SanState {
-    params: NetParams,
+/// Per-shard link-layer state. Vectors span *all* nodes for simple
+/// indexing, but a shard only ever touches the entries of nodes it owns
+/// (uplinks at send, downlinks at switch egress), so the replicated
+/// entries of foreign nodes stay untouched and cost only idle memory.
+struct LinkShard {
     uplinks: Vec<DirLink>,
     downlinks: Vec<DirLink>,
+    /// Present only once a non-empty [`FaultPlan`] is installed, so the
+    /// fault-free send path pays exactly one `Option` branch. Window state
+    /// is replicated per shard (edges are scheduled on every shard's
+    /// engine); the per-node fault RNG streams inside are only ever drawn
+    /// from on the owning shard, so replication never skews a draw.
+    faults: Option<Box<FaultState>>,
+}
+
+/// Order-independent state shared by every shard: pure counters, the
+/// tracer, and the rx-handler table (written at topology setup, read at
+/// delivery).
+struct SharedState {
     handlers: Vec<Option<RxHandler>>,
-    rng: SimRng,
     stats: SanStats,
     tracer: Tracer,
+}
+
+struct SanInner {
+    params: NetParams,
     seed: u64,
-    /// Present only once a non-empty [`FaultPlan`] is installed, so the
-    /// fault-free send path pays exactly one `Option` branch.
-    faults: Option<Box<FaultState>>,
+    nodes: usize,
+    map: ShardMap,
+    /// One engine per shard; a serial SAN has exactly one.
+    sims: Vec<Sim>,
+    /// Cross-shard schedulers, indexed by source shard. Empty for a serial
+    /// SAN, whose map sends every node to shard 0 and therefore never
+    /// takes the cross-shard branch.
+    senders: Vec<ShardSender>,
+    links: Vec<Mutex<LinkShard>>,
+    shared: Mutex<SharedState>,
+}
+
+/// What the uplink or downlink stage decided about one frame.
+#[derive(Clone, Copy, PartialEq)]
+enum HopOutcome {
+    Pass,
+    LossDrop,
+    FaultDown,
+    Corrupt,
+    FaultLost,
 }
 
 /// Handle to the SAN; cheap to clone.
 #[derive(Clone)]
 pub struct San {
-    sim: Sim,
-    state: Arc<Mutex<SanState>>,
+    inner: Arc<SanInner>,
 }
 
 impl San {
-    /// Build a SAN with `nodes` endpoints, all joined through one switch.
-    /// `seed` feeds the loss-injection RNG.
+    /// Build a SAN with `nodes` endpoints, all joined through one switch,
+    /// driven by a single serial engine. `seed` feeds the per-link
+    /// loss-injection RNG streams.
     pub fn new(sim: Sim, params: NetParams, nodes: usize, seed: u64) -> Self {
+        Self::build(vec![sim], Vec::new(), ShardMap::new(1), params, nodes, seed)
+    }
+
+    /// Build a SAN whose nodes are distributed over the shards of a
+    /// [`ShardedSim`] by its content-keyed map. The engine's lookahead
+    /// must not exceed [`NetParams::min_cross_latency`] — the fastest any
+    /// frame can cross between nodes — or conservative synchronization
+    /// would be unsound.
+    pub fn new_sharded(sharded: &ShardedSim, params: NetParams, nodes: usize, seed: u64) -> Self {
+        assert!(
+            sharded.lookahead() <= params.min_cross_latency(),
+            "engine lookahead {:?} exceeds the fabric's minimum cross-node latency {:?}",
+            sharded.lookahead(),
+            params.min_cross_latency(),
+        );
+        let senders = (0..sharded.shards()).map(|s| sharded.sender(s)).collect();
+        Self::build(
+            sharded.sims().to_vec(),
+            senders,
+            sharded.map(),
+            params,
+            nodes,
+            seed,
+        )
+    }
+
+    fn build(
+        sims: Vec<Sim>,
+        senders: Vec<ShardSender>,
+        map: ShardMap,
+        params: NetParams,
+        nodes: usize,
+        seed: u64,
+    ) -> Self {
+        let links = (0..sims.len())
+            .map(|_| {
+                Mutex::new(LinkShard {
+                    uplinks: (0..nodes).map(|n| DirLink::new(seed, n, true)).collect(),
+                    downlinks: (0..nodes).map(|n| DirLink::new(seed, n, false)).collect(),
+                    faults: None,
+                })
+            })
+            .collect();
         San {
-            sim,
-            state: Arc::new(Mutex::new(SanState {
+            inner: Arc::new(SanInner {
                 params,
-                uplinks: (0..nodes).map(|_| DirLink::default()).collect(),
-                downlinks: (0..nodes).map(|_| DirLink::default()).collect(),
-                handlers: (0..nodes).map(|_| None).collect(),
-                rng: SimRng::derive(seed, "fabric-loss"),
-                stats: SanStats::default(),
-                tracer: Tracer::disabled(),
                 seed,
-                faults: None,
-            })),
+                nodes,
+                map,
+                sims,
+                senders,
+                links,
+                shared: Mutex::new(SharedState {
+                    handlers: (0..nodes).map(|_| None).collect(),
+                    stats: SanStats::default(),
+                    tracer: Tracer::disabled(),
+                }),
+            }),
         }
     }
 
     /// Install a fault plan: schedule every window's open/close edge on
-    /// the engine's timer core. An empty plan is a no-op — the send path
-    /// stays on its fault-free fast path. May be called more than once;
-    /// plans accumulate.
+    /// the timer core of *every* shard (window state is per shard, so each
+    /// engine flips its own replica at the right virtual time). An empty
+    /// plan is a no-op — the send path stays on its fault-free fast path.
+    /// May be called more than once; plans accumulate.
     ///
-    /// Fault decisions draw from a dedicated `"fabric-fault"` RNG stream
-    /// derived from the SAN seed, so the loss-injection stream is
-    /// untouched and fault-free timelines are bit-identical with or
-    /// without this subsystem compiled in.
+    /// Fault decisions draw from dedicated per-node `"fabric-fault-n*"`
+    /// RNG streams derived from the SAN seed, so the loss-injection
+    /// streams are untouched and fault-free timelines are bit-identical
+    /// with or without this subsystem compiled in.
     pub fn install_faults(&self, plan: &FaultPlan) {
         if plan.is_empty() {
             return;
         }
-        {
-            let mut st = self.state.lock();
-            if st.faults.is_none() {
-                let rng = SimRng::derive(st.seed, "fabric-fault");
-                st.faults = Some(Box::new(FaultState::new(rng)));
-            }
-        }
-        for w in plan.events() {
-            let kind = w.kind;
-            let open = self.clone();
-            self.sim.call_at_as(EventClass::Fabric, w.at, move |sim| {
-                let mut st = open.state.lock();
-                let st = &mut *st;
-                st.faults
-                    .as_mut()
-                    .expect("fault state installed")
-                    .begin(kind);
-                match kind {
-                    FaultKind::LinkDown { node } => {
-                        st.tracer
-                            .record(sim.now(), TracePoint::LinkDown, node.0, None, 1);
-                    }
-                    FaultKind::Brownout { .. } => {
-                        st.tracer
-                            .record(sim.now(), TracePoint::LinkDown, SWITCH_NODE, None, 2);
-                    }
-                    _ => {}
+        for shard in 0..self.inner.sims.len() {
+            {
+                let mut ls = self.inner.links[shard].lock();
+                if ls.faults.is_none() {
+                    ls.faults = Some(Box::new(FaultState::new(self.inner.seed, self.inner.nodes)));
                 }
-            });
-            let close = self.clone();
-            self.sim
-                .call_at_as(EventClass::Fabric, w.at + w.duration, move |sim| {
-                    let mut st = close.state.lock();
-                    let st = &mut *st;
-                    st.faults.as_mut().expect("fault state installed").end(kind);
-                    match kind {
-                        FaultKind::LinkDown { node } => {
-                            st.tracer
-                                .record(sim.now(), TracePoint::LinkUp, node.0, None, 1);
+            }
+            // Edge trace records are global (one logical window), so only
+            // shard 0's replica emits them.
+            let trace_edges = shard == 0;
+            for w in plan.events() {
+                let kind = w.kind;
+                let open = self.clone();
+                self.inner.sims[shard].call_at_as(EventClass::Fabric, w.at, move |sim| {
+                    open.inner.links[shard]
+                        .lock()
+                        .faults
+                        .as_mut()
+                        .expect("fault state installed")
+                        .begin(kind);
+                    if trace_edges {
+                        let sh = open.inner.shared.lock();
+                        match kind {
+                            FaultKind::LinkDown { node } => {
+                                sh.tracer
+                                    .record(sim.now(), TracePoint::LinkDown, node.0, None, 1);
+                            }
+                            FaultKind::Brownout { .. } => {
+                                sh.tracer.record(
+                                    sim.now(),
+                                    TracePoint::LinkDown,
+                                    SWITCH_NODE,
+                                    None,
+                                    2,
+                                );
+                            }
+                            _ => {}
                         }
-                        FaultKind::Brownout { .. } => {
-                            st.tracer
-                                .record(sim.now(), TracePoint::LinkUp, SWITCH_NODE, None, 2);
-                        }
-                        _ => {}
                     }
                 });
+                let close = self.clone();
+                self.inner.sims[shard].call_at_as(
+                    EventClass::Fabric,
+                    w.at + w.duration,
+                    move |sim| {
+                        close.inner.links[shard]
+                            .lock()
+                            .faults
+                            .as_mut()
+                            .expect("fault state installed")
+                            .end(kind);
+                        if trace_edges {
+                            let sh = close.inner.shared.lock();
+                            match kind {
+                                FaultKind::LinkDown { node } => {
+                                    sh.tracer.record(
+                                        sim.now(),
+                                        TracePoint::LinkUp,
+                                        node.0,
+                                        None,
+                                        1,
+                                    );
+                                }
+                                FaultKind::Brownout { .. } => {
+                                    sh.tracer.record(
+                                        sim.now(),
+                                        TracePoint::LinkUp,
+                                        SWITCH_NODE,
+                                        None,
+                                        2,
+                                    );
+                                }
+                                _ => {}
+                            }
+                        }
+                    },
+                );
+            }
         }
+    }
+
+    /// True once a non-empty fault plan has been installed on any shard.
+    #[cfg(test)]
+    fn faults_installed(&self) -> bool {
+        self.inner.links.iter().any(|l| l.lock().faults.is_some())
     }
 
     /// Install a tracer recording wire tx/rx/drop points. Pass
     /// [`Tracer::disabled`] to detach.
     pub fn set_tracer(&self, tracer: Tracer) {
-        self.state.lock().tracer = tracer;
+        self.inner.shared.lock().tracer = tracer;
     }
 
     /// Number of attached nodes.
     pub fn nodes(&self) -> usize {
-        self.state.lock().handlers.len()
+        self.inner.nodes
     }
 
     /// The network parameters this SAN was built with.
     pub fn params(&self) -> NetParams {
-        self.state.lock().params
+        self.inner.params
     }
 
     /// Largest frame payload the links accept; callers fragment above this.
     pub fn max_frame_payload(&self) -> u32 {
-        self.state.lock().params.link.mtu
+        self.inner.params.link.mtu
     }
 
     /// Install the receive handler for `node` (the NIC's rx path).
     pub fn attach(&self, node: NodeId, handler: RxHandler) {
-        let mut st = self.state.lock();
-        st.handlers[node.index()] = Some(handler);
+        self.inner.shared.lock().handlers[node.index()] = Some(handler);
     }
 
     /// Inject a frame. Panics if the payload exceeds the link MTU (upper
@@ -298,87 +446,102 @@ impl San {
         msg: Option<MsgId>,
     ) {
         assert_ne!(src, dst, "fabric has no loopback path");
-        let now = self.sim.now();
-        let (arrive_switch, dropped) = {
-            let mut st = self.state.lock();
-            assert!(
-                payload_bytes <= st.params.link.mtu,
-                "frame payload {} exceeds link MTU {}",
-                payload_bytes,
-                st.params.link.mtu
-            );
-            st.stats.frames_sent += 1;
-            let ser = st.params.link.serialization(payload_bytes);
-            let prop = st.params.link.propagation;
-            let link = &mut st.uplinks[src.index()];
+        let inner = &self.inner;
+        assert!(
+            payload_bytes <= inner.params.link.mtu,
+            "frame payload {} exceeds link MTU {}",
+            payload_bytes,
+            inner.params.link.mtu
+        );
+        let src_shard = inner.map.assign(src.0);
+        let sim = &inner.sims[src_shard];
+        let now = sim.now();
+        // Stage 1, under the source shard's link lock: uplink occupancy,
+        // the per-link loss roll, and fault decisions.
+        let (at_switch, outcome) = {
+            let mut ls = inner.links[src_shard].lock();
+            let ls = &mut *ls;
+            let ser = inner.params.link.serialization(payload_bytes);
+            let prop = inner.params.link.propagation;
+            let link = &mut ls.uplinks[src.index()];
             let start = link.busy_until.max(now);
             link.busy_until = start + ser;
             // Cut-through: the switch starts forwarding once the header is
             // in (the egress link still pays a full serialization, so the
             // unloaded path costs one serialization overall). Store-and-
             // forward: the whole frame must land first.
-            let mut at_switch = if st.params.switch.cut_through {
-                start + prop + st.params.switch.latency
+            let mut at_switch = if inner.params.switch.cut_through {
+                start + prop + inner.params.switch.latency
             } else {
-                start + ser + prop + st.params.switch.latency
+                start + ser + prop + inner.params.switch.latency
             };
-            let model = st.params.loss;
-            let st_ref = &mut *st;
-            let mut dropped = lossy
-                && st_ref.uplinks[src.index()]
-                    .loss
-                    .roll(&mut st_ref.rng, model);
-            st_ref
-                .tracer
-                .record(now, TracePoint::WireTx, src.0, msg, payload_bytes as u64);
-            if dropped {
-                st_ref.stats.frames_dropped += 1;
-                // aux = 1: dropped on the source uplink.
-                st_ref
-                    .tracer
-                    .record(now, TracePoint::WireDrop, src.0, msg, 1);
-            } else if let Some(f) = st_ref.faults.as_mut() {
-                match f.on_uplink(src, lossy) {
-                    HopFault::Pass { extra } => at_switch += extra,
-                    HopFault::Down => {
-                        dropped = true;
-                        st_ref.stats.frames_faulted += 1;
-                        // aux = 3: the source's link was down.
-                        st_ref
-                            .tracer
-                            .record(now, TracePoint::WireDrop, src.0, msg, 3);
-                    }
-                    HopFault::Corrupt => {
-                        dropped = true;
-                        st_ref.stats.frames_corrupted += 1;
-                        st_ref.tracer.record(
-                            now,
-                            TracePoint::FrameCorrupt,
-                            src.0,
-                            msg,
-                            payload_bytes as u64,
-                        );
-                    }
-                    HopFault::Lost => {
-                        dropped = true;
-                        st_ref.stats.frames_dropped += 1;
-                        // aux = 5: degradation-burst loss on the uplink.
-                        st_ref
-                            .tracer
-                            .record(now, TracePoint::WireDrop, src.0, msg, 5);
+            let mut outcome = if lossy && link.loss.roll(&mut link.rng, inner.params.loss) {
+                HopOutcome::LossDrop
+            } else {
+                HopOutcome::Pass
+            };
+            if outcome == HopOutcome::Pass {
+                if let Some(f) = ls.faults.as_mut() {
+                    match f.on_uplink(src, lossy) {
+                        HopFault::Pass { extra } => at_switch += extra,
+                        HopFault::Down => outcome = HopOutcome::FaultDown,
+                        HopFault::Corrupt => outcome = HopOutcome::Corrupt,
+                        HopFault::Lost => outcome = HopOutcome::FaultLost,
                     }
                 }
             }
-            (at_switch, dropped)
+            (at_switch, outcome)
         };
-        if dropped {
+        // Stage 2, under the shared lock: counters and trace records.
+        {
+            let mut sh = self.inner.shared.lock();
+            sh.stats.frames_sent += 1;
+            sh.tracer
+                .record(now, TracePoint::WireTx, src.0, msg, payload_bytes as u64);
+            match outcome {
+                HopOutcome::Pass => {}
+                HopOutcome::LossDrop => {
+                    sh.stats.frames_dropped += 1;
+                    // aux = 1: dropped on the source uplink.
+                    sh.tracer.record(now, TracePoint::WireDrop, src.0, msg, 1);
+                }
+                HopOutcome::FaultDown => {
+                    sh.stats.frames_faulted += 1;
+                    // aux = 3: the source's link was down.
+                    sh.tracer.record(now, TracePoint::WireDrop, src.0, msg, 3);
+                }
+                HopOutcome::Corrupt => {
+                    sh.stats.frames_corrupted += 1;
+                    sh.tracer.record(
+                        now,
+                        TracePoint::FrameCorrupt,
+                        src.0,
+                        msg,
+                        payload_bytes as u64,
+                    );
+                }
+                HopOutcome::FaultLost => {
+                    sh.stats.frames_dropped += 1;
+                    // aux = 5: degradation-burst loss on the uplink.
+                    sh.tracer.record(now, TracePoint::WireDrop, src.0, msg, 5);
+                }
+            }
+        }
+        if outcome != HopOutcome::Pass {
             return;
         }
+        // Stage 3: hand off to the switch-egress stage on the destination's
+        // shard. Same shard: a plain local event — the exact serial path.
+        // Different shard: a cross-shard channel send, legal because
+        // `at_switch - now >= min_cross_latency >= lookahead`.
         let san = self.clone();
-        self.sim
-            .call_at_as(EventClass::Fabric, arrive_switch, move |_| {
-                san.forward(src, dst, payload_bytes, body, lossy, msg);
-            });
+        let deliver = move |_: &Sim| san.forward(src, dst, payload_bytes, body, lossy, msg);
+        let dst_shard = inner.map.assign(dst.0);
+        if dst_shard == src_shard {
+            sim.call_at_as(EventClass::Fabric, at_switch, deliver);
+        } else {
+            inner.senders[src_shard].send(dst_shard, at_switch, EventClass::Fabric, deliver);
+        }
     }
 
     /// Switch egress stage: occupy the destination downlink, then deliver.
@@ -391,103 +554,105 @@ impl San {
         lossy: bool,
         msg: Option<MsgId>,
     ) {
-        let now = self.sim.now();
-        let (arrive_nic, dropped) = {
-            let mut st = self.state.lock();
-            let ser = st.params.link.serialization(payload_bytes);
-            let prop = st.params.link.propagation;
-            let link = &mut st.downlinks[dst.index()];
+        let inner = &self.inner;
+        let dst_shard = inner.map.assign(dst.0);
+        let sim = &inner.sims[dst_shard];
+        let now = sim.now();
+        let (arrive_nic, outcome) = {
+            let mut ls = inner.links[dst_shard].lock();
+            let ls = &mut *ls;
+            let ser = inner.params.link.serialization(payload_bytes);
+            let prop = inner.params.link.propagation;
+            let link = &mut ls.downlinks[dst.index()];
             let start = link.busy_until.max(now);
             link.busy_until = start + ser;
             let mut arrive = start + ser + prop;
-            let model = st.params.loss;
-            let st_ref = &mut *st;
-            let mut dropped = lossy
-                && st_ref.downlinks[dst.index()]
-                    .loss
-                    .roll(&mut st_ref.rng, model);
-            if dropped {
-                st_ref.stats.frames_dropped += 1;
-                // aux = 2: dropped on the destination downlink.
-                st_ref
-                    .tracer
-                    .record(now, TracePoint::WireDrop, dst.0, msg, 2);
-            } else if let Some(f) = st_ref.faults.as_mut() {
-                match f.on_downlink(dst, lossy) {
-                    HopFault::Pass { extra } => arrive += extra,
-                    HopFault::Down => {
-                        dropped = true;
-                        st_ref.stats.frames_faulted += 1;
-                        // aux = 4: the destination's link was down.
-                        st_ref
-                            .tracer
-                            .record(now, TracePoint::WireDrop, dst.0, msg, 4);
-                    }
-                    // Corruption is rolled once per frame, at ingress.
-                    HopFault::Corrupt => unreachable!("corruption rolls at ingress"),
-                    HopFault::Lost => {
-                        dropped = true;
-                        st_ref.stats.frames_dropped += 1;
-                        // aux = 6: degradation-burst loss on the downlink.
-                        st_ref
-                            .tracer
-                            .record(now, TracePoint::WireDrop, dst.0, msg, 6);
+            let mut outcome = if lossy && link.loss.roll(&mut link.rng, inner.params.loss) {
+                HopOutcome::LossDrop
+            } else {
+                HopOutcome::Pass
+            };
+            if outcome == HopOutcome::Pass {
+                if let Some(f) = ls.faults.as_mut() {
+                    match f.on_downlink(dst, lossy) {
+                        HopFault::Pass { extra } => arrive += extra,
+                        HopFault::Down => outcome = HopOutcome::FaultDown,
+                        // Corruption is rolled once per frame, at ingress.
+                        HopFault::Corrupt => unreachable!("corruption rolls at ingress"),
+                        HopFault::Lost => outcome = HopOutcome::FaultLost,
                     }
                 }
             }
-            (arrive, dropped)
+            (arrive, outcome)
         };
-        if dropped {
-            return;
+        match outcome {
+            HopOutcome::Pass => {}
+            HopOutcome::LossDrop => {
+                let mut sh = inner.shared.lock();
+                sh.stats.frames_dropped += 1;
+                // aux = 2: dropped on the destination downlink.
+                sh.tracer.record(now, TracePoint::WireDrop, dst.0, msg, 2);
+                return;
+            }
+            HopOutcome::FaultDown => {
+                let mut sh = inner.shared.lock();
+                sh.stats.frames_faulted += 1;
+                // aux = 4: the destination's link was down.
+                sh.tracer.record(now, TracePoint::WireDrop, dst.0, msg, 4);
+                return;
+            }
+            HopOutcome::Corrupt => unreachable!("corruption rolls at ingress"),
+            HopOutcome::FaultLost => {
+                let mut sh = inner.shared.lock();
+                sh.stats.frames_dropped += 1;
+                // aux = 6: degradation-burst loss on the downlink.
+                sh.tracer.record(now, TracePoint::WireDrop, dst.0, msg, 6);
+                return;
+            }
         }
         let san = self.clone();
-        self.sim
-            .call_at_as(EventClass::Fabric, arrive_nic, move |sim| {
-                let handler = {
-                    let mut st = san.state.lock();
-                    st.stats.frames_delivered += 1;
-                    st.stats.bytes_delivered += payload_bytes as u64;
-                    st.tracer.record(
-                        sim.now(),
-                        TracePoint::WireRx,
-                        dst.0,
-                        msg,
-                        payload_bytes as u64,
-                    );
-                    st.handlers[dst.index()].clone()
-                };
-                let handler = handler.unwrap_or_else(|| {
-                    panic!("frame delivered to node {dst} with no handler attached")
-                });
-                handler(
-                    sim,
-                    Delivery {
-                        src,
-                        dst,
-                        payload_bytes,
-                        body,
-                    },
+        sim.call_at_as(EventClass::Fabric, arrive_nic, move |sim| {
+            let handler = {
+                let mut sh = san.inner.shared.lock();
+                sh.stats.frames_delivered += 1;
+                sh.stats.bytes_delivered += payload_bytes as u64;
+                sh.tracer.record(
+                    sim.now(),
+                    TracePoint::WireRx,
+                    dst.0,
+                    msg,
+                    payload_bytes as u64,
                 );
+                sh.handlers[dst.index()].clone()
+            };
+            let handler = handler.unwrap_or_else(|| {
+                panic!("frame delivered to node {dst} with no handler attached")
             });
+            handler(
+                sim,
+                Delivery {
+                    src,
+                    dst,
+                    payload_bytes,
+                    body,
+                },
+            );
+        });
     }
 
     /// Unloaded one-way frame latency for a given payload (no queueing):
     /// one serialization on a cut-through path, two when the switch stores
     /// and forwards, plus two propagations and the switch traversal.
     pub fn unloaded_latency(&self, payload_bytes: u32) -> SimDuration {
-        let st = self.state.lock();
-        let ser = st.params.link.serialization(payload_bytes);
-        let sers = if st.params.switch.cut_through {
-            ser
-        } else {
-            ser * 2
-        };
-        sers + st.params.link.propagation * 2 + st.params.switch.latency
+        let p = &self.inner.params;
+        let ser = p.link.serialization(payload_bytes);
+        let sers = if p.switch.cut_through { ser } else { ser * 2 };
+        sers + p.link.propagation * 2 + p.switch.latency
     }
 
     /// Snapshot of traffic counters.
     pub fn stats(&self) -> SanStats {
-        self.state.lock().stats
+        self.inner.shared.lock().stats
     }
 }
 
@@ -727,7 +892,7 @@ mod tests {
         let sim = Sim::new();
         let san = San::new(sim.clone(), NetParams::myrinet(), 2, 1);
         san.install_faults(&FaultPlan::new());
-        assert!(san.state.lock().faults.is_none());
+        assert!(!san.faults_installed());
     }
 
     #[test]
@@ -916,6 +1081,147 @@ mod tests {
             got
         }
         assert_eq!(delivered_ids(false), delivered_ids(true));
+    }
+
+    #[test]
+    fn sharded_san_matches_serial_timeline() {
+        use simkit::ShardedSim;
+        type Log = Arc<Mutex<Vec<(u64, u32, u32)>>>;
+        fn attach_all(san: &San, nodes: u32) -> Log {
+            let log: Log = Arc::new(Mutex::new(Vec::new()));
+            for n in 0..nodes {
+                let l2 = Arc::clone(&log);
+                san.attach(
+                    NodeId(n),
+                    Arc::new(move |sim, d| {
+                        l2.lock()
+                            .push((sim.now().as_nanos(), d.dst.0, d.payload_bytes));
+                    }),
+                );
+            }
+            log
+        }
+        // Every node sends to every other at staggered, tie-free offsets.
+        fn schedule(san: &San, sim: &Sim, src: u32, nodes: u32) {
+            for k in 0..6u64 {
+                let dst = NodeId((src + 1 + (k as u32 % (nodes - 1))) % nodes);
+                let s = NodeId(src);
+                let san2 = san.clone();
+                let at = SimDuration::from_nanos(911 * (k + 1) + src as u64 * 137);
+                let bytes = 300 + 111 * k as u32;
+                sim.call_in_as(EventClass::Fabric, at, move |_| {
+                    san2.send(s, dst, bytes, Box::new(()));
+                });
+            }
+        }
+        let params = NetParams::clan().with_loss(0.15);
+        let nodes = 5u32;
+
+        let sim = Sim::new();
+        let serial_san = San::new(sim.clone(), params, nodes as usize, 42);
+        let serial_log = attach_all(&serial_san, nodes);
+        for src in 0..nodes {
+            schedule(&serial_san, &sim, src, nodes);
+        }
+        sim.run_to_completion();
+        let mut serial: Vec<_> = serial_log.lock().clone();
+        serial.sort_unstable();
+        let serial_stats = serial_san.stats();
+        assert!(serial_stats.frames_dropped > 0, "{serial_stats:?}");
+        assert!(serial_stats.frames_delivered > 0, "{serial_stats:?}");
+
+        for shards in [2usize, 3] {
+            let eng = ShardedSim::new(shards, params.min_cross_latency());
+            let san = San::new_sharded(&eng, params, nodes as usize, 42);
+            let log = attach_all(&san, nodes);
+            for src in 0..nodes {
+                schedule(&san, eng.sim_for_node(src), src, nodes);
+            }
+            let rep = eng.run_to_completion();
+            assert_eq!(rep.causality_violations, 0);
+            let mut got: Vec<_> = log.lock().clone();
+            got.sort_unstable();
+            assert_eq!(got, serial, "delivery log diverged at shards={shards}");
+            assert_eq!(
+                san.stats(),
+                serial_stats,
+                "stats diverged at shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_san_faults_match_serial() {
+        use simkit::ShardedSim;
+        fn run(shards: usize) -> (SanStats, Vec<u64>) {
+            let params = NetParams::myrinet();
+            let nodes = 4u32;
+            let plan = FaultPlan::new()
+                .link_flap(
+                    NodeId(1),
+                    SimTime::ZERO + SimDuration::from_micros(20),
+                    SimDuration::from_micros(30),
+                )
+                .degrade(
+                    NodeId(2),
+                    SimTime::ZERO + SimDuration::from_micros(5),
+                    SimDuration::from_micros(120),
+                    SimDuration::from_micros(2),
+                    0.3,
+                );
+            let got = Arc::new(Mutex::new(Vec::new()));
+            let setup = |san: &San| {
+                for n in 0..nodes {
+                    let g2 = Arc::clone(&got);
+                    san.attach(
+                        NodeId(n),
+                        Arc::new(move |sim, _| g2.lock().push(sim.now().as_nanos())),
+                    );
+                }
+                san.install_faults(&plan.clone());
+            };
+            let sends = |san: &San, sim: &Sim, src: u32| {
+                for k in 0..20u64 {
+                    let dst = NodeId((src + 1) % nodes);
+                    let s = NodeId(src);
+                    let san2 = san.clone();
+                    sim.call_in_as(
+                        EventClass::Fabric,
+                        SimDuration::from_micros(1 + 3 * k) + SimDuration::from_nanos(src as u64),
+                        move |_| san2.send(s, dst, 256, Box::new(())),
+                    );
+                }
+            };
+            let stats = if shards == 1 {
+                let sim = Sim::new();
+                let san = San::new(sim.clone(), params, nodes as usize, 9);
+                setup(&san);
+                for src in 0..nodes {
+                    sends(&san, &sim, src);
+                }
+                sim.run_to_completion();
+                san.stats()
+            } else {
+                let eng = ShardedSim::new(shards, params.min_cross_latency());
+                let san = San::new_sharded(&eng, params, nodes as usize, 9);
+                setup(&san);
+                for src in 0..nodes {
+                    sends(&san, eng.sim_for_node(src), src);
+                }
+                eng.run_to_completion();
+                san.stats()
+            };
+            let mut arrivals = got.lock().clone();
+            arrivals.sort_unstable();
+            (stats, arrivals)
+        }
+        let (serial_stats, serial_arrivals) = run(1);
+        assert!(serial_stats.frames_faulted > 0, "{serial_stats:?}");
+        for shards in [2usize, 4] {
+            let (stats, arrivals) = run(shards);
+            assert_eq!(stats, serial_stats, "stats diverged at shards={shards}");
+            assert_eq!(arrivals, serial_arrivals);
+        }
     }
 
     #[test]

@@ -84,6 +84,20 @@ pub fn thread_pool_stats() -> PoolStats {
     THREAD_POOL.with(|c| c.get())
 }
 
+/// Credit events and arena churn to the calling thread's cumulative
+/// counters. The sharded engine runs its shards on scoped worker threads,
+/// whose thread-locals vanish with them; it calls this from the
+/// coordinating thread so job-level attribution (the parallel runner reads
+/// [`thread_events`] deltas around each job) keeps working.
+pub(crate) fn add_thread_telemetry(events: u64, pool: &PoolStats) {
+    THREAD_EVENTS.with(|c| c.set(c.get() + events));
+    THREAD_POOL.with(|c| {
+        let mut p = c.get();
+        p.merge(pool);
+        c.set(p);
+    });
+}
+
 /// Which component of the simulated system an event belongs to.
 ///
 /// Used purely for accounting: [`SchedStats`] tallies fired / cancelled /
@@ -240,7 +254,7 @@ pub(crate) enum Action {
 impl Action {
     /// Store `f` in the smallest size class it fits, boxing as a last
     /// resort.
-    fn from_closure(f: impl FnOnce(&Sim) + Send + 'static) -> Action {
+    pub(crate) fn from_closure(f: impl FnOnce(&Sim) + Send + 'static) -> Action {
         match InlineCell::<SMALL_WORDS>::try_new(f) {
             Ok(cell) => Action::Small(cell),
             Err(f) => match InlineCell::<LARGE_WORDS>::try_new(f) {
@@ -306,6 +320,15 @@ pub struct ClassTally {
     pub cancelled: u64,
     /// Stale heap entries of this class reaped at pop time.
     pub dead_popped: u64,
+}
+
+impl ClassTally {
+    /// Field-wise accumulate another tally into this one.
+    pub fn merge(&mut self, d: &ClassTally) {
+        self.fired += d.fired;
+        self.cancelled += d.cancelled;
+        self.dead_popped += d.dead_popped;
+    }
 }
 
 /// Allocator-churn accounting for the event arena: how scheduled actions
@@ -419,6 +442,21 @@ impl SchedStats {
         EventClass::ALL
             .iter()
             .map(|&c| (c, self.by_class[c.index()]))
+    }
+
+    /// Field-wise accumulate another shard's ledger into this one. Every
+    /// counter is a plain sum, so merging per-shard ledgers yields exactly
+    /// the totals a single serial engine would have recorded for the same
+    /// event population (conservation: each event fires, cancels, or reaps
+    /// on exactly one shard).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.fired += other.fired;
+        self.cancelled += other.cancelled;
+        self.dead_popped += other.dead_popped;
+        self.pool.merge(&other.pool);
+        for (mine, theirs) in self.by_class.iter_mut().zip(other.by_class.iter()) {
+            mine.merge(theirs);
+        }
     }
 }
 
@@ -859,13 +897,23 @@ impl Sim {
     /// only at this point — not at batch-fill — so a cohort member
     /// cancelling a later same-timestamp timer still wins, exactly as in
     /// the one-at-a-time pop loop.
-    fn pop_live(&self) -> Option<(SimTime, EventClass, Action)> {
+    fn pop_live(&self, bound: Option<SimTime>) -> Option<(SimTime, EventClass, Action)> {
         let mut s = self.inner.sched.lock();
         loop {
             let entry = match s.batch.pop_front() {
                 Some(e) => e,
                 None => {
-                    // Refill: one whole same-timestamp cohort.
+                    // Refill: one whole same-timestamp cohort. The horizon
+                    // bound is enforced here: the heap head is the global
+                    // minimum, so `head.at >= bound` means *every* pending
+                    // entry (stale ones included) is at or past the bound,
+                    // and the batch is empty whenever we get here — between
+                    // bounded runs no partially-drained cohort survives.
+                    if let (Some(b), Some(head)) = (bound, s.queue.peek()) {
+                        if head.at >= b {
+                            return None;
+                        }
+                    }
                     let first = s.queue.pop()?;
                     let at = first.at;
                     s.batch.push_back(first);
@@ -896,9 +944,26 @@ impl Sim {
 
     /// Drive the simulation until the event queue drains, then report.
     pub fn run(&self) -> RunReport {
+        self.run_bounded(None)
+    }
+
+    /// Drive the simulation until the queue drains *or* the next pending
+    /// event lies at or past `bound` (exclusive horizon). Events exactly at
+    /// `bound` do not run. The sharded engine's round loop is built on
+    /// this: each shard runs up to its granted horizon, then re-syncs.
+    ///
+    /// Repeated bounded runs compose exactly like one unbounded run over
+    /// the same events: the cohort batch is always fully drained before a
+    /// bound check, and new events can only be scheduled at `>= now`, so
+    /// no event below a respected bound is ever left behind.
+    pub fn run_until(&self, bound: SimTime) -> RunReport {
+        self.run_bounded(Some(bound))
+    }
+
+    fn run_bounded(&self, bound: Option<SimTime>) -> RunReport {
         let pool_at_entry = self.inner.sched.lock().stats.pool;
         let mut events = 0u64;
-        while let Some((at, class, action)) = self.pop_live() {
+        while let Some((at, class, action)) = self.pop_live(bound) {
             debug_assert!(at.as_nanos() >= self.inner.now_ns.load(AtomicOrdering::Relaxed));
             self.inner
                 .now_ns
@@ -1012,6 +1077,35 @@ impl Sim {
     pub fn queued_events(&self) -> usize {
         let s = self.inner.sched.lock();
         s.queue.len() + s.batch.len() - s.dead_in_queue
+    }
+
+    /// Timestamp of the earliest *live* pending event, or `None` when the
+    /// queue is drained. Stale (cancelled) heap heads are reaped on the way
+    /// — each counts as `dead_popped` exactly once, here or in the run
+    /// loop, so ledger totals are unaffected by who reaps. The sharded
+    /// engine polls this between rounds to compute the global horizon.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut s = self.inner.sched.lock();
+        // A pending batch (only possible mid-run) is already the earliest
+        // cohort; between bounded runs it is empty and the heap decides.
+        if let Some(e) = s.batch.front() {
+            return Some(e.at);
+        }
+        loop {
+            let head = s.queue.peek()?;
+            let (at, slot, gen, class) = (head.at, head.slot, head.gen, head.class);
+            let stale = match s.slots.get(slot as usize) {
+                Some(slot) => slot.gen != gen,
+                None => true,
+            };
+            if !stale {
+                return Some(at);
+            }
+            s.queue.pop();
+            s.dead_in_queue -= 1;
+            s.stats.dead_popped += 1;
+            s.stats.by_class[class.index()].dead_popped += 1;
+        }
     }
 
     /// Snapshot of cumulative scheduler accounting.
@@ -1425,6 +1519,65 @@ mod tests {
         }
         sim.run();
         assert_eq!(thread_events() - before, 10);
+    }
+
+    #[test]
+    fn bounded_runs_compose_like_one_unbounded_run() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for d in [5u64, 10, 15] {
+            let log = Arc::clone(&log);
+            sim.call_at(SimTime::from_nanos(d), move |_| log.lock().push(d));
+        }
+        // Bound is exclusive: the event at t=10 must NOT run.
+        let r = sim.run_until(SimTime::from_nanos(10));
+        assert_eq!(r.events, 1);
+        assert_eq!(*log.lock(), vec![5]);
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_nanos(10)));
+        let r = sim.run_until(SimTime::from_nanos(16));
+        assert_eq!(r.events, 2);
+        assert_eq!(*log.lock(), vec![5, 10, 15]);
+        assert_eq!(sim.next_event_time(), None);
+        assert_eq!(sim.run().events, 0);
+    }
+
+    #[test]
+    fn next_event_time_skips_cancelled_heads() {
+        let sim = Sim::new();
+        let h = sim.timer_in(EventClass::Retransmit, SimDuration::from_nanos(3), |_| {});
+        sim.call_in(SimDuration::from_nanos(8), |_| {});
+        assert!(h.cancel());
+        // The cancelled head is reaped (counted dead_popped once) and the
+        // live event behind it is reported.
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_nanos(8)));
+        assert_eq!(sim.sched_stats().dead_popped, 1);
+        let report = sim.run();
+        assert_eq!(report.sched.dead_popped, 1, "no double reap");
+        assert_eq!(report.events, 1);
+    }
+
+    #[test]
+    fn sched_stats_merge_is_fieldwise_sum() {
+        let a = Sim::new();
+        let b = Sim::new();
+        a.call_in_as(EventClass::Fabric, SimDuration::from_nanos(1), |_| {});
+        b.call_in_as(EventClass::Firmware, SimDuration::from_nanos(1), |_| {});
+        let h = b.timer_in(EventClass::Doorbell, SimDuration::from_nanos(2), |_| {});
+        h.cancel();
+        a.run();
+        b.run();
+        let mut merged = a.sched_stats();
+        merged.merge(&b.sched_stats());
+        assert_eq!(merged.fired, 2);
+        assert_eq!(merged.cancelled, 1);
+        assert_eq!(merged.dead_popped, 1);
+        assert_eq!(merged.class(EventClass::Fabric).fired, 1);
+        assert_eq!(merged.class(EventClass::Firmware).fired, 1);
+        assert_eq!(merged.class(EventClass::Doorbell).cancelled, 1);
+        assert_eq!(
+            merged.pool.inline_small + merged.pool.inline_large + merged.pool.boxed,
+            3
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod cpu;
 pub mod engine;
 pub mod process;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -62,6 +63,7 @@ pub use engine::{
 };
 pub use process::{ProcessCtx, ProcessHandle, ProcessId, WaitToken};
 pub use rng::SimRng;
+pub use shard::{ShardMap, ShardSender, ShardStats, ShardedReport, ShardedSim};
 pub use stats::{megabytes_per_second, Histogram, OnlineStats, Samples};
 pub use sync::{Notify, SimBarrier, SimChannel, WaitMode};
 pub use time::{SimDuration, SimTime};

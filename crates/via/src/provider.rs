@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use fabric::{NodeId, San};
 use parking_lot::{Mutex, MutexGuard};
-use simkit::{CpuId, ProcessCtx, Sim, SimDuration, WaitMode};
+use simkit::{CpuId, ProcessCtx, ShardedSim, Sim, SimDuration, WaitMode};
 use trace::{TraceConfig, Tracer};
 use vnic::{DescRing, FirmwareStalls, InterruptController, PciBus, TlbStats, XlateEngine};
 
@@ -618,6 +618,9 @@ impl Provider {
 /// simulated analogue of the paper's testbed.
 pub struct Cluster {
     sim: Sim,
+    /// Every distinct engine driving this cluster: one per shard, or just
+    /// `sim` for a serial cluster. Trace hooks attach to all of them.
+    engine_sims: Vec<Sim>,
     san: San,
     profile: Arc<Profile>,
     providers: Vec<Provider>,
@@ -627,11 +630,46 @@ impl Cluster {
     /// Build `nodes` providers running `profile` over a fresh SAN. `seed`
     /// feeds loss injection.
     pub fn new(sim: Sim, profile: Profile, nodes: usize, seed: u64) -> Self {
+        let san = San::new(sim.clone(), profile.net, nodes, seed);
+        let sim2 = sim.clone();
+        Self::build(san, profile, nodes, seed, move |_| sim2.clone(), vec![sim])
+    }
+
+    /// Build `nodes` providers over the shards of a [`ShardedSim`]: each
+    /// node's NIC, PCI bus, CPU meter, and timer state live on the engine
+    /// of the shard that owns the node (per the engine's content-keyed
+    /// map), and the SAN routes cross-shard frames through the engine's
+    /// lookahead channels. Use [`Cluster::node_sim`] to spawn a node's
+    /// workload on the right engine.
+    pub fn new_sharded(sharded: &ShardedSim, profile: Profile, nodes: usize, seed: u64) -> Self {
+        let san = San::new_sharded(sharded, profile.net, nodes, seed);
+        let sims = sharded.sims().to_vec();
+        let per_node: Vec<Sim> = (0..nodes)
+            .map(|i| sharded.sim_for_node(i as u32).clone())
+            .collect();
+        Self::build(
+            san,
+            profile,
+            nodes,
+            seed,
+            move |i| per_node[i].clone(),
+            sims,
+        )
+    }
+
+    fn build(
+        san: San,
+        profile: Profile,
+        nodes: usize,
+        seed: u64,
+        sim_of: impl Fn(usize) -> Sim,
+        engine_sims: Vec<Sim>,
+    ) -> Self {
         assert!(nodes >= 2, "a SAN needs at least two nodes");
         let profile = Arc::new(profile);
-        let san = San::new(sim.clone(), profile.net, nodes, seed);
         let mut providers = Vec::with_capacity(nodes);
         for i in 0..nodes {
+            let sim = sim_of(i);
             let cpu = sim.add_cpu(format!("{}-node{}", profile.name, i));
             let pci = PciBus::new(sim.clone(), profile.pci);
             let provider = Provider {
@@ -677,7 +715,8 @@ impl Cluster {
             );
         }
         Cluster {
-            sim,
+            sim: engine_sims[0].clone(),
+            engine_sims,
             san,
             profile,
             providers,
@@ -699,9 +738,16 @@ impl Cluster {
         &self.san
     }
 
-    /// The simulation handle.
+    /// The simulation handle (shard 0's engine for a sharded cluster).
     pub fn sim(&self) -> &Sim {
         &self.sim
+    }
+
+    /// The engine that owns node `i` — spawn node-local workloads here so
+    /// they run on the node's shard. For a serial cluster this is always
+    /// the one engine.
+    pub fn node_sim(&self, i: usize) -> &Sim {
+        &self.providers[i].sim
     }
 
     /// The profile all nodes run.
@@ -722,7 +768,9 @@ impl Cluster {
             p.state.lock().tracer = tracer.clone();
         }
         self.san.set_tracer(tracer.clone());
-        self.sim.set_event_hook(tracer.engine_hook());
+        for sim in &self.engine_sims {
+            sim.set_event_hook(tracer.engine_hook());
+        }
         tracer
     }
 }

@@ -19,16 +19,25 @@
 //! comparison pins. Artifact bytes are identical at any worker count; a
 //! multi-worker run additionally prints the X-PAR telemetry artifact
 //! (wall-clock, events/sec, speedup, event-arena hit rates).
+//!
+//! Engine shard count: `--shards N` wins, then the `VIBE_SHARDS` env var,
+//! else 1 (the serial engine). Experiments that drive a sharded engine
+//! (X-SHARD) split their simulated nodes over N conservatively
+//! synchronized engine shards; artifact bytes are identical at any shard
+//! count — CI pins goldens at 1, 2, and 4 — while the X-PAR artifact
+//! gains a per-shard balance table (events, channel traffic, barrier
+//! stall, horizon grants).
 
-use vibe::runner::{default_workers, run_suite};
+use vibe::runner::{default_shards, default_workers, run_suite};
 use vibe::suite::{all_experiments, find, render_json, Category};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: run_suite [--list | --all | <id>...] [--jobs <n>] [--csv <dir>] [--json <dir>] [--trace <dir>]");
-        println!("       ids: T1 F1-F2 F3 F4 F5 CQ F6 F7 X-MDS X-ASY X-RDMA X-PIP X-MTU X-REL X-GETPUT X-SCALE X-SCHED X-TRACE X-FAULT X-CHAOS");
+        println!("usage: run_suite [--list | --all | <id>...] [--jobs <n>] [--shards <n>] [--csv <dir>] [--json <dir>] [--trace <dir>]");
+        println!("       ids: T1 F1-F2 F3 F4 F5 CQ F6 F7 X-MDS X-ASY X-RDMA X-PIP X-MTU X-REL X-GETPUT X-SCALE X-SCHED X-TRACE X-FAULT X-CHAOS X-SHARD");
         println!("       --jobs <n>: worker threads (default: VIBE_JOBS env, else all cores; 1 = serial)");
+        println!("       --shards <n>: engine shards for sharded experiments (default: VIBE_SHARDS env, else 1)");
         println!("       --trace <dir>: also write Perfetto/Chrome message-lifecycle traces (default: VIBE_TRACE env)");
         return;
     }
@@ -53,6 +62,17 @@ fn main() {
                 .unwrap_or_else(|| panic!("--jobs must be a positive integer, got '{v}'"))
         })
         .unwrap_or_else(default_workers);
+    if let Some(v) = take_val("--shards", &mut args) {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("--shards must be a positive integer, got '{v}'"));
+        // Sharded experiments read VIBE_SHARDS through
+        // `runner::default_shards` when their jobs run; routing the flag
+        // through the env keeps job closures environment-driven and lets
+        // CI's golden matrix exercise the same path.
+        std::env::set_var("VIBE_SHARDS", &v);
+    }
     if args.iter().any(|a| a == "--list") {
         println!("{:<8}  {:<18}  title", "id", "category");
         println!("{}", "-".repeat(72));
@@ -121,9 +141,10 @@ fn main() {
         println!("[wrote {}]", path.display());
     }
     println!(
-        "[suite: {} jobs on {} workers, {:.2}s wall, {:.2}s serial-equivalent, {:.2}x speedup, {:.1}M events/s]",
+        "[suite: {} jobs on {} workers x {} shards, {:.2}s wall, {:.2}s serial-equivalent, {:.2}x speedup, {:.1}M events/s]",
         run.jobs.len(),
         run.workers,
+        default_shards(),
         run.wall.as_secs_f64(),
         run.serial_wall().as_secs_f64(),
         run.speedup(),

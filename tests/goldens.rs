@@ -89,6 +89,15 @@ fn x_chaos_matches_golden() {
 }
 
 #[test]
+fn x_shard_matches_golden() {
+    // The sharded-engine extension: the ring artifact reports only
+    // virtual-time quantities, so this golden pins the invariant that the
+    // shard count is unobservable — CI regenerates it at VIBE_SHARDS=1/2/4
+    // and diffs all three against this file.
+    check("X-SHARD");
+}
+
+#[test]
 fn x_fault_matches_golden() {
     // The fault-injection extension: pins recovery latencies, degraded
     // goodput, firmware-stall penalties and the full error/reconnect

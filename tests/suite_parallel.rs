@@ -33,12 +33,16 @@ fn suite_artifacts_identical_at_1_2_and_8_workers() {
             );
         }
         // Telemetry sanity: events were attributed and the X-PAR artifact
-        // renders from this run.
+        // renders from this run. The full suite includes X-SHARD, so the
+        // sharded-engine balance table must be present as the third
+        // artifact (per shard-run, per shard).
         assert!(run.total_events() > 0);
         assert!(run.serial_wall() > std::time::Duration::ZERO);
         let xpar = run.xpar_artifacts();
-        assert_eq!(xpar.len(), 2);
+        assert_eq!(xpar.len(), 3);
         let text = xpar[1].render();
         assert!(text.contains("speedup"), "{text}");
+        let shard_text = xpar[2].render();
+        assert!(shard_text.contains("sharded-engine balance"), "{shard_text}");
     }
 }
