@@ -476,6 +476,104 @@ fn bench_credit_ledger(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fused_fastpath(c: &mut Criterion) {
+    // The fusing pin: the same cLAN ping-pong workload as
+    // `via/clan_100_pingpongs_4B`, priced three ways. `fused` collapses
+    // every send into one macro-event on each side (the shipped default);
+    // `general` flips the knob off (`--no-fuse` / `VIBE_FUSE=0`) and walks
+    // the full 7-hop chain; `guard_miss` keeps fusing enabled but arms a
+    // fault window an hour past the workload, so every attempt evaluates
+    // the whole guard chain and falls back — it must sit within noise of
+    // `general`, or the guard is taxing every de-fused send in the suite.
+    // Virtual-time results are byte-identical across all three legs (the
+    // asserts pin the fuse ledger each way).
+    let run = |fused: bool, guard_miss: bool| {
+        via::fastpath::set_fuse(fused);
+        let sim = Sim::new();
+        let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 1);
+        if guard_miss {
+            // Latency-only degrade, zero extra delay, opening an hour
+            // after the workload ends: behaviourally inert, but
+            // `faults_installed` now holds and every attempt de-fuses.
+            cluster.san().install_faults(&FaultPlan::new().degrade(
+                NodeId(0),
+                SimTime::ZERO + SimDuration::from_secs(3600),
+                SimDuration::from_secs(1),
+                SimDuration::ZERO,
+                0.0,
+            ));
+        }
+        let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+        {
+            let pb = pb.clone();
+            sim.spawn("server", Some(pb.cpu()), move |ctx| {
+                let vi = pb
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
+                let buf = pb.malloc(64);
+                let mh = pb
+                    .register_mem(ctx, buf, 64, MemAttributes::default())
+                    .unwrap();
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                    .unwrap();
+                pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+                for i in 0..100 {
+                    vi.recv_wait(ctx, WaitMode::Poll);
+                    if i < 99 {
+                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                            .unwrap();
+                    }
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4))
+                        .unwrap();
+                    vi.send_wait(ctx, WaitMode::Poll);
+                }
+            });
+        }
+        {
+            let pa = pa.clone();
+            sim.spawn("client", Some(pa.cpu()), move |ctx| {
+                let vi = pa
+                    .create_vi(ctx, ViAttributes::default(), None, None)
+                    .unwrap();
+                pa.connect(ctx, &vi, NodeId(1), Discriminator(1), None)
+                    .unwrap();
+                let buf = pa.malloc(64);
+                let mh = pa
+                    .register_mem(ctx, buf, 64, MemAttributes::default())
+                    .unwrap();
+                for _ in 0..100 {
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, 64))
+                        .unwrap();
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, 4))
+                        .unwrap();
+                    vi.recv_wait(ctx, WaitMode::Poll);
+                    vi.send_wait(ctx, WaitMode::Poll);
+                }
+            });
+        }
+        let events = sim.run_to_completion().events;
+        let fuse = sim.sched_stats().fuse;
+        if fused && !guard_miss {
+            assert!(fuse.hits > 0, "fused leg must actually fuse: {fuse:?}");
+        } else {
+            assert_eq!(fuse.hits, 0, "fallback leg must not fuse: {fuse:?}");
+        }
+        via::fastpath::set_fuse(true);
+        events
+    };
+    let mut g = c.benchmark_group("fuse");
+    g.sample_size(20);
+    for (name, fused, guard_miss) in [
+        ("clan_100_pingpongs_4B_fused", true, false),
+        ("clan_100_pingpongs_4B_general", false, false),
+        ("clan_100_pingpongs_4B_guard_miss", true, true),
+    ] {
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(name, |b| b.iter(|| run(fused, guard_miss)));
+    }
+    g.finish();
+}
+
 fn bench_sharded_engine(c: &mut Criterion) {
     // The sharding pin: the same 8-node VIA ring the X-SHARD experiment
     // runs, priced four ways. `ring_serial_baseline` is the pre-refactor
@@ -560,6 +658,7 @@ criterion_group!(
     bench_via_datapath,
     bench_trace_overhead,
     bench_credit_ledger,
+    bench_fused_fastpath,
     bench_sharded_engine,
     bench_mpl_layer
 );

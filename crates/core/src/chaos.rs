@@ -353,6 +353,22 @@ pub fn run_episode(idx: usize) -> EpisodeReport {
             audit.violations
         );
     }
+    // Invariant: fused-ledger conservation — macro-events never break the
+    // attempt accounting, even mid-fault-window (episodes install fault
+    // plans, so most attempts de-fuse; the ledger must still balance).
+    // Note: hits == 0 does NOT imply events_elided == 0 — receive landings
+    // and ack elisions fold without a sender-side fuse hit.
+    let sched = pair.sim().sched_stats();
+    assert_eq!(
+        sched.fuse.attempts,
+        sched.fuse.hits + sched.fuse.defused(),
+        "{tag}: fuse ledger unbalanced: {:?}",
+        sched.fuse
+    );
+    assert_eq!(
+        sched.macro_events, sched.fuse.hits,
+        "{tag}: macro-event census mismatch"
+    );
     EpisodeReport {
         seed_fp: cluster_seed % 1_000_000,
         faults,

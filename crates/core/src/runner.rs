@@ -35,7 +35,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use simkit::{thread_events, thread_pool_stats, PoolStats};
+use simkit::{
+    thread_events, thread_fuse_stats, thread_pool_stats, DefuseCause, FuseTally, PoolStats,
+};
 
 use crate::report::{merge_artifacts, Artifact, Table};
 use crate::suite::{render_csv, render_json, render_text, Experiment};
@@ -94,6 +96,9 @@ pub struct JobReport {
     pub events: u64,
     /// Event-arena churn attributed to the job.
     pub pool: PoolStats,
+    /// Fused-fast-path ledger attributed to the job (attempts, hits,
+    /// de-fuse cause breakdown).
+    pub fuse: FuseTally,
 }
 
 /// One experiment's reassembled output plus its serial-equivalent cost.
@@ -220,7 +225,33 @@ impl SuiteRun {
             vec![self.pool.slot_reuse_rate() * 100.0],
         );
         summary.push("same-time batches", vec![self.pool.batches as f64]);
-        let mut artifacts = vec![per_exp.into(), summary.into()];
+        // The fused-path table: where the fast path engaged and why it
+        // missed, per experiment. Deterministic in serial runs (the
+        // ledger counts logical protocol decisions, not wall-clock), but
+        // kept out of the goldens with the rest of X-PAR since job
+        // attribution shifts with worker count.
+        let mut fuse_tbl = Table::new(
+            "X-PAR: fused fast path (hits and de-fuse causes)",
+            ["attempts", "hits", "hit rate (%)"]
+                .into_iter()
+                .map(String::from)
+                .chain(DefuseCause::ALL.iter().map(|c| c.name().to_string()))
+                .collect(),
+        );
+        for e in &self.experiments {
+            let mut fuse = FuseTally::default();
+            for j in self.jobs.iter().filter(|j| j.experiment == e.id) {
+                fuse.merge(&j.fuse);
+            }
+            let mut row = vec![
+                fuse.attempts as f64,
+                fuse.hits as f64,
+                fuse.hit_rate() * 100.0,
+            ];
+            row.extend(fuse.causes().map(|(_, n)| n as f64));
+            fuse_tbl.push(e.id, row);
+        }
+        let mut artifacts = vec![per_exp.into(), summary.into(), fuse_tbl.into()];
         if !self.shard_runs.is_empty() {
             let mut shard_tbl = Table::new(
                 "X-PAR: sharded-engine balance (per shard)",
@@ -285,6 +316,16 @@ pub fn default_shards() -> usize {
     }
 }
 
+/// Fuse knob selected by the environment: `VIBE_FUSE=0` disables the
+/// fused message-lifecycle fast path, anything else (or unset) leaves it
+/// on. The committed goldens are byte-identical either way — CI runs a
+/// `VIBE_FUSE=0` leg to enforce that — so the knob only trades simulator
+/// wall-clock for an event-by-event general path (useful when bisecting
+/// a suspected fusing bug).
+pub fn default_fuse() -> bool {
+    std::env::var("VIBE_FUSE").map_or(true, |v| v.trim() != "0")
+}
+
 /// Telemetry from one sharded-engine run, recorded by workloads that
 /// drive a [`simkit::ShardedSim`] so the X-PAR artifact can surface
 /// shard balance. One horizon grant = one synchronization round (every
@@ -323,11 +364,13 @@ struct JobOutcome {
     wall: Duration,
     events: u64,
     pool: PoolStats,
+    fuse: FuseTally,
 }
 
 fn execute(job: Job) -> JobOutcome {
     let ev0 = thread_events();
     let pool0 = thread_pool_stats();
+    let fuse0 = thread_fuse_stats();
     let t0 = Instant::now();
     let artifacts = job.run();
     JobOutcome {
@@ -335,6 +378,7 @@ fn execute(job: Job) -> JobOutcome {
         wall: t0.elapsed(),
         events: thread_events() - ev0,
         pool: thread_pool_stats().delta_since(&pool0),
+        fuse: thread_fuse_stats().delta_since(&fuse0),
     }
 }
 
@@ -365,6 +409,7 @@ pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
                 wall: out.wall,
                 events: out.events,
                 pool: out.pool,
+                fuse: out.fuse,
             });
             runs.push(ExperimentRun {
                 id: e.id,
@@ -438,6 +483,7 @@ pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
             wall: out.wall,
             events: out.events,
             pool: out.pool,
+            fuse: out.fuse,
         });
         per_exp_parts[ei].push(out.artifacts);
     }
@@ -508,7 +554,24 @@ mod tests {
         );
         assert!(run.pool.pooled() + run.pool.boxed > 0);
         let xpar = run.xpar_artifacts();
-        assert_eq!(xpar.len(), 2);
+        assert_eq!(xpar.len(), 3);
         assert!(xpar[0].title().starts_with("X-PAR"));
+        assert!(xpar[2].title().contains("fused fast path"));
+    }
+
+    #[test]
+    fn fuse_ledger_attributed_to_jobs() {
+        let run = run_suite(vec![find("CQ").unwrap()], 1);
+        let fuse = &run.jobs[0].fuse;
+        assert_eq!(
+            fuse.attempts,
+            fuse.hits + fuse.defused(),
+            "per-job fuse ledger must balance: {fuse:?}"
+        );
+        assert!(
+            fuse.attempts > 0,
+            "CQ posts sends, so the guard must have been evaluated (even \
+             VIBE_FUSE=0 runs count attempts, as Disabled de-fuses)"
+        );
     }
 }

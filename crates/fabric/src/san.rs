@@ -23,6 +23,7 @@
 //! synchronizes on.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -72,6 +73,13 @@ struct DirLink {
     /// drop decisions a function of the frame order on *this* link alone —
     /// the property that keeps seeded runs identical at any shard count.
     rng: SimRng,
+    /// Virtual time of the last occupancy application. Occupancy chaining
+    /// (`max(busy_until, at)`) is only exact when applications arrive in
+    /// non-decreasing `at` order; the fused fast path applies occupancy
+    /// *eagerly* (at post time, for a future wire time), so this tripwire
+    /// turns any ordering inversion into a loud debug assertion instead of
+    /// a silently divergent timeline.
+    last_applied_at: SimTime,
 }
 
 impl DirLink {
@@ -81,7 +89,25 @@ impl DirLink {
             busy_until: SimTime::ZERO,
             loss: LossState::new(),
             rng: SimRng::derive(seed, &format!("fabric-loss-{dir}-n{node}")),
+            last_applied_at: SimTime::ZERO,
         }
+    }
+
+    /// Occupy this link direction for `ser` starting no earlier than `at`;
+    /// returns the transmit start. Shared by the general stages (where
+    /// `at` is the current virtual time) and the fused path (where `at`
+    /// is a precomputed future wire time).
+    fn occupy(&mut self, at: SimTime, ser: SimDuration) -> SimTime {
+        debug_assert!(
+            at >= self.last_applied_at,
+            "link occupancy applied out of time order: {:?} < {:?}",
+            at,
+            self.last_applied_at,
+        );
+        self.last_applied_at = at;
+        let start = self.busy_until.max(at);
+        self.busy_until = start + ser;
+        start
     }
 }
 
@@ -169,6 +195,21 @@ struct LinkShard {
     faults: Option<Box<FaultState>>,
 }
 
+/// Who can write a node's downlink. Registered at VIA connect time —
+/// before any frame of the flow can possibly be on the wire — so a fused
+/// sender can prove it is the *sole* writer of the destination downlink
+/// and apply that downlink's occupancy eagerly without reordering anyone
+/// else's frames.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WriterSet {
+    /// No flow targets this downlink yet.
+    Empty,
+    /// Exactly one source has registered a flow to this node.
+    One(NodeId),
+    /// Two or more distinct sources target this node (fan-in).
+    Many,
+}
+
 /// Order-independent state shared by every shard: pure counters, the
 /// tracer, and the rx-handler table (written at topology setup, read at
 /// delivery).
@@ -176,6 +217,8 @@ struct SharedState {
     handlers: Vec<Option<RxHandler>>,
     stats: SanStats,
     tracer: Tracer,
+    /// Per-destination writer registry for the fused fast path.
+    writers: Vec<WriterSet>,
 }
 
 struct SanInner {
@@ -191,6 +234,10 @@ struct SanInner {
     senders: Vec<ShardSender>,
     links: Vec<Mutex<LinkShard>>,
     shared: Mutex<SharedState>,
+    /// Master switch for the fabric-side event folds (`VIBE_FUSE`). The
+    /// VIA layer sets it at cluster build; folding never changes virtual
+    /// times or counters, only how many scheduler events carry a frame.
+    fuse: AtomicBool,
 }
 
 /// What the uplink or downlink stage decided about one frame.
@@ -270,9 +317,23 @@ impl San {
                     handlers: (0..nodes).map(|_| None).collect(),
                     stats: SanStats::default(),
                     tracer: Tracer::disabled(),
+                    writers: vec![WriterSet::Empty; nodes],
                 }),
+                fuse: AtomicBool::new(true),
             }),
         }
+    }
+
+    /// Enable or disable the fabric-side event folds (the switch-egress
+    /// fold in the send path and the fused injection entry point's fold).
+    /// Folding is timeline-neutral; the knob exists so `VIBE_FUSE=0` runs
+    /// measure the genuinely unfused scheduler.
+    pub fn set_fuse(&self, on: bool) {
+        self.inner.fuse.store(on, Ordering::Relaxed);
+    }
+
+    fn fuse_on(&self) -> bool {
+        self.inner.fuse.load(Ordering::Relaxed)
     }
 
     /// Install a fault plan: schedule every window's open/close edge on
@@ -371,9 +432,63 @@ impl San {
     }
 
     /// True once a non-empty fault plan has been installed on any shard.
-    #[cfg(test)]
-    fn faults_installed(&self) -> bool {
+    /// The fused fast path de-fuses whenever this holds: fault windows can
+    /// open anywhere inside a message's time envelope, so only the general
+    /// hop-by-hop path may carry traffic.
+    pub fn faults_installed(&self) -> bool {
         self.inner.links.iter().any(|l| l.lock().faults.is_some())
+    }
+
+    /// True when the configured loss model never drops a frame (and hence
+    /// never draws from the per-link RNG streams). Lossy links de-fuse:
+    /// preserving per-link draw *order* requires the general path.
+    pub fn is_lossless(&self) -> bool {
+        matches!(self.inner.params.loss, LossModel::None)
+    }
+
+    /// True while a wire tracer is attached (trace record order is
+    /// byte-relevant, so fused sends are disabled while tracing).
+    pub fn tracer_attached(&self) -> bool {
+        self.inner.shared.lock().tracer.enabled()
+    }
+
+    /// True when `node`'s uplink has no in-progress or queued serialization
+    /// at its shard's current virtual time. Call only for nodes owned by
+    /// the executing shard.
+    pub fn uplink_idle(&self, node: NodeId) -> bool {
+        let shard = self.inner.map.assign(node.0);
+        let now = self.inner.sims[shard].now();
+        self.inner.links[shard].lock().uplinks[node.index()].busy_until <= now
+    }
+
+    /// True when `node`'s downlink has no in-progress or queued
+    /// serialization at its shard's current virtual time. Call only for
+    /// nodes owned by the executing shard.
+    pub fn downlink_idle(&self, node: NodeId) -> bool {
+        let shard = self.inner.map.assign(node.0);
+        let now = self.inner.sims[shard].now();
+        self.inner.links[shard].lock().downlinks[node.index()].busy_until <= now
+    }
+
+    /// Record that `src` opens a flow toward `dst`. VIA connection setup
+    /// calls this for both directions *before* the first control frame is
+    /// sent, so by the time any frame can be on the wire the registry
+    /// already names every possible writer of each downlink.
+    pub fn register_flow(&self, src: NodeId, dst: NodeId) {
+        let mut sh = self.inner.shared.lock();
+        let w = &mut sh.writers[dst.index()];
+        *w = match *w {
+            WriterSet::Empty => WriterSet::One(src),
+            WriterSet::One(s) if s == src => WriterSet::One(s),
+            _ => WriterSet::Many,
+        };
+    }
+
+    /// True when `src` is the only source ever registered toward `dst`'s
+    /// downlink — the precondition for eagerly applying that downlink's
+    /// occupancy from the sender (fan-in de-fuses the forward hop).
+    pub fn sole_writer(&self, src: NodeId, dst: NodeId) -> bool {
+        self.inner.shared.lock().writers[dst.index()] == WriterSet::One(src)
     }
 
     /// Install a tracer recording wire tx/rx/drop points. Pass
@@ -458,14 +573,14 @@ impl San {
         let now = sim.now();
         // Stage 1, under the source shard's link lock: uplink occupancy,
         // the per-link loss roll, and fault decisions.
-        let (at_switch, outcome) = {
+        let (at_switch, outcome, no_faults) = {
             let mut ls = inner.links[src_shard].lock();
             let ls = &mut *ls;
+            let no_faults = ls.faults.is_none();
             let ser = inner.params.link.serialization(payload_bytes);
             let prop = inner.params.link.propagation;
             let link = &mut ls.uplinks[src.index()];
-            let start = link.busy_until.max(now);
-            link.busy_until = start + ser;
+            let start = link.occupy(now, ser);
             // Cut-through: the switch starts forwarding once the header is
             // in (the egress link still pays a full serialization, so the
             // unloaded path costs one serialization overall). Store-and-
@@ -490,11 +605,21 @@ impl San {
                     }
                 }
             }
-            (at_switch, outcome)
+            (at_switch, outcome, no_faults)
         };
-        // Stage 2, under the shared lock: counters and trace records.
-        {
+        let dst_shard = inner.map.assign(dst.0);
+        // Stage 2, under the shared lock: counters and trace records. The
+        // switch-egress fold decision reads the writer registry and tracer
+        // state under the same lock acquisition.
+        let fold_forward = {
             let mut sh = self.inner.shared.lock();
+            let fold = outcome == HopOutcome::Pass
+                && dst_shard == src_shard
+                && no_faults
+                && matches!(inner.params.loss, LossModel::None)
+                && self.fuse_on()
+                && !sh.tracer.enabled()
+                && sh.writers[dst.index()] == WriterSet::One(src);
             sh.stats.frames_sent += 1;
             sh.tracer
                 .record(now, TracePoint::WireTx, src.0, msg, payload_bytes as u64);
@@ -526,8 +651,28 @@ impl San {
                     sh.tracer.record(now, TracePoint::WireDrop, src.0, msg, 5);
                 }
             }
-        }
+            fold
+        };
         if outcome != HopOutcome::Pass {
+            return;
+        }
+        if fold_forward {
+            // Switch-egress fold: with a lossless, fault-free fabric the
+            // forward stage is a pure function of the downlink occupancy,
+            // and with `src` the sole registered writer of `dst`'s downlink
+            // its applications arrive in non-decreasing `at_switch` order
+            // (they all chain through `src`'s uplink). Apply the occupancy
+            // now and schedule the arrival directly, eliding one Fabric
+            // event — the logical ledger stays exact via `note_elided`.
+            let arrive = {
+                let mut ls = inner.links[src_shard].lock();
+                let link = &mut ls.downlinks[dst.index()];
+                let ser = inner.params.link.serialization(payload_bytes);
+                let start = link.occupy(at_switch, ser);
+                start + ser + inner.params.link.propagation
+            };
+            sim.note_elided(EventClass::Fabric, 1);
+            self.schedule_delivery(sim, src, dst, payload_bytes, body, msg, arrive);
             return;
         }
         // Stage 3: hand off to the switch-egress stage on the destination's
@@ -536,7 +681,6 @@ impl San {
         // `at_switch - now >= min_cross_latency >= lookahead`.
         let san = self.clone();
         let deliver = move |_: &Sim| san.forward(src, dst, payload_bytes, body, lossy, msg);
-        let dst_shard = inner.map.assign(dst.0);
         if dst_shard == src_shard {
             sim.call_at_as(EventClass::Fabric, at_switch, deliver);
         } else {
@@ -564,8 +708,7 @@ impl San {
             let ser = inner.params.link.serialization(payload_bytes);
             let prop = inner.params.link.propagation;
             let link = &mut ls.downlinks[dst.index()];
-            let start = link.busy_until.max(now);
-            link.busy_until = start + ser;
+            let start = link.occupy(now, ser);
             let mut arrive = start + ser + prop;
             let mut outcome = if lossy && link.loss.roll(&mut link.rng, inner.params.loss) {
                 HopOutcome::LossDrop
@@ -610,8 +753,25 @@ impl San {
                 return;
             }
         }
+        self.schedule_delivery(sim, src, dst, payload_bytes, body, msg, arrive_nic);
+    }
+
+    /// Final hop: schedule the NIC arrival event at `arrive` on the
+    /// destination's engine. Shared by the general forward stage and the
+    /// fused sender (which computes `arrive` eagerly).
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_delivery(
+        &self,
+        sim: &Sim,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+        body: Box<dyn Any + Send>,
+        msg: Option<MsgId>,
+        arrive: SimTime,
+    ) {
         let san = self.clone();
-        sim.call_at_as(EventClass::Fabric, arrive_nic, move |sim| {
+        sim.call_at_as(EventClass::Fabric, arrive, move |sim| {
             let handler = {
                 let mut sh = san.inner.shared.lock();
                 sh.stats.frames_delivered += 1;
@@ -638,6 +798,94 @@ impl San {
                 },
             );
         });
+    }
+
+    /// Fused-path injection: put a frame on the wire exactly as
+    /// [`San::send_msg`] executed at virtual time `at` (the precomputed
+    /// wire time, `at >= now`) would have. Callers must have verified the
+    /// fabric-side fuse guard first — lossless loss model and no fault
+    /// plan — so the frame cannot drop and no RNG stream is consumed,
+    /// which is what makes computing the occupancy ahead of time exact.
+    ///
+    /// Uplink occupancy chains from `max(busy_until, at)`, identical to
+    /// the general stage running at `at`: the caller's NIC ring serializes
+    /// all sends of the source node, so no other frame can claim this
+    /// uplink between now and `at`.
+    ///
+    /// When the destination is on the same engine shard *and* the source
+    /// is provably the sole writer of the destination downlink
+    /// ([`San::sole_writer`]), the switch-egress hop is folded in eagerly:
+    /// downlink occupancy is applied now (sole-writer frames have strictly
+    /// monotone switch-arrival times, so eager application preserves the
+    /// general path's FIFO chaining bit-exactly) and the NIC arrival event
+    /// is scheduled directly; the elided Fabric hop is credited to the
+    /// engine's logical ledger here. Returns `true` in that case and
+    /// `false` when the general forward event had to be scheduled.
+    pub fn send_msg_at(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+        body: Box<dyn Any + Send>,
+        msg: Option<MsgId>,
+        at: SimTime,
+    ) -> bool {
+        assert_ne!(src, dst, "fabric has no loopback path");
+        let inner = &self.inner;
+        assert!(
+            payload_bytes <= inner.params.link.mtu,
+            "frame payload {} exceeds link MTU {}",
+            payload_bytes,
+            inner.params.link.mtu
+        );
+        debug_assert!(
+            self.is_lossless() && !self.faults_installed(),
+            "fused injection requires a lossless, fault-free fabric"
+        );
+        let src_shard = inner.map.assign(src.0);
+        let sim = &inner.sims[src_shard];
+        debug_assert!(at >= sim.now(), "fused wire time lies in the past");
+        let ser = inner.params.link.serialization(payload_bytes);
+        let prop = inner.params.link.propagation;
+        let at_switch = {
+            let mut ls = inner.links[src_shard].lock();
+            let link = &mut ls.uplinks[src.index()];
+            let start = link.occupy(at, ser);
+            if inner.params.switch.cut_through {
+                start + prop + inner.params.switch.latency
+            } else {
+                start + ser + prop + inner.params.switch.latency
+            }
+        };
+        {
+            let mut sh = inner.shared.lock();
+            sh.stats.frames_sent += 1;
+            sh.tracer
+                .record(at, TracePoint::WireTx, src.0, msg, payload_bytes as u64);
+        }
+        let dst_shard = inner.map.assign(dst.0);
+        if dst_shard == src_shard && self.sole_writer(src, dst) {
+            // Fold the switch-egress hop: apply the downlink occupancy
+            // eagerly and schedule the arrival directly.
+            let arrive = {
+                let mut ls = inner.links[src_shard].lock();
+                let link = &mut ls.downlinks[dst.index()];
+                let start = link.occupy(at_switch, ser);
+                start + ser + prop
+            };
+            sim.note_elided(EventClass::Fabric, 1);
+            self.schedule_delivery(sim, src, dst, payload_bytes, body, msg, arrive);
+            true
+        } else {
+            let san = self.clone();
+            let deliver = move |_: &Sim| san.forward(src, dst, payload_bytes, body, true, msg);
+            if dst_shard == src_shard {
+                sim.call_at_as(EventClass::Fabric, at_switch, deliver);
+            } else {
+                inner.senders[src_shard].send(dst_shard, at_switch, EventClass::Fabric, deliver);
+            }
+            false
+        }
     }
 
     /// Unloaded one-way frame latency for a given payload (no queueing):

@@ -68,6 +68,15 @@ thread_local! {
     /// Arena churn accumulated by [`Sim::run`] calls on this thread,
     /// cumulatively — the pool-stat companion to `THREAD_EVENTS`.
     static THREAD_POOL: std::cell::Cell<PoolStats> = const { std::cell::Cell::new(PoolStats::zero()) };
+    /// Fused-fast-path ledger accumulated by [`Sim::run`] calls on this
+    /// thread, cumulatively — the fuse companion to `THREAD_EVENTS`.
+    static THREAD_FUSE: std::cell::Cell<FuseTally> = const {
+        std::cell::Cell::new(FuseTally {
+            attempts: 0,
+            hits: 0,
+            by_cause: [0; 8],
+        })
+    };
 }
 
 /// Total simulation events executed by `Sim::run` calls on the calling
@@ -84,17 +93,29 @@ pub fn thread_pool_stats() -> PoolStats {
     THREAD_POOL.with(|c| c.get())
 }
 
+/// Cumulative [`FuseTally`] across every `Sim::run` call on the calling
+/// thread. Monotonic; take a [`FuseTally::delta_since`] around a workload
+/// to attribute fuse hits and de-fuse causes to it.
+pub fn thread_fuse_stats() -> FuseTally {
+    THREAD_FUSE.with(|c| c.get())
+}
+
 /// Credit events and arena churn to the calling thread's cumulative
 /// counters. The sharded engine runs its shards on scoped worker threads,
 /// whose thread-locals vanish with them; it calls this from the
 /// coordinating thread so job-level attribution (the parallel runner reads
 /// [`thread_events`] deltas around each job) keeps working.
-pub(crate) fn add_thread_telemetry(events: u64, pool: &PoolStats) {
+pub(crate) fn add_thread_telemetry(events: u64, pool: &PoolStats, fuse: &FuseTally) {
     THREAD_EVENTS.with(|c| c.set(c.get() + events));
     THREAD_POOL.with(|c| {
         let mut p = c.get();
         p.merge(pool);
         c.set(p);
+    });
+    THREAD_FUSE.with(|c| {
+        let mut f = c.get();
+        f.merge(fuse);
+        c.set(f);
     });
 }
 
@@ -331,6 +352,139 @@ impl ClassTally {
     }
 }
 
+/// Why a message that attempted the fused fast path fell back to the
+/// general event chain. The variants mirror the guard checks in
+/// `via::fastpath`; the engine only stores the tally so that sharded
+/// merges and thread-telemetry funnels treat fuse accounting exactly like
+/// every other scheduler counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefuseCause {
+    /// Fusing disabled (`VIBE_FUSE=0` / `--no-fuse`).
+    Disabled,
+    /// A fault plan is installed on the fabric.
+    FaultWindow,
+    /// A trace ring or probe recorder is attached.
+    TraceAttached,
+    /// Link, PCI, rx engine, or NIC ring contended at post time.
+    Contention,
+    /// Reliable send had no credits available.
+    CreditStall,
+    /// NIC descriptor ring busy or occupied.
+    RingBusy,
+    /// Message needs more than one wire fragment.
+    MultiFragment,
+    /// Any other disqualifier (lossy link, RDMA kind, outstanding
+    /// in-flight sends, unconnected VI, ...).
+    Other,
+}
+
+impl DefuseCause {
+    /// Every cause, in display order.
+    pub const ALL: [DefuseCause; 8] = [
+        DefuseCause::Disabled,
+        DefuseCause::FaultWindow,
+        DefuseCause::TraceAttached,
+        DefuseCause::Contention,
+        DefuseCause::CreditStall,
+        DefuseCause::RingBusy,
+        DefuseCause::MultiFragment,
+        DefuseCause::Other,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefuseCause::Disabled => "disabled",
+            DefuseCause::FaultWindow => "fault window",
+            DefuseCause::TraceAttached => "trace attached",
+            DefuseCause::Contention => "contention",
+            DefuseCause::CreditStall => "credit stall",
+            DefuseCause::RingBusy => "ring busy",
+            DefuseCause::MultiFragment => "multi-fragment",
+            DefuseCause::Other => "other",
+        }
+    }
+
+    /// Dense index into per-cause arrays, matching [`DefuseCause::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            DefuseCause::Disabled => 0,
+            DefuseCause::FaultWindow => 1,
+            DefuseCause::TraceAttached => 2,
+            DefuseCause::Contention => 3,
+            DefuseCause::CreditStall => 4,
+            DefuseCause::RingBusy => 5,
+            DefuseCause::MultiFragment => 6,
+            DefuseCause::Other => 7,
+        }
+    }
+}
+
+/// Fused-fast-path accounting: how many messages attempted the fused
+/// path, how many hit, and why the misses fell back. Lives in
+/// [`SchedStats`] so per-shard ledgers merge and funnel to the runner
+/// exactly like `fired`/`cancelled`.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuseTally {
+    /// Messages that evaluated the fuse guard.
+    pub attempts: u64,
+    /// Messages that ran the fused path end to end.
+    pub hits: u64,
+    by_cause: [u64; 8],
+}
+
+impl FuseTally {
+    /// De-fuse count for one cause.
+    pub fn cause(&self, cause: DefuseCause) -> u64 {
+        self.by_cause[cause.index()]
+    }
+
+    /// Iterate `(cause, count)` pairs in display order.
+    pub fn causes(&self) -> impl Iterator<Item = (DefuseCause, u64)> + '_ {
+        DefuseCause::ALL
+            .iter()
+            .map(|&c| (c, self.by_cause[c.index()]))
+    }
+
+    /// Total de-fused messages across all causes.
+    pub fn defused(&self) -> u64 {
+        self.by_cause.iter().sum()
+    }
+
+    /// Fuse hit rate in `[0,1]`; 1.0 when nothing was attempted.
+    pub fn hit_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.attempts as f64
+        }
+    }
+
+    /// Field-wise accumulate another tally into this one.
+    pub fn merge(&mut self, d: &FuseTally) {
+        self.attempts += d.attempts;
+        self.hits += d.hits;
+        for (mine, theirs) in self.by_cause.iter_mut().zip(d.by_cause.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Field-wise difference against an earlier snapshot of the same
+    /// monotonic tally.
+    pub fn delta_since(&self, earlier: &FuseTally) -> FuseTally {
+        let mut by_cause = [0u64; 8];
+        for (i, slot) in by_cause.iter_mut().enumerate() {
+            *slot = self.by_cause[i] - earlier.by_cause[i];
+        }
+        FuseTally {
+            attempts: self.attempts - earlier.attempts,
+            hits: self.hits - earlier.hits,
+            by_cause,
+        }
+    }
+}
+
 /// Allocator-churn accounting for the event arena: how scheduled actions
 /// were stored and how slab slots were obtained.
 #[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
@@ -420,12 +574,25 @@ impl PoolStats {
 /// Cumulative scheduler accounting since the [`Sim`] was created.
 #[derive(Default, Clone, Debug, PartialEq, Eq)]
 pub struct SchedStats {
-    /// Total events executed.
+    /// Total events executed. Includes elided hops folded in by
+    /// [`Sim::note_elided`], so `fired` counts *logical* events: the
+    /// number the general (unfused) chain would have executed. This keeps
+    /// every class table and events/sec figure byte-identical whether the
+    /// fused fast path ran or not.
     pub fired: u64,
     /// Total timers cancelled before firing.
     pub cancelled: u64,
     /// Total stale heap entries reaped at pop time (each a prior cancel).
     pub dead_popped: u64,
+    /// Macro-events executed by the fused fast path (each one standing in
+    /// for a whole elided sub-chain).
+    pub macro_events: u64,
+    /// Scheduler hops elided by the fused fast path. Already folded into
+    /// `fired`; `fired - events_elided` is the count of events that
+    /// physically went through the queue.
+    pub events_elided: u64,
+    /// Fused-fast-path attempt/hit/de-fuse ledger.
+    pub fuse: FuseTally,
     /// Event-arena churn: inline vs. boxed storage, slot reuse, batching.
     pub pool: PoolStats,
     by_class: [ClassTally; 6],
@@ -453,6 +620,9 @@ impl SchedStats {
         self.fired += other.fired;
         self.cancelled += other.cancelled;
         self.dead_popped += other.dead_popped;
+        self.macro_events += other.macro_events;
+        self.events_elided += other.events_elided;
+        self.fuse.merge(&other.fuse);
         self.pool.merge(&other.pool);
         for (mine, theirs) in self.by_class.iter_mut().zip(other.by_class.iter()) {
             mine.merge(theirs);
@@ -961,7 +1131,10 @@ impl Sim {
     }
 
     fn run_bounded(&self, bound: Option<SimTime>) -> RunReport {
-        let pool_at_entry = self.inner.sched.lock().stats.pool;
+        let (pool_at_entry, elided_at_entry, fuse_at_entry) = {
+            let s = self.inner.sched.lock();
+            (s.stats.pool, s.stats.events_elided, s.stats.fuse)
+        };
         let mut events = 0u64;
         while let Some((at, class, action)) = self.pop_live(bound) {
             debug_assert!(at.as_nanos() >= self.inner.now_ns.load(AtomicOrdering::Relaxed));
@@ -982,18 +1155,28 @@ impl Sim {
                 Action::Wake(token) => self.dispatch_wake(token),
             }
         }
+        // Report *logical* events: physical pops plus hops the fused fast
+        // path elided during this run. Matches the sharded engine, which
+        // derives its event count from the (already-folded) `fired` delta.
+        let (pool_delta, elided_delta, fuse_delta) = {
+            let s = self.inner.sched.lock();
+            (
+                s.stats.pool.delta_since(&pool_at_entry),
+                s.stats.events_elided - elided_at_entry,
+                s.stats.fuse.delta_since(&fuse_at_entry),
+            )
+        };
+        events += elided_delta;
         THREAD_EVENTS.with(|c| c.set(c.get() + events));
-        let pool_delta = self
-            .inner
-            .sched
-            .lock()
-            .stats
-            .pool
-            .delta_since(&pool_at_entry);
         THREAD_POOL.with(|c| {
             let mut p = c.get();
             p.merge(&pool_delta);
             c.set(p);
+        });
+        THREAD_FUSE.with(|c| {
+            let mut f = c.get();
+            f.merge(&fuse_delta);
+            c.set(f);
         });
         let blocked = self
             .inner
@@ -1111,6 +1294,51 @@ impl Sim {
     /// Snapshot of cumulative scheduler accounting.
     pub fn sched_stats(&self) -> SchedStats {
         self.inner.sched.lock().stats.clone()
+    }
+
+    /// Credit `n` elided scheduler hops of `class` to the ledger. The
+    /// hops are folded into `fired` (total and per-class), so every
+    /// event-count observable reads as if the general chain had executed
+    /// them — the invariant that keeps goldens byte-identical with the
+    /// fused fast path on.
+    pub fn note_elided(&self, class: EventClass, n: u64) {
+        let mut s = self.inner.sched.lock();
+        s.stats.fired += n;
+        s.stats.by_class[class.index()].fired += n;
+        s.stats.events_elided += n;
+    }
+
+    /// Undo one [`Sim::note_elided`] credit of `class`. Used when a hop
+    /// that was pre-counted as elided has to be materialized after all
+    /// (e.g. the deferred NIC-ring release when a second send queues up
+    /// behind a fused message): the materialized event will re-count
+    /// itself as `fired` when it pops.
+    pub fn un_elide(&self, class: EventClass) {
+        let mut s = self.inner.sched.lock();
+        s.stats.fired -= 1;
+        s.stats.by_class[class.index()].fired -= 1;
+        s.stats.events_elided -= 1;
+    }
+
+    /// Count one macro-event executed by the fused fast path.
+    pub fn note_macro(&self) {
+        self.inner.sched.lock().stats.macro_events += 1;
+    }
+
+    /// Count one message that evaluated the fuse guard.
+    pub fn note_fuse_attempt(&self) {
+        self.inner.sched.lock().stats.fuse.attempts += 1;
+    }
+
+    /// Count one message that ran the fused path end to end.
+    pub fn note_fuse_hit(&self) {
+        self.inner.sched.lock().stats.fuse.hits += 1;
+    }
+
+    /// Count one message that fell back to the general path for `cause`.
+    pub fn note_defuse(&self, cause: DefuseCause) {
+        let mut s = self.inner.sched.lock();
+        s.stats.fuse.by_cause[cause.index()] += 1;
     }
 }
 

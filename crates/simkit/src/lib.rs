@@ -58,8 +58,8 @@ pub mod time;
 
 pub use cpu::{CpuId, CpuMeter, CpuUsage};
 pub use engine::{
-    thread_events, thread_pool_stats, ClassTally, EventClass, EventHook, PoolStats, RunReport,
-    SchedStats, Sim, TimerHandle,
+    thread_events, thread_fuse_stats, thread_pool_stats, ClassTally, DefuseCause, EventClass,
+    EventHook, FuseTally, PoolStats, RunReport, SchedStats, Sim, TimerHandle,
 };
 pub use process::{ProcessCtx, ProcessHandle, ProcessId, WaitToken};
 pub use rng::SimRng;

@@ -316,7 +316,9 @@ impl ShardedSim {
         }
 
         let pool_before = self.merged_pool();
-        let events_before: u64 = self.merged_sched().fired;
+        let sched_before = self.merged_sched();
+        let events_before: u64 = sched_before.fired;
+        let fuse_before = sched_before.fuse;
         let barrier = Barrier::new(n);
         // One published minimum per shard; u64::MAX encodes "empty".
         let mins: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
@@ -343,7 +345,8 @@ impl ShardedSim {
         let sched = self.merged_sched();
         let events = sched.fired - events_before;
         let pool_delta = self.merged_pool().delta_since(&pool_before);
-        add_thread_telemetry(events, &pool_delta);
+        let fuse_delta = sched.fuse.delta_since(&fuse_before);
+        add_thread_telemetry(events, &pool_delta, &fuse_delta);
         let end_time = self
             .inner
             .sims

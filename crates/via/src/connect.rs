@@ -52,6 +52,14 @@ pub(crate) fn connect(
         vi.connect_waiter = Some(token);
         token
     };
+    // Name both directions of the flow in the fabric's writer registry
+    // *before* the first frame can be on the wire: the fused fast path's
+    // forward-fold relies on the registry over-approximating every
+    // possible writer of each downlink (a rejected or timed-out connect
+    // leaves a stale entry, which can only demote a downlink to
+    // "many writers" — de-fusing, never corrupting).
+    provider.san.register_flow(provider.node, remote);
+    provider.san.register_flow(remote, provider.node);
     provider.san.send_control(
         provider.node,
         remote,
@@ -141,6 +149,11 @@ pub(crate) fn accept(
                 .min(provider.profile.max_transfer_size),
         )
     };
+    // Idempotent re-registration from the server side (the client already
+    // registered both directions before its request; a server that sends
+    // any frame — Accept or Reject — is a writer of the client's downlink).
+    provider.san.register_flow(provider.node, req.client_node);
+    provider.san.register_flow(req.client_node, provider.node);
     if our.0 != req.reliability {
         provider.san.send_control(
             provider.node,

@@ -1,0 +1,282 @@
+//! The fused message-lifecycle fast path.
+//!
+//! An unfused single-fragment send costs seven engine events end to end:
+//! doorbell propagation, firmware scan, descriptor-fetch DMA, NIC address
+//! translation, fragment DMA + wire handoff (all `Firmware`-class), the
+//! fabric forward hop, and the receive-side landing. Every stage's delay
+//! is a pure function of state that is fully determined at post time
+//! *provided nothing else can interleave* — so when a guard proves the
+//! pipeline uncontended, the whole chain collapses into straight-line
+//! arithmetic executed inside the posting call: one macro-event on the
+//! sender (this module) and one on the receiver (the delivery event, which
+//! inlines the landing — see `transport::rx_data`).
+//!
+//! Exactness is the contract: a fused run must be byte-identical to the
+//! unfused run in every committed artifact. The guards here are therefore
+//! conservative — any whiff of contention, loss, faults, tracing, or
+//! multi-fragment work falls back to the general event chain *before the
+//! first side effect*, and each fallback is charged to a
+//! [`DefuseCause`] so the X-PAR artifact can report why fusing missed.
+//! Elided events are credited to the engine's logical ledger
+//! ([`simkit::Sim::note_elided`]), keeping the per-class event census —
+//! and thus every golden — identical. Design notes: DESIGN.md §4.5.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use simkit::{DefuseCause, EventClass};
+
+use crate::descriptor::DescOp;
+use crate::provider::{Provider, TxJobRef};
+use crate::transport::{arm_retransmit_at, complete_send, resolve_job, tx_msg};
+use crate::transport::{JobPayload, LastAction};
+use crate::types::{Reliability, ViId};
+use crate::vi::{Reassembly, RxTarget};
+use crate::wire::{DataFrame, Frame};
+
+/// The global fuse knob: `VIBE_FUSE=0` disables fusing for the process
+/// (default on). Read once; [`set_fuse`] overrides it afterwards.
+fn knob() -> &'static AtomicBool {
+    static KNOB: OnceLock<AtomicBool> = OnceLock::new();
+    KNOB.get_or_init(|| {
+        let on = std::env::var("VIBE_FUSE").map_or(true, |v| v != "0");
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether the fused fast path is enabled (the `VIBE_FUSE` env knob,
+/// overridable with [`set_fuse`]).
+pub fn fuse_enabled() -> bool {
+    knob().load(Ordering::Relaxed)
+}
+
+/// Enable or disable the fused fast path in-process. Used by the
+/// equivalence property tests and the `fuse` bench group to compare fused
+/// and general runs inside one process; runs must not be in flight when
+/// the knob flips.
+pub fn set_fuse(on: bool) {
+    knob().store(on, Ordering::Relaxed);
+}
+
+/// Attempt the fused send: execute the entire transmit pipeline —
+/// doorbell, firmware scan, descriptor fetch, translation, data DMA,
+/// wire handoff — as straight-line arithmetic inside the posting call,
+/// eliding one `Doorbell` and four `Firmware` events (the fabric forward
+/// hop is folded by [`fabric::San::send_msg_at`] when it can prove
+/// sole-writer ordering). Returns the de-fuse cause when any guard fails;
+/// no side effect has happened in that case and the caller falls back to
+/// the general event chain.
+///
+/// The caller has already pushed the in-flight entry and charged the
+/// host-side post cost, exactly as on the general path.
+pub(crate) fn try_fuse_send(
+    provider: &Provider,
+    vi_id: ViId,
+    seq: u64,
+    op: DescOp,
+    total_len: u64,
+    host_emulated: bool,
+) -> Result<(), DefuseCause> {
+    let profile = &provider.profile;
+    if !fuse_enabled() {
+        return Err(DefuseCause::Disabled);
+    }
+    // Host-emulated posts trap into the kernel and RDMA verbs have their
+    // own placement paths; only the NIC-offload plain send fuses.
+    if host_emulated || op != DescOp::Send {
+        return Err(DefuseCause::Other);
+    }
+    if total_len > profile.wire_mtu as u64 {
+        return Err(DefuseCause::MultiFragment);
+    }
+    let san = &provider.san;
+    // Loss could drop the frame (consuming RNG we must not touch early)
+    // and fault plans perturb every stage; both void the precomputation.
+    if !san.is_lossless() || san.faults_installed() {
+        return Err(DefuseCause::FaultWindow);
+    }
+    let now = provider.sim.now();
+    {
+        let st = provider.lock();
+        // Tracing hooks observe individual events; eliding any would
+        // change the trace stream.
+        if st.tracer.enabled() || st.probe.is_some() {
+            return Err(DefuseCause::TraceAttached);
+        }
+        if !st.fw_stalls.is_empty() {
+            return Err(DefuseCause::FaultWindow);
+        }
+        if st.nic_tx.busy || !st.nic_tx.queue.is_empty() || st.nic_tx.fused_until > now {
+            return Err(DefuseCause::RingBusy);
+        }
+        // Anything that could claim the PCI bus or the wire between now
+        // and the precomputed wire time makes the eager reservations
+        // inexact: an active receive engine, pending reassemblies (more
+        // fragments are inbound), other in-flight sends (their ACKs
+        // arrive mid-window), or busy links.
+        if st.rx_engine_busy > now {
+            return Err(DefuseCause::Contention);
+        }
+        let Some(vi) = st.vis.get(vi_id.index()).and_then(|v| v.as_ref()) else {
+            return Err(DefuseCause::Other);
+        };
+        if vi.send_inflight.len() > 1 || !vi.reassembly.is_empty() {
+            return Err(DefuseCause::Contention);
+        }
+    }
+    if !provider.pci.idle(now)
+        || !san.uplink_idle(provider.node)
+        || !san.downlink_idle(provider.node)
+    {
+        return Err(DefuseCause::Contention);
+    }
+    let Some(spec) = resolve_job(provider, &TxJobRef { vi: vi_id, seq }) else {
+        return Err(DefuseCause::Other);
+    };
+    let JobPayload::Data(kind) = spec.payload else {
+        return Err(DefuseCause::Other);
+    };
+
+    // All guards passed: run the pipeline's arithmetic. Each instant below
+    // is exactly what the corresponding general-path event would compute,
+    // because the guards proved no other actor can touch the resources
+    // in between (tracing is off, so the *_traced helpers' records are
+    // no-ops and the untraced forms are identical).
+    let t_ring = now + profile.doorbell.propagation();
+    let scan = {
+        let st = provider.lock();
+        profile.firmware.service_delay(st.active_vis())
+    };
+    let t_scan = t_ring + scan;
+    let fetch_end = provider.pci.reserve_at(t_scan, spec.desc_wire);
+    let xlate_delay = {
+        let mut st = provider.lock();
+        let st = &mut *st;
+        // Table fetches on a miss reserve the PCI bus internally; the bus
+        // was idle and the descriptor fetch just claimed it through
+        // `fetch_end`, so those reservations chain exactly as the general
+        // translation stage (running at `fetch_end`) would chain them.
+        st.xlate
+            .nic_translate(spec.pages.iter().copied(), &provider.pci)
+    };
+    let t_xlate = fetch_end + xlate_delay;
+    let dma_end = provider.pci.reserve_at(t_xlate, total_len);
+    let t_wire = dma_end + profile.data.tx_frag_nic;
+
+    let msg = tx_msg(provider, vi_id, seq);
+    let payload = spec.data[..total_len as usize].to_vec();
+    let frame = Frame::Data(DataFrame {
+        src_vi: vi_id,
+        dst_vi: spec.dst_vi,
+        seq,
+        frag_idx: 0,
+        frag_count: 1,
+        msg_len: total_len,
+        offset: 0,
+        payload,
+        kind,
+        reliability: spec.reliability,
+    });
+    san.send_msg_at(
+        provider.node,
+        spec.dst_node,
+        total_len as u32 + profile.frag_header_bytes,
+        Box::new(frame),
+        Some(msg),
+        t_wire,
+    );
+    {
+        let mut st = provider.lock();
+        st.stats.msgs_sent += 1;
+        // The device is logically occupied until the wire handoff; a
+        // follower posted inside this window queues behind it exactly as
+        // behind a busy ring (see `transport::nic_enqueue`).
+        st.nic_tx.fused_until = t_wire;
+        st.nic_tx.release_scheduled = false;
+    }
+    match spec.on_last {
+        LastAction::ArmRetx => arm_retransmit_at(provider, vi_id, seq, t_wire),
+        LastAction::CompleteLocal => {
+            let p = provider.clone();
+            provider.sim.call_at_as(
+                EventClass::Completion,
+                t_wire + profile.data.completion_write,
+                move |_| complete_send(&p, vi_id, seq, Ok(())),
+            );
+        }
+        // AlreadyCompleted is host-emulated only; Nothing is RDMA-read
+        // only. Both were filtered above.
+        LastAction::AlreadyCompleted | LastAction::Nothing => unreachable!(),
+    }
+    let sim = &provider.sim;
+    sim.note_macro();
+    sim.note_fuse_hit();
+    sim.note_elided(EventClass::Doorbell, 1);
+    sim.note_elided(EventClass::Firmware, 4);
+    Ok(())
+}
+
+/// A conservative floor on how soon any frame handed to the device after
+/// "now" can reach the wire. The elided ACK's eager uplink reservation at
+/// `now + ack_processing` is exact only when no later wire handoff can
+/// beat it to the link — which holds when the transmit ring is idle (so
+/// every future handoff happens at `>= now`) and `ack_processing` is
+/// strictly below this floor.
+pub(crate) fn min_wire_latency(provider: &Provider) -> simkit::SimDuration {
+    let profile = &provider.profile;
+    match profile.data_path {
+        crate::profile::DataPathKind::HostEmulated => {
+            // The post enqueues inline and an RDMA-read request hits the
+            // wire straight from the fragment stage with no DMA.
+            if profile.supports_rdma_read {
+                simkit::SimDuration::ZERO
+            } else {
+                profile.pci.setup + profile.data.kernel_tx_per_frag
+            }
+        }
+        crate::profile::DataPathKind::NicOffload => {
+            // Doorbell propagation + one firmware pass + the descriptor
+            // fetch's bus setup. Read requests skip the data DMA, so the
+            // floor stops at the fetch.
+            profile.doorbell.propagation() + profile.firmware.service_delay(1) + profile.pci.setup
+        }
+    }
+}
+
+/// Whether the receive-side landing of `df` may be folded into the
+/// delivery event (called by `transport::rx_data` after the reassembly
+/// entry exists, before any landing side effect). Folding runs
+/// `rx_landed` inline at delivery time with the precomputed landing
+/// instant, eliding the landing's `Firmware` event.
+///
+/// Only single-fragment plain receives fold: RDMA-with-immediate pops the
+/// descriptor inside the landing (an early pop would diverge), read
+/// responses complete send descriptors, and Reliable Reception's ACK
+/// snapshots the credit ledger at landing time — all excluded for
+/// exactness. The early `delivered` mark a fold causes is compensated by
+/// `ViState::unfused_highwater`, and lossless in-order delivery makes it
+/// dedup-safe.
+pub(crate) fn fuse_rx_eligible(provider: &Provider, df: &DataFrame) -> bool {
+    if !fuse_enabled() || df.frag_count != 1 || df.reliability == Reliability::ReliableReception {
+        return false;
+    }
+    let san = &provider.san;
+    if !san.is_lossless() || san.faults_installed() {
+        return false;
+    }
+    let st = provider.lock();
+    if st.tracer.enabled() || st.probe.is_some() {
+        return false;
+    }
+    let Some(vi) = st.vis.get(df.dst_vi.index()).and_then(|v| v.as_ref()) else {
+        return false;
+    };
+    matches!(
+        vi.reassembly.get(&df.seq),
+        Some(Reassembly {
+            target: RxTarget::Recv { .. },
+            error: None,
+            ..
+        })
+    )
+}

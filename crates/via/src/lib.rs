@@ -58,6 +58,7 @@
 pub mod connect;
 pub mod cq;
 pub mod descriptor;
+pub mod fastpath;
 pub mod mem;
 pub mod profile;
 pub mod provider;

@@ -119,6 +119,16 @@ pub(crate) struct NicTx {
     /// transport fails it with `DescriptorError`) instead of growing.
     pub queue: DescRing<TxJobRef>,
     pub busy: bool,
+    /// End of the most recent *fused* send's precomputed pipeline (the
+    /// instant its last fragment hit the wire). A fused send never sets
+    /// `busy` — its whole pipeline was charged up front — but the device
+    /// is still logically occupied until this instant, so followers that
+    /// arrive inside the window queue exactly as they would behind a
+    /// `busy` ring. `SimTime::ZERO` when no window is open.
+    pub fused_until: simkit::SimTime,
+    /// Whether a release event is already scheduled at `fused_until` to
+    /// drain followers queued during the fused window.
+    pub release_scheduled: bool,
 }
 
 /// One recorded data-path stage transition (probe output).
@@ -467,6 +477,24 @@ impl Provider {
                 st.stats.retx_timers_cancelled, st.stats.retx_timers_armed
             ));
         }
+        // Macro-event ledger: every fuse attempt either committed (one
+        // macro-event per hit) or was charged to exactly one de-fuse cause,
+        // and the engine never elided events without a fold recording them.
+        let sched = self.sim.sched_stats();
+        if sched.fuse.attempts != sched.fuse.hits + sched.fuse.defused() {
+            violations.push(format!(
+                "node {node}: fuse ledger unbalanced ({} attempts != {} hits + {} defused)",
+                sched.fuse.attempts,
+                sched.fuse.hits,
+                sched.fuse.defused()
+            ));
+        }
+        if sched.macro_events != sched.fuse.hits {
+            violations.push(format!(
+                "node {node}: {} macro-events recorded but {} fuse hits",
+                sched.macro_events, sched.fuse.hits
+            ));
+        }
         AuditReport { violations }
     }
 
@@ -666,6 +694,10 @@ impl Cluster {
         engine_sims: Vec<Sim>,
     ) -> Self {
         assert!(nodes >= 2, "a SAN needs at least two nodes");
+        // The fabric's forward-fold shares the global fuse knob so
+        // `VIBE_FUSE=0` (or `fastpath::set_fuse(false)`) disables every
+        // event-eliding path at once.
+        san.set_fuse(crate::fastpath::fuse_enabled());
         let profile = Arc::new(profile);
         let mut providers = Vec::with_capacity(nodes);
         for i in 0..nodes {
@@ -694,6 +726,8 @@ impl Cluster {
                     nic_tx: NicTx {
                         queue: DescRing::new(profile.nic_tx_ring),
                         busy: false,
+                        fused_until: simkit::SimTime::ZERO,
+                        release_scheduled: false,
                     },
                     fw_stalls: FirmwareStalls::new(),
                     stats: ProviderStats::default(),

@@ -49,7 +49,7 @@ fn probe(provider: &Provider, vi: ViId, seq: u64, stage: &'static str) {
 }
 
 /// [`MsgId`] of a message this node originated (transmit side).
-fn tx_msg(provider: &Provider, vi: ViId, seq: u64) -> MsgId {
+pub(crate) fn tx_msg(provider: &Provider, vi: ViId, seq: u64) -> MsgId {
     MsgId {
         src_node: provider.node.0,
         vi: vi.raw(),
@@ -151,7 +151,7 @@ fn fragments(len: u64, mtu: u32) -> Vec<(u64, u32)> {
 
 /// What the transmit pipeline does after the last fragment leaves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum LastAction {
+pub(crate) enum LastAction {
     /// Deliver the local send completion (unreliable NIC-offload sends).
     CompleteLocal,
     /// Completion was already delivered at post time (host-emulated
@@ -165,21 +165,21 @@ enum LastAction {
 
 /// A resolved transmit job (rebuilt from the in-flight entry each time so
 /// retransmissions reuse the pipeline).
-struct JobSpec {
-    src_vi: ViId,
-    dst_node: NodeId,
-    dst_vi: ViId,
-    seq: u64,
-    data: Arc<Vec<u8>>,
-    total_len: u64,
-    pages: Vec<u64>,
-    desc_wire: u64,
-    payload: JobPayload,
-    reliability: Reliability,
-    on_last: LastAction,
+pub(crate) struct JobSpec {
+    pub(crate) src_vi: ViId,
+    pub(crate) dst_node: NodeId,
+    pub(crate) dst_vi: ViId,
+    pub(crate) seq: u64,
+    pub(crate) data: Arc<Vec<u8>>,
+    pub(crate) total_len: u64,
+    pub(crate) pages: Vec<u64>,
+    pub(crate) desc_wire: u64,
+    pub(crate) payload: JobPayload,
+    pub(crate) reliability: Reliability,
+    pub(crate) on_last: LastAction,
 }
 
-enum JobPayload {
+pub(crate) enum JobPayload {
     Data(MsgKind),
     ReadReq {
         remote_va: u64,
@@ -375,7 +375,11 @@ pub(crate) fn post_send(
 
     if parked {
         // No doorbell: the descriptor reaches the device only when an
-        // ACK-carried grant releases it (or teardown flushes it).
+        // ACK-carried grant releases it (or teardown flushes it). A parked
+        // post never reaches the device handoff, so it is a fuse attempt
+        // lost to the credit stall.
+        provider.sim.note_fuse_attempt();
+        provider.sim.note_defuse(simkit::DefuseCause::CreditStall);
         trace_at(
             provider,
             provider.sim.now(),
@@ -384,6 +388,16 @@ pub(crate) fn post_send(
             seq,
         );
         return Ok(());
+    }
+
+    // Device handoff: try the fused fast path first — the whole transmit
+    // pipeline as straight-line arithmetic, one macro-event instead of the
+    // doorbell + firmware chain. Any guard miss falls through to the
+    // general path below before the first side effect.
+    provider.sim.note_fuse_attempt();
+    match crate::fastpath::try_fuse_send(provider, vi_id, seq, desc.op, total_len, host_emulated) {
+        Ok(()) => return Ok(()),
+        Err(cause) => provider.sim.note_defuse(cause),
     }
 
     // Hand the job to the device path. Both architectures serialize
@@ -466,7 +480,7 @@ pub(crate) fn post_recv(
 // NIC transmit pipeline.
 // ---------------------------------------------------------------------
 
-fn resolve_job(provider: &Provider, job: &TxJobRef) -> Option<JobSpec> {
+pub(crate) fn resolve_job(provider: &Provider, job: &TxJobRef) -> Option<JobSpec> {
     let st = provider.lock();
     let vi = st.vis.get(job.vi.index())?.as_ref()?;
     let (peer_node, peer_vi) = vi.peer()?;
@@ -523,6 +537,10 @@ pub(crate) fn nic_enqueue(provider: &Provider, job: TxJobRef) {
     enum Enq {
         Start(TxJobRef),
         Queued,
+        /// Queued behind an open fused window with no release scheduled
+        /// yet: materialize the wire-time event the fused send elided so
+        /// the ring drains when the device frees.
+        Release(SimTime),
         /// Ring full. `silent` when the user already saw this entry
         /// complete (inline host-emulated unreliable completions, synthetic
         /// RDMA-read responses): it just retires, nothing to fail.
@@ -534,9 +552,20 @@ pub(crate) fn nic_enqueue(provider: &Provider, job: TxJobRef) {
     }
     let outcome = {
         let mut st = provider.lock();
-        if st.nic_tx.busy {
+        // A fused send leaves `busy` false (its pipeline was charged up
+        // front) but holds the device until its wire time; followers
+        // queue behind the window exactly as behind a busy ring.
+        let windowed = st.nic_tx.fused_until > provider.sim.now();
+        if st.nic_tx.busy || windowed {
             match st.nic_tx.queue.try_push(job) {
-                Ok(()) => Enq::Queued,
+                Ok(()) => {
+                    if windowed && !st.nic_tx.busy && !st.nic_tx.release_scheduled {
+                        st.nic_tx.release_scheduled = true;
+                        Enq::Release(st.nic_tx.fused_until)
+                    } else {
+                        Enq::Queued
+                    }
+                }
                 Err(job) => {
                     st.stats.nic_ring_full += 1;
                     let silent = st
@@ -554,12 +583,31 @@ pub(crate) fn nic_enqueue(provider: &Provider, job: TxJobRef) {
             }
         } else {
             st.nic_tx.busy = true;
+            st.nic_tx.fused_until = SimTime::ZERO;
             Enq::Start(job)
         }
     };
     match outcome {
         Enq::Start(job) => nic_tx_start(provider, job),
         Enq::Queued => {}
+        Enq::Release(at) => {
+            // The fused send elided its wire-handoff Firmware event; this
+            // follower needs it back (the general path's `wire_send` is
+            // what chains `nic_tx_next`), so un-elide one Firmware hop and
+            // fire the release as a real event — the logical event census
+            // stays exactly what the general run counts.
+            provider.sim.un_elide(EventClass::Firmware);
+            let p = provider.clone();
+            provider.sim.call_at_as(EventClass::Firmware, at, move |_| {
+                {
+                    let mut st = p.lock();
+                    st.nic_tx.release_scheduled = false;
+                    st.nic_tx.fused_until = SimTime::ZERO;
+                    st.nic_tx.busy = true;
+                }
+                nic_tx_next(&p);
+            });
+        }
         Enq::Rejected {
             vi,
             seq,
@@ -833,45 +881,91 @@ fn wire_send(provider: &Provider, spec: JobSpec, idx: usize, off: u64, len: u32,
 /// Emit an ACK for `(dst_vi, seq)` on the peer, reading the piggybacked
 /// credit grant total off `local_vi` (the VI the message arrived on).
 fn send_ack(provider: &Provider, dst_node: NodeId, dst_vi: ViId, seq: u64, local_vi: ViId) {
+    send_ack_at(
+        provider,
+        dst_node,
+        dst_vi,
+        seq,
+        local_vi,
+        provider.sim.now(),
+    );
+}
+
+/// [`send_ack`] with an explicit decision instant `at` (always "now" on
+/// the general path; kept explicit so a folded landing could ACK from its
+/// precomputed landing time without drift).
+fn send_ack_at(
+    provider: &Provider,
+    dst_node: NodeId,
+    dst_vi: ViId,
+    seq: u64,
+    local_vi: ViId,
+    at: SimTime,
+) {
     let profile = &provider.profile;
-    let credit_total = {
+    // The ACK carries the *sender's* message coordinates back.
+    let msg = rx_msg(dst_node, dst_vi, seq);
+    let (credit_total, tracer_on, tx_quiet) = {
         let mut st = provider.lock();
         st.stats.acks_sent += 1;
-        // The ACK carries the *sender's* message coordinates back.
-        st.tracer.record(
-            provider.sim.now(),
-            TracePoint::AckTx,
-            provider.node.0,
-            Some(rx_msg(dst_node, dst_vi, seq)),
-            0,
-        );
-        st.try_vi_mut(local_vi)
-            .map_or(0, |vi| vi.credits_granted_total)
+        st.tracer
+            .record(at, TracePoint::AckTx, provider.node.0, Some(msg), 0);
+        // Nothing queued, transmitting, or inside a fused window: every
+        // future wire handoff on this node happens strictly after now.
+        let tx_quiet = !st.nic_tx.busy
+            && st.nic_tx.queue.is_empty()
+            && st.nic_tx.fused_until <= provider.sim.now();
+        (
+            st.try_vi_mut(local_vi)
+                .map_or(0, |vi| vi.credits_granted_total),
+            st.tracer.enabled(),
+            tx_quiet,
+        )
     };
-    let p = provider.clone();
     let bytes = profile.data.ack_bytes;
+    let frame = Frame::Ack {
+        dst_vi,
+        seq,
+        credit_total,
+    };
+    let t_ack = at + profile.data.ack_processing;
+    // On a lossless, fault-free, untraced fabric the ACK-processing delay
+    // is pure arithmetic: inject the frame at its precomputed wire time
+    // and elide the Retransmit-class processing event. The credit total
+    // was snapshotted above at the same instant the general path reads it.
+    // Exactness of the eager uplink reservation requires that no other
+    // frame from this node can reach the wire before `t_ack`: the
+    // transmit path must be quiet and the ACK-processing delay strictly
+    // below the device's minimum handoff-to-wire latency.
+    if crate::fastpath::fuse_enabled()
+        && !tracer_on
+        && tx_quiet
+        && profile.data.ack_processing < crate::fastpath::min_wire_latency(provider)
+        && provider.san.is_lossless()
+        && !provider.san.faults_installed()
+    {
+        provider.sim.note_elided(EventClass::Retransmit, 1);
+        provider.san.send_msg_at(
+            provider.node,
+            dst_node,
+            bytes,
+            Box::new(frame),
+            Some(msg),
+            t_ack,
+        );
+        return;
+    }
     // The ACK rides the lossy data path like every other frame and is
     // correlated to the message it acknowledges, so a traced run shows the
     // ACK's wire hop under the message's id — and a lost ACK shows up as a
     // WireDrop followed by the sender's retransmission.
-    let msg = rx_msg(dst_node, dst_vi, seq);
-    provider.sim.call_in_as(
-        EventClass::Retransmit,
-        profile.data.ack_processing,
-        move |_| {
-            p.san.send_msg(
-                p.node,
-                dst_node,
-                bytes,
-                Box::new(Frame::Ack {
-                    dst_vi,
-                    seq,
-                    credit_total,
-                }),
-                Some(msg),
-            );
-        },
-    );
+    let p = provider.clone();
+    provider
+        .sim
+        .call_at_as(EventClass::Retransmit, t_ack, move |_| {
+            p.san
+                .send_msg(p.node, dst_node, bytes, Box::new(frame), Some(msg));
+        });
 }
 
 fn handle_ack(provider: &Provider, vi_id: ViId, seq: u64, credit_total: u64) {
@@ -984,6 +1078,16 @@ fn retx_timeout_for(provider: &Provider, vi_id: ViId, seq: u64, retries: u32) ->
 }
 
 fn arm_retransmit(provider: &Provider, vi_id: ViId, seq: u64) {
+    arm_retransmit_at(provider, vi_id, seq, provider.sim.now());
+}
+
+/// Arm the retransmission timer as if the last fragment hit the wire at
+/// `wire_at` (equal to "now" on the general path, where arming runs inside
+/// the wire-handoff event; the fused sender arms from post time with its
+/// precomputed wire instant). The timeout quote is stable across the gap:
+/// the fuse guard admits no other in-flight send, so no ACK can resample
+/// the RTO estimator inside the window.
+pub(crate) fn arm_retransmit_at(provider: &Provider, vi_id: ViId, seq: u64, wire_at: SimTime) {
     let p = provider.clone();
     let retries = {
         let st = provider.lock();
@@ -998,7 +1102,7 @@ fn arm_retransmit(provider: &Provider, vi_id: ViId, seq: u64) {
     if retries > 0 {
         trace_at(
             provider,
-            provider.sim.now(),
+            wire_at,
             TracePoint::RtoBackoff,
             tx_msg(provider, vi_id, seq),
             timeout.as_nanos(),
@@ -1008,7 +1112,7 @@ fn arm_retransmit(provider: &Provider, vi_id: ViId, seq: u64) {
     // letting a dead closure ride the heap until the timeout elapses.
     let handle = provider
         .sim
-        .timer_in(EventClass::Retransmit, timeout, move |_| {
+        .timer_at(EventClass::Retransmit, wire_at + timeout, move |_| {
             let action = {
                 let mut st = p.lock();
                 let Some(vi) = st.try_vi_mut(vi_id) else {
@@ -1042,16 +1146,15 @@ fn arm_retransmit(provider: &Provider, vi_id: ViId, seq: u64) {
                 }
             }
         });
-    let now = provider.sim.now();
     let mut st = provider.lock();
     let stored = st
         .try_vi_mut(vi_id)
         .and_then(|vi| vi.send_inflight.iter_mut().find(|i| i.seq == seq))
         .map(|inf| {
             if inf.retries == 0 && inf.first_tx_at.is_none() {
-                // Last fragment of the first transmission just hit the
+                // Last fragment of the first transmission (just) hit the
                 // wire: the Karn-eligible RTT clock starts here.
-                inf.first_tx_at = Some(now);
+                inf.first_tx_at = Some(wire_at);
             }
             inf.retx_timer = Some(handle.clone());
         })
@@ -1146,7 +1249,7 @@ fn fail_connection(provider: &Provider, vi_id: ViId) {
 // Completion delivery.
 // ---------------------------------------------------------------------
 
-fn complete_send(provider: &Provider, vi_id: ViId, seq: u64, status: ViaResult<()>) {
+pub(crate) fn complete_send(provider: &Provider, vi_id: ViId, seq: u64, status: ViaResult<()>) {
     probe(provider, vi_id, seq, "send_completed");
     trace_at(
         provider,
@@ -1434,13 +1537,16 @@ fn rx_data(provider: &Provider, src: NodeId, df: DataFrame) {
             // reposts: a permanent starvation cycle. Reserving the *last*
             // descriptor for the next in-order seq breaks the cycle: the gap
             // message can always land, releasing the parked prefix.
+            // (The highwater is read through `unfused_highwater`, which
+            // backs out landings the fused path marked early — folded but
+            // not yet past their landing instant — so the fused and
+            // general runs take the identical reserve decision.)
             let reserve_for_in_order = df.reliability != Reliability::Unreliable
                 && matches!(df.kind, MsgKind::Send { .. })
                 && st.vi(df.dst_vi).recv_posted.len() == 1
                 && st
-                    .vi(df.dst_vi)
-                    .delivered
-                    .highwater()
+                    .vi_mut(df.dst_vi)
+                    .unfused_highwater(now)
                     .map_or(df.seq != 0, |h| df.seq != h + 1);
             let target = match df.kind {
                 MsgKind::Send { .. } if reserve_for_in_order => {
@@ -1623,16 +1729,36 @@ fn rx_data(provider: &Provider, src: NodeId, df: DataFrame) {
     if !cpu_charge.is_zero() {
         provider.sim.charge(provider.cpu, cpu_charge);
     }
-    let p = provider.clone();
-    provider
-        .sim
-        .call_at_as(EventClass::Firmware, landed_at, move |_| {
-            rx_landed(&p, src, df)
-        });
+    // Receive-side fold: when the landing's side effects are provably
+    // independent of anything that can happen between arrival and
+    // `landed_at` (see the guard), run `rx_landed` inline with its
+    // precomputed instant and elide the landing event — the delivery
+    // event becomes the receiver's macro-event. The landing instant is
+    // remembered so `unfused_highwater` can back the early `delivered`
+    // mark out of reserve decisions until it would have landed anyway.
+    if crate::fastpath::fuse_rx_eligible(provider, &df) {
+        {
+            let mut st = provider.lock();
+            if let Some(vi) = st.try_vi_mut(df.dst_vi) {
+                vi.fold_pending.push_back(landed_at);
+            }
+        }
+        provider.sim.note_elided(EventClass::Firmware, 1);
+        rx_landed(provider, src, df, landed_at);
+    } else {
+        let p = provider.clone();
+        provider
+            .sim
+            .call_at_as(EventClass::Firmware, landed_at, move |_| {
+                rx_landed(&p, src, df, landed_at)
+            });
+    }
 }
 
-/// A fragment's bytes finished DMA into their destination.
-fn rx_landed(provider: &Provider, src: NodeId, df: DataFrame) {
+/// A fragment's bytes finished DMA into their destination. `at` is the
+/// landing instant: "now" when running as the scheduled landing event,
+/// the precomputed instant when folded inline into the delivery event.
+fn rx_landed(provider: &Provider, src: NodeId, df: DataFrame, at: SimTime) {
     let profile = Arc::clone(&provider.profile);
 
     enum Place {
@@ -1740,16 +1866,16 @@ fn rx_landed(provider: &Provider, src: NodeId, df: DataFrame) {
                 probe(provider, df.dst_vi, df.seq, "last_frag_landed");
                 trace_at(
                     provider,
-                    provider.sim.now(),
+                    at,
                     TracePoint::RecvLanded,
                     rx_msg(src, df.src_vi, df.seq),
                     df.msg_len,
                 );
                 let p = provider.clone();
                 let vi_id = df.dst_vi;
-                provider.sim.call_in_as(
+                provider.sim.call_at_as(
                     EventClass::Completion,
-                    profile.data.completion_write,
+                    at + profile.data.completion_write,
                     move |_| {
                         complete_send(&p, vi_id, req_seq, Ok(()));
                     },
@@ -1795,7 +1921,7 @@ fn rx_landed(provider: &Provider, src: NodeId, df: DataFrame) {
         probe(provider, df.dst_vi, df.seq, "last_frag_landed");
         trace_at(
             provider,
-            provider.sim.now(),
+            at,
             TracePoint::RecvLanded,
             rx_msg(src, df.src_vi, df.seq),
             df.msg_len,
@@ -1805,7 +1931,7 @@ fn rx_landed(provider: &Provider, src: NodeId, df: DataFrame) {
     // Reliable Reception ACKs only after the data is in memory.
     if ack_rr {
         if let Some((peer_node, _)) = peer {
-            send_ack(provider, peer_node, df.src_vi, df.seq, df.dst_vi);
+            send_ack_at(provider, peer_node, df.src_vi, df.seq, df.dst_vi, at);
         }
     }
     match finish {
@@ -1815,9 +1941,9 @@ fn rx_landed(provider: &Provider, src: NodeId, df: DataFrame) {
             // A VI is point-to-point connected, so every parked completion
             // released here came from the same peer (node, VI).
             let src_vi = df.src_vi;
-            provider.sim.call_in_as(
+            provider.sim.call_at_as(
                 EventClass::Completion,
-                profile.data.completion_write,
+                at + profile.data.completion_write,
                 move |_| {
                     for (seq, comp) in comps {
                         probe(&p, vi_id, seq, "recv_completed");

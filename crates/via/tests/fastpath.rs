@@ -1,0 +1,122 @@
+//! Pins that the fused fast path actually engages — not just that it
+//! falls back everywhere. A quiet single-fragment ping-pong on the
+//! NIC-offload profile is the canonical fuse-eligible workload: every
+//! send should take the fused path, every landing should fold into its
+//! delivery event, and the logical event census must balance (audited
+//! per provider at the end of the run).
+
+use simkit::{Sim, WaitMode};
+use via::{Cluster, Descriptor, Discriminator, MemAttributes, Profile, ViAttributes};
+
+/// Run `iters` single-fragment ping-pong round trips and return the
+/// engine's scheduler stats.
+fn ping_pong_stats(profile: Profile, iters: usize, msg: u32) -> simkit::SchedStats {
+    let sim = Sim::new();
+    let cluster = Cluster::new(sim.clone(), profile, 2, 7);
+    let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+    let sh = {
+        let pb = pb.clone();
+        sim.spawn("server", Some(pb.cpu()), move |ctx| {
+            let vi = pb
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            let buf = pb.malloc(msg as u64);
+            let mh = pb
+                .register_mem(ctx, buf, msg as u64, MemAttributes::default())
+                .unwrap();
+            pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+            for _ in 0..iters {
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, msg))
+                    .unwrap();
+                vi.recv_wait(ctx, WaitMode::Poll);
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, msg))
+                    .unwrap();
+                vi.send_wait(ctx, WaitMode::Poll);
+            }
+        })
+    };
+    let ch = {
+        let pa = pa.clone();
+        sim.spawn("client", Some(pa.cpu()), move |ctx| {
+            let vi = pa
+                .create_vi(ctx, ViAttributes::default(), None, None)
+                .unwrap();
+            let buf = pa.malloc(msg as u64);
+            let mh = pa
+                .register_mem(ctx, buf, msg as u64, MemAttributes::default())
+                .unwrap();
+            pa.connect(ctx, &vi, fabric::NodeId(1), Discriminator(1), None)
+                .unwrap();
+            for _ in 0..iters {
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, msg))
+                    .unwrap();
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, msg))
+                    .unwrap();
+                vi.send_wait(ctx, WaitMode::Poll);
+                vi.recv_wait(ctx, WaitMode::Poll);
+            }
+            for p in [&pa, &pb] {
+                let audit = p.audit();
+                assert!(audit.is_clean(), "audit violations: {:?}", audit.violations);
+            }
+        })
+    };
+    sim.run_to_completion();
+    sh.expect_result();
+    ch.expect_result();
+    sim.sched_stats()
+}
+
+#[test]
+fn offload_ping_pong_fuses() {
+    // This test binary owns the process, so pinning the global knob is
+    // safe regardless of the VIBE_FUSE the harness exported.
+    via::fastpath::set_fuse(true);
+    let iters = 64;
+    let stats = ping_pong_stats(Profile::clan(), iters, 64);
+    let fuse = &stats.fuse;
+    assert!(
+        fuse.hits as usize >= 2 * iters,
+        "every ping-pong send should fuse: {fuse:?}"
+    );
+    assert_eq!(
+        fuse.attempts,
+        fuse.hits + fuse.defused(),
+        "fuse ledger must balance: {fuse:?}"
+    );
+    assert_eq!(stats.macro_events, fuse.hits);
+    // Each fused send elides Doorbell x1 + Firmware x4, and each folded
+    // landing one more Firmware — so at least 5 per hit.
+    assert!(
+        stats.events_elided >= 5 * fuse.hits,
+        "elided {} for {} hits",
+        stats.events_elided,
+        fuse.hits
+    );
+}
+
+#[test]
+fn disabled_knob_defuses_everything() {
+    via::fastpath::set_fuse(false);
+    let stats = ping_pong_stats(Profile::clan(), 16, 64);
+    via::fastpath::set_fuse(true);
+    let fuse = &stats.fuse;
+    assert_eq!(fuse.hits, 0, "knob off must fully defuse: {fuse:?}");
+    assert_eq!(stats.macro_events, 0);
+    assert!(fuse.cause(simkit::DefuseCause::Disabled) > 0);
+}
+
+#[test]
+fn host_emulated_sends_defuse_but_landings_fold() {
+    via::fastpath::set_fuse(true);
+    let stats = ping_pong_stats(Profile::mvia(), 16, 64);
+    let fuse = &stats.fuse;
+    assert_eq!(
+        fuse.hits, 0,
+        "host-emulated posts never take the fused send: {fuse:?}"
+    );
+    assert!(
+        stats.events_elided > 0,
+        "rx folds and ACK elision still apply on emulated profiles"
+    );
+}

@@ -112,6 +112,20 @@ impl PciBus {
         self.sim.call_at_as(class, end, f);
     }
 
+    /// Instant the last reservation releases the bus. `SimTime::ZERO` for
+    /// a bus that has never been reserved.
+    pub fn busy_until(&self) -> SimTime {
+        self.state.lock().busy_until
+    }
+
+    /// Whether the bus is free at `now` (no reservation extends past it).
+    /// The fused fast path uses this as a contention guard: fusing only
+    /// when the bus is idle keeps its eager reservations identical to the
+    /// general event chain's.
+    pub fn idle(&self, now: SimTime) -> bool {
+        self.state.lock().busy_until <= now
+    }
+
     /// Unloaded duration of a transfer (setup + data), ignoring occupancy.
     pub fn unloaded(&self, bytes: u64) -> SimDuration {
         let st = self.state.lock();

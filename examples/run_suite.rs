@@ -27,6 +27,12 @@
 //! count — CI pins goldens at 1, 2, and 4 — while the X-PAR artifact
 //! gains a per-shard balance table (events, channel traffic, barrier
 //! stall, horizon grants).
+//!
+//! Fused fast path: on by default; `--no-fuse` (or `VIBE_FUSE=0`) forces
+//! every message down the general event-by-event chain. Artifact bytes
+//! are identical either way — CI pins a `VIBE_FUSE=0` leg — and the
+//! X-PAR fused-path table reports per-experiment hit rates and de-fuse
+//! causes.
 
 use vibe::runner::{default_shards, default_workers, run_suite};
 use vibe::suite::{all_experiments, find, render_json, Category};
@@ -34,10 +40,11 @@ use vibe::suite::{all_experiments, find, render_json, Category};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: run_suite [--list | --all | <id>...] [--jobs <n>] [--shards <n>] [--csv <dir>] [--json <dir>] [--trace <dir>]");
+        println!("usage: run_suite [--list | --all | <id>...] [--jobs <n>] [--shards <n>] [--no-fuse] [--csv <dir>] [--json <dir>] [--trace <dir>]");
         println!("       ids: T1 F1-F2 F3 F4 F5 CQ F6 F7 X-MDS X-ASY X-RDMA X-PIP X-MTU X-REL X-GETPUT X-SCALE X-SCHED X-TRACE X-FAULT X-CHAOS X-SHARD");
         println!("       --jobs <n>: worker threads (default: VIBE_JOBS env, else all cores; 1 = serial)");
         println!("       --shards <n>: engine shards for sharded experiments (default: VIBE_SHARDS env, else 1)");
+        println!("       --no-fuse: disable the fused message-lifecycle fast path (same as VIBE_FUSE=0; artifacts are byte-identical either way)");
         println!("       --trace <dir>: also write Perfetto/Chrome message-lifecycle traces (default: VIBE_TRACE env)");
         return;
     }
@@ -72,6 +79,10 @@ fn main() {
         // through the env keeps job closures environment-driven and lets
         // CI's golden matrix exercise the same path.
         std::env::set_var("VIBE_SHARDS", &v);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--no-fuse") {
+        args.remove(i);
+        via::fastpath::set_fuse(false);
     }
     if args.iter().any(|a| a == "--list") {
         println!("{:<8}  {:<18}  title", "id", "category");

@@ -33,16 +33,22 @@ fn suite_artifacts_identical_at_1_2_and_8_workers() {
             );
         }
         // Telemetry sanity: events were attributed and the X-PAR artifact
-        // renders from this run. The full suite includes X-SHARD, so the
-        // sharded-engine balance table must be present as the third
-        // artifact (per shard-run, per shard).
+        // renders from this run. Every run carries the fused-fast-path
+        // table; the full suite includes X-SHARD, so the sharded-engine
+        // balance table must be present after it (per shard-run, per
+        // shard).
         assert!(run.total_events() > 0);
         assert!(run.serial_wall() > std::time::Duration::ZERO);
         let xpar = run.xpar_artifacts();
-        assert_eq!(xpar.len(), 3);
+        assert_eq!(xpar.len(), 4);
         let text = xpar[1].render();
         assert!(text.contains("speedup"), "{text}");
-        let shard_text = xpar[2].render();
-        assert!(shard_text.contains("sharded-engine balance"), "{shard_text}");
+        let fuse_text = xpar[2].render();
+        assert!(fuse_text.contains("fused fast path"), "{fuse_text}");
+        let shard_text = xpar[3].render();
+        assert!(
+            shard_text.contains("sharded-engine balance"),
+            "{shard_text}"
+        );
     }
 }
