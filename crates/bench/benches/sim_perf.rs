@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fabric::{FaultPlan, NetParams, NodeId, San};
+use fabric::{FaultPlan, LinkParams, NetParams, NodeId, PortLimits, San, Topology};
 use simkit::{EventClass, Sim, SimDuration, SimTime, WaitMode};
 use via::{Cluster, Descriptor, Discriminator, MemAttributes, Profile, ViAttributes};
 
@@ -616,6 +616,61 @@ fn bench_sharded_engine(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_topo(c: &mut Criterion) {
+    // The buffered-switch hot path: the same 1k cross-fabric frames, once
+    // over the legacy single-switch star (one hop, no port bookkeeping)
+    // and once over a 2-level fat-tree (edge -> spine -> edge: three
+    // store-and-forward switch traversals with per-port FIFO accounting
+    // and ECMP selection per frame). The spread between the two IS the
+    // per-hop cost of the topology layer — the number X-TOPO's 64-node
+    // workloads pay millions of times.
+    let mut g = c.benchmark_group("topo");
+    g.throughput(Throughput::Elements(1_000));
+    let trunk = LinkParams {
+        bandwidth_bps: 440_000_000,
+        propagation: SimDuration::from_nanos(600),
+        frame_overhead_bytes: 8,
+        mtu: 64 * 1024,
+    };
+    let shapes: [(&str, Topology); 2] = [
+        ("star_1k_frames", Topology::star(8)),
+        (
+            "fat_tree_1k_frames",
+            Topology::fat_tree(2, 4, 2, trunk, PortLimits::default()),
+        ),
+    ];
+    for (name, topo) in shapes {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let sim = Sim::new();
+                    let san = San::new_topo(sim.clone(), NetParams::clan(), topo.clone(), 1);
+                    let count = Arc::new(AtomicU64::new(0));
+                    let c2 = Arc::clone(&count);
+                    san.attach(
+                        NodeId(7),
+                        Arc::new(move |_, _| {
+                            c2.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
+                    (sim, san, count)
+                },
+                |(sim, san, count)| {
+                    // Node 0 and node 7 sit on different edge switches in
+                    // the fat-tree, so every frame crosses a spine there.
+                    for _ in 0..1_000 {
+                        san.send(NodeId(0), NodeId(7), 1024, Box::new(()));
+                    }
+                    sim.run();
+                    assert_eq!(count.load(Ordering::Relaxed), 1_000);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
 fn bench_mpl_layer(c: &mut Criterion) {
     let mut g = c.benchmark_group("mpl");
     g.sample_size(20);
@@ -660,6 +715,7 @@ criterion_group!(
     bench_credit_ledger,
     bench_fused_fastpath,
     bench_sharded_engine,
+    bench_topo,
     bench_mpl_layer
 );
 criterion_main!(benches);

@@ -52,6 +52,7 @@ pub mod scale;
 pub mod sched_bench;
 pub mod shard_bench;
 pub mod suite;
+pub mod topo_bench;
 pub mod trace_bench;
 pub mod xlate;
 

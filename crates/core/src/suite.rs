@@ -11,7 +11,8 @@ use crate::report::Artifact;
 use crate::runner::Job;
 use crate::{
     base, breakdown, chaos, client_server, cqimpact, dsm_bench, extra, fault_bench, getput,
-    harness, mpl_bench, mvi, nondata, scale, sched_bench, shard_bench, trace_bench, xlate,
+    harness, mpl_bench, mvi, nondata, scale, sched_bench, shard_bench, topo_bench, trace_bench,
+    xlate,
 };
 use simkit::WaitMode;
 
@@ -580,6 +581,40 @@ fn plan_shard() -> Vec<Job> {
     per_profile_jobs("X-SHARD", |p| vec![shard_bench::ring_table(p).into()])
 }
 
+fn run_topo() -> Vec<Artifact> {
+    use topo_bench::StormShape;
+    let mut arts: Vec<Artifact> =
+        vec![topo_bench::storm_table(&[StormShape::Star, StormShape::FatTree]).into()];
+    let (flows, ports) = topo_bench::incast_tables();
+    arts.push(flows.into());
+    arts.push(ports.into());
+    arts.push(topo_bench::all_to_all_table().into());
+    arts
+}
+
+fn plan_topo() -> Vec<Job> {
+    use topo_bench::StormShape;
+    vec![
+        // The storm rows share one table: single-row slices row-merge in
+        // job order (star control first, matching the serial build).
+        job("X-TOPO/storm-star".to_string(), || {
+            vec![topo_bench::storm_table(&[StormShape::Star]).into()]
+        }),
+        job("X-TOPO/storm-fat-tree".to_string(), || {
+            vec![topo_bench::storm_table(&[StormShape::FatTree]).into()]
+        }),
+        // One incast run feeds both incast artifacts; splitting it would
+        // run the workload twice for identical tables.
+        job("X-TOPO/incast".to_string(), || {
+            let (flows, ports) = topo_bench::incast_tables();
+            vec![flows.into(), ports.into()]
+        }),
+        job("X-TOPO/all-to-all".to_string(), || {
+            vec![topo_bench::all_to_all_table().into()]
+        }),
+    ]
+}
+
 /// Every experiment, in the paper's reporting order.
 pub fn all_experiments() -> Vec<Experiment> {
     use Category::*;
@@ -739,6 +774,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             plan: plan_shard,
         },
         Experiment {
+            id: "X-TOPO",
+            title: "Extension: multi-switch topologies, port backpressure & scale-out",
+            category: DataTransfer,
+            produce: run_topo,
+            plan: plan_topo,
+        },
+        Experiment {
             id: "X-MPL",
             title: "Future work (Sec 5): message-passing layer over VIA",
             category: ProgrammingModel,
@@ -775,7 +817,7 @@ mod tests {
         // The six TR-only benchmarks of §3.2.5 plus the extensions.
         for id in [
             "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE",
-            "X-SCHED", "X-FAULT", "X-CHAOS", "X-SHARD",
+            "X-SCHED", "X-FAULT", "X-CHAOS", "X-SHARD", "X-TOPO",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

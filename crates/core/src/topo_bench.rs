@@ -1,0 +1,1014 @@
+//! Multi-switch scale-out benchmarks (extension X-TOPO).
+//!
+//! Drives 64-node clusters over `fabric::topo` shapes — the 2-level
+//! fat-tree is the headline — through three workloads:
+//!
+//! * **Connection storm**: 32 concurrent cross-fabric client/server
+//!   pairs connect and stream, once over the degenerate star (the legacy
+//!   single-switch fabric) and once over the fat-tree. The star row is
+//!   the control: same workload, no trunks, no switch buffers.
+//! * **16-to-1 incast**: sixteen pipelined senders spread over seven
+//!   edge switches converge on one receiver whose host port has tight
+//!   buffer limits, so the run exercises pause queues, head-of-line
+//!   blocking, and honest port drops (Reliable Delivery retransmits
+//!   recover every drop). A victim flow crossing the congested
+//!   spine→edge trunks and an intra-edge probe flow measure collateral
+//!   damage vs. an unaffected baseline.
+//! * **All-to-all**: every node sends one message to every other node
+//!   (64 × 63 ordered pairs), aggregated per edge switch to show
+//!   fabric-wide balance.
+//!
+//! Every artifact cell is virtual-time-derived or a deterministic port
+//! counter, so the tables are byte-identical at any `VIBE_SHARDS` /
+//! `VIBE_JOBS` value — CI's golden matrix pins that. Each run ends with
+//! the conservation oracles: frames sent = delivered + per-port
+//! attributed drops (+ loss/fault/corruption buckets, all zero here),
+//! Σ per-port `drops` = the fabric's `frames_port_dropped`, and
+//! [`via::Provider::audit`] clean on every node (credits conserved per
+//! VI). Shard-balance telemetry flows into X-PAR via
+//! [`crate::runner::record_shard_run`] under `topo-*` labels.
+
+use fabric::{LinkParams, NodeId, PortLimits, PortSnapshot, PortTarget, SanStats, Topology};
+use simkit::{ShardedSim, Sim, SimDuration, SimTime, WaitMode};
+use via::{Cluster, Descriptor, Discriminator, MemAttributes, Profile, Reliability, ViAttributes};
+
+use crate::report::Table;
+use crate::runner::{default_shards, record_shard_run, ShardRunRecord};
+
+/// Edge switches in the fat-tree.
+pub const EDGES: usize = 8;
+/// Hosts per edge switch (EDGES * HOSTS_PER_EDGE = 64 nodes).
+pub const HOSTS_PER_EDGE: usize = 8;
+/// Spine switches (each edge uplinks to every spine).
+pub const SPINES: usize = 4;
+/// Base seed for the X-TOPO runs.
+pub const TOPO_SEED: u64 = 0x70B0;
+
+/// The trunk link between switch tiers: 4x the host line rate, a longer
+/// cable run. MTU matches the access links (the fabric forwards frames
+/// whole, never re-fragments).
+fn trunk() -> LinkParams {
+    LinkParams {
+        bandwidth_bps: 440_000_000,
+        propagation: SimDuration::from_nanos(600),
+        frame_overhead_bytes: 8,
+        mtu: 64 * 1024,
+    }
+}
+
+/// The 64-node, 2-level fat-tree every X-TOPO workload runs over.
+pub fn fat_tree64(limits: PortLimits) -> Topology {
+    Topology::fat_tree(EDGES, HOSTS_PER_EDGE, SPINES, trunk(), limits)
+}
+
+/// Reliable Delivery VI attributes — retransmission recovers any frame a
+/// full switch port drops, so every workload runs to completion and the
+/// conservation oracles can demand zero stranded descriptors.
+fn rd() -> ViAttributes {
+    ViAttributes {
+        reliability: Reliability::ReliableDelivery,
+        ..ViAttributes::default()
+    }
+}
+
+/// Engine scaffolding shared by the workloads: a serial [`Sim`] at one
+/// shard, a [`ShardedSim`] on the topology's own shard map and
+/// per-link-pair lookahead otherwise.
+struct Rig {
+    cluster: Cluster,
+    engine: Option<ShardedSim>,
+    serial: Option<Sim>,
+    label: String,
+}
+
+impl Rig {
+    fn new(topo: Topology, seed: u64, shards: usize, label: impl Into<String>) -> Rig {
+        let profile = Profile::clan();
+        if shards > 1 {
+            let engine = ShardedSim::new_with_map(
+                topo.shard_map(shards),
+                topo.shard_lookahead(&profile.net),
+            );
+            let cluster = Cluster::new_sharded_topo(&engine, profile, topo, seed);
+            Rig {
+                cluster,
+                engine: Some(engine),
+                serial: None,
+                label: label.into(),
+            }
+        } else {
+            let sim = Sim::new();
+            let cluster = Cluster::new_topo(sim.clone(), profile, topo, seed);
+            Rig {
+                cluster,
+                engine: None,
+                serial: Some(sim),
+                label: label.into(),
+            }
+        }
+    }
+
+    /// Run to completion, record the shard-balance row, check the
+    /// conservation oracles.
+    fn run(&self) {
+        match (&self.engine, &self.serial) {
+            (Some(eng), _) => {
+                let rep = eng.run_to_completion();
+                record_shard_run(ShardRunRecord {
+                    label: self.label.clone(),
+                    shards: eng.shards(),
+                    rounds: rep.rounds,
+                    per_shard: rep.per_shard,
+                });
+            }
+            (None, Some(sim)) => {
+                let rep = sim.run_to_completion();
+                record_shard_run(ShardRunRecord {
+                    label: self.label.clone(),
+                    shards: 1,
+                    rounds: 0,
+                    per_shard: vec![simkit::ShardStats {
+                        events: rep.events,
+                        ..Default::default()
+                    }],
+                });
+            }
+            (None, None) => unreachable!("one engine flavor is always built"),
+        }
+        check_oracles(&self.cluster, &self.label);
+    }
+}
+
+/// The X-TOPO conservation oracles (see the module docs). Panics on any
+/// violation — the suite must not render tables over broken accounting.
+fn check_oracles(cluster: &Cluster, tag: &str) {
+    let san = cluster.san().stats();
+    let ports = cluster.san().port_stats();
+    let port_drops: u64 = ports.iter().map(|p| p.stats.drops).sum();
+    assert_eq!(
+        san.frames_port_dropped, port_drops,
+        "{tag}: every fabric-level port drop must be attributed to a port"
+    );
+    assert_eq!(
+        san.frames_sent,
+        san.frames_delivered
+            + san.frames_dropped
+            + san.frames_faulted
+            + san.frames_corrupted
+            + san.frames_port_dropped,
+        "{tag}: frame conservation: {san:?}"
+    );
+    for i in 0..cluster.nodes() {
+        let audit = cluster.provider(i).audit();
+        assert!(
+            audit.is_clean(),
+            "{tag}: node {i} audit: {:?}",
+            audit.violations
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection storm
+// ---------------------------------------------------------------------
+
+/// Nodes in the storm (32 client/server pairs).
+pub const STORM_NODES: usize = 64;
+/// Messages each storm client streams after connecting.
+pub const STORM_MSGS: u64 = 6;
+
+/// Which shape the storm runs over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StormShape {
+    /// The degenerate single-switch star — the legacy fabric, as control.
+    Star,
+    /// The 64-node 2-level fat-tree.
+    FatTree,
+}
+
+impl StormShape {
+    fn topo(self) -> Topology {
+        match self {
+            StormShape::Star => Topology::star(STORM_NODES),
+            StormShape::FatTree => fat_tree64(PortLimits::default()),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            StormShape::Star => "star-64",
+            StormShape::FatTree => "fat-tree-64",
+        }
+    }
+}
+
+/// Outcome of one storm run.
+#[derive(Clone, Debug)]
+pub struct StormOutcome {
+    /// Messages delivered across all pairs.
+    pub delivered: u64,
+    /// Payload bytes delivered across all pairs.
+    pub bytes: u64,
+    /// Time of the last delivery.
+    pub makespan: SimDuration,
+    /// Fabric counters for the run.
+    pub san: SanStats,
+    /// Sum of per-port pauses (0 on the star: no switch ports exist).
+    pub pauses: u64,
+    /// Sum of per-port drops.
+    pub port_drops: u64,
+}
+
+/// Run the connection storm: client `i` (0..32) connects across the
+/// fabric to server `32 + i` and streams [`STORM_MSGS`] messages of a
+/// pair-distinct size. On the fat-tree every pair crosses the spine
+/// tier (nodes `i` and `i + 32` are always four edge switches apart).
+pub fn storm(shape: StormShape, seed: u64, shards: usize) -> StormOutcome {
+    let rig = Rig::new(
+        shape.topo(),
+        seed,
+        shards,
+        format!("topo-{}-storm", shape.label()),
+    );
+    let cluster = &rig.cluster;
+    let pairs = STORM_NODES / 2;
+
+    let mut servers = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        let srv = pairs + i;
+        let size = 2048 + 32 * i as u64;
+        let p = cluster.provider(srv);
+        let sim = cluster.node_sim(srv).clone();
+        servers.push(
+            sim.spawn(format!("storm-srv{srv}"), Some(p.cpu()), move |ctx| {
+                let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+                let buf = p.malloc(size);
+                let mh = p
+                    .register_mem(ctx, buf, size, MemAttributes::default())
+                    .expect("register");
+                for _ in 0..STORM_MSGS {
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, size as u32))
+                        .expect("post_recv");
+                }
+                p.accept(ctx, &vi, Discriminator(i as u64)).expect("accept");
+                let mut bytes = 0u64;
+                let mut last = SimTime::ZERO;
+                for _ in 0..STORM_MSGS {
+                    let comp = vi.recv_wait(ctx, WaitMode::Poll);
+                    assert!(comp.is_ok(), "storm delivery failed: {:?}", comp.status);
+                    bytes += comp.length;
+                    last = last.max(ctx.now());
+                }
+                (bytes, last)
+            }),
+        );
+    }
+
+    let mut clients = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        let srv = pairs + i;
+        let size = 2048 + 32 * i as u64;
+        let p = cluster.provider(i);
+        let sim = cluster.node_sim(i).clone();
+        clients.push(
+            sim.spawn(format!("storm-cli{i}"), Some(p.cpu()), move |ctx| {
+                let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+                let buf = p.malloc(size);
+                let mh = p
+                    .register_mem(ctx, buf, size, MemAttributes::default())
+                    .expect("register");
+                p.connect(ctx, &vi, NodeId(srv as u32), Discriminator(i as u64), None)
+                    .expect("connect");
+                ctx.sleep(SimDuration::from_nanos(3_000 + 1_237 * i as u64));
+                for _ in 0..STORM_MSGS {
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32))
+                        .expect("post_send");
+                    let comp = vi.send_wait(ctx, WaitMode::Poll);
+                    assert!(comp.is_ok(), "storm send failed: {:?}", comp.status);
+                }
+            }),
+        );
+    }
+
+    rig.run();
+    for c in clients {
+        c.expect_result();
+    }
+    let mut delivered = 0u64;
+    let mut bytes = 0u64;
+    let mut last = SimTime::ZERO;
+    for s in servers {
+        let (b, l) = s.expect_result();
+        delivered += STORM_MSGS;
+        bytes += b;
+        last = last.max(l);
+    }
+    let ports = cluster.san().port_stats();
+    StormOutcome {
+        delivered,
+        bytes,
+        makespan: last.duration_since(SimTime::ZERO),
+        san: cluster.san().stats(),
+        pauses: ports.iter().map(|p| p.stats.pauses).sum(),
+        port_drops: ports.iter().map(|p| p.stats.drops).sum(),
+    }
+}
+
+/// The storm comparison table: one row per shape (the star control row,
+/// then the fat-tree). Runs on [`default_shards`] engine shards.
+pub fn storm_table(shapes: &[StormShape]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "X-TOPO: {STORM_NODES}-node connection storm, {} pairs x {STORM_MSGS} msgs",
+            STORM_NODES / 2
+        ),
+        vec![
+            "msgs".to_string(),
+            "KB".to_string(),
+            "makespan (us)".to_string(),
+            "goodput (MB/s)".to_string(),
+            "pauses".to_string(),
+            "port drops".to_string(),
+        ],
+    );
+    for &shape in shapes {
+        let o = storm(shape, TOPO_SEED, default_shards());
+        t.push(
+            shape.label(),
+            vec![
+                o.delivered as f64,
+                o.bytes as f64 / 1024.0,
+                o.makespan.as_micros_f64(),
+                simkit::megabytes_per_second(o.bytes, o.makespan),
+                o.pauses as f64,
+                o.port_drops as f64,
+            ],
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// 16-to-1 incast
+// ---------------------------------------------------------------------
+
+/// Concurrent senders converging on node 0.
+pub const INCAST_SENDERS: usize = 16;
+/// Messages each incast sender posts back to back (pipelined).
+pub const INCAST_MSGS: usize = 12;
+/// Messages of the victim and probe flows.
+pub const INCAST_PROBE_MSGS: usize = 8;
+
+/// Tight port limits for the incast fat-tree: small enough that the
+/// receiver's host port pauses and then drops under the burst.
+fn incast_limits() -> PortLimits {
+    PortLimits {
+        capacity: 4,
+        pause_depth: 8,
+    }
+}
+
+/// Sender `s`'s node: round-robin over edge switches 1..=7, so the burst
+/// converges through every spine→edge-0 trunk. Node 0 (the receiver),
+/// the victim source (58), and the probe pair (4, 5) are never senders.
+fn incast_sender_node(s: usize) -> usize {
+    HOSTS_PER_EDGE * (1 + (s % (EDGES - 1))) + s / (EDGES - 1)
+}
+
+/// Per-flow receive telemetry for the incast.
+#[derive(Clone, Debug)]
+pub struct IncastFlow {
+    /// Row label ("s03", "victim 58->1", …).
+    pub label: String,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// First delivery completion time.
+    pub first_rx: SimTime,
+    /// Last delivery completion time.
+    pub last_rx: SimTime,
+}
+
+impl IncastFlow {
+    /// Goodput over the flow's own first-to-last delivery span.
+    pub fn goodput(&self) -> f64 {
+        let span = self.last_rx.saturating_duration_since(self.first_rx);
+        if span.is_zero() {
+            0.0
+        } else {
+            simkit::megabytes_per_second(self.bytes, span)
+        }
+    }
+}
+
+/// Outcome of the incast run.
+#[derive(Clone, Debug)]
+pub struct IncastOutcome {
+    /// The 16 sender flows, then the victim, then the probe.
+    pub flows: Vec<IncastFlow>,
+    /// Fabric counters.
+    pub san: SanStats,
+    /// Per-port counters (every switch port in the fat-tree).
+    pub ports: Vec<PortSnapshot>,
+}
+
+/// One receiving flow: create a VI, pre-post `msgs` receives, accept
+/// `disc`, drain, report. Shared by the incast receiver (16 flows on
+/// node 0) and the victim/probe servers.
+fn rx_flow(
+    cluster: &Cluster,
+    node: usize,
+    disc: u64,
+    msgs: usize,
+    max_size: u64,
+    label: String,
+) -> simkit::ProcessHandle<IncastFlow> {
+    let p = cluster.provider(node);
+    let sim = cluster.node_sim(node).clone();
+    sim.spawn(format!("incast-rx-{label}"), Some(p.cpu()), move |ctx| {
+        let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+        let buf = p.malloc(max_size);
+        let mh = p
+            .register_mem(ctx, buf, max_size, MemAttributes::default())
+            .expect("register");
+        for _ in 0..msgs {
+            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, max_size as u32))
+                .expect("post_recv");
+        }
+        p.accept(ctx, &vi, Discriminator(disc)).expect("accept");
+        let mut bytes = 0u64;
+        let mut first = SimTime::MAX;
+        let mut last = SimTime::ZERO;
+        for _ in 0..msgs {
+            let comp = vi.recv_wait(ctx, WaitMode::Poll);
+            assert!(comp.is_ok(), "incast delivery failed: {:?}", comp.status);
+            bytes += comp.length;
+            first = first.min(ctx.now());
+            last = last.max(ctx.now());
+        }
+        IncastFlow {
+            label,
+            delivered: msgs as u64,
+            bytes,
+            first_rx: first,
+            last_rx: last,
+        }
+    })
+}
+
+/// One sending flow toward `(dst, disc)`: after a `connect_at` stagger
+/// (control frames are not retransmitted, so connects must not collide
+/// hard enough to overflow a port), connect, wait out the `start`
+/// offset, then keep a window of `depth` sends outstanding until `msgs`
+/// complete. Depth 1 is a self-paced flow; depth 2 is the incast burst —
+/// enough standing pressure to pause and drop at the tight receiver
+/// port, while staying inside the retransmission budget that recovers
+/// every drop.
+#[allow(clippy::too_many_arguments)]
+fn tx_flow(
+    cluster: &Cluster,
+    node: usize,
+    dst: usize,
+    disc: u64,
+    msgs: usize,
+    size: u64,
+    connect_at: u64,
+    start: u64,
+    depth: usize,
+) -> simkit::ProcessHandle<()> {
+    let p = cluster.provider(node);
+    let sim = cluster.node_sim(node).clone();
+    sim.spawn(format!("incast-tx-n{node}"), Some(p.cpu()), move |ctx| {
+        let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+        let buf = p.malloc(size);
+        let mh = p
+            .register_mem(ctx, buf, size, MemAttributes::default())
+            .expect("register");
+        ctx.sleep(SimDuration::from_nanos(connect_at));
+        p.connect(ctx, &vi, NodeId(dst as u32), Discriminator(disc), None)
+            .expect("connect");
+        ctx.sleep(SimDuration::from_nanos(start));
+        let mut posted = 0usize;
+        while posted < msgs.min(depth.max(1)) {
+            vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32))
+                .expect("post_send");
+            posted += 1;
+        }
+        for _ in 0..msgs {
+            let comp = vi.send_wait(ctx, WaitMode::Poll);
+            assert!(comp.is_ok(), "incast send failed: {:?}", comp.status);
+            if posted < msgs {
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32))
+                    .expect("post_send");
+                posted += 1;
+            }
+        }
+    })
+}
+
+/// Run the 16-to-1 incast with the victim and probe flows alongside.
+pub fn incast(seed: u64, shards: usize) -> IncastOutcome {
+    let rig = Rig::new(
+        fat_tree64(incast_limits()),
+        seed,
+        shards,
+        "topo-fat-tree-incast".to_string(),
+    );
+    let cluster = &rig.cluster;
+
+    let mut rx = Vec::new();
+    for s in 0..INCAST_SENDERS {
+        let size = 8192 + 128 * s as u64;
+        rx.push(rx_flow(
+            cluster,
+            0,
+            100 + s as u64,
+            INCAST_MSGS,
+            size,
+            format!("s{s:02}"),
+        ));
+    }
+    // Victim: crosses the congested spine->edge-0 trunks into node 1.
+    rx.push(rx_flow(
+        cluster,
+        1,
+        200,
+        INCAST_PROBE_MSGS,
+        4096,
+        "victim 58->1".to_string(),
+    ));
+    // Probe: stays inside edge switch 0, touching no trunk.
+    rx.push(rx_flow(
+        cluster,
+        5,
+        300,
+        INCAST_PROBE_MSGS,
+        4096,
+        "probe 4->5".to_string(),
+    ));
+
+    let mut tx = Vec::new();
+    for s in 0..INCAST_SENDERS {
+        let size = 8192 + 128 * s as u64;
+        tx.push(tx_flow(
+            cluster,
+            incast_sender_node(s),
+            0,
+            100 + s as u64,
+            INCAST_MSGS,
+            size,
+            1_069 * s as u64,
+            30_000 + 977 * s as u64,
+            2,
+        ));
+    }
+    tx.push(tx_flow(
+        cluster,
+        58,
+        1,
+        200,
+        INCAST_PROBE_MSGS,
+        4096,
+        18_401,
+        24_000,
+        1,
+    ));
+    tx.push(tx_flow(
+        cluster,
+        4,
+        5,
+        300,
+        INCAST_PROBE_MSGS,
+        4096,
+        18_731,
+        24_000,
+        1,
+    ));
+
+    rig.run();
+    for t in tx {
+        t.expect_result();
+    }
+    let flows: Vec<IncastFlow> = rx.into_iter().map(|h| h.expect_result()).collect();
+    IncastOutcome {
+        flows,
+        san: cluster.san().stats(),
+        ports: cluster.san().port_stats(),
+    }
+}
+
+/// Classify a fat-tree port into its tier for the aggregate table.
+fn port_tier(snap: &PortSnapshot) -> &'static str {
+    if (snap.switch as usize) < EDGES {
+        match snap.target {
+            PortTarget::Node(_) => "edge->host",
+            PortTarget::Switch(_) => "edge->spine",
+        }
+    } else {
+        "spine->edge"
+    }
+}
+
+/// The two X-TOPO incast tables: per-flow delivery/goodput (senders,
+/// victim, probe) and the per-tier port occupancy/pause/drop aggregate.
+pub fn incast_tables() -> (Table, Table) {
+    let o = incast(TOPO_SEED, default_shards());
+
+    let mut flows = Table::new(
+        format!(
+            "X-TOPO: {INCAST_SENDERS}-to-1 incast on the fat-tree \
+             ({INCAST_MSGS} pipelined msgs/sender, victim + probe flows)"
+        ),
+        vec![
+            "msgs".to_string(),
+            "KB".to_string(),
+            "first rx (us)".to_string(),
+            "last rx (us)".to_string(),
+            "goodput (MB/s)".to_string(),
+        ],
+    );
+    for f in &o.flows {
+        flows.push(
+            f.label.clone(),
+            vec![
+                f.delivered as f64,
+                f.bytes as f64 / 1024.0,
+                f.first_rx.as_micros_f64(),
+                f.last_rx.as_micros_f64(),
+                f.goodput(),
+            ],
+        );
+    }
+    flows.push(
+        "fabric frames (sent/delivered/port-dropped)",
+        vec![
+            o.san.frames_sent as f64,
+            o.san.frames_delivered as f64,
+            0.0,
+            0.0,
+            o.san.frames_port_dropped as f64,
+        ],
+    );
+
+    let mut ports = Table::new(
+        "X-TOPO: incast per-tier port counters (fat-tree, tight limits)",
+        vec![
+            "ports".to_string(),
+            "admitted".to_string(),
+            "pauses".to_string(),
+            "drops".to_string(),
+            "hol blocked".to_string(),
+            "max queued".to_string(),
+            "max paused".to_string(),
+        ],
+    );
+    for tier in ["edge->host", "edge->spine", "spine->edge"] {
+        let sel: Vec<&PortSnapshot> = o.ports.iter().filter(|p| port_tier(p) == tier).collect();
+        ports.push(
+            tier,
+            vec![
+                sel.len() as f64,
+                sel.iter().map(|p| p.stats.admitted).sum::<u64>() as f64,
+                sel.iter().map(|p| p.stats.pauses).sum::<u64>() as f64,
+                sel.iter().map(|p| p.stats.drops).sum::<u64>() as f64,
+                sel.iter().map(|p| p.stats.hol_blocked).sum::<u64>() as f64,
+                sel.iter().map(|p| p.stats.highwater).max().unwrap_or(0) as f64,
+                sel.iter()
+                    .map(|p| p.stats.pause_highwater)
+                    .max()
+                    .unwrap_or(0) as f64,
+            ],
+        );
+    }
+    ports.push(
+        "total",
+        vec![
+            o.ports.len() as f64,
+            o.ports.iter().map(|p| p.stats.admitted).sum::<u64>() as f64,
+            o.ports.iter().map(|p| p.stats.pauses).sum::<u64>() as f64,
+            o.ports.iter().map(|p| p.stats.drops).sum::<u64>() as f64,
+            o.ports.iter().map(|p| p.stats.hol_blocked).sum::<u64>() as f64,
+            o.ports.iter().map(|p| p.stats.highwater).max().unwrap_or(0) as f64,
+            o.ports
+                .iter()
+                .map(|p| p.stats.pause_highwater)
+                .max()
+                .unwrap_or(0) as f64,
+        ],
+    );
+    (flows, ports)
+}
+
+// ---------------------------------------------------------------------
+// All-to-all
+// ---------------------------------------------------------------------
+
+/// Nodes in the all-to-all exchange.
+pub const A2A_NODES: usize = 64;
+
+/// Payload size of the `src -> dst` all-to-all message: pair-distinct so
+/// serialization times (and thus arrival instants) stay tie-free.
+fn a2a_size(src: usize, dst: usize) -> u64 {
+    320 + 8 * ((src * 67 + dst * 29) % 41) as u64
+}
+
+/// Per-edge aggregate of the all-to-all receive telemetry.
+#[derive(Clone, Debug)]
+pub struct A2aEdge {
+    /// Messages delivered into the edge's hosts.
+    pub delivered: u64,
+    /// Payload bytes delivered into the edge's hosts.
+    pub bytes: u64,
+    /// Earliest delivery into the edge.
+    pub first_rx: SimTime,
+    /// Latest delivery into the edge.
+    pub last_rx: SimTime,
+}
+
+/// Outcome of the all-to-all run.
+#[derive(Clone, Debug)]
+pub struct A2aOutcome {
+    /// Per-edge-switch aggregates, indexed by edge.
+    pub per_edge: Vec<A2aEdge>,
+    /// Latest delivery fabric-wide.
+    pub makespan: SimDuration,
+    /// Fabric counters.
+    pub san: SanStats,
+}
+
+/// Run the all-to-all: every node sends one message to every other node
+/// over a dedicated Reliable Delivery VI pair (64 x 63 ordered pairs).
+/// Clients connect and send in ascending peer order; servers accept in
+/// ascending peer order — the staircase rendezvous schedule, which is
+/// deadlock-free because each node's client and server run concurrently.
+pub fn all_to_all(seed: u64, shards: usize) -> A2aOutcome {
+    let n = A2A_NODES;
+    let rig = Rig::new(
+        fat_tree64(PortLimits::default()),
+        seed,
+        shards,
+        "topo-fat-tree-all-to-all".to_string(),
+    );
+    let cluster = &rig.cluster;
+    let disc = move |src: usize, dst: usize| (src * n + dst) as u64;
+
+    let mut servers = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = cluster.provider(i);
+        let sim = cluster.node_sim(i).clone();
+        servers.push(sim.spawn(format!("a2a-srv{i}"), Some(p.cpu()), move |ctx| {
+            let max = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| a2a_size(j, i))
+                .max()
+                .unwrap();
+            let buf = p.malloc(max);
+            let mh = p
+                .register_mem(ctx, buf, max, MemAttributes::default())
+                .expect("register");
+            let mut vis = Vec::with_capacity(n - 1);
+            for j in (0..n).filter(|&j| j != i) {
+                let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+                vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, max as u32))
+                    .expect("post_recv");
+                p.accept(ctx, &vi, Discriminator(disc(j, i)))
+                    .expect("accept");
+                vis.push(vi);
+            }
+            let mut bytes = 0u64;
+            let mut first = SimTime::MAX;
+            let mut last = SimTime::ZERO;
+            for vi in &vis {
+                let comp = vi.recv_wait(ctx, WaitMode::Poll);
+                assert!(comp.is_ok(), "a2a delivery failed: {:?}", comp.status);
+                bytes += comp.length;
+                first = first.min(ctx.now());
+                last = last.max(ctx.now());
+            }
+            ((n - 1) as u64, bytes, first, last)
+        }));
+    }
+
+    let mut clients = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = cluster.provider(i);
+        let sim = cluster.node_sim(i).clone();
+        clients.push(sim.spawn(format!("a2a-cli{i}"), Some(p.cpu()), move |ctx| {
+            ctx.sleep(SimDuration::from_nanos(2_000 + 937 * i as u64));
+            for j in (0..n).filter(|&j| j != i) {
+                let size = a2a_size(i, j);
+                let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+                let buf = p.malloc(size);
+                let mh = p
+                    .register_mem(ctx, buf, size, MemAttributes::default())
+                    .expect("register");
+                p.connect(ctx, &vi, NodeId(j as u32), Discriminator(disc(i, j)), None)
+                    .expect("connect");
+                vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32))
+                    .expect("post_send");
+                let comp = vi.send_wait(ctx, WaitMode::Poll);
+                assert!(comp.is_ok(), "a2a send failed: {:?}", comp.status);
+            }
+        }));
+    }
+
+    rig.run();
+    for c in clients {
+        c.expect_result();
+    }
+    let mut per_edge: Vec<A2aEdge> = (0..EDGES)
+        .map(|_| A2aEdge {
+            delivered: 0,
+            bytes: 0,
+            first_rx: SimTime::MAX,
+            last_rx: SimTime::ZERO,
+        })
+        .collect();
+    for (i, s) in servers.into_iter().enumerate() {
+        let (delivered, bytes, first, last) = s.expect_result();
+        let e = &mut per_edge[i / HOSTS_PER_EDGE];
+        e.delivered += delivered;
+        e.bytes += bytes;
+        e.first_rx = e.first_rx.min(first);
+        e.last_rx = e.last_rx.max(last);
+    }
+    let makespan = per_edge
+        .iter()
+        .map(|e| e.last_rx)
+        .max()
+        .expect("nonempty fat-tree")
+        .duration_since(SimTime::ZERO);
+    A2aOutcome {
+        per_edge,
+        makespan,
+        san: cluster.san().stats(),
+    }
+}
+
+/// The all-to-all table: one aggregate row per edge switch, then totals.
+pub fn all_to_all_table() -> Table {
+    let o = all_to_all(TOPO_SEED, default_shards());
+    let mut t = Table::new(
+        format!(
+            "X-TOPO: {A2A_NODES}-node all-to-all over the fat-tree \
+             ({EDGES} edges x {HOSTS_PER_EDGE} hosts, {SPINES} spines)"
+        ),
+        vec![
+            "msgs".to_string(),
+            "KB".to_string(),
+            "first rx (us)".to_string(),
+            "last rx (us)".to_string(),
+            "goodput (MB/s)".to_string(),
+        ],
+    );
+    for (i, e) in o.per_edge.iter().enumerate() {
+        let span = e.last_rx.saturating_duration_since(e.first_rx);
+        let goodput = if span.is_zero() {
+            0.0
+        } else {
+            simkit::megabytes_per_second(e.bytes, span)
+        };
+        t.push(
+            format!("edge{i}"),
+            vec![
+                e.delivered as f64,
+                e.bytes as f64 / 1024.0,
+                e.first_rx.as_micros_f64(),
+                e.last_rx.as_micros_f64(),
+                goodput,
+            ],
+        );
+    }
+    let total_msgs: u64 = o.per_edge.iter().map(|e| e.delivered).sum();
+    let total_bytes: u64 = o.per_edge.iter().map(|e| e.bytes).sum();
+    t.push(
+        "total",
+        vec![
+            total_msgs as f64,
+            total_bytes as f64 / 1024.0,
+            0.0,
+            o.makespan.as_micros_f64(),
+            simkit::megabytes_per_second(total_bytes, o.makespan),
+        ],
+    );
+    t.push(
+        "fabric frames (sent/delivered)",
+        vec![
+            o.san.frames_sent as f64,
+            o.san.frames_delivered as f64,
+            0.0,
+            0.0,
+            0.0,
+        ],
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_sender_nodes_are_distinct_and_off_edge0() {
+        let nodes: Vec<usize> = (0..INCAST_SENDERS).map(incast_sender_node).collect();
+        let mut dedup = nodes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), INCAST_SENDERS);
+        for &n in &nodes {
+            assert!(n >= HOSTS_PER_EDGE, "sender {n} shares the receiver's edge");
+            assert!(
+                ![0, 1, 4, 5, 58].contains(&n),
+                "sender {n} collides with a fixed role"
+            );
+        }
+    }
+
+    #[test]
+    fn storm_delivers_everything_on_both_shapes() {
+        for shape in [StormShape::Star, StormShape::FatTree] {
+            let o = storm(shape, 7, 1);
+            assert_eq!(o.delivered, (STORM_NODES as u64 / 2) * STORM_MSGS);
+            assert!(o.makespan > SimDuration::ZERO);
+            assert_eq!(o.san.frames_dropped, 0);
+            if shape == StormShape::Star {
+                assert_eq!(o.pauses, 0);
+                assert_eq!(o.port_drops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_storm_is_shard_count_invariant() {
+        let serial = storm(StormShape::FatTree, 7, 1);
+        for shards in [2usize, 4] {
+            let sharded = storm(StormShape::FatTree, 7, shards);
+            assert_eq!(sharded.san, serial.san, "shards={shards}");
+            assert_eq!(sharded.makespan, serial.makespan, "shards={shards}");
+            assert_eq!(sharded.pauses, serial.pauses, "shards={shards}");
+            assert_eq!(sharded.port_drops, serial.port_drops, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn incast_backpressure_engages_and_probe_outruns_victim() {
+        let o = incast(TOPO_SEED, 1);
+        let pauses: u64 = o.ports.iter().map(|p| p.stats.pauses).sum();
+        assert!(pauses > 0, "tight incast limits must engage backpressure");
+        let victim = o
+            .flows
+            .iter()
+            .find(|f| f.label.starts_with("victim"))
+            .unwrap();
+        let probe = o
+            .flows
+            .iter()
+            .find(|f| f.label.starts_with("probe"))
+            .unwrap();
+        assert_eq!(victim.delivered, INCAST_PROBE_MSGS as u64);
+        assert_eq!(probe.delivered, INCAST_PROBE_MSGS as u64);
+        assert!(
+            probe.goodput() > victim.goodput(),
+            "intra-edge probe ({:.1} MB/s) must outrun the trunk-crossing victim ({:.1} MB/s)",
+            probe.goodput(),
+            victim.goodput()
+        );
+    }
+
+    #[test]
+    fn incast_is_shard_count_invariant() {
+        let serial = incast(TOPO_SEED, 1);
+        let sharded = incast(TOPO_SEED, 4);
+        assert_eq!(sharded.san, serial.san);
+        let key = |o: &IncastOutcome| -> Vec<(String, u64, u64, u64, u64)> {
+            o.flows
+                .iter()
+                .map(|f| {
+                    (
+                        f.label.clone(),
+                        f.delivered,
+                        f.bytes,
+                        f.first_rx.as_nanos(),
+                        f.last_rx.as_nanos(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(key(&sharded), key(&serial));
+        assert_eq!(
+            sharded.ports.iter().map(|p| p.stats).collect::<Vec<_>>(),
+            serial.ports.iter().map(|p| p.stats).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_to_all_delivers_everything() {
+        let o = all_to_all(TOPO_SEED, 1);
+        let total: u64 = o.per_edge.iter().map(|e| e.delivered).sum();
+        assert_eq!(total, (A2A_NODES * (A2A_NODES - 1)) as u64);
+        for e in &o.per_edge {
+            assert_eq!(e.delivered, (HOSTS_PER_EDGE * (A2A_NODES - 1)) as u64);
+        }
+    }
+}

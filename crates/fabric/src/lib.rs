@@ -32,7 +32,9 @@
 pub mod fault;
 pub mod params;
 pub mod san;
+pub mod topo;
 
 pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use params::{LinkParams, LossModel, NetParams, SwitchParams};
 pub use san::{Delivery, LossState, NodeId, RxHandler, San, SanStats};
+pub use topo::{PortLimits, PortSnapshot, PortStats, PortTarget, Topology};

@@ -1,0 +1,670 @@
+//! Multi-switch topology descriptions and deterministic routing.
+//!
+//! A [`Topology`] is a pure description: `N` hosts, `S` switches, a host→
+//! edge-switch attachment map, and switch↔switch trunks with their own
+//! [`LinkParams`]. Constructors cover the shapes the suite exercises —
+//! [`Topology::star`] (today's single-switch San as a true degenerate
+//! case), [`Topology::dumbbell`], a 2-level [`Topology::fat_tree`], and a
+//! [`Topology::ring`] of switches. The San consumes the description to
+//! build per-output-port buffered switch state (see `san.rs`); everything
+//! here is side-effect-free and cheap to clone.
+//!
+//! # Routing
+//!
+//! Paths are shortest-path with deterministic ECMP tie-breaking: a BFS over
+//! the switch graph precomputes, for every `(switch, destination switch)`
+//! pair, the sorted set of equal-cost next hops; [`Topology::next_hop`]
+//! picks one by a content-keyed hash of the *flow key* — derived from the
+//! frame's [`MsgId`] `(src_node, vi)`, deliberately excluding the sequence
+//! number so every fragment and retransmit of a flow takes the same path
+//! and per-flow FIFO order survives ECMP. Control frames without a `MsgId`
+//! key on the `(src, dst)` node pair. No RNG is consumed anywhere: the
+//! same frame takes the same path in every run at every shard count.
+//!
+//! # Sharding
+//!
+//! [`Topology::shard_map`] produces a topology-aware node→shard table that
+//! keeps each switch neighborhood (a switch and all hosts attached to it)
+//! on one shard, so the only cross-shard hops are trunk traversals.
+//! [`Topology::shard_lookahead`] is the matching conservative window: the
+//! minimum over all trunks of `switch latency + trunk propagation` (a
+//! frame admitted to a trunk port additionally pays serialization, so this
+//! is a strict floor). Single-switch topologies fall back to the legacy
+//! global [`NetParams::min_cross_latency`] and the content-keyed
+//! [`ShardMap`] — the degenerate case is bit-for-bit the pre-topology San.
+
+use simkit::{ShardMap, SimDuration};
+use trace::MsgId;
+
+use crate::params::{LinkParams, NetParams};
+use crate::san::NodeId;
+
+/// splitmix64: cheap, well-mixed integer hash (public-domain constants).
+/// Same function the shard map uses; salted differently per use below.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Salt for ECMP next-hop selection ("VIBeECMP").
+const ECMP_SALT: u64 = 0x5649_4265_4543_4D50;
+/// Salt for data-flow keys ("VIBeFLOW").
+const FLOW_SALT: u64 = 0x5649_4265_464C_4F57;
+/// Salt for control-frame flow keys ("VIBeCTRL").
+const CTRL_SALT: u64 = 0x5649_4265_4354_524C;
+
+/// What a switch output port feeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortTarget {
+    /// A host downlink: the port delivers to this node.
+    Node(u32),
+    /// A trunk: the port forwards to this switch.
+    Switch(u32),
+}
+
+/// One switch output port: its target plus, for trunks, the trunk's link
+/// parameters. Host ports use the San's uniform access-link parameters
+/// (`None` here).
+#[derive(Clone, Copy, Debug)]
+pub struct PortSpec {
+    /// Where frames leaving this port go.
+    pub target: PortTarget,
+    /// Trunk link parameters; `None` for host ports (access link applies).
+    pub trunk: Option<LinkParams>,
+}
+
+/// Bounds on every switch output-port buffer in a topology.
+///
+/// `capacity` frames may be admitted (queued or on the wire) per port;
+/// past that, up to `pause_depth` frames are *paused* — parked upstream
+/// under link-level backpressure, admitted FIFO as slots free. Only when
+/// the pause queue is also full does the port drop, and every such drop is
+/// attributed in the per-port counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PortLimits {
+    /// Admitted-frame bound per output port (≥ 1).
+    pub capacity: u32,
+    /// Paused-frame bound per output port (0 = drop as soon as full).
+    pub pause_depth: u32,
+}
+
+impl Default for PortLimits {
+    fn default() -> Self {
+        PortLimits {
+            capacity: 8,
+            pause_depth: 24,
+        }
+    }
+}
+
+/// Cumulative counters of one switch output port. Honest accounting: every
+/// frame reaching the port is exactly one of admitted-at-ingress, paused
+/// (later admitted), or dropped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Frames admitted to the port (including previously paused ones).
+    pub admitted: u64,
+    /// Frames parked under backpressure because the buffer was full.
+    pub pauses: u64,
+    /// Frames dropped because buffer *and* pause queue were full.
+    pub drops: u64,
+    /// Paused frames whose final destination differed from the last frame
+    /// admitted to this port — head-of-line blocking victims.
+    pub hol_blocked: u64,
+    /// Maximum simultaneous admitted occupancy observed.
+    pub highwater: u32,
+    /// Maximum pause-queue depth observed.
+    pub pause_highwater: u32,
+}
+
+/// A point-in-time copy of one port's counters, tagged with its location.
+#[derive(Clone, Copy, Debug)]
+pub struct PortSnapshot {
+    /// Switch the port belongs to.
+    pub switch: u32,
+    /// What the port feeds.
+    pub target: PortTarget,
+    /// Counter values at snapshot time.
+    pub stats: PortStats,
+}
+
+/// A static multi-switch network shape. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    name: &'static str,
+    nodes: u32,
+    /// Host → edge switch.
+    edge_of: Vec<u32>,
+    /// Per-switch output ports: host ports first (ascending node), then
+    /// trunk ports (ascending neighbor switch).
+    ports: Vec<Vec<PortSpec>>,
+    /// `next_hops[s][d]`: sorted equal-cost next-hop switches from `s`
+    /// toward `d` (empty when `s == d`).
+    next_hops: Vec<Vec<Vec<u32>>>,
+    /// Switch-graph hop distances.
+    dist: Vec<Vec<u32>>,
+    limits: PortLimits,
+}
+
+impl Topology {
+    /// The single-switch star: every node attached to one switch. This is
+    /// today's San exactly — a San built over it takes the legacy
+    /// single-switch path and produces byte-identical artifacts.
+    pub fn star(nodes: usize) -> Topology {
+        assert!(nodes >= 1, "star needs at least one node");
+        let ports = vec![(0..nodes as u32)
+            .map(|n| PortSpec {
+                target: PortTarget::Node(n),
+                trunk: None,
+            })
+            .collect()];
+        Topology::finish(
+            "star",
+            nodes as u32,
+            vec![0; nodes],
+            ports,
+            PortLimits::default(),
+        )
+    }
+
+    /// Two switches joined by one trunk; the first `ceil(nodes/2)` hosts on
+    /// switch 0, the rest on switch 1. The minimal congestible shape: all
+    /// cross-half traffic funnels through a single trunk port pair.
+    pub fn dumbbell(nodes: usize, trunk: LinkParams, limits: PortLimits) -> Topology {
+        assert!(nodes >= 2, "dumbbell needs at least two nodes");
+        let half = nodes.div_ceil(2) as u32;
+        let edge_of: Vec<u32> = (0..nodes as u32).map(|n| u32::from(n >= half)).collect();
+        let ports = Topology::switch_ports(2, &edge_of, &[(0, 1)], trunk);
+        Topology::finish("dumbbell", nodes as u32, edge_of, ports, limits)
+    }
+
+    /// A 2-level fat-tree (leaf/spine): `edges` edge switches with
+    /// `hosts_per_edge` hosts each, every edge trunked to every one of the
+    /// `spines` spine switches. Edge switches are ids `0..edges`, spines
+    /// `edges..edges+spines`. Cross-edge paths are edge→spine→edge with
+    /// `spines` equal-cost choices.
+    pub fn fat_tree(
+        edges: usize,
+        hosts_per_edge: usize,
+        spines: usize,
+        trunk: LinkParams,
+        limits: PortLimits,
+    ) -> Topology {
+        assert!(
+            edges >= 2 && spines >= 1 && hosts_per_edge >= 1,
+            "degenerate fat-tree"
+        );
+        let nodes = (edges * hosts_per_edge) as u32;
+        let edge_of: Vec<u32> = (0..nodes).map(|n| n / hosts_per_edge as u32).collect();
+        let mut trunks = Vec::new();
+        for e in 0..edges as u32 {
+            for s in 0..spines as u32 {
+                trunks.push((e, edges as u32 + s));
+            }
+        }
+        let ports = Topology::switch_ports((edges + spines) as u32, &edge_of, &trunks, trunk);
+        Topology::finish("fat-tree", nodes, edge_of, ports, limits)
+    }
+
+    /// A ring of `switches` switches, `hosts_per_switch` hosts each. Two
+    /// equal-cost directions exist exactly for antipodal destinations on
+    /// even rings; otherwise routing follows the shorter arc.
+    pub fn ring(
+        switches: usize,
+        hosts_per_switch: usize,
+        trunk: LinkParams,
+        limits: PortLimits,
+    ) -> Topology {
+        assert!(switches >= 3, "ring needs at least three switches");
+        assert!(hosts_per_switch >= 1, "ring switches need hosts");
+        let nodes = (switches * hosts_per_switch) as u32;
+        let edge_of: Vec<u32> = (0..nodes).map(|n| n / hosts_per_switch as u32).collect();
+        let trunks: Vec<(u32, u32)> = (0..switches as u32)
+            .map(|s| (s, (s + 1) % switches as u32))
+            .collect();
+        let ports = Topology::switch_ports(switches as u32, &edge_of, &trunks, trunk);
+        Topology::finish("ring", nodes, edge_of, ports, limits)
+    }
+
+    /// Build per-switch port lists: host ports (node order), then trunk
+    /// ports (neighbor order). `trunks` lists undirected switch pairs.
+    fn switch_ports(
+        switches: u32,
+        edge_of: &[u32],
+        trunks: &[(u32, u32)],
+        trunk: LinkParams,
+    ) -> Vec<Vec<PortSpec>> {
+        let mut ports: Vec<Vec<PortSpec>> = vec![Vec::new(); switches as usize];
+        for (n, &sw) in edge_of.iter().enumerate() {
+            ports[sw as usize].push(PortSpec {
+                target: PortTarget::Node(n as u32),
+                trunk: None,
+            });
+        }
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); switches as usize];
+        for &(a, b) in trunks {
+            assert!(a != b && a < switches && b < switches, "bad trunk {a}-{b}");
+            neighbors[a as usize].push(b);
+            neighbors[b as usize].push(a);
+        }
+        for (sw, mut ns) in neighbors.into_iter().enumerate() {
+            ns.sort_unstable();
+            ns.dedup();
+            for n in ns {
+                ports[sw].push(PortSpec {
+                    target: PortTarget::Switch(n),
+                    trunk: Some(trunk),
+                });
+            }
+        }
+        ports
+    }
+
+    /// Precompute BFS distances and sorted equal-cost next-hop sets.
+    fn finish(
+        name: &'static str,
+        nodes: u32,
+        edge_of: Vec<u32>,
+        ports: Vec<Vec<PortSpec>>,
+        limits: PortLimits,
+    ) -> Topology {
+        assert!(limits.capacity >= 1, "port capacity must be at least 1");
+        let s = ports.len();
+        let adj: Vec<Vec<u32>> = ports
+            .iter()
+            .map(|ps| {
+                ps.iter()
+                    .filter_map(|p| match p.target {
+                        PortTarget::Switch(n) => Some(n),
+                        PortTarget::Node(_) => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut dist = vec![vec![u32::MAX; s]; s];
+        for (src, row) in dist.iter_mut().enumerate() {
+            row[src] = 0;
+            let mut frontier = vec![src as u32];
+            let mut d = 0;
+            while !frontier.is_empty() {
+                d += 1;
+                let mut next = Vec::new();
+                for &f in &frontier {
+                    for &n in &adj[f as usize] {
+                        if row[n as usize] == u32::MAX {
+                            row[n as usize] = d;
+                            next.push(n);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+        for (a, row) in dist.iter().enumerate() {
+            for (b, &d) in row.iter().enumerate() {
+                assert!(
+                    d != u32::MAX,
+                    "topology disconnected: switch {a} cannot reach {b}"
+                );
+            }
+        }
+        let next_hops: Vec<Vec<Vec<u32>>> = (0..s)
+            .map(|src| {
+                (0..s)
+                    .map(|dst| {
+                        if src == dst {
+                            return Vec::new();
+                        }
+                        // Neighbors strictly closer to dst; `adj` is sorted
+                        // by construction, so this is too.
+                        adj[src]
+                            .iter()
+                            .copied()
+                            .filter(|&n| dist[n as usize][dst] + 1 == dist[src][dst])
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Topology {
+            name,
+            nodes,
+            edge_of,
+            ports,
+            next_hops,
+            dist,
+            limits,
+        }
+    }
+
+    /// Shape name ("star", "dumbbell", "fat-tree", "ring").
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of hosts.
+    pub fn nodes(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// Number of switches.
+    pub fn switches(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The edge switch node `node` attaches to.
+    pub fn edge_of(&self, node: u32) -> u32 {
+        self.edge_of[node as usize]
+    }
+
+    /// True for exactly-one-switch shapes — the legacy San fast path.
+    pub fn is_single_switch(&self) -> bool {
+        self.ports.len() == 1
+    }
+
+    /// Per-port buffer bounds.
+    pub fn limits(&self) -> PortLimits {
+        self.limits
+    }
+
+    /// Output ports of switch `sw` (host ports first, then trunks).
+    pub fn ports(&self, sw: u32) -> &[PortSpec] {
+        &self.ports[sw as usize]
+    }
+
+    /// Total trunk ports across all switches (two per undirected trunk).
+    pub fn trunk_ports(&self) -> usize {
+        self.ports
+            .iter()
+            .flatten()
+            .filter(|p| p.trunk.is_some())
+            .count()
+    }
+
+    /// Switch-graph hop distance.
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        self.dist[a as usize][b as usize]
+    }
+
+    /// Index of switch `sw`'s port toward node `node`. Panics if the node
+    /// is not attached to `sw`.
+    pub fn port_to_node(&self, sw: u32, node: u32) -> usize {
+        self.ports[sw as usize]
+            .iter()
+            .position(|p| p.target == PortTarget::Node(node))
+            .expect("node not attached to this switch")
+    }
+
+    /// Index of switch `sw`'s trunk port toward neighbor switch `next`.
+    pub fn port_to_switch(&self, sw: u32, next: u32) -> usize {
+        self.ports[sw as usize]
+            .iter()
+            .position(|p| p.target == PortTarget::Switch(next))
+            .expect("switches are not adjacent")
+    }
+
+    /// The content-keyed flow key routing hashes on: `(src_node, vi)` of
+    /// the message id — *excluding* the sequence number, so fragments and
+    /// retransmits of one flow share a path and per-flow FIFO order
+    /// survives ECMP. Control frames key on the node pair.
+    pub fn flow_key(src: NodeId, dst: NodeId, msg: Option<&MsgId>) -> u64 {
+        match msg {
+            Some(m) => splitmix64((u64::from(m.src_node) << 32 | u64::from(m.vi)) ^ FLOW_SALT),
+            None => splitmix64((u64::from(src.0) << 32 | u64::from(dst.0)) ^ CTRL_SALT),
+        }
+    }
+
+    /// Deterministic ECMP next hop from `sw` toward `dst_sw` for `flow`
+    /// (a [`Topology::flow_key`]). Hashes per hop, as real switches do;
+    /// pure function of `(sw, dst_sw, flow)` — no RNG, no state.
+    pub fn next_hop(&self, sw: u32, dst_sw: u32, flow: u64) -> u32 {
+        let c = &self.next_hops[sw as usize][dst_sw as usize];
+        debug_assert!(!c.is_empty(), "no route {sw} -> {dst_sw}");
+        if c.len() == 1 {
+            return c[0];
+        }
+        let h = splitmix64(flow ^ (u64::from(sw) << 32) ^ u64::from(dst_sw) ^ ECMP_SALT);
+        c[(h % c.len() as u64) as usize]
+    }
+
+    /// The switch sequence a frame with `flow` key traverses from `src` to
+    /// `dst` (edge switch of `src` first, edge switch of `dst` last).
+    pub fn route_path(&self, src: NodeId, dst: NodeId, flow: u64) -> Vec<u32> {
+        let dst_sw = self.edge_of(dst.0);
+        let mut cur = self.edge_of(src.0);
+        let mut path = vec![cur];
+        while cur != dst_sw {
+            cur = self.next_hop(cur, dst_sw, flow);
+            path.push(cur);
+        }
+        path
+    }
+
+    /// The shard owning switch `sw` in a multi-switch shape: switches
+    /// stripe round-robin — switch counts are small and homogeneous, so
+    /// striping balances shards where a content-keyed hash could leave one
+    /// empty. Pure function of `(sw, shards)`: stable across runs and
+    /// machines. (Single-switch shapes never consult this; their nodes
+    /// follow the legacy content-keyed map.)
+    pub fn switch_shard(&self, sw: u32, shards: usize) -> usize {
+        if shards == 1 {
+            return 0;
+        }
+        sw as usize % shards
+    }
+
+    /// The topology-aware node→shard map: every node lands on its edge
+    /// switch's shard, so switch neighborhoods stay co-sharded and only
+    /// trunk traversals cross shards. Single-switch shapes return the
+    /// legacy content-keyed map (the degenerate case must not perturb
+    /// existing shard layouts).
+    pub fn shard_map(&self, shards: usize) -> ShardMap {
+        if self.is_single_switch() {
+            return ShardMap::new(shards);
+        }
+        let table = self
+            .edge_of
+            .iter()
+            .map(|&sw| self.switch_shard(sw, shards) as u32)
+            .collect();
+        ShardMap::with_table(shards, table)
+    }
+
+    /// The conservative cross-shard lookahead this topology supports under
+    /// `net`: the minimum over trunks of `switch latency + trunk
+    /// propagation` (admission additionally pays serialization, so this is
+    /// a strict floor on any trunk traversal). Single-switch shapes use
+    /// the legacy global [`NetParams::min_cross_latency`].
+    pub fn shard_lookahead(&self, net: &NetParams) -> SimDuration {
+        if self.is_single_switch() {
+            return net.min_cross_latency();
+        }
+        self.ports
+            .iter()
+            .flatten()
+            .filter_map(|p| p.trunk.as_ref())
+            .map(|t| net.switch.latency + t.propagation)
+            .min()
+            .expect("multi-switch topology has trunks")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trunk() -> LinkParams {
+        LinkParams {
+            bandwidth_bps: 440_000_000,
+            propagation: SimDuration::from_nanos(600),
+            frame_overhead_bytes: 8,
+            mtu: 64 * 1024,
+        }
+    }
+
+    #[test]
+    fn star_is_degenerate() {
+        let t = Topology::star(5);
+        assert!(t.is_single_switch());
+        assert_eq!(t.switches(), 1);
+        assert_eq!(t.nodes(), 5);
+        assert_eq!(t.trunk_ports(), 0);
+        assert!((0..5).all(|n| t.edge_of(n) == 0));
+        assert_eq!(t.ports(0).len(), 5);
+        let net = NetParams::clan();
+        assert_eq!(t.shard_lookahead(&net), net.min_cross_latency());
+        // The degenerate shard map is the legacy content-keyed one.
+        let legacy = ShardMap::new(4);
+        let m = t.shard_map(4);
+        assert!((0..5).all(|n| m.assign(n) == legacy.assign(n)));
+    }
+
+    #[test]
+    fn fat_tree_shape_and_routes() {
+        let t = Topology::fat_tree(4, 2, 2, trunk(), PortLimits::default());
+        assert_eq!(t.nodes(), 8);
+        assert_eq!(t.switches(), 6);
+        assert_eq!(t.trunk_ports(), 16); // 8 trunks, 2 ports each
+        assert_eq!(t.edge_of(0), 0);
+        assert_eq!(t.edge_of(7), 3);
+        // Edge→edge is two hops via either spine.
+        assert_eq!(t.hops(0, 3), 2);
+        assert_eq!(t.next_hops[0][3], vec![4, 5]);
+        // Every route from node 0 to node 6 goes edge0 → spine → edge3.
+        for vi in 0..32u32 {
+            let key = Topology::flow_key(
+                NodeId(0),
+                NodeId(6),
+                Some(&MsgId {
+                    src_node: 0,
+                    vi,
+                    seq: 0,
+                }),
+            );
+            let path = t.route_path(NodeId(0), NodeId(6), key);
+            assert_eq!(path.len(), 3);
+            assert_eq!(path[0], 0);
+            assert!(path[1] == 4 || path[1] == 5);
+            assert_eq!(path[2], 3);
+        }
+    }
+
+    #[test]
+    fn flow_key_ignores_seq_and_routes_are_pure() {
+        let t = Topology::fat_tree(4, 2, 2, trunk(), PortLimits::default());
+        let m = |seq| MsgId {
+            src_node: 1,
+            vi: 3,
+            seq,
+        };
+        let k0 = Topology::flow_key(NodeId(1), NodeId(6), Some(&m(0)));
+        let k9 = Topology::flow_key(NodeId(1), NodeId(6), Some(&m(9)));
+        assert_eq!(k0, k9, "retransmits must take the original path");
+        assert_eq!(
+            t.route_path(NodeId(1), NodeId(6), k0),
+            t.route_path(NodeId(1), NodeId(6), k9)
+        );
+        // Distinct VIs spread over the spines (content-keyed, not uniform).
+        let spines: std::collections::BTreeSet<u32> = (0..64)
+            .map(|vi| {
+                let k = Topology::flow_key(
+                    NodeId(1),
+                    NodeId(6),
+                    Some(&MsgId {
+                        src_node: 1,
+                        vi,
+                        seq: 0,
+                    }),
+                );
+                t.route_path(NodeId(1), NodeId(6), k)[1]
+            })
+            .collect();
+        assert_eq!(spines.len(), 2, "ECMP must use both spines across flows");
+    }
+
+    /// Pins concrete route selections for a fixed topology: any change to
+    /// the hash, salt, or tie-break order shows up here before it silently
+    /// re-blesses a golden.
+    #[test]
+    fn route_selection_pinned_for_fixed_key() {
+        let t = Topology::fat_tree(4, 2, 2, trunk(), PortLimits::default());
+        let picks: Vec<u32> = (0..8u32)
+            .map(|vi| {
+                let k = Topology::flow_key(
+                    NodeId(0),
+                    NodeId(6),
+                    Some(&MsgId {
+                        src_node: 0,
+                        vi,
+                        seq: 0,
+                    }),
+                );
+                t.next_hop(0, 3, k)
+            })
+            .collect();
+        assert_eq!(picks, vec![4, 4, 4, 4, 4, 4, 5, 5]);
+        let ctrl = Topology::flow_key(NodeId(0), NodeId(6), None);
+        assert_eq!(t.next_hop(0, 3, ctrl), 5);
+    }
+
+    #[test]
+    fn dumbbell_and_ring_shapes() {
+        let d = Topology::dumbbell(5, trunk(), PortLimits::default());
+        assert_eq!(d.switches(), 2);
+        assert_eq!(d.edge_of(2), 0);
+        assert_eq!(d.edge_of(3), 1);
+        assert_eq!(d.hops(0, 1), 1);
+        assert_eq!(d.trunk_ports(), 2);
+
+        let r = Topology::ring(4, 2, trunk(), PortLimits::default());
+        assert_eq!(r.switches(), 4);
+        assert_eq!(r.hops(0, 2), 2);
+        // Antipodal destination on an even ring: both directions tie.
+        assert_eq!(r.next_hops[0][2], vec![1, 3]);
+        assert_eq!(r.next_hops[0][1], vec![1]);
+    }
+
+    #[test]
+    fn shard_map_co_shards_switch_neighborhoods() {
+        let t = Topology::fat_tree(8, 8, 4, trunk(), PortLimits::default());
+        for shards in [1usize, 2, 4] {
+            let map = t.shard_map(shards);
+            assert_eq!(map.shards(), shards);
+            for n in 0..64u32 {
+                assert_eq!(
+                    map.assign(n),
+                    t.switch_shard(t.edge_of(n), shards),
+                    "node must share its edge switch's shard"
+                );
+            }
+        }
+        // 12 switches round-robin over 4 shards: perfectly balanced.
+        let counts = (0..12u32).fold([0usize; 4], |mut acc, s| {
+            acc[t.switch_shard(s, 4)] += 1;
+            acc
+        });
+        assert_eq!(counts, [3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn lookahead_is_min_over_trunks() {
+        let net = NetParams::clan();
+        let t = Topology::fat_tree(4, 2, 2, trunk(), PortLimits::default());
+        assert_eq!(
+            t.shard_lookahead(&net),
+            net.switch.latency + SimDuration::from_nanos(600)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_topology_rejected() {
+        // Two switches, no trunks.
+        let edge_of = vec![0, 1];
+        let ports = Topology::switch_ports(2, &edge_of, &[], trunk());
+        let _ = Topology::finish("bad", 2, edge_of, ports, PortLimits::default());
+    }
+}

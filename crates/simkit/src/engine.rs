@@ -74,7 +74,7 @@ thread_local! {
         std::cell::Cell::new(FuseTally {
             attempts: 0,
             hits: 0,
-            by_cause: [0; 8],
+            by_cause: [0; 9],
         })
     };
 }
@@ -373,6 +373,10 @@ pub enum DefuseCause {
     RingBusy,
     /// Message needs more than one wire fragment.
     MultiFragment,
+    /// The fabric is a multi-switch topology (routed hop-by-hop through
+    /// buffered switch ports; the fused arithmetic assumes the single
+    /// switch traversal).
+    Topology,
     /// Any other disqualifier (lossy link, RDMA kind, outstanding
     /// in-flight sends, unconnected VI, ...).
     Other,
@@ -380,7 +384,7 @@ pub enum DefuseCause {
 
 impl DefuseCause {
     /// Every cause, in display order.
-    pub const ALL: [DefuseCause; 8] = [
+    pub const ALL: [DefuseCause; 9] = [
         DefuseCause::Disabled,
         DefuseCause::FaultWindow,
         DefuseCause::TraceAttached,
@@ -388,6 +392,7 @@ impl DefuseCause {
         DefuseCause::CreditStall,
         DefuseCause::RingBusy,
         DefuseCause::MultiFragment,
+        DefuseCause::Topology,
         DefuseCause::Other,
     ];
 
@@ -401,6 +406,7 @@ impl DefuseCause {
             DefuseCause::CreditStall => "credit stall",
             DefuseCause::RingBusy => "ring busy",
             DefuseCause::MultiFragment => "multi-fragment",
+            DefuseCause::Topology => "topology",
             DefuseCause::Other => "other",
         }
     }
@@ -416,7 +422,8 @@ impl DefuseCause {
             DefuseCause::CreditStall => 4,
             DefuseCause::RingBusy => 5,
             DefuseCause::MultiFragment => 6,
-            DefuseCause::Other => 7,
+            DefuseCause::Topology => 7,
+            DefuseCause::Other => 8,
         }
     }
 }
@@ -431,7 +438,7 @@ pub struct FuseTally {
     pub attempts: u64,
     /// Messages that ran the fused path end to end.
     pub hits: u64,
-    by_cause: [u64; 8],
+    by_cause: [u64; 9],
 }
 
 impl FuseTally {
@@ -473,7 +480,7 @@ impl FuseTally {
     /// Field-wise difference against an earlier snapshot of the same
     /// monotonic tally.
     pub fn delta_since(&self, earlier: &FuseTally) -> FuseTally {
-        let mut by_cause = [0u64; 8];
+        let mut by_cause = [0u64; 9];
         for (i, slot) in by_cause.iter_mut().enumerate() {
             *slot = self.by_cause[i] - earlier.by_cause[i];
         }

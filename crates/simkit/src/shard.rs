@@ -57,9 +57,18 @@ use crate::time::{SimDuration, SimTime};
 /// Content-keyed node→shard assignment: a pure function of the node id and
 /// the shard count, so the layout is stable across runs, processes, and
 /// machines — never dependent on creation order or thread timing.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Two forms exist: the default hash map (every node id keyed
+/// independently) and an explicit per-node table
+/// ([`ShardMap::with_table`]) for layouts derived from structure the hash
+/// cannot see — e.g. a multi-switch topology co-sharding each switch with
+/// its attached hosts. Both are pure data: cloning is cheap (the table is
+/// behind an `Arc`) and equality compares content.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardMap {
     shards: u32,
+    /// Explicit node→shard table; `None` selects the hash assignment.
+    table: Option<Arc<Vec<u32>>>,
 }
 
 /// splitmix64: cheap, well-mixed integer hash (public-domain constants).
@@ -78,6 +87,24 @@ impl ShardMap {
         assert!(shards <= u32::MAX as usize, "shard count overflow");
         ShardMap {
             shards: shards as u32,
+            table: None,
+        }
+    }
+
+    /// A map with an explicit per-node assignment; `table[node]` is the
+    /// shard owning `node`. The caller guarantees the table is itself a
+    /// pure function of workload content (a topology shape, not creation
+    /// order), preserving the determinism contract.
+    pub fn with_table(shards: usize, table: Vec<u32>) -> ShardMap {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(shards <= u32::MAX as usize, "shard count overflow");
+        assert!(
+            table.iter().all(|&s| (s as usize) < shards),
+            "table entry out of shard range"
+        );
+        ShardMap {
+            shards: shards as u32,
+            table: Some(Arc::new(table)),
         }
     }
 
@@ -86,10 +113,14 @@ impl ShardMap {
         self.shards as usize
     }
 
-    /// The shard owning node `node`. Keyed on the node id's hash, not on
-    /// `node % shards`, so adjacent nodes (which often talk to each other)
-    /// do not all land in lockstep stripes.
+    /// The shard owning node `node`. With a table, the table entry; else
+    /// keyed on the node id's hash, not on `node % shards`, so adjacent
+    /// nodes (which often talk to each other) do not all land in lockstep
+    /// stripes.
     pub fn assign(&self, node: u32) -> usize {
+        if let Some(table) = &self.table {
+            return table[node as usize] as usize;
+        }
         if self.shards == 1 {
             return 0;
         }
@@ -233,6 +264,14 @@ impl ShardedSim {
     /// nonzero — a zero window would allow same-instant cross-shard
     /// causality, which conservative synchronization cannot order.
     pub fn new(shards: usize, lookahead: SimDuration) -> ShardedSim {
+        Self::new_with_map(ShardMap::new(shards), lookahead)
+    }
+
+    /// Like [`ShardedSim::new`] but with an explicit node→shard map (e.g.
+    /// a topology-aware table keeping switch neighborhoods co-sharded).
+    /// The shard count comes from the map.
+    pub fn new_with_map(map: ShardMap, lookahead: SimDuration) -> ShardedSim {
+        let shards = map.shards();
         assert!(shards >= 1, "need at least one shard");
         assert!(
             !lookahead.is_zero(),
@@ -241,7 +280,7 @@ impl ShardedSim {
         ShardedSim {
             inner: Arc::new(ShardInner {
                 sims: (0..shards).map(|_| Sim::new()).collect(),
-                map: ShardMap::new(shards),
+                map,
                 lookahead,
                 inbound: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
                 sent: (0..shards).map(|_| AtomicU64::new(0)).collect(),
@@ -262,7 +301,7 @@ impl ShardedSim {
 
     /// The node→shard assignment.
     pub fn map(&self) -> ShardMap {
-        self.inner.map
+        self.inner.map.clone()
     }
 
     /// The engine owning shard `shard`.
@@ -487,6 +526,24 @@ mod tests {
         }
         // 1-shard maps everything to shard 0.
         assert!((0..64).all(|n| ShardMap::new(1).assign(n) == 0));
+    }
+
+    #[test]
+    fn shard_map_table_overrides_hash() {
+        let map = ShardMap::with_table(3, vec![2, 0, 0, 1]);
+        assert_eq!(map.shards(), 3);
+        assert_eq!(
+            (0..4).map(|n| map.assign(n)).collect::<Vec<_>>(),
+            vec![2, 0, 0, 1]
+        );
+        assert_eq!(map.clone(), map, "clones compare equal by content");
+        assert_ne!(map, ShardMap::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of shard range")]
+    fn shard_map_table_entries_validated() {
+        let _ = ShardMap::with_table(2, vec![0, 2]);
     }
 
     #[test]

@@ -90,6 +90,11 @@ pub(crate) fn try_fuse_send(
         return Err(DefuseCause::MultiFragment);
     }
     let san = &provider.san;
+    // Multi-switch fabrics route hop by hop through buffered switch ports;
+    // the straight-line arithmetic below assumes the one-switch traversal.
+    if !san.is_single_switch() {
+        return Err(DefuseCause::Topology);
+    }
     // Loss could drop the frame (consuming RNG we must not touch early)
     // and fault plans perturb every stage; both void the precomputation.
     if !san.is_lossless() || san.faults_installed() {
@@ -261,7 +266,7 @@ pub(crate) fn fuse_rx_eligible(provider: &Provider, df: &DataFrame) -> bool {
         return false;
     }
     let san = &provider.san;
-    if !san.is_lossless() || san.faults_installed() {
+    if !san.is_single_switch() || !san.is_lossless() || san.faults_installed() {
         return false;
     }
     let st = provider.lock();

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use fabric::{NodeId, San};
+use fabric::{NodeId, San, Topology};
 use parking_lot::{Mutex, MutexGuard};
 use simkit::{CpuId, ProcessCtx, ShardedSim, Sim, SimDuration, WaitMode};
 use trace::{TraceConfig, Tracer};
@@ -656,9 +656,19 @@ pub struct Cluster {
 
 impl Cluster {
     /// Build `nodes` providers running `profile` over a fresh SAN. `seed`
-    /// feeds loss injection.
+    /// feeds loss injection. The SAN is constructed through the degenerate
+    /// [`Topology::star`] — bit-for-bit the legacy single-switch fabric.
     pub fn new(sim: Sim, profile: Profile, nodes: usize, seed: u64) -> Self {
-        let san = San::new(sim.clone(), profile.net, nodes, seed);
+        Self::new_topo(sim, profile, Topology::star(nodes), seed)
+    }
+
+    /// Build one provider per topology node over an explicit [`Topology`]
+    /// on a serial engine. Multi-switch shapes route frames hop by hop
+    /// through buffered, backpressured switch ports (see `fabric::topo`);
+    /// single-switch shapes are exactly [`Cluster::new`].
+    pub fn new_topo(sim: Sim, profile: Profile, topo: Topology, seed: u64) -> Self {
+        let nodes = topo.nodes();
+        let san = San::new_topo(sim.clone(), profile.net, topo, seed);
         let sim2 = sim.clone();
         Self::build(san, profile, nodes, seed, move |_| sim2.clone(), vec![sim])
     }
@@ -670,7 +680,22 @@ impl Cluster {
     /// lookahead channels. Use [`Cluster::node_sim`] to spawn a node's
     /// workload on the right engine.
     pub fn new_sharded(sharded: &ShardedSim, profile: Profile, nodes: usize, seed: u64) -> Self {
-        let san = San::new_sharded(sharded, profile.net, nodes, seed);
+        Self::new_sharded_topo(sharded, profile, Topology::star(nodes), seed)
+    }
+
+    /// Build one provider per topology node over an explicit [`Topology`]
+    /// distributed over the shards of a [`ShardedSim`]. The engine must
+    /// have been built with the topology's shard map and a lookahead no
+    /// larger than [`Topology::shard_lookahead`] (the fabric asserts
+    /// both).
+    pub fn new_sharded_topo(
+        sharded: &ShardedSim,
+        profile: Profile,
+        topo: Topology,
+        seed: u64,
+    ) -> Self {
+        let nodes = topo.nodes();
+        let san = San::new_sharded_topo(sharded, profile.net, topo, seed);
         let sims = sharded.sims().to_vec();
         let per_node: Vec<Sim> = (0..nodes)
             .map(|i| sharded.sim_for_node(i as u32).clone())

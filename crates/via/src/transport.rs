@@ -941,6 +941,7 @@ fn send_ack_at(
         && !tracer_on
         && tx_quiet
         && profile.data.ack_processing < crate::fastpath::min_wire_latency(provider)
+        && provider.san.is_single_switch()
         && provider.san.is_lossless()
         && !provider.san.faults_installed()
     {

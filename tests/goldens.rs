@@ -98,6 +98,16 @@ fn x_shard_matches_golden() {
 }
 
 #[test]
+fn x_topo_matches_golden() {
+    // The topology extension: 64-node fat-tree connection storms, 16-to-1
+    // incast and 64-way all-to-all. Pins per-flow goodput, per-tier port
+    // occupancy/pause/drop counters and the fabric frame-conservation
+    // ledger; regenerating it re-runs every per-port oracle. CI diffs it
+    // across the full VIBE_JOBS x VIBE_SHARDS x VIBE_FUSE matrix.
+    check("X-TOPO");
+}
+
+#[test]
 fn x_fault_matches_golden() {
     // The fault-injection extension: pins recovery latencies, degraded
     // goodput, firmware-stall penalties and the full error/reconnect
