@@ -26,7 +26,7 @@
 
 use std::sync::Arc;
 
-use fabric::{FaultPlan, NodeId};
+use fabric::{FaultPlan, NodeId, PortLimits, Topology};
 use simkit::{ProcessCtx, SimBarrier, SimDuration, SimRng, WaitMode};
 use via::{Discriminator, MemAttributes, MemHandle, Profile, Reliability, ViAttributes, ViaError};
 
@@ -41,6 +41,17 @@ const MSG_SIZES: [u64; 5] = [64, 256, 1024, 4096, 8192];
 
 /// Fault windows are placed inside this span past the stream start.
 const FAULT_SPAN: SimDuration = SimDuration::from_micros(5_000);
+
+/// Trunk joining the two switches of a multi-switch episode's dumbbell:
+/// generous bandwidth and a wide MTU so every profile's frames fit.
+fn chaos_trunk() -> fabric::LinkParams {
+    fabric::LinkParams {
+        bandwidth_bps: 1_000_000_000,
+        propagation: SimDuration::from_nanos(600),
+        frame_overhead_bytes: 8,
+        mtu: 64 * 1024,
+    }
+}
 
 /// What one chaos episode observed.
 #[derive(Clone, Copy, Debug)]
@@ -192,12 +203,22 @@ pub fn run_episode(idx: usize) -> EpisodeReport {
     let msgs = 8 + rng.below(33);
     let size = MSG_SIZES[rng.below(MSG_SIZES.len() as u64) as usize];
     let queue_depth = 4 + rng.below(5) as usize;
+    // Some episodes put the pair on a two-switch dumbbell, so the
+    // randomized plan can draw switch-down / trunk-down windows and the
+    // recovery arc runs over a fabric that reroutes (here: fail-stop and
+    // heal — a dumbbell has no alternate path, the honest worst case).
+    let topology = if rng.chance(0.3) {
+        Some(Topology::dumbbell(2, chaos_trunk(), PortLimits::default()))
+    } else {
+        None
+    };
     let cfg = DtConfig {
         iters: msgs as u32,
         warmup: 0,
         reliability,
         queue_depth,
         seed: cluster_seed,
+        topology,
         ..DtConfig::base(profile, size)
     };
     let pair = Pair::new(&cfg);
@@ -251,8 +272,13 @@ pub fn run_episode(idx: usize) -> EpisodeReport {
             let t0 = ctx.now();
             // Compose the fault plan relative to the stream start (the
             // handshake consumed a profile-dependent stretch of sim time).
-            let plan =
-                FaultPlan::randomized(&mut rng, t0 + SimDuration::from_micros(100), FAULT_SPAN, 2);
+            let start = t0 + SimDuration::from_micros(100);
+            let plan = match san.topology() {
+                // Multi-switch episodes draw from the full window pool,
+                // including switch-down and trunk-down kinds.
+                Some(t) => FaultPlan::randomized_topo(&mut rng, start, FAULT_SPAN, t),
+                None => FaultPlan::randomized(&mut rng, start, FAULT_SPAN, 2),
+            };
             let faults = plan.events().len() as u64;
             let plan_end = plan
                 .events()
@@ -368,6 +394,17 @@ pub fn run_episode(idx: usize) -> EpisodeReport {
     assert_eq!(
         sched.macro_events, sched.fuse.hits,
         "{tag}: macro-event census mismatch"
+    );
+    // Fold the episode's fault exposure into the suite's `[fabric: ...]`
+    // summary (switch-scoped windows on dumbbell episodes flush frames).
+    let fstats = pair.san().stats();
+    crate::runner::record_fabric_health(
+        pair.san()
+            .port_stats()
+            .iter()
+            .map(|p| p.stats.storm_trips)
+            .sum(),
+        fstats.frames_fault_dropped,
     );
     EpisodeReport {
         seed_fp: cluster_seed % 1_000_000,

@@ -1,0 +1,672 @@
+//! Fault-domain failover benchmarks (extension X-FAILOVER).
+//!
+//! Drives the fat-tree's switch-scoped fault machinery end to end — the
+//! robustness counterpart to X-TOPO's steady-state scale-out:
+//!
+//! * **Spine kill**: twelve cross-edge Reliable Delivery flows stream
+//!   through the 64-node fat-tree while a scripted [`fabric::FaultPlan`]
+//!   kills one spine switch mid-stream. Frames in the dead spine's FIFOs
+//!   are flushed (the honest `fault_dropped` bucket) and frames routed at
+//!   it during the detection window are refused; after the configured
+//!   detection + reconvergence delay the flow-keyed ECMP re-salts onto
+//!   the surviving spines and RTO-driven retransmits recover every drop.
+//!   The artifact reports each flow's stall (longest inter-delivery gap)
+//!   and the count of deliveries completed after the kill — every flow
+//!   must keep delivering on the reconverged paths.
+//! * **Pause cascade**: twenty-four senders converge on the eight hosts
+//!   of edge 0 under tight port limits with a PFC-style pause-storm
+//!   watchdog armed (`PortLimits::max_pause`). Host-port congestion backs
+//!   up across the spine→edge trunks into a multi-tier pause cascade; the
+//!   watchdog bounds how long any port may stay continuously paused,
+//!   trips (`storm_trips`), and sheds the paused backlog (`storm_dropped`
+//!   — honest port-attributed drops that Reliable Delivery recovers).
+//!
+//! Every artifact cell is virtual-time-derived or a deterministic
+//! counter, so the tables are byte-identical at any `VIBE_SHARDS` /
+//! `VIBE_JOBS` / `VIBE_FUSE` value — CI's golden matrix pins that (with
+//! switch faults installed the fused fast path de-fuses with
+//! [`simkit::DefuseCause::Reroute`], so fused and unfused runs are
+//! identical by construction). Each run ends with the X-TOPO
+//! conservation oracles extended for fault domains: frames sent =
+//! delivered + loss + fault + corruption + port-drop + fault-drop
+//! buckets, Σ per-port (drops + storm_dropped) = `frames_port_dropped`,
+//! and [`via::Provider::audit`] clean on every node. Design notes:
+//! DESIGN.md §4.7.
+
+use fabric::{FaultPlan, NodeId, PortLimits, PortSnapshot, RerouteParams, SanStats};
+use simkit::{SimDuration, SimTime, WaitMode};
+use via::{Descriptor, Discriminator, MemAttributes, Reliability, ViAttributes};
+
+use crate::report::Table;
+use crate::runner::default_shards;
+use crate::topo_bench::{fat_tree64, EDGES, HOSTS_PER_EDGE};
+
+/// Base seed for the X-FAILOVER runs.
+pub const FAILOVER_SEED: u64 = 0xFA11;
+
+/// Cross-edge flows streaming through the spine kill.
+pub const KILL_FLOWS: usize = 12;
+/// Messages each kill-workload flow streams.
+pub const KILL_MSGS: usize = 24;
+/// The spine the fault plan kills (switch ids: 0..EDGES edges, then
+/// EDGES..EDGES+SPINES spines).
+pub const KILLED_SPINE: u32 = (EDGES + 2) as u32;
+
+/// Senders converging on edge 0 in the pause cascade.
+pub const CASCADE_SENDERS: usize = 24;
+/// Messages each cascade sender streams.
+pub const CASCADE_MSGS: usize = 10;
+/// The watchdog's per-port bound on consecutive pause time.
+pub const CASCADE_MAX_PAUSE: SimDuration = SimDuration::from_micros(60);
+
+/// Stall classification floor: well above the ~57 us steady-state
+/// inter-delivery gap, well below the RTO-sized (~1 ms) failover stall a
+/// flow pays when the kill eats its frames.
+pub const STALL_FLOOR: SimDuration = SimDuration::from_micros(200);
+
+/// When the spine dies: mid-stream. Connection establishment costs the
+/// cLAN profile ~2.4 ms of host time, so the flows stream from roughly
+/// 2.4 ms to 3.5 ms; the kill lands squarely inside that span.
+fn kill_at() -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(2_700)
+}
+
+/// How long the spine stays dead.
+fn kill_duration() -> SimDuration {
+    SimDuration::from_micros(500)
+}
+
+/// Reliable Delivery VI attributes — retransmission is the recovery
+/// mechanism both workloads lean on.
+fn rd() -> ViAttributes {
+    ViAttributes {
+        reliability: Reliability::ReliableDelivery,
+        ..ViAttributes::default()
+    }
+}
+
+/// Kill-workload flow `f`'s endpoints: sources on edges 1..=6, each
+/// destination four edges away, host indices chosen so no node plays two
+/// roles. Every pair crosses the spine tier.
+fn kill_flow_pair(f: usize) -> (usize, usize) {
+    let src_edge = 1 + (f % 6);
+    let dst_edge = (src_edge + 4) % EDGES;
+    let src = HOSTS_PER_EDGE * src_edge + f / 6;
+    let dst = HOSTS_PER_EDGE * dst_edge + 4 + f / 6;
+    (src, dst)
+}
+
+/// Payload size of kill-workload flow `f` (flow-distinct, tie-free).
+fn kill_flow_size(f: usize) -> u64 {
+    2048 + 64 * f as u64
+}
+
+/// Per-flow telemetry from the spine-kill workload.
+#[derive(Clone, Debug)]
+pub struct FailoverFlow {
+    /// Row label ("f03 9->61", …).
+    pub label: String,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// Last delivery completion time.
+    pub last_rx: SimTime,
+    /// Longest gap between consecutive deliveries (the failover stall:
+    /// RTO-sized for flows that lost frames to the dead spine, one
+    /// message service time otherwise).
+    pub stall: SimDuration,
+    /// Deliveries completed after the kill instant — the reconverged
+    /// path carried them, so this must be positive for every flow.
+    pub post_kill: u64,
+}
+
+/// Outcome of the spine-kill run.
+#[derive(Clone, Debug)]
+pub struct FailoverOutcome {
+    /// The twelve flows, in flow order.
+    pub flows: Vec<FailoverFlow>,
+    /// Fabric counters.
+    pub san: SanStats,
+    /// Per-port counters.
+    pub ports: Vec<PortSnapshot>,
+}
+
+/// Run the spine-kill workload: stream [`KILL_FLOWS`] cross-edge flows,
+/// kill [`KILLED_SPINE`] at `kill_at` for `kill_duration`, and let
+/// reroute + retransmission carry every flow to completion.
+pub fn spine_kill(seed: u64, shards: usize) -> FailoverOutcome {
+    let rig = crate::topo_bench::Rig::new(
+        fat_tree64(PortLimits::default()),
+        seed,
+        shards,
+        "failover-spine-kill".to_string(),
+    );
+    let cluster = &rig.cluster;
+    let plan = FaultPlan::new()
+        .switch_down(KILLED_SPINE, kill_at(), kill_duration())
+        .with_reroute(RerouteParams::default());
+    cluster.san().install_faults(&plan);
+
+    let mut rx = Vec::with_capacity(KILL_FLOWS);
+    for f in 0..KILL_FLOWS {
+        let (src, dst) = kill_flow_pair(f);
+        let size = kill_flow_size(f);
+        let p = cluster.provider(dst);
+        let sim = cluster.node_sim(dst).clone();
+        let label = format!("f{f:02} {src}->{dst}");
+        rx.push(
+            sim.spawn(format!("failover-rx-f{f}"), Some(p.cpu()), move |ctx| {
+                let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+                let buf = p.malloc(size);
+                let mh = p
+                    .register_mem(ctx, buf, size, MemAttributes::default())
+                    .expect("register");
+                for _ in 0..KILL_MSGS {
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, size as u32))
+                        .expect("post_recv");
+                }
+                p.accept(ctx, &vi, Discriminator(f as u64)).expect("accept");
+                let mut bytes = 0u64;
+                let mut last = SimTime::ZERO;
+                let mut prev: Option<SimTime> = None;
+                let mut stall = SimDuration::ZERO;
+                let mut post_kill = 0u64;
+                for _ in 0..KILL_MSGS {
+                    let comp = vi.recv_wait(ctx, WaitMode::Poll);
+                    assert!(comp.is_ok(), "failover delivery failed: {:?}", comp.status);
+                    bytes += comp.length;
+                    let now = ctx.now();
+                    if let Some(prev) = prev {
+                        stall = stall.max(now.duration_since(prev));
+                    }
+                    prev = Some(now);
+                    last = last.max(now);
+                    if now > kill_at() {
+                        post_kill += 1;
+                    }
+                }
+                FailoverFlow {
+                    label,
+                    delivered: KILL_MSGS as u64,
+                    bytes,
+                    last_rx: last,
+                    stall,
+                    post_kill,
+                }
+            }),
+        );
+    }
+
+    let mut tx = Vec::with_capacity(KILL_FLOWS);
+    for f in 0..KILL_FLOWS {
+        let (src, dst) = kill_flow_pair(f);
+        let size = kill_flow_size(f);
+        let p = cluster.provider(src);
+        let sim = cluster.node_sim(src).clone();
+        tx.push(
+            sim.spawn(format!("failover-tx-f{f}"), Some(p.cpu()), move |ctx| {
+                let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+                let buf = p.malloc(size);
+                let mh = p
+                    .register_mem(ctx, buf, size, MemAttributes::default())
+                    .expect("register");
+                ctx.sleep(SimDuration::from_nanos(1_069 * f as u64));
+                p.connect(ctx, &vi, NodeId(dst as u32), Discriminator(f as u64), None)
+                    .expect("connect");
+                ctx.sleep(SimDuration::from_nanos(30_000 + 977 * f as u64));
+                // A window of two keeps frames in flight across the kill
+                // instant without overrunning the default port limits.
+                let mut posted = 0usize;
+                while posted < KILL_MSGS.min(2) {
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32))
+                        .expect("post_send");
+                    posted += 1;
+                }
+                for _ in 0..KILL_MSGS {
+                    let comp = vi.send_wait(ctx, WaitMode::Poll);
+                    assert!(comp.is_ok(), "failover send failed: {:?}", comp.status);
+                    if posted < KILL_MSGS {
+                        vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32))
+                            .expect("post_send");
+                        posted += 1;
+                    }
+                }
+            }),
+        );
+    }
+
+    rig.run();
+    for t in tx {
+        t.expect_result();
+    }
+    let flows: Vec<FailoverFlow> = rx.into_iter().map(|h| h.expect_result()).collect();
+    FailoverOutcome {
+        flows,
+        san: cluster.san().stats(),
+        ports: cluster.san().port_stats(),
+    }
+}
+
+/// The spine-kill tables: per-flow delivery/stall telemetry and the
+/// failover summary (fault timeline + drop accounting).
+pub fn spine_kill_tables() -> (Table, Table) {
+    let o = spine_kill(FAILOVER_SEED, default_shards());
+    for f in &o.flows {
+        assert_eq!(
+            f.delivered, KILL_MSGS as u64,
+            "{}: failover must not strand messages",
+            f.label
+        );
+        assert!(
+            f.post_kill > 0,
+            "{}: no deliveries after the spine kill — reroute failed",
+            f.label
+        );
+    }
+    assert!(
+        o.san.frames_fault_dropped > 0,
+        "the kill must catch frames in flight"
+    );
+
+    let mut flows = Table::new(
+        format!(
+            "X-FAILOVER: {KILL_FLOWS} cross-edge flows through a spine kill \
+             (spine {KILLED_SPINE} down {}-{} us, reroute 20+30 us)",
+            kill_at().as_micros_f64(),
+            (kill_at() + kill_duration()).as_micros_f64()
+        ),
+        vec![
+            "msgs".to_string(),
+            "KB".to_string(),
+            "last rx (us)".to_string(),
+            "stall (us)".to_string(),
+            "post-kill msgs".to_string(),
+        ],
+    );
+    for f in &o.flows {
+        flows.push(
+            f.label.clone(),
+            vec![
+                f.delivered as f64,
+                f.bytes as f64 / 1024.0,
+                f.last_rx.as_micros_f64(),
+                f.stall.as_micros_f64(),
+                f.post_kill as f64,
+            ],
+        );
+    }
+
+    let reroute = RerouteParams::default();
+    let port_faulted: u64 = o.ports.iter().map(|p| p.stats.fault_dropped).sum();
+    let mut summary = Table::new(
+        "X-FAILOVER: spine-kill fault timeline & drop accounting",
+        vec!["value".to_string()],
+    );
+    summary.push("kill at (us)", vec![kill_at().as_micros_f64()]);
+    summary.push(
+        "reroute converged (us)",
+        vec![(kill_at() + reroute.total()).as_micros_f64()],
+    );
+    summary.push(
+        "failback converged (us)",
+        vec![(kill_at() + kill_duration() + reroute.total()).as_micros_f64()],
+    );
+    summary.push("frames sent", vec![o.san.frames_sent as f64]);
+    summary.push("frames delivered", vec![o.san.frames_delivered as f64]);
+    summary.push(
+        "frames fault-dropped",
+        vec![o.san.frames_fault_dropped as f64],
+    );
+    summary.push("  of which port-attributed", vec![port_faulted as f64]);
+    summary.push(
+        "frames port-dropped",
+        vec![o.san.frames_port_dropped as f64],
+    );
+    summary.push(
+        "flows stalled > 200 us",
+        vec![o.flows.iter().filter(|f| f.stall > STALL_FLOOR).count() as f64],
+    );
+    (flows, summary)
+}
+
+/// Cascade sender `s`'s node: hosts 0..=2 of edges 1..=7 — off edge 0,
+/// so every flow crosses the spine tier into the congested edge.
+fn cascade_sender_node(s: usize) -> usize {
+    HOSTS_PER_EDGE * (1 + (s % (EDGES - 1))) + s / (EDGES - 1)
+}
+
+/// Payload size of cascade flow `s` (flow-distinct, tie-free).
+fn cascade_size(s: usize) -> u64 {
+    1024 + 32 * s as u64
+}
+
+/// Tight limits with the watchdog armed: ports pause early and a paused
+/// port that stays continuously paused past [`CASCADE_MAX_PAUSE`] trips.
+fn cascade_limits() -> PortLimits {
+    PortLimits {
+        capacity: 2,
+        pause_depth: 4,
+        max_pause: Some(CASCADE_MAX_PAUSE),
+    }
+}
+
+/// Outcome of the pause-cascade run.
+#[derive(Clone, Debug)]
+pub struct CascadeOutcome {
+    /// Messages delivered across all flows.
+    pub delivered: u64,
+    /// Latest delivery.
+    pub last_rx: SimTime,
+    /// Fabric counters.
+    pub san: SanStats,
+    /// Per-port counters.
+    pub ports: Vec<PortSnapshot>,
+}
+
+/// Run the pause cascade: [`CASCADE_SENDERS`] pipelined senders converge
+/// on edge 0's eight hosts under `cascade_limits`; the watchdog trips
+/// on ports that stay paused past the bound and sheds their backlog.
+pub fn pause_cascade(seed: u64, shards: usize) -> CascadeOutcome {
+    let rig = crate::topo_bench::Rig::new(
+        fat_tree64(cascade_limits()),
+        seed,
+        shards,
+        "failover-pause-cascade".to_string(),
+    );
+    let cluster = &rig.cluster;
+
+    let mut rx = Vec::with_capacity(CASCADE_SENDERS);
+    for s in 0..CASCADE_SENDERS {
+        let dst = s % HOSTS_PER_EDGE;
+        let size = cascade_size(s);
+        let p = cluster.provider(dst);
+        let sim = cluster.node_sim(dst).clone();
+        rx.push(
+            sim.spawn(format!("cascade-rx-s{s}"), Some(p.cpu()), move |ctx| {
+                let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+                let buf = p.malloc(size);
+                let mh = p
+                    .register_mem(ctx, buf, size, MemAttributes::default())
+                    .expect("register");
+                for _ in 0..CASCADE_MSGS {
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, size as u32))
+                        .expect("post_recv");
+                }
+                p.accept(ctx, &vi, Discriminator(400 + s as u64))
+                    .expect("accept");
+                let mut bytes = 0u64;
+                let mut last = SimTime::ZERO;
+                for _ in 0..CASCADE_MSGS {
+                    let comp = vi.recv_wait(ctx, WaitMode::Poll);
+                    assert!(comp.is_ok(), "cascade delivery failed: {:?}", comp.status);
+                    bytes += comp.length;
+                    last = last.max(ctx.now());
+                }
+                (CASCADE_MSGS as u64, bytes, last)
+            }),
+        );
+    }
+
+    let mut tx = Vec::with_capacity(CASCADE_SENDERS);
+    for s in 0..CASCADE_SENDERS {
+        let src = cascade_sender_node(s);
+        let dst = s % HOSTS_PER_EDGE;
+        let size = cascade_size(s);
+        let p = cluster.provider(src);
+        let sim = cluster.node_sim(src).clone();
+        tx.push(
+            sim.spawn(format!("cascade-tx-s{s}"), Some(p.cpu()), move |ctx| {
+                let vi = p.create_vi(ctx, rd(), None, None).expect("vi");
+                let buf = p.malloc(size);
+                let mh = p
+                    .register_mem(ctx, buf, size, MemAttributes::default())
+                    .expect("register");
+                ctx.sleep(SimDuration::from_nanos(1_069 * s as u64));
+                p.connect(
+                    ctx,
+                    &vi,
+                    NodeId(dst as u32),
+                    Discriminator(400 + s as u64),
+                    None,
+                )
+                .expect("connect");
+                ctx.sleep(SimDuration::from_nanos(30_000 + 977 * s as u64));
+                let mut posted = 0usize;
+                while posted < CASCADE_MSGS.min(2) {
+                    vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32))
+                        .expect("post_send");
+                    posted += 1;
+                }
+                for _ in 0..CASCADE_MSGS {
+                    let comp = vi.send_wait(ctx, WaitMode::Poll);
+                    assert!(comp.is_ok(), "cascade send failed: {:?}", comp.status);
+                    if posted < CASCADE_MSGS {
+                        vi.post_send(ctx, Descriptor::send().segment(buf, mh, size as u32))
+                            .expect("post_send");
+                        posted += 1;
+                    }
+                }
+            }),
+        );
+    }
+
+    rig.run();
+    for t in tx {
+        t.expect_result();
+    }
+    let mut delivered = 0u64;
+    let mut last = SimTime::ZERO;
+    for r in rx {
+        let (d, _, l) = r.expect_result();
+        delivered += d;
+        last = last.max(l);
+    }
+    CascadeOutcome {
+        delivered,
+        last_rx: last,
+        san: cluster.san().stats(),
+        ports: cluster.san().port_stats(),
+    }
+}
+
+/// The pause-cascade table: per-tier pause/storm counters plus totals.
+pub fn pause_cascade_table() -> Table {
+    let o = pause_cascade(FAILOVER_SEED, default_shards());
+    assert_eq!(
+        o.delivered,
+        (CASCADE_SENDERS * CASCADE_MSGS) as u64,
+        "Reliable Delivery must recover every storm-shed frame"
+    );
+    let trips: u64 = o.ports.iter().map(|p| p.stats.storm_trips).sum();
+    let shed: u64 = o.ports.iter().map(|p| p.stats.storm_dropped).sum();
+    assert!(trips > 0, "the cascade must trip the watchdog");
+    assert!(shed > 0, "a trip must shed the paused backlog");
+    // The watchdog bound: a port's pause streak is re-examined every time
+    // a departure frees buffer space, so the recorded maximum can overrun
+    // the bound by at most one frame service time (largest cascade frame
+    // on the host link, the slowest hop) plus the switch latency.
+    let net = via::Profile::clan().net;
+    let largest = cascade_size(CASCADE_SENDERS - 1) as u32 + via::Profile::clan().frag_header_bytes;
+    let granule = net.link.serialization(largest) + net.switch.latency;
+    let bound_ns = CASCADE_MAX_PAUSE.as_nanos();
+    for p in &o.ports {
+        assert!(
+            p.stats.max_pause_ns <= bound_ns + granule.as_nanos(),
+            "switch {} port {:?}: pause streak {} ns exceeds bound {} ns + granule {} ns",
+            p.switch,
+            p.target,
+            p.stats.max_pause_ns,
+            bound_ns,
+            granule.as_nanos()
+        );
+    }
+
+    let mut t = Table::new(
+        format!(
+            "X-FAILOVER: {CASCADE_SENDERS}-to-{HOSTS_PER_EDGE} pause cascade \
+             (capacity 2 / pause 4, watchdog bound {} us)",
+            CASCADE_MAX_PAUSE.as_micros_f64()
+        ),
+        vec![
+            "ports".to_string(),
+            "pauses".to_string(),
+            "storm trips".to_string(),
+            "storm shed".to_string(),
+            "drops".to_string(),
+            "max pause (us)".to_string(),
+        ],
+    );
+    let tier_of = |p: &PortSnapshot| -> &'static str {
+        if (p.switch as usize) < EDGES {
+            match p.target {
+                fabric::PortTarget::Node(_) => "edge->host",
+                fabric::PortTarget::Switch(_) => "edge->spine",
+            }
+        } else {
+            "spine->edge"
+        }
+    };
+    for tier in ["edge->host", "edge->spine", "spine->edge"] {
+        let sel: Vec<&PortSnapshot> = o.ports.iter().filter(|p| tier_of(p) == tier).collect();
+        t.push(
+            tier,
+            vec![
+                sel.len() as f64,
+                sel.iter().map(|p| p.stats.pauses).sum::<u64>() as f64,
+                sel.iter().map(|p| p.stats.storm_trips).sum::<u64>() as f64,
+                sel.iter().map(|p| p.stats.storm_dropped).sum::<u64>() as f64,
+                sel.iter().map(|p| p.stats.drops).sum::<u64>() as f64,
+                sel.iter().map(|p| p.stats.max_pause_ns).max().unwrap_or(0) as f64 / 1e3,
+            ],
+        );
+    }
+    t.push(
+        "total",
+        vec![
+            o.ports.len() as f64,
+            o.ports.iter().map(|p| p.stats.pauses).sum::<u64>() as f64,
+            trips as f64,
+            shed as f64,
+            o.ports.iter().map(|p| p.stats.drops).sum::<u64>() as f64,
+            o.ports
+                .iter()
+                .map(|p| p.stats.max_pause_ns)
+                .max()
+                .unwrap_or(0) as f64
+                / 1e3,
+        ],
+    );
+    t.push(
+        "delivered msgs / last rx (us)",
+        vec![
+            o.delivered as f64,
+            o.last_rx.as_micros_f64(),
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+        ],
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_flow_pairs_are_distinct_and_cross_edge() {
+        let mut nodes = Vec::new();
+        for f in 0..KILL_FLOWS {
+            let (src, dst) = kill_flow_pair(f);
+            assert_ne!(
+                src / HOSTS_PER_EDGE,
+                dst / HOSTS_PER_EDGE,
+                "flow {f} must cross edges"
+            );
+            nodes.push(src);
+            nodes.push(dst);
+        }
+        let mut dedup = nodes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), nodes.len(), "no node plays two roles");
+    }
+
+    #[test]
+    fn cascade_senders_avoid_edge0() {
+        let nodes: Vec<usize> = (0..CASCADE_SENDERS).map(cascade_sender_node).collect();
+        let mut dedup = nodes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), CASCADE_SENDERS);
+        for &n in &nodes {
+            assert!(n >= HOSTS_PER_EDGE, "sender {n} sits on the victim edge");
+        }
+    }
+
+    #[test]
+    fn spine_kill_recovers_every_flow() {
+        let o = spine_kill(FAILOVER_SEED, 1);
+        assert!(
+            o.san.frames_fault_dropped > 0,
+            "the kill must catch frames in flight: {:?}",
+            o.san
+        );
+        for f in &o.flows {
+            assert_eq!(f.delivered, KILL_MSGS as u64, "{}", f.label);
+            assert!(f.post_kill > 0, "{}: must deliver after the kill", f.label);
+        }
+        // At least one flow was routed through the dead spine and paid an
+        // RTO-sized stall before recovering on the reconverged path.
+        assert!(
+            o.flows.iter().any(|f| f.stall > STALL_FLOOR),
+            "no flow stalled — the kill never intersected a routed path"
+        );
+    }
+
+    #[test]
+    fn spine_kill_is_shard_count_invariant() {
+        let serial = spine_kill(FAILOVER_SEED, 1);
+        for shards in [2usize, 4] {
+            let sharded = spine_kill(FAILOVER_SEED, shards);
+            assert_eq!(sharded.san, serial.san, "shards={shards}");
+            let key = |o: &FailoverOutcome| -> Vec<(String, u64, u64, u64, u64)> {
+                o.flows
+                    .iter()
+                    .map(|f| {
+                        (
+                            f.label.clone(),
+                            f.bytes,
+                            f.last_rx.as_nanos(),
+                            f.stall.as_nanos(),
+                            f.post_kill,
+                        )
+                    })
+                    .collect()
+            };
+            assert_eq!(key(&sharded), key(&serial), "shards={shards}");
+            assert_eq!(
+                sharded.ports.iter().map(|p| p.stats).collect::<Vec<_>>(),
+                serial.ports.iter().map(|p| p.stats).collect::<Vec<_>>(),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn pause_cascade_trips_watchdog_and_is_shard_count_invariant() {
+        let serial = pause_cascade(FAILOVER_SEED, 1);
+        let trips: u64 = serial.ports.iter().map(|p| p.stats.storm_trips).sum();
+        assert!(trips > 0, "watchdog must trip");
+        assert_eq!(serial.delivered, (CASCADE_SENDERS * CASCADE_MSGS) as u64);
+        let sharded = pause_cascade(FAILOVER_SEED, 4);
+        assert_eq!(sharded.san, serial.san);
+        assert_eq!(sharded.last_rx, serial.last_rx);
+        assert_eq!(
+            sharded.ports.iter().map(|p| p.stats).collect::<Vec<_>>(),
+            serial.ports.iter().map(|p| p.stats).collect::<Vec<_>>()
+        );
+    }
+}

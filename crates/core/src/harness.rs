@@ -62,6 +62,11 @@ pub struct DtConfig {
     pub rdma: bool,
     /// RNG seed for the run.
     pub seed: u64,
+    /// Fabric shape joining the two nodes. `None` (the base setup) is the
+    /// legacy single-switch San; a multi-switch shape routes the pair's
+    /// traffic hop by hop — the chaos suite uses this to exercise
+    /// switch/trunk fault windows end to end.
+    pub topology: Option<fabric::Topology>,
 }
 
 impl DtConfig {
@@ -82,6 +87,7 @@ impl DtConfig {
             queue_depth: 16,
             rdma: false,
             seed: BASE_SEED,
+            topology: None,
         }
     }
 }
@@ -244,7 +250,13 @@ impl Pair {
     /// serves the send/receive, RDMA-write, and get/put benchmarks alike.
     pub fn new(cfg: &DtConfig) -> Self {
         let sim = Sim::new();
-        let cluster = Cluster::new(sim.clone(), cfg.profile.clone(), 2, cfg.seed);
+        let cluster = match &cfg.topology {
+            Some(topo) => {
+                assert_eq!(topo.nodes(), 2, "a Pair needs a two-node topology");
+                Cluster::new_topo(sim.clone(), cfg.profile.clone(), topo.clone(), cfg.seed)
+            }
+            None => Cluster::new(sim.clone(), cfg.profile.clone(), 2, cfg.seed),
+        };
         let attrs = ViAttributes {
             enable_rdma_read: cfg.profile.supports_rdma_read,
             ..ViAttributes::reliable(cfg.reliability)

@@ -40,6 +40,7 @@ pub mod client_server;
 pub mod cqimpact;
 pub mod dsm_bench;
 pub mod extra;
+pub mod failover_bench;
 pub mod fault_bench;
 pub mod getput;
 pub mod harness;

@@ -147,6 +147,8 @@ pub struct SuiteRun {
     /// Sharded-engine runs recorded by this suite's jobs (empty when every
     /// experiment ran on a serial engine).
     pub shard_runs: Vec<ShardRunRecord>,
+    /// Fabric-robustness counters accumulated by this suite's jobs.
+    pub fabric_health: FabricHealth,
 }
 
 impl SuiteRun {
@@ -359,6 +361,39 @@ pub fn take_shard_runs() -> Vec<ShardRunRecord> {
     runs
 }
 
+/// Fabric-robustness counters accumulated across a suite run's workloads
+/// — pause-storm watchdog trips and fault-window frame drops. Surfaced
+/// as the runner binary's `[fabric: ...]` summary line so a PR diff shows
+/// at a glance when the suite's fault exposure changed. Sums are
+/// order-independent, so the totals are identical at any `VIBE_JOBS`
+/// worker count (each workload records exactly once whether it ran on
+/// the serial `produce` path or as a plan job).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricHealth {
+    /// Pause-storm watchdog trips across every recorded run.
+    pub storm_trips: u64,
+    /// Frames dropped by switch/trunk fault windows (FIFO flushes,
+    /// dead-element refusals, no-route drops) across every recorded run.
+    pub fault_dropped: u64,
+}
+
+static FABRIC_HEALTH: std::sync::Mutex<FabricHealth> = std::sync::Mutex::new(FabricHealth {
+    storm_trips: 0,
+    fault_dropped: 0,
+});
+
+/// Accumulate one run's fabric-robustness counters for the suite summary.
+pub fn record_fabric_health(storm_trips: u64, fault_dropped: u64) {
+    let mut h = FABRIC_HEALTH.lock().unwrap();
+    h.storm_trips += storm_trips;
+    h.fault_dropped += fault_dropped;
+}
+
+/// Drain the accumulated fabric-robustness counters.
+pub fn take_fabric_health() -> FabricHealth {
+    std::mem::take(&mut *FABRIC_HEALTH.lock().unwrap())
+}
+
 struct JobOutcome {
     artifacts: Vec<Artifact>,
     wall: Duration,
@@ -387,9 +422,11 @@ fn execute(job: Job) -> JobOutcome {
 /// byte-identical at any worker count).
 pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
     let t0 = Instant::now();
-    // Drop stale sharded-engine records from earlier runs in this process
-    // so the X-PAR snapshot covers exactly this suite's jobs.
+    // Drop stale sharded-engine and fabric-health records from earlier
+    // runs in this process so the snapshots cover exactly this suite's
+    // jobs.
     drop(take_shard_runs());
+    let _ = take_fabric_health();
     if workers <= 1 {
         // Serial fallback: the exact pre-parallel path — `produce` on the
         // calling thread, no plan, no pool. CI pins goldens in this mode.
@@ -426,6 +463,7 @@ pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
             wall: t0.elapsed(),
             pool,
             shard_runs: take_shard_runs(),
+            fabric_health: take_fabric_health(),
         };
     }
 
@@ -508,6 +546,7 @@ pub fn run_suite(experiments: Vec<Experiment>, workers: usize) -> SuiteRun {
         wall: t0.elapsed(),
         pool,
         shard_runs: take_shard_runs(),
+        fabric_health: take_fabric_health(),
     }
 }
 

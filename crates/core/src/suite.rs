@@ -10,9 +10,9 @@ use crate::harness::BASE_SEED;
 use crate::report::Artifact;
 use crate::runner::Job;
 use crate::{
-    base, breakdown, chaos, client_server, cqimpact, dsm_bench, extra, fault_bench, getput,
-    harness, mpl_bench, mvi, nondata, scale, sched_bench, shard_bench, topo_bench, trace_bench,
-    xlate,
+    base, breakdown, chaos, client_server, cqimpact, dsm_bench, extra, failover_bench, fault_bench,
+    getput, harness, mpl_bench, mvi, nondata, scale, sched_bench, shard_bench, topo_bench,
+    trace_bench, xlate,
 };
 use simkit::WaitMode;
 
@@ -615,6 +615,28 @@ fn plan_topo() -> Vec<Job> {
     ]
 }
 
+fn run_failover() -> Vec<Artifact> {
+    let (flows, summary) = failover_bench::spine_kill_tables();
+    vec![
+        flows.into(),
+        summary.into(),
+        failover_bench::pause_cascade_table().into(),
+    ]
+}
+
+fn plan_failover() -> Vec<Job> {
+    vec![
+        // One spine-kill run feeds both of its artifacts.
+        job("X-FAILOVER/spine-kill".to_string(), || {
+            let (flows, summary) = failover_bench::spine_kill_tables();
+            vec![flows.into(), summary.into()]
+        }),
+        job("X-FAILOVER/pause-cascade".to_string(), || {
+            vec![failover_bench::pause_cascade_table().into()]
+        }),
+    ]
+}
+
 /// Every experiment, in the paper's reporting order.
 pub fn all_experiments() -> Vec<Experiment> {
     use Category::*;
@@ -781,6 +803,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             plan: plan_topo,
         },
         Experiment {
+            id: "X-FAILOVER",
+            title: "Extension: switch fault domains, deterministic reroute & the pause watchdog",
+            category: DataTransfer,
+            produce: run_failover,
+            plan: plan_failover,
+        },
+        Experiment {
             id: "X-MPL",
             title: "Future work (Sec 5): message-passing layer over VIA",
             category: ProgrammingModel,
@@ -816,8 +845,20 @@ mod tests {
         }
         // The six TR-only benchmarks of §3.2.5 plus the extensions.
         for id in [
-            "X-MDS", "X-ASY", "X-RDMA", "X-PIP", "X-MTU", "X-REL", "X-GETPUT", "X-SCALE",
-            "X-SCHED", "X-FAULT", "X-CHAOS", "X-SHARD", "X-TOPO",
+            "X-MDS",
+            "X-ASY",
+            "X-RDMA",
+            "X-PIP",
+            "X-MTU",
+            "X-REL",
+            "X-GETPUT",
+            "X-SCALE",
+            "X-SCHED",
+            "X-FAULT",
+            "X-CHAOS",
+            "X-SHARD",
+            "X-TOPO",
+            "X-FAILOVER",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

@@ -74,15 +74,15 @@ fn rd() -> ViAttributes {
 /// Engine scaffolding shared by the workloads: a serial [`Sim`] at one
 /// shard, a [`ShardedSim`] on the topology's own shard map and
 /// per-link-pair lookahead otherwise.
-struct Rig {
-    cluster: Cluster,
+pub(crate) struct Rig {
+    pub(crate) cluster: Cluster,
     engine: Option<ShardedSim>,
     serial: Option<Sim>,
     label: String,
 }
 
 impl Rig {
-    fn new(topo: Topology, seed: u64, shards: usize, label: impl Into<String>) -> Rig {
+    pub(crate) fn new(topo: Topology, seed: u64, shards: usize, label: impl Into<String>) -> Rig {
         let profile = Profile::clan();
         if shards > 1 {
             let engine = ShardedSim::new_with_map(
@@ -110,7 +110,7 @@ impl Rig {
 
     /// Run to completion, record the shard-balance row, check the
     /// conservation oracles.
-    fn run(&self) {
+    pub(crate) fn run(&self) {
         match (&self.engine, &self.serial) {
             (Some(eng), _) => {
                 let rep = eng.run_to_completion();
@@ -141,13 +141,23 @@ impl Rig {
 
 /// The X-TOPO conservation oracles (see the module docs). Panics on any
 /// violation — the suite must not render tables over broken accounting.
-fn check_oracles(cluster: &Cluster, tag: &str) {
+pub(crate) fn check_oracles(cluster: &Cluster, tag: &str) {
     let san = cluster.san().stats();
     let ports = cluster.san().port_stats();
-    let port_drops: u64 = ports.iter().map(|p| p.stats.drops).sum();
+    let port_drops: u64 = ports
+        .iter()
+        .map(|p| p.stats.drops + p.stats.storm_dropped)
+        .sum();
     assert_eq!(
         san.frames_port_dropped, port_drops,
         "{tag}: every fabric-level port drop must be attributed to a port"
+    );
+    // Trunk-refusal fault drops are port-attributed; switch-wide kills
+    // and no-route drops have no single port, so this is an inequality.
+    let port_faulted: u64 = ports.iter().map(|p| p.stats.fault_dropped).sum();
+    assert!(
+        port_faulted <= san.frames_fault_dropped,
+        "{tag}: port fault attribution exceeds the fabric total: {san:?}"
     );
     assert_eq!(
         san.frames_sent,
@@ -155,7 +165,8 @@ fn check_oracles(cluster: &Cluster, tag: &str) {
             + san.frames_dropped
             + san.frames_faulted
             + san.frames_corrupted
-            + san.frames_port_dropped,
+            + san.frames_port_dropped
+            + san.frames_fault_dropped,
         "{tag}: frame conservation: {san:?}"
     );
     for i in 0..cluster.nodes() {
@@ -166,6 +177,10 @@ fn check_oracles(cluster: &Cluster, tag: &str) {
             audit.violations
         );
     }
+    crate::runner::record_fabric_health(
+        ports.iter().map(|p| p.stats.storm_trips).sum(),
+        san.frames_fault_dropped,
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -365,6 +380,7 @@ fn incast_limits() -> PortLimits {
     PortLimits {
         capacity: 4,
         pause_depth: 8,
+        max_pause: None,
     }
 }
 

@@ -20,6 +20,7 @@
 use simkit::{SimDuration, SimRng, SimTime};
 
 use crate::san::NodeId;
+use crate::topo::Topology;
 
 /// Trace-record node id used for switch-scope fault edges (brownouts),
 /// which belong to no attached node.
@@ -59,6 +60,87 @@ pub enum FaultKind {
         /// Added switch traversal latency.
         extra_latency: SimDuration,
     },
+    /// A whole switch is dead (multi-switch topologies only): frames
+    /// parked in its port FIFOs at window open are flushed, and every
+    /// frame arriving at it during the window is dropped — both counted
+    /// in [`crate::SanStats::frames_fault_dropped`]. Routing reconverges
+    /// around it after the plan's [`RerouteParams`] delay.
+    SwitchDown {
+        /// The dead switch.
+        switch: u32,
+    },
+    /// One undirected trunk is severed (multi-switch topologies only):
+    /// the two trunk-port FIFOs are flushed at window open and frames
+    /// routed onto the trunk during the window are dropped. Routing
+    /// reconverges around it after the plan's [`RerouteParams`] delay.
+    TrunkDown {
+        /// Lower-numbered endpoint switch.
+        a: u32,
+        /// Higher-numbered endpoint switch.
+        b: u32,
+    },
+    /// Every output port of one switch degrades: admitted frames pay
+    /// `extra_latency` on top of the switch traversal. Paths stay valid,
+    /// so no reroute is triggered.
+    PortDegrade {
+        /// The degraded switch.
+        switch: u32,
+        /// Added per-traversal latency on every port of the switch.
+        extra_latency: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// True for the kinds that target switch-fabric elements rather than
+    /// host links — the kinds only a multi-switch SAN can apply.
+    pub fn is_switch_scoped(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::SwitchDown { .. }
+                | FaultKind::TrunkDown { .. }
+                | FaultKind::PortDegrade { .. }
+        )
+    }
+
+    /// True for the kinds that invalidate routes and trigger deterministic
+    /// reconvergence (a degraded port still forwards, so it does not).
+    pub fn triggers_reroute(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::SwitchDown { .. } | FaultKind::TrunkDown { .. }
+        )
+    }
+}
+
+/// Detection + reconvergence delays for route recomputation after a
+/// [`FaultKind::SwitchDown`] or [`FaultKind::TrunkDown`] edge. Routing
+/// keeps steering frames into the dead element (a blackhole, dropped with
+/// honest counters) for `detection + reconvergence` after each edge, then
+/// flips to BFS routes excluding every currently failed element — on every
+/// shard at the same virtual instant, so the chosen paths are a pure
+/// function of virtual time at any shard count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RerouteParams {
+    /// Time for the control plane to notice the failed element.
+    pub detection: SimDuration,
+    /// Time to recompute and install routes once detected.
+    pub reconvergence: SimDuration,
+}
+
+impl Default for RerouteParams {
+    fn default() -> Self {
+        RerouteParams {
+            detection: SimDuration::from_micros(20),
+            reconvergence: SimDuration::from_micros(30),
+        }
+    }
+}
+
+impl RerouteParams {
+    /// Total delay between a fault edge and the routing flip.
+    pub fn total(&self) -> SimDuration {
+        self.detection + self.reconvergence
+    }
 }
 
 /// One scheduled fault window: `kind` is active on `[at, at + duration)`.
@@ -78,6 +160,9 @@ pub struct FaultWindow {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     events: Vec<FaultWindow>,
+    /// Reroute delays for switch-scoped windows; `None` uses
+    /// [`RerouteParams::default`].
+    reroute: Option<RerouteParams>,
 }
 
 impl FaultPlan {
@@ -147,6 +232,71 @@ impl FaultPlan {
         self.window(at, duration, FaultKind::Brownout { extra_latency })
     }
 
+    /// Kill switch `switch` for `duration` starting at `at` (multi-switch
+    /// SANs only; installation validates the id against the topology).
+    pub fn switch_down(self, switch: u32, at: SimTime, duration: SimDuration) -> Self {
+        self.window(at, duration, FaultKind::SwitchDown { switch })
+    }
+
+    /// Sever the undirected trunk between switches `a` and `b` for
+    /// `duration` starting at `at` (the pair is normalized, so either
+    /// endpoint order names the same trunk).
+    pub fn trunk_down(self, a: u32, b: u32, at: SimTime, duration: SimDuration) -> Self {
+        assert!(a != b, "a trunk joins two distinct switches");
+        self.window(
+            at,
+            duration,
+            FaultKind::TrunkDown {
+                a: a.min(b),
+                b: a.max(b),
+            },
+        )
+    }
+
+    /// Degrade every output port of switch `switch` by `extra_latency` per
+    /// traversal during the window.
+    pub fn port_degrade(
+        self,
+        switch: u32,
+        at: SimTime,
+        duration: SimDuration,
+        extra_latency: SimDuration,
+    ) -> Self {
+        self.window(
+            at,
+            duration,
+            FaultKind::PortDegrade {
+                switch,
+                extra_latency,
+            },
+        )
+    }
+
+    /// Override the reroute delays applied to this plan's switch-scoped
+    /// windows (default: [`RerouteParams::default`]).
+    pub fn with_reroute(mut self, reroute: RerouteParams) -> Self {
+        self.reroute = Some(reroute);
+        self
+    }
+
+    /// The reroute delays switch-scoped windows in this plan reconverge
+    /// under.
+    pub fn reroute(&self) -> RerouteParams {
+        self.reroute.unwrap_or_default()
+    }
+
+    /// True when any window targets a switch-fabric element (switch,
+    /// trunk, or switch-port degrade) — installation requires a
+    /// multi-switch topology.
+    pub fn has_switch_faults(&self) -> bool {
+        self.events.iter().any(|w| w.kind.is_switch_scoped())
+    }
+
+    /// True when any window triggers route reconvergence.
+    pub fn has_reroute_faults(&self) -> bool {
+        self.events.iter().any(|w| w.kind.triggers_reroute())
+    }
+
     /// Compose a randomized plan from a seeded RNG stream: zero to four
     /// fault windows of mixed kinds, each starting inside
     /// `[base, base + span)` with a duration of at most half the span and
@@ -179,6 +329,57 @@ impl FaultPlan {
                 ),
                 2 => plan.corrupt(at, duration, rng.unit() * 0.3),
                 _ => plan.brownout(at, duration, SimDuration::from_micros(1 + rng.below(30))),
+            };
+        }
+        plan
+    }
+
+    /// Topology-aware [`FaultPlan::randomized`]: on a single-switch shape
+    /// it delegates verbatim (identical draw sequence, so existing seeded
+    /// plans do not move by a byte); on a multi-switch shape the kind draw
+    /// widens to six and may schedule [`FaultKind::SwitchDown`] and
+    /// [`FaultKind::TrunkDown`] windows against the topology's actual
+    /// switches and trunks. Switch/trunk windows are capped at a quarter
+    /// of the span so transports with bounded retry budgets can ride out
+    /// the blackhole-plus-reconvergence gap.
+    pub fn randomized_topo(
+        rng: &mut SimRng,
+        base: SimTime,
+        span: SimDuration,
+        topo: &Topology,
+    ) -> Self {
+        if topo.is_single_switch() {
+            return Self::randomized(rng, base, span, topo.nodes() as u32);
+        }
+        let nodes = topo.nodes() as u32;
+        let trunks = topo.trunk_pairs();
+        assert!(!trunks.is_empty(), "multi-switch topology has trunks");
+        let mut plan = FaultPlan::new();
+        let windows = rng.below(5);
+        for _ in 0..windows {
+            let at = base + SimDuration::from_nanos(rng.below(span.as_nanos()));
+            let duration = SimDuration::from_nanos(rng.below(span.as_nanos() / 2).max(1_000));
+            let short = SimDuration::from_nanos(duration.as_nanos().div_ceil(2).max(1_000));
+            let node = NodeId(rng.below(nodes as u64) as u32);
+            plan = match rng.below(6) {
+                0 => plan.link_flap(node, at, duration),
+                1 => plan.degrade(
+                    node,
+                    at,
+                    duration,
+                    SimDuration::from_micros(1 + rng.below(20)),
+                    rng.unit() * 0.3,
+                ),
+                2 => plan.corrupt(at, duration, rng.unit() * 0.3),
+                3 => plan.brownout(at, duration, SimDuration::from_micros(1 + rng.below(30))),
+                4 => {
+                    let sw = rng.below(topo.switches() as u64) as u32;
+                    plan.switch_down(sw, at, short)
+                }
+                _ => {
+                    let (a, b) = trunks[rng.below(trunks.len() as u64) as usize];
+                    plan.trunk_down(a, b, at, short)
+                }
             };
         }
         plan
@@ -234,6 +435,37 @@ impl FaultState {
     #[cfg(test)]
     fn any_active(&self) -> bool {
         !self.active.is_empty()
+    }
+
+    /// True while a [`FaultKind::SwitchDown`] window covers switch `sw`.
+    pub(crate) fn switch_down(&self, sw: u32) -> bool {
+        self.active
+            .iter()
+            .any(|k| matches!(k, FaultKind::SwitchDown { switch } if *switch == sw))
+    }
+
+    /// True while a [`FaultKind::TrunkDown`] window covers the undirected
+    /// trunk between `x` and `y` (order-insensitive).
+    pub(crate) fn trunk_down(&self, x: u32, y: u32) -> bool {
+        let (lo, hi) = (x.min(y), x.max(y));
+        self.active
+            .iter()
+            .any(|k| matches!(k, FaultKind::TrunkDown { a, b } if *a == lo && *b == hi))
+    }
+
+    /// Summed [`FaultKind::PortDegrade`] latency currently active on
+    /// switch `sw`'s ports (overlapping windows stack).
+    pub(crate) fn port_degrade_extra(&self, sw: u32) -> SimDuration {
+        self.active
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::PortDegrade {
+                    switch,
+                    extra_latency,
+                } if *switch == sw => Some(*extra_latency),
+                _ => None,
+            })
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
     }
 
     /// Evaluate the active set for a frame entering the fabric on `src`'s
@@ -344,6 +576,7 @@ mod tests {
                     }
                     FaultKind::Corrupt { p } => assert!((0.0..=0.3).contains(&p)),
                     FaultKind::Brownout { .. } => {}
+                    _ => panic!("randomized never draws switch-scoped kinds"),
                 }
             }
         }
@@ -419,6 +652,121 @@ mod tests {
             st.on_uplink(NodeId(0), false),
             HopFault::Pass { .. }
         ));
+    }
+
+    #[test]
+    fn switch_scoped_builders_normalize_and_classify() {
+        let t0 = SimTime::ZERO + SimDuration::from_micros(10);
+        let d = SimDuration::from_micros(50);
+        let plan = FaultPlan::new()
+            .switch_down(3, t0, d)
+            .trunk_down(5, 2, t0, d)
+            .port_degrade(1, t0, d, SimDuration::from_micros(4));
+        assert!(plan.has_switch_faults());
+        assert!(plan.has_reroute_faults());
+        assert_eq!(plan.events()[1].kind, FaultKind::TrunkDown { a: 2, b: 5 });
+        assert!(plan.events()[0].kind.triggers_reroute());
+        assert!(!plan.events()[2].kind.triggers_reroute());
+        assert!(plan.events()[2].kind.is_switch_scoped());
+        // Host-link kinds are neither switch-scoped nor reroute triggers.
+        let host = FaultPlan::new().link_flap(NodeId(0), t0, d);
+        assert!(!host.has_switch_faults());
+        assert!(!host.has_reroute_faults());
+        // Reroute defaults apply until overridden.
+        assert_eq!(plan.reroute(), RerouteParams::default());
+        let custom = RerouteParams {
+            detection: SimDuration::from_micros(5),
+            reconvergence: SimDuration::from_micros(7),
+        };
+        let plan = plan.with_reroute(custom);
+        assert_eq!(plan.reroute().total(), SimDuration::from_micros(12));
+    }
+
+    #[test]
+    fn fault_state_answers_switch_scoped_queries() {
+        let mut st = FaultState::new(1, 2);
+        st.begin(FaultKind::SwitchDown { switch: 4 });
+        st.begin(FaultKind::TrunkDown { a: 1, b: 3 });
+        st.begin(FaultKind::PortDegrade {
+            switch: 2,
+            extra_latency: SimDuration::from_micros(3),
+        });
+        st.begin(FaultKind::PortDegrade {
+            switch: 2,
+            extra_latency: SimDuration::from_micros(2),
+        });
+        assert!(st.switch_down(4));
+        assert!(!st.switch_down(3));
+        assert!(st.trunk_down(1, 3));
+        assert!(st.trunk_down(3, 1), "trunk queries are order-insensitive");
+        assert!(!st.trunk_down(1, 2));
+        assert_eq!(st.port_degrade_extra(2), SimDuration::from_micros(5));
+        assert_eq!(st.port_degrade_extra(4), SimDuration::ZERO);
+        st.end(FaultKind::SwitchDown { switch: 4 });
+        assert!(!st.switch_down(4));
+        // Switch-scoped kinds never perturb host-link hop decisions.
+        assert!(matches!(
+            st.on_uplink(NodeId(0), true),
+            HopFault::Pass {
+                extra: SimDuration::ZERO
+            }
+        ));
+    }
+
+    #[test]
+    fn randomized_topo_delegates_on_single_switch() {
+        let base = SimTime::ZERO + SimDuration::from_micros(100);
+        let span = SimDuration::from_millis(2);
+        for seed in 0..16 {
+            let mut a = SimRng::derive(seed, "topo-chaos");
+            let mut b = SimRng::derive(seed, "topo-chaos");
+            let star = Topology::star(2);
+            assert_eq!(
+                FaultPlan::randomized_topo(&mut a, base, span, &star),
+                FaultPlan::randomized(&mut b, base, span, 2),
+                "single-switch randomized_topo must not move a draw"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_topo_draws_switch_windows_on_multi_switch() {
+        use crate::params::LinkParams;
+        let base = SimTime::ZERO + SimDuration::from_micros(100);
+        let span = SimDuration::from_millis(2);
+        let trunk = LinkParams {
+            bandwidth_bps: 440_000_000,
+            propagation: SimDuration::from_nanos(600),
+            frame_overhead_bytes: 8,
+            mtu: 64 * 1024,
+        };
+        let topo = Topology::fat_tree(3, 2, 2, trunk, crate::topo::PortLimits::default());
+        let trunks = topo.trunk_pairs();
+        let mut saw_switch_scoped = false;
+        for seed in 0..64 {
+            let mut rng = SimRng::derive(seed, "topo-chaos");
+            let plan = FaultPlan::randomized_topo(&mut rng, base, span, &topo);
+            let mut rng2 = SimRng::derive(seed, "topo-chaos");
+            assert_eq!(
+                plan,
+                FaultPlan::randomized_topo(&mut rng2, base, span, &topo),
+                "same seed, same plan"
+            );
+            for w in plan.events() {
+                match w.kind {
+                    FaultKind::SwitchDown { switch } => {
+                        saw_switch_scoped = true;
+                        assert!((switch as usize) < topo.switches());
+                    }
+                    FaultKind::TrunkDown { a, b } => {
+                        saw_switch_scoped = true;
+                        assert!(trunks.contains(&(a, b)), "trunk {a}-{b} must exist");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_switch_scoped, "64 seeds must draw some switch windows");
     }
 
     #[test]

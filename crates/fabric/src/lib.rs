@@ -34,7 +34,7 @@ pub mod params;
 pub mod san;
 pub mod topo;
 
-pub use fault::{FaultKind, FaultPlan, FaultWindow};
+pub use fault::{FaultKind, FaultPlan, FaultWindow, RerouteParams};
 pub use params::{LinkParams, LossModel, NetParams, SwitchParams};
 pub use san::{Delivery, LossState, NodeId, RxHandler, San, SanStats};
-pub use topo::{PortLimits, PortSnapshot, PortStats, PortTarget, Topology};
+pub use topo::{PortLimits, PortSnapshot, PortStats, PortTarget, Routes, Topology};

@@ -51,7 +51,7 @@ use trace::{MsgId, TracePoint, Tracer};
 
 use crate::fault::{FaultKind, FaultPlan, FaultState, HopFault, SWITCH_NODE};
 use crate::params::{LossModel, NetParams};
-use crate::topo::{PortSnapshot, PortStats, PortTarget, Topology};
+use crate::topo::{PortSnapshot, PortStats, PortTarget, Routes, Topology};
 
 /// Index of a node attached to the SAN.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -201,7 +201,15 @@ pub struct SanStats {
     /// Frames dropped at a switch output port whose buffer *and* pause
     /// queue were full (multi-switch topologies only; the per-port
     /// counters in [`San::port_stats`] attribute each one to its port).
+    /// Includes pause-queue frames drained by watchdog storm trips — the
+    /// per-port split is `drops` vs `storm_dropped`.
     pub frames_port_dropped: u64,
+    /// Frames dropped by a switch-scoped fault window: flushed from a dead
+    /// switch's port FIFOs, refused at a dead switch's ingress, refused at
+    /// a downed trunk's port, or stranded with no surviving route. Trunk
+    /// refusals are additionally attributed to their port's
+    /// `fault_dropped`; switch-wide kills have no single port to blame.
+    pub frames_fault_dropped: u64,
 }
 
 /// Per-shard link-layer state. Vectors span *all* nodes for simple
@@ -287,6 +295,13 @@ struct Port {
     /// Latest resolver instant already scheduled; stagings at or past it
     /// schedule a fresh resolver, earlier ones are already covered.
     next_resolve: SimTime,
+    /// Start of the current consecutive-pause streak: set by the first
+    /// resolver that leaves `waiting` non-empty, cleared by the first that
+    /// drains it (or by a watchdog trip). Streak length is only observed
+    /// at resolver instants, so its granularity is one serialization —
+    /// bounded, because a non-empty pause queue implies a full buffer,
+    /// which implies a frame serializing, whose depart stages a resolver.
+    paused_since: Option<SimTime>,
     stats: PortStats,
 }
 
@@ -310,6 +325,28 @@ impl Port {
     }
 }
 
+/// Per-shard replica of the reconverged routing table plus the failure
+/// bookkeeping behind it. Every shard applies the same routing updates at
+/// the same virtual times (the update events are scheduled on every
+/// shard's engine at install time, in plan order), so all replicas hold
+/// identical state whenever any frame consults them — routing stays a
+/// pure function of virtual time and topology state at any shard count.
+#[derive(Default)]
+struct RoutingState {
+    /// Active [`FaultKind::SwitchDown`] windows per switch (overlapping
+    /// windows on one switch stack as a count).
+    switch_down: Vec<(u32, u32)>,
+    /// Active [`FaultKind::TrunkDown`] windows per normalized trunk pair.
+    trunk_down: Vec<((u32, u32), u32)>,
+    /// Reconvergence epoch: bumped on every apply *and* revert, folding
+    /// into the ECMP salt so each convergence re-spreads flows.
+    epoch: u64,
+    /// The current reconverged table; `None` until the first update (the
+    /// baseline [`Topology::next_hop`] applies — byte-identical to the
+    /// pre-fault fabric).
+    routes: Option<Routes>,
+}
+
 /// Multi-switch fabric state. Present only for genuinely multi-switch
 /// topologies — single-switch SANs carry `None` and run the legacy path
 /// untouched.
@@ -320,6 +357,8 @@ struct TopoState {
     switches: Vec<Mutex<Vec<Port>>>,
     /// Switch → owning shard.
     switch_shard: Vec<usize>,
+    /// Per-shard routing replicas (see [`RoutingState`]).
+    routing: Vec<Mutex<RoutingState>>,
 }
 
 struct SanInner {
@@ -341,6 +380,15 @@ struct SanInner {
     /// VIA layer sets it at cluster build; folding never changes virtual
     /// times or counters, only how many scheduler events carry a frame.
     fuse: AtomicBool,
+    /// Set once a plan containing switch-scoped windows ([`SwitchDown`],
+    /// [`TrunkDown`], [`PortDegrade`]) is installed. The multi-switch data
+    /// plane checks fault state and reconverged routes only under this
+    /// flag, so fault-free topologies pay one relaxed load per hop.
+    ///
+    /// [`SwitchDown`]: FaultKind::SwitchDown
+    /// [`TrunkDown`]: FaultKind::TrunkDown
+    /// [`PortDegrade`]: FaultKind::PortDegrade
+    switch_faults: AtomicBool,
 }
 
 /// What the uplink or downlink stage decided about one frame.
@@ -502,16 +550,21 @@ impl San {
                                 staged: Vec::new(),
                                 freed: Vec::new(),
                                 next_resolve: SimTime::ZERO,
+                                paused_since: None,
                                 stats: PortStats::default(),
                             })
                             .collect(),
                     )
                 })
                 .collect();
+            let routing = (0..sims.len())
+                .map(|_| Mutex::new(RoutingState::default()))
+                .collect();
             TopoState {
                 topo: t,
                 switches,
                 switch_shard,
+                routing,
             }
         });
         let links = (0..sims.len())
@@ -540,6 +593,7 @@ impl San {
                     writers: vec![WriterSet::Empty; nodes],
                 }),
                 fuse: AtomicBool::new(true),
+                switch_faults: AtomicBool::new(false),
             }),
         }
     }
@@ -570,6 +624,33 @@ impl San {
         if plan.is_empty() {
             return;
         }
+        if plan.has_switch_faults() {
+            let ts = self
+                .inner
+                .topo
+                .as_ref()
+                .expect("switch-scoped fault windows require a multi-switch topology");
+            let trunks = ts.topo.trunk_pairs();
+            for w in plan.events() {
+                match w.kind {
+                    FaultKind::SwitchDown { switch } | FaultKind::PortDegrade { switch, .. } => {
+                        assert!(
+                            (switch as usize) < ts.topo.switches(),
+                            "fault window names switch {switch} outside the topology"
+                        );
+                    }
+                    FaultKind::TrunkDown { a, b } => {
+                        assert!(
+                            trunks.contains(&(a, b)),
+                            "fault window names trunk {a}-{b} which does not exist"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            self.inner.switch_faults.store(true, Ordering::Relaxed);
+        }
+        let reroute = plan.reroute();
         for shard in 0..self.inner.sims.len() {
             {
                 let mut ls = self.inner.links[shard].lock();
@@ -590,6 +671,9 @@ impl San {
                         .as_mut()
                         .expect("fault state installed")
                         .begin(kind);
+                    // A switch or trunk dying takes its parked frames with
+                    // it; only the owning shard holds (and flushes) them.
+                    open.flush_fault_ports(shard, kind, sim.now());
                     if trace_edges {
                         let sh = open.inner.shared.lock();
                         match kind {
@@ -604,6 +688,33 @@ impl San {
                                     SWITCH_NODE,
                                     None,
                                     2,
+                                );
+                            }
+                            FaultKind::SwitchDown { .. } => {
+                                sh.tracer.record(
+                                    sim.now(),
+                                    TracePoint::LinkDown,
+                                    SWITCH_NODE,
+                                    None,
+                                    3,
+                                );
+                            }
+                            FaultKind::TrunkDown { .. } => {
+                                sh.tracer.record(
+                                    sim.now(),
+                                    TracePoint::LinkDown,
+                                    SWITCH_NODE,
+                                    None,
+                                    4,
+                                );
+                            }
+                            FaultKind::PortDegrade { .. } => {
+                                sh.tracer.record(
+                                    sim.now(),
+                                    TracePoint::LinkDown,
+                                    SWITCH_NODE,
+                                    None,
+                                    5,
                                 );
                             }
                             _ => {}
@@ -642,13 +753,189 @@ impl San {
                                         2,
                                     );
                                 }
+                                FaultKind::SwitchDown { .. } => {
+                                    sh.tracer.record(
+                                        sim.now(),
+                                        TracePoint::LinkUp,
+                                        SWITCH_NODE,
+                                        None,
+                                        3,
+                                    );
+                                }
+                                FaultKind::TrunkDown { .. } => {
+                                    sh.tracer.record(
+                                        sim.now(),
+                                        TracePoint::LinkUp,
+                                        SWITCH_NODE,
+                                        None,
+                                        4,
+                                    );
+                                }
+                                FaultKind::PortDegrade { .. } => {
+                                    sh.tracer.record(
+                                        sim.now(),
+                                        TracePoint::LinkUp,
+                                        SWITCH_NODE,
+                                        None,
+                                        5,
+                                    );
+                                }
                                 _ => {}
                             }
                         }
                     },
                 );
+                // Routing reconverges a configurable detection +
+                // reconvergence delay after each edge of a topology-
+                // affecting window — scheduled at install time on every
+                // shard, so all replicas flip identically and before any
+                // same-instant traffic event.
+                if kind.triggers_reroute() {
+                    let apply = self.clone();
+                    self.inner.sims[shard].call_at_as(
+                        EventClass::Fabric,
+                        w.at + reroute.total(),
+                        move |_| apply.routing_update(shard, kind, true),
+                    );
+                    let revert = self.clone();
+                    self.inner.sims[shard].call_at_as(
+                        EventClass::Fabric,
+                        w.at + w.duration + reroute.total(),
+                        move |_| revert.routing_update(shard, kind, false),
+                    );
+                }
             }
         }
+    }
+
+    /// Flush every frame parked (`waiting`) or staged-but-unapplied at
+    /// ports a just-opened [`SwitchDown`]/[`TrunkDown`] window covers, on
+    /// the shard that owns them. Admitted frames — already buffered into
+    /// the forwarding pipeline or serializing on the wire — complete their
+    /// hop; only queue occupants die. Staged frames are drained in the
+    /// resolver's canonical content order so the trace bytes cannot depend
+    /// on engine event order.
+    ///
+    /// [`SwitchDown`]: FaultKind::SwitchDown
+    /// [`TrunkDown`]: FaultKind::TrunkDown
+    fn flush_fault_ports(&self, shard: usize, kind: FaultKind, now: SimTime) {
+        let inner = &self.inner;
+        let Some(ts) = inner.topo.as_ref() else {
+            return;
+        };
+        // (switch, port) targets this shard owns: every port of a dead
+        // switch, or the two directed ports of a dead trunk.
+        let mut targets: Vec<(u32, Option<usize>)> = Vec::new();
+        match kind {
+            FaultKind::SwitchDown { switch } => {
+                if ts.switch_shard[switch as usize] == shard {
+                    targets.push((switch, None));
+                }
+            }
+            FaultKind::TrunkDown { a, b } => {
+                if ts.switch_shard[a as usize] == shard {
+                    targets.push((a, Some(ts.topo.port_to_switch(a, b))));
+                }
+                if ts.switch_shard[b as usize] == shard {
+                    targets.push((b, Some(ts.topo.port_to_switch(b, a))));
+                }
+            }
+            _ => return,
+        }
+        let mut flushed: Vec<Option<MsgId>> = Vec::new();
+        for (sw, only) in targets {
+            let mut ports = ts.switches[sw as usize].lock();
+            let idxs: Vec<usize> = match only {
+                Some(i) => vec![i],
+                None => (0..ports.len()).collect(),
+            };
+            for i in idxs {
+                let port = &mut ports[i];
+                while let Some(f) = port.waiting.pop_front() {
+                    port.stats.fault_dropped += 1;
+                    flushed.push(f.msg);
+                }
+                port.staged.sort_by_key(|(at, f)| {
+                    let (vi, seq) = f.msg.map_or((u32::MAX, u64::MAX), |m| (m.vi, m.seq));
+                    (*at, f.src.0, f.dst.0, vi, seq, f.payload_bytes)
+                });
+                for (_, f) in port.staged.drain(..) {
+                    port.stats.fault_dropped += 1;
+                    flushed.push(f.msg);
+                }
+                port.paused_since = None;
+            }
+        }
+        if !flushed.is_empty() {
+            let mut sh = inner.shared.lock();
+            for msg in flushed {
+                sh.stats.frames_fault_dropped += 1;
+                // aux = 8: frame killed by a switch/trunk fault window.
+                sh.tracer
+                    .record(now, TracePoint::WireDrop, SWITCH_NODE, msg, 8);
+            }
+        }
+    }
+
+    /// Apply (or revert) one topology-affecting fault window to this
+    /// shard's routing replica and recompute the reconverged table. Both
+    /// edges bump the epoch, so every convergence — including fail-back —
+    /// re-salts ECMP identically on every shard.
+    fn routing_update(&self, shard: usize, kind: FaultKind, apply: bool) {
+        let inner = &self.inner;
+        let ts = inner.topo.as_ref().expect("multi-switch state");
+        let mut rs = ts.routing[shard].lock();
+        fn bump<K: PartialEq + Copy>(set: &mut Vec<(K, u32)>, key: K, apply: bool) {
+            match set.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) if apply => *n += 1,
+                Some((_, n)) => *n = n.checked_sub(1).expect("revert without apply"),
+                None if apply => set.push((key, 1)),
+                None => panic!("revert without apply"),
+            }
+        }
+        match kind {
+            FaultKind::SwitchDown { switch } => bump(&mut rs.switch_down, switch, apply),
+            FaultKind::TrunkDown { a, b } => bump(&mut rs.trunk_down, (a, b), apply),
+            _ => return,
+        }
+        rs.epoch += 1;
+        let failed_sw: Vec<u32> = rs
+            .switch_down
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .map(|&(s, _)| s)
+            .collect();
+        let failed_tr: Vec<(u32, u32)> = rs
+            .trunk_down
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .map(|&(t, _)| t)
+            .collect();
+        rs.routes = Some(ts.topo.compute_routes(&failed_sw, &failed_tr, rs.epoch));
+    }
+
+    /// The ECMP next hop the current routing state picks from `sw` toward
+    /// `dst_sw`, or `None` when no surviving path exists. Reads this
+    /// shard's replica only under the switch-fault flag; pristine fabrics
+    /// take the baseline precomputed table with zero locking.
+    fn route_next_hop(&self, shard: usize, sw: u32, dst_sw: u32, key: u64) -> Option<u32> {
+        let ts = self.inner.topo.as_ref().expect("multi-switch state");
+        if !self.inner.switch_faults.load(Ordering::Relaxed) {
+            return Some(ts.topo.next_hop(sw, dst_sw, key));
+        }
+        let rs = ts.routing[shard].lock();
+        match &rs.routes {
+            Some(r) => r.next_hop(sw, dst_sw, key),
+            None => Some(ts.topo.next_hop(sw, dst_sw, key)),
+        }
+    }
+
+    /// True once a plan containing switch-scoped windows is installed.
+    /// The fused fast path de-fuses on this (`DefuseCause::Reroute`): a
+    /// reconvergence can move any flow's path mid-message, so only the
+    /// hop-by-hop general path may carry traffic.
+    pub fn switch_faults_installed(&self) -> bool {
+        self.inner.switch_faults.load(Ordering::Relaxed)
     }
 
     /// True once a non-empty fault plan has been installed on any shard.
@@ -1134,13 +1421,59 @@ impl San {
         let shard = ts.switch_shard[sw as usize];
         let sim = &inner.sims[shard];
         let now = sim.now();
+        let switch_faults = inner.switch_faults.load(Ordering::Relaxed);
+        if switch_faults {
+            // A dead switch accepts nothing: frames still converging on it
+            // (sent before routing detected the failure) die here, with no
+            // single output port to blame.
+            let down = inner.links[shard]
+                .lock()
+                .faults
+                .as_ref()
+                .is_some_and(|fs| fs.switch_down(sw));
+            if down {
+                let mut sh = inner.shared.lock();
+                sh.stats.frames_fault_dropped += 1;
+                // aux = 8: frame killed by a switch/trunk fault window.
+                sh.tracer
+                    .record(now, TracePoint::WireDrop, SWITCH_NODE, f.msg, 8);
+                return;
+            }
+        }
         let dst_sw = ts.topo.edge_of(f.dst.0);
         let port_idx = if sw == dst_sw {
             ts.topo.port_to_node(sw, f.dst.0)
         } else {
             let key = Topology::flow_key(f.src, f.dst, f.msg.as_ref());
-            ts.topo
-                .port_to_switch(sw, ts.topo.next_hop(sw, dst_sw, key))
+            let Some(next) = self.route_next_hop(shard, sw, dst_sw, key) else {
+                // The surviving fabric has no path: an honest fault drop
+                // rather than a stall (the fabric may be partitioned).
+                let mut sh = inner.shared.lock();
+                sh.stats.frames_fault_dropped += 1;
+                sh.tracer
+                    .record(now, TracePoint::WireDrop, SWITCH_NODE, f.msg, 8);
+                return;
+            };
+            if switch_faults {
+                // Routing may still point over a downed trunk during the
+                // detection window; the port refuses the frame and owns it
+                // in its counters.
+                let cut = inner.links[shard]
+                    .lock()
+                    .faults
+                    .as_ref()
+                    .is_some_and(|fs| fs.trunk_down(sw, next));
+                if cut {
+                    let pi = ts.topo.port_to_switch(sw, next);
+                    ts.switches[sw as usize].lock()[pi].stats.fault_dropped += 1;
+                    let mut sh = inner.shared.lock();
+                    sh.stats.frames_fault_dropped += 1;
+                    sh.tracer
+                        .record(now, TracePoint::WireDrop, SWITCH_NODE, f.msg, 8);
+                    return;
+                }
+            }
+            ts.topo.port_to_switch(sw, next)
         };
         let need_resolver = {
             let mut ports = ts.switches[sw as usize].lock();
@@ -1171,8 +1504,22 @@ impl San {
         let sim = &inner.sims[shard];
         let now = sim.now();
         let limits = ts.topo.limits();
+        // PortDegrade stretches the switch traversal of every admission at
+        // this switch. Queried from the link-fault lock strictly before
+        // the ports lock (the shared-stats lock is likewise never taken
+        // inside it) — lock order is links → ports → shared, always.
+        let degrade_extra = if inner.switch_faults.load(Ordering::Relaxed) {
+            inner.links[shard]
+                .lock()
+                .faults
+                .as_ref()
+                .map_or(SimDuration::ZERO, |fs| fs.port_degrade_extra(sw))
+        } else {
+            SimDuration::ZERO
+        };
         let mut admit: Vec<TopoFrame> = Vec::new();
         let mut dropped: Vec<Option<MsgId>> = Vec::new();
+        let mut stormed: Vec<Option<MsgId>> = Vec::new();
         {
             let mut ports = ts.switches[sw as usize].lock();
             let port = &mut ports[port_idx];
@@ -1234,19 +1581,57 @@ impl San {
                     dropped.push(f.msg);
                 }
             }
+            // 4. Pause-storm watchdog: track the consecutive time this
+            // port has held frames paused; past `max_pause`, trip — drain
+            // the pause queue into honest drops so the HOL cascade breaks
+            // instead of propagating upstream forever. Streaks are
+            // observed at resolver instants, which a non-empty pause
+            // queue guarantees recur (full buffer ⇒ frame serializing ⇒
+            // depart stages a resolver), so the bound holds within one
+            // serialization granule.
+            if port.waiting.is_empty() {
+                if let Some(since) = port.paused_since.take() {
+                    port.stats.max_pause_ns = port.stats.max_pause_ns.max((now - since).as_nanos());
+                }
+            } else {
+                let since = *port.paused_since.get_or_insert(now);
+                let streak = now - since;
+                port.stats.max_pause_ns = port.stats.max_pause_ns.max(streak.as_nanos());
+                if let Some(bound) = limits.max_pause {
+                    if streak >= bound {
+                        port.stats.storm_trips += 1;
+                        while let Some(f) = port.waiting.pop_front() {
+                            port.stats.storm_dropped += 1;
+                            stormed.push(f.msg);
+                        }
+                        port.paused_since = None;
+                    }
+                }
+            }
         }
         // Admitted frames pay the switch traversal before occupying the
         // output wire, chained in the canonical order fixed above.
         for f in admit {
-            self.topo_transmit(sw, port_idx, f, now + inner.params.switch.latency);
+            self.topo_transmit(
+                sw,
+                port_idx,
+                f,
+                now + inner.params.switch.latency + degrade_extra,
+            );
         }
-        if !dropped.is_empty() {
+        if !dropped.is_empty() || !stormed.is_empty() {
             let mut sh = inner.shared.lock();
             for msg in dropped {
                 sh.stats.frames_port_dropped += 1;
                 // aux = 7: switch output-port buffer overflow.
                 sh.tracer
                     .record(now, TracePoint::WireDrop, SWITCH_NODE, msg, 7);
+            }
+            for msg in stormed {
+                sh.stats.frames_port_dropped += 1;
+                // aux = 9: pause-storm watchdog trip drained this frame.
+                sh.tracer
+                    .record(now, TracePoint::WireDrop, SWITCH_NODE, msg, 9);
             }
         }
     }
@@ -2214,6 +2599,7 @@ mod tests {
             PortLimits {
                 capacity: 1,
                 pause_depth: 2,
+                max_pause: None,
             },
         );
         let sim = Sim::new();
@@ -2332,6 +2718,208 @@ mod tests {
                 "port stats diverged at shards={shards}"
             );
         }
+    }
+
+    /// Satellite regression: switch-scoped fault windows must replicate
+    /// their edges to every shard owning an attached link — the same
+    /// pattern as per-node fault streams — so stats, delivery timelines
+    /// and per-port counters are identical at shard counts 1..5.
+    #[test]
+    fn sharded_switch_faults_match_serial() {
+        use crate::fault::RerouteParams;
+        use crate::topo::{PortLimits, Topology};
+        use simkit::ShardedSim;
+        type Log = Arc<Mutex<Vec<(u64, u32, u32)>>>;
+        let params = NetParams::clan();
+        let t0 = SimTime::ZERO;
+        let plan = FaultPlan::new()
+            .switch_down(
+                3,
+                t0 + SimDuration::from_micros(200),
+                SimDuration::from_micros(300),
+            )
+            .trunk_down(
+                0,
+                4,
+                t0 + SimDuration::from_micros(600),
+                SimDuration::from_micros(100),
+            )
+            .with_reroute(RerouteParams {
+                detection: SimDuration::from_micros(20),
+                reconvergence: SimDuration::from_micros(30),
+            });
+        let make_topo =
+            || Topology::fat_tree(3, 2, 2, test_trunk(440_000_000), PortLimits::default());
+        let nodes = 6u32;
+        fn attach_all(san: &San, nodes: u32) -> Log {
+            let log: Log = Arc::new(Mutex::new(Vec::new()));
+            for n in 0..nodes {
+                let l2 = Arc::clone(&log);
+                san.attach(
+                    NodeId(n),
+                    Arc::new(move |sim, d| {
+                        l2.lock()
+                            .push((sim.now().as_nanos(), d.dst.0, d.payload_bytes));
+                    }),
+                );
+            }
+            log
+        }
+        fn schedule(san: &San, sim: &Sim, src: u32, nodes: u32) {
+            for k in 0..16u64 {
+                let dst = NodeId((src + 1 + (k as u32 % (nodes - 1))) % nodes);
+                let s = NodeId(src);
+                let san2 = san.clone();
+                let at = SimDuration::from_micros(50 * k)
+                    + SimDuration::from_nanos(701 + src as u64 * 137);
+                let bytes = 256 + 16 * src;
+                sim.call_in_as(EventClass::Fabric, at, move |_| {
+                    san2.send(s, dst, bytes, Box::new(()));
+                });
+            }
+        }
+        let run = |shards: usize| -> (SanStats, Vec<(u64, u32, u32)>, Vec<PortStats>) {
+            let topo = make_topo();
+            let (san, log, rep_ok) = if shards == 1 {
+                let sim = Sim::new();
+                let san = San::new_topo(sim.clone(), params, topo, 42);
+                let log = attach_all(&san, nodes);
+                san.install_faults(&plan);
+                for src in 0..nodes {
+                    schedule(&san, &sim, src, nodes);
+                }
+                sim.run_to_completion();
+                (san, log, true)
+            } else {
+                let eng =
+                    ShardedSim::new_with_map(topo.shard_map(shards), topo.shard_lookahead(&params));
+                let san = San::new_sharded_topo(&eng, params, topo, 42);
+                let log = attach_all(&san, nodes);
+                san.install_faults(&plan);
+                for src in 0..nodes {
+                    schedule(&san, eng.sim_for_node(src), src, nodes);
+                }
+                let rep = eng.run_to_completion();
+                (san, log, rep.causality_violations == 0)
+            };
+            assert!(rep_ok, "causality violation at shards={shards}");
+            let mut got = log.lock().clone();
+            got.sort_unstable();
+            let ports = san.port_stats().iter().map(|p| p.stats).collect();
+            (san.stats(), got, ports)
+        };
+        let (serial, arrivals, ports) = run(1);
+        // The fault windows bit: some frames died to the dead spine (no
+        // port attribution) and some were refused at the downed trunk's
+        // port (attributed).
+        assert!(serial.frames_fault_dropped > 0, "{serial:?}");
+        let port_attributed: u64 = ports.iter().map(|p| p.fault_dropped).sum();
+        assert!(port_attributed > 0, "trunk refusals must blame their port");
+        assert!(
+            port_attributed < serial.frames_fault_dropped,
+            "switch-wide kills have no port to blame"
+        );
+        // Reconvergence: traffic sent after the window + reroute delay
+        // flows again (the last send round lands well past all windows).
+        assert!(serial.frames_delivered > 0, "{serial:?}");
+        let last_arrival = arrivals.last().expect("deliveries exist").0;
+        assert!(
+            last_arrival > 700_000,
+            "post-failback traffic must deliver (last arrival {last_arrival} ns)"
+        );
+        // Conservation with the new term (lossless params: no loss drops).
+        assert_eq!(
+            serial.frames_sent,
+            serial.frames_delivered
+                + serial.frames_dropped
+                + serial.frames_faulted
+                + serial.frames_corrupted
+                + serial.frames_port_dropped
+                + serial.frames_fault_dropped,
+            "{serial:?}"
+        );
+        for shards in [2usize, 3, 4, 5] {
+            let (stats, got, p) = run(shards);
+            assert_eq!(stats, serial, "stats diverged at shards={shards}");
+            assert_eq!(got, arrivals, "timeline diverged at shards={shards}");
+            assert_eq!(p, ports, "port stats diverged at shards={shards}");
+        }
+    }
+
+    /// The pause-storm watchdog bounds consecutive pause time per port:
+    /// sustained fan-in overload past `max_pause` trips the watchdog,
+    /// drains the pause queue into honest drops, and keeps the observed
+    /// streak within one serialization granule of the bound.
+    #[test]
+    fn pause_storm_watchdog_bounds_pause_time() {
+        use crate::topo::{PortLimits, PortTarget, Topology};
+        let params = NetParams::clan();
+        let bound = SimDuration::from_micros(60);
+        let topo = Topology::dumbbell(
+            4,
+            test_trunk(55_000_000),
+            PortLimits {
+                capacity: 1,
+                pause_depth: 2,
+                max_pause: Some(bound),
+            },
+        );
+        let sim = Sim::new();
+        let san = San::new_topo(sim.clone(), params, topo, 3);
+        let delivered = Arc::new(Mutex::new(0u64));
+        for n in 0..4 {
+            let d2 = Arc::clone(&delivered);
+            san.attach(NodeId(n), Arc::new(move |_, _| *d2.lock() += 1));
+        }
+        // Two hosts on switch 0 blast the one trunk port at line rate.
+        for k in 0..40u64 {
+            for src in 0..2u32 {
+                let s = NodeId(src);
+                let dst = NodeId(2 + src);
+                let san2 = san.clone();
+                sim.call_in_as(
+                    EventClass::Fabric,
+                    SimDuration::from_micros(5 * k) + SimDuration::from_nanos(src as u64),
+                    move |_| san2.send(s, dst, 256, Box::new(())),
+                );
+            }
+        }
+        sim.run_to_completion();
+        let stats = san.stats();
+        let trunk_port = san
+            .port_stats()
+            .into_iter()
+            .find(|p| p.switch == 0 && p.target == PortTarget::Switch(1))
+            .expect("trunk port exists");
+        let ps = trunk_port.stats;
+        assert!(
+            ps.storm_trips > 0,
+            "overload must trip the watchdog: {ps:?}"
+        );
+        assert!(ps.storm_dropped > 0, "{ps:?}");
+        // The observed streak stays within one resolver granule of the
+        // bound: a trip can only be noticed at the next resolver, at most
+        // one trunk serialization (plus the switch hop) later.
+        let granule = test_trunk(55_000_000).serialization(256) + params.switch.latency;
+        assert!(ps.max_pause_ns >= bound.as_nanos(), "{ps:?}");
+        assert!(
+            ps.max_pause_ns <= (bound + granule).as_nanos() + 1_000,
+            "watchdog failed to bound the streak: {ps:?}"
+        );
+        // Storm drops fold into the port-dropped total, and conservation
+        // holds.
+        let port_total: u64 = san
+            .port_stats()
+            .iter()
+            .map(|p| p.stats.drops + p.stats.storm_dropped)
+            .sum();
+        assert_eq!(port_total, stats.frames_port_dropped, "{stats:?}");
+        assert_eq!(
+            stats.frames_sent,
+            stats.frames_delivered + stats.frames_port_dropped,
+            "{stats:?}"
+        );
+        assert_eq!(*delivered.lock(), stats.frames_delivered);
     }
 
     #[test]

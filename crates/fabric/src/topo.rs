@@ -89,6 +89,12 @@ pub struct PortLimits {
     pub capacity: u32,
     /// Paused-frame bound per output port (0 = drop as soon as full).
     pub pause_depth: u32,
+    /// Pause-storm watchdog bound: the longest a port may hold frames
+    /// paused *consecutively* before the watchdog trips, drains the pause
+    /// queue into honest drops, and increments `storm_trips`. `None`
+    /// (default) disables the watchdog — pauses may persist indefinitely,
+    /// as before.
+    pub max_pause: Option<SimDuration>,
 }
 
 impl Default for PortLimits {
@@ -96,6 +102,7 @@ impl Default for PortLimits {
         PortLimits {
             capacity: 8,
             pause_depth: 24,
+            max_pause: None,
         }
     }
 }
@@ -114,6 +121,22 @@ pub struct PortStats {
     /// Paused frames whose final destination differed from the last frame
     /// admitted to this port — head-of-line blocking victims.
     pub hol_blocked: u64,
+    /// Frames flushed or refused because a fault window ([`SwitchDown`],
+    /// [`TrunkDown`]) covered this port — distinct from congestion `drops`.
+    ///
+    /// [`SwitchDown`]: crate::fault::FaultKind::SwitchDown
+    /// [`TrunkDown`]: crate::fault::FaultKind::TrunkDown
+    pub fault_dropped: u64,
+    /// Times the pause-storm watchdog tripped on this port (consecutive
+    /// pause time exceeded [`PortLimits::max_pause`]).
+    pub storm_trips: u64,
+    /// Frames drained from the pause queue by watchdog trips. Counted in
+    /// the San-wide port-dropped total alongside `drops`.
+    pub storm_dropped: u64,
+    /// Longest observed consecutive pause streak, in nanoseconds. With the
+    /// watchdog armed this is bounded by `max_pause` plus one resolver
+    /// granule (a serialization + switch latency).
+    pub max_pause_ns: u64,
     /// Maximum simultaneous admitted occupancy observed.
     pub highwater: u32,
     /// Maximum pause-queue depth observed.
@@ -129,6 +152,51 @@ pub struct PortSnapshot {
     pub target: PortTarget,
     /// Counter values at snapshot time.
     pub stats: PortStats,
+}
+
+/// A reconverged routing table: sorted equal-cost next-hop sets recomputed
+/// with failed switches and trunks excluded, plus the reconvergence
+/// `epoch` that re-salts ECMP. Produced by [`Topology::compute_routes`];
+/// a pure value — the same `(failed set, epoch)` yields the same table on
+/// every shard of every run.
+///
+/// Unlike [`Topology::next_hop`], lookups return `Option`: a fault window
+/// may partition the fabric, in which case the candidate set is empty and
+/// the San drops the frame with honest accounting instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Routes {
+    next_hops: Vec<Vec<Vec<u32>>>,
+    epoch: u64,
+}
+
+impl Routes {
+    /// The reconvergence epoch this table was computed at. Epoch 0 with no
+    /// failures reproduces the baseline table and salt exactly.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Deterministic ECMP next hop from `sw` toward `dst_sw` for `flow`,
+    /// or `None` when no surviving path exists. At epoch 0 this picks
+    /// identically to [`Topology::next_hop`]; later epochs fold the epoch
+    /// into the salt so surviving flows re-spread over the remaining
+    /// equal-cost paths instead of piling onto the old hash's choices.
+    pub fn next_hop(&self, sw: u32, dst_sw: u32, flow: u64) -> Option<u32> {
+        let c = &self.next_hops[sw as usize][dst_sw as usize];
+        if c.is_empty() {
+            return None;
+        }
+        if c.len() == 1 {
+            return Some(c[0]);
+        }
+        let salt = if self.epoch == 0 {
+            ECMP_SALT
+        } else {
+            ECMP_SALT ^ splitmix64(self.epoch)
+        };
+        let h = splitmix64(flow ^ (u64::from(sw) << 32) ^ u64::from(dst_sw) ^ salt);
+        Some(c[(h % c.len() as u64) as usize])
+    }
 }
 
 /// A static multi-switch network shape. See the [module docs](self).
@@ -384,6 +452,27 @@ impl Topology {
             .count()
     }
 
+    /// Every undirected trunk as a normalized `(low, high)` switch pair,
+    /// sorted ascending. Empty for single-switch shapes. This is the
+    /// domain [`FaultPlan::randomized_topo`] draws [`TrunkDown`] windows
+    /// from.
+    ///
+    /// [`FaultPlan::randomized_topo`]: crate::fault::FaultPlan::randomized_topo
+    /// [`TrunkDown`]: crate::fault::FaultKind::TrunkDown
+    pub fn trunk_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        for (sw, ps) in self.ports.iter().enumerate() {
+            for p in ps {
+                if let PortTarget::Switch(n) = p.target {
+                    if n > sw as u32 {
+                        pairs.push((sw as u32, n));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
     /// Switch-graph hop distance.
     pub fn hops(&self, a: u32, b: u32) -> u32 {
         self.dist[a as usize][b as usize]
@@ -441,6 +530,86 @@ impl Topology {
             path.push(cur);
         }
         path
+    }
+
+    /// Recompute shortest-path routing with `failed_switches` removed from
+    /// the graph entirely and `failed_trunks` (undirected, any order) cut.
+    /// Unreachable destinations get empty candidate sets rather than a
+    /// panic — the fabric may legitimately partition under faults. With
+    /// both failure sets empty and `epoch == 0`, the result picks
+    /// byte-identically to the baseline [`Topology::next_hop`].
+    pub fn compute_routes(
+        &self,
+        failed_switches: &[u32],
+        failed_trunks: &[(u32, u32)],
+        epoch: u64,
+    ) -> Routes {
+        let s = self.ports.len();
+        let dead = |sw: u32| failed_switches.contains(&sw);
+        let cut = |a: u32, b: u32| {
+            let pair = (a.min(b), a.max(b));
+            failed_trunks
+                .iter()
+                .any(|&(x, y)| (x.min(y), x.max(y)) == pair)
+        };
+        let adj: Vec<Vec<u32>> = self
+            .ports
+            .iter()
+            .enumerate()
+            .map(|(sw, ps)| {
+                if dead(sw as u32) {
+                    return Vec::new();
+                }
+                ps.iter()
+                    .filter_map(|p| match p.target {
+                        PortTarget::Switch(n) if !dead(n) && !cut(sw as u32, n) => Some(n),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut dist = vec![vec![u32::MAX; s]; s];
+        for (src, row) in dist.iter_mut().enumerate() {
+            if dead(src as u32) {
+                continue;
+            }
+            row[src] = 0;
+            let mut frontier = vec![src as u32];
+            let mut d = 0;
+            while !frontier.is_empty() {
+                d += 1;
+                let mut next = Vec::new();
+                for &f in &frontier {
+                    for &n in &adj[f as usize] {
+                        if row[n as usize] == u32::MAX {
+                            row[n as usize] = d;
+                            next.push(n);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+        let next_hops: Vec<Vec<Vec<u32>>> = (0..s)
+            .map(|src| {
+                (0..s)
+                    .map(|dst| {
+                        if src == dst || dist[src][dst] == u32::MAX {
+                            return Vec::new();
+                        }
+                        adj[src]
+                            .iter()
+                            .copied()
+                            .filter(|&n| {
+                                dist[n as usize][dst] != u32::MAX
+                                    && dist[n as usize][dst] + 1 == dist[src][dst]
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Routes { next_hops, epoch }
     }
 
     /// The shard owning switch `sw` in a multi-switch shape: switches
@@ -608,6 +777,107 @@ mod tests {
         assert_eq!(picks, vec![4, 4, 4, 4, 4, 4, 5, 5]);
         let ctrl = Topology::flow_key(NodeId(0), NodeId(6), None);
         assert_eq!(t.next_hop(0, 3, ctrl), 5);
+    }
+
+    #[test]
+    fn compute_routes_with_no_failures_matches_baseline() {
+        let t = Topology::fat_tree(4, 2, 2, trunk(), PortLimits::default());
+        let r = t.compute_routes(&[], &[], 0);
+        assert_eq!(r.epoch(), 0);
+        for sw in 0..6u32 {
+            for dst in 0..6u32 {
+                if sw == dst {
+                    continue;
+                }
+                for key in 0..256u64 {
+                    let flow = splitmix64(key);
+                    assert_eq!(
+                        r.next_hop(sw, dst, flow),
+                        Some(t.next_hop(sw, dst, flow)),
+                        "epoch-0 empty-failure routes must be the baseline"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_routes_tolerates_partition() {
+        // Dumbbell with its only trunk cut: the two halves cannot reach
+        // each other, and lookups say so instead of panicking.
+        let t = Topology::dumbbell(4, trunk(), PortLimits::default());
+        let r = t.compute_routes(&[], &[(1, 0)], 1);
+        assert_eq!(r.next_hop(0, 1, 42), None);
+        assert_eq!(r.next_hop(1, 0, 42), None);
+        // Killing a fat-tree spine leaves the other spine carrying all
+        // cross-edge routes.
+        let f = Topology::fat_tree(4, 2, 2, trunk(), PortLimits::default());
+        let r = f.compute_routes(&[4], &[], 1);
+        for flow in 0..64u64 {
+            assert_eq!(r.next_hop(0, 3, splitmix64(flow)), Some(5));
+        }
+        // Routes through the dead switch itself vanish.
+        assert_eq!(r.next_hop(0, 4, 7), None);
+        assert_eq!(r.next_hop(4, 0, 7), None);
+    }
+
+    /// Satellite: pins the *reconverged* ECMP choice for fixed flow keys —
+    /// the epoch salt and failure-exclusion logic are golden-bearing, so
+    /// any change to either must show up here first.
+    #[test]
+    fn reconverged_route_selection_pinned_for_fixed_key() {
+        // 3 spines (4, 5, 6); kill spine 4 at epoch 1 → candidates {5, 6},
+        // re-salted by the epoch.
+        let t = Topology::fat_tree(4, 2, 3, trunk(), PortLimits::default());
+        let r = t.compute_routes(&[4], &[], 1);
+        let picks: Vec<u32> = (0..8u32)
+            .map(|vi| {
+                let k = Topology::flow_key(
+                    NodeId(0),
+                    NodeId(6),
+                    Some(&MsgId {
+                        src_node: 0,
+                        vi,
+                        seq: 0,
+                    }),
+                );
+                r.next_hop(0, 3, k).expect("spines 5 and 6 survive")
+            })
+            .collect();
+        assert_eq!(picks, vec![6, 5, 6, 6, 5, 6, 6, 6]);
+        // The same failure at a later epoch re-salts again: the pick
+        // vector over many flows must move, keeping epoch-folding
+        // load-bearing.
+        let r2 = t.compute_routes(&[4], &[], 2);
+        let vec_at = |r: &Routes| -> Vec<u32> {
+            (0..64u32)
+                .map(|vi| {
+                    let k = Topology::flow_key(
+                        NodeId(0),
+                        NodeId(6),
+                        Some(&MsgId {
+                            src_node: 0,
+                            vi,
+                            seq: 0,
+                        }),
+                    );
+                    r.next_hop(0, 3, k).unwrap()
+                })
+                .collect()
+        };
+        assert_ne!(vec_at(&r), vec_at(&r2), "epoch must fold into the salt");
+    }
+
+    #[test]
+    fn trunk_pairs_enumerates_normalized_sorted() {
+        let d = Topology::dumbbell(4, trunk(), PortLimits::default());
+        assert_eq!(d.trunk_pairs(), vec![(0, 1)]);
+        let f = Topology::fat_tree(3, 2, 2, trunk(), PortLimits::default());
+        assert_eq!(
+            f.trunk_pairs(),
+            vec![(0, 3), (0, 4), (1, 3), (1, 4), (2, 3), (2, 4)]
+        );
+        assert!(Topology::star(4).trunk_pairs().is_empty());
     }
 
     #[test]

@@ -74,7 +74,7 @@ thread_local! {
         std::cell::Cell::new(FuseTally {
             attempts: 0,
             hits: 0,
-            by_cause: [0; 9],
+            by_cause: [0; 10],
         })
     };
 }
@@ -377,6 +377,10 @@ pub enum DefuseCause {
     /// buffered switch ports; the fused arithmetic assumes the single
     /// switch traversal).
     Topology,
+    /// Switch-scoped fault windows are installed: a route reconvergence
+    /// can move any flow's path mid-message, so the precomputed fused
+    /// timing cannot be trusted.
+    Reroute,
     /// Any other disqualifier (lossy link, RDMA kind, outstanding
     /// in-flight sends, unconnected VI, ...).
     Other,
@@ -384,7 +388,7 @@ pub enum DefuseCause {
 
 impl DefuseCause {
     /// Every cause, in display order.
-    pub const ALL: [DefuseCause; 9] = [
+    pub const ALL: [DefuseCause; 10] = [
         DefuseCause::Disabled,
         DefuseCause::FaultWindow,
         DefuseCause::TraceAttached,
@@ -393,6 +397,7 @@ impl DefuseCause {
         DefuseCause::RingBusy,
         DefuseCause::MultiFragment,
         DefuseCause::Topology,
+        DefuseCause::Reroute,
         DefuseCause::Other,
     ];
 
@@ -407,6 +412,7 @@ impl DefuseCause {
             DefuseCause::RingBusy => "ring busy",
             DefuseCause::MultiFragment => "multi-fragment",
             DefuseCause::Topology => "topology",
+            DefuseCause::Reroute => "reroute",
             DefuseCause::Other => "other",
         }
     }
@@ -423,7 +429,8 @@ impl DefuseCause {
             DefuseCause::RingBusy => 5,
             DefuseCause::MultiFragment => 6,
             DefuseCause::Topology => 7,
-            DefuseCause::Other => 8,
+            DefuseCause::Reroute => 8,
+            DefuseCause::Other => 9,
         }
     }
 }
@@ -438,7 +445,7 @@ pub struct FuseTally {
     pub attempts: u64,
     /// Messages that ran the fused path end to end.
     pub hits: u64,
-    by_cause: [u64; 9],
+    by_cause: [u64; 10],
 }
 
 impl FuseTally {
@@ -480,7 +487,7 @@ impl FuseTally {
     /// Field-wise difference against an earlier snapshot of the same
     /// monotonic tally.
     pub fn delta_since(&self, earlier: &FuseTally) -> FuseTally {
-        let mut by_cause = [0u64; 9];
+        let mut by_cause = [0u64; 10];
         for (i, slot) in by_cause.iter_mut().enumerate() {
             *slot = self.by_cause[i] - earlier.by_cause[i];
         }

@@ -90,6 +90,11 @@ pub(crate) fn try_fuse_send(
         return Err(DefuseCause::MultiFragment);
     }
     let san = &provider.san;
+    // Switch-scoped fault windows can reconverge routing mid-message —
+    // the precomputed timing would silently ignore the moved path.
+    if san.switch_faults_installed() {
+        return Err(DefuseCause::Reroute);
+    }
     // Multi-switch fabrics route hop by hop through buffered switch ports;
     // the straight-line arithmetic below assumes the one-switch traversal.
     if !san.is_single_switch() {

@@ -108,6 +108,18 @@ fn x_topo_matches_golden() {
 }
 
 #[test]
+fn x_failover_matches_golden() {
+    // The fault-domain extension: a scripted spine kill mid-stream on the
+    // 64-node fat-tree (deterministic reroute, RTO-recovered fault drops)
+    // and a 24-to-8 pause cascade that trips the pause-storm watchdog.
+    // Pins per-flow stall/recovery telemetry, the fault timeline, the
+    // fault_dropped conservation bucket and per-tier storm counters;
+    // regenerating it re-runs the fault-domain oracles. CI diffs it
+    // across the full VIBE_JOBS x VIBE_SHARDS x VIBE_FUSE matrix.
+    check("X-FAILOVER");
+}
+
+#[test]
 fn x_fault_matches_golden() {
     // The fault-injection extension: pins recovery latencies, degraded
     // goodput, firmware-stall penalties and the full error/reconnect

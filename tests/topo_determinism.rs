@@ -76,6 +76,13 @@ fn random_topology(rng: &mut SimRng) -> Topology {
     let limits = PortLimits {
         capacity: 2 + rng.below(8) as u32,
         pause_depth: rng.below(16) as u32,
+        // Sometimes arm the pause-storm watchdog, tight enough to trip
+        // under the paused backlogs the random worlds build up.
+        max_pause: if rng.chance(0.3) {
+            Some(SimDuration::from_micros(10 + rng.below(90)))
+        } else {
+            None
+        },
     };
     match rng.below(4) {
         0 => Topology::dumbbell(4 + rng.below(8) as usize, trunk, limits),
@@ -97,8 +104,19 @@ fn random_topology(rng: &mut SimRng) -> Topology {
 }
 
 /// One port's counters flattened to a comparable tuple: (switch, target,
-/// admitted, pauses, drops, hol_blocked, highwater, pause_highwater).
-type PortTuple = (u32, String, u64, u64, u64, u64, u32, u32);
+/// admitted, pauses, (drops, fault_dropped, storm_dropped), hol_blocked,
+/// (storm_trips, max_pause_ns), highwater, pause_highwater).
+type PortTuple = (
+    u32,
+    String,
+    u64,
+    u64,
+    (u64, u64, u64),
+    u64,
+    (u64, u64),
+    u32,
+    u32,
+);
 
 /// Port counters flattened to comparable tuples (PortSnapshot itself
 /// carries no PartialEq; its fields all do).
@@ -111,8 +129,9 @@ fn port_tuples(san: &San) -> Vec<PortTuple> {
                 format!("{:?}", p.target),
                 p.stats.admitted,
                 p.stats.pauses,
-                p.stats.drops,
+                (p.stats.drops, p.stats.fault_dropped, p.stats.storm_dropped),
                 p.stats.hol_blocked,
+                (p.stats.storm_trips, p.stats.max_pause_ns),
                 p.stats.highwater,
                 p.stats.pause_highwater,
             )
@@ -143,12 +162,14 @@ fn random_topologies_match_serial_at_every_shard_count() {
         let topo = random_topology(&mut rng);
         let nodes = topo.nodes() as u32;
         let msgs = 8 + rng.below(10); // 8..=17 per node
+                                      // `randomized_topo` draws switch/trunk kills (with deterministic
+                                      // reroute) on multi-switch shapes, plain node windows on the star.
         let plan = if rng.chance(0.6) {
-            FaultPlan::randomized(
+            FaultPlan::randomized_topo(
                 &mut rng,
                 SimTime::ZERO + SimDuration::from_micros(2),
                 SimDuration::from_micros(200),
-                nodes,
+                &topo,
             )
         } else {
             FaultPlan::new()
@@ -198,15 +219,21 @@ fn random_topologies_match_serial_at_every_shard_count() {
         );
         // Frame conservation holds serially before we even compare: every
         // injected frame is delivered or attributed to exactly one sink.
-        let port_drops: u64 = serial_ports.iter().map(|p| p.4).sum();
+        let port_drops: u64 = serial_ports.iter().map(|p| p.4 .0 + p.4 .2).sum();
         assert_eq!(serial_stats.frames_port_dropped, port_drops, "case {case}");
+        let port_faulted: u64 = serial_ports.iter().map(|p| p.4 .1).sum();
+        assert!(
+            port_faulted <= serial_stats.frames_fault_dropped,
+            "case {case}: port fault attribution exceeds the fabric total"
+        );
         assert_eq!(
             serial_stats.frames_sent,
             serial_stats.frames_delivered
                 + serial_stats.frames_dropped
                 + serial_stats.frames_faulted
                 + serial_stats.frames_corrupted
-                + serial_stats.frames_port_dropped,
+                + serial_stats.frames_port_dropped
+                + serial_stats.frames_fault_dropped,
             "case {case} ({}): frame conservation broken",
             topo.name()
         );
