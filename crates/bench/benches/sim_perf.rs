@@ -706,6 +706,125 @@ fn bench_mpl_layer(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_session_layer(c: &mut Criterion) {
+    // The session pin: with the heartbeat watchdog disabled (the default
+    // in every paper profile), the crash-surviving session layer is pure
+    // bookkeeping — a 17-byte epoch/seq header, a bounded unacked journal
+    // and an ACK stream. The raw-VI leg runs the same per-message shape
+    // (1 KiB payload out, ack-sized reply back) with none of that, so the
+    // gap between the legs is exactly the no-fault session tax (one lazy
+    // connect, the FIN/linger close, journal copies, header parsing); it
+    // must stay a small constant within run-to-run noise — a widening gap
+    // means the no-fault session fast path regressed.
+    use via::{SessionParams, SessionReceiver, SessionSender};
+    let mut g = c.benchmark_group("session");
+    g.sample_size(20);
+    const MSGS: u64 = 64;
+    const SIZE: u64 = 1024;
+    g.throughput(Throughput::Elements(MSGS));
+    g.bench_function("raw_vi_64_msgs_1024B", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 1);
+            let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+            {
+                let pb = pb.clone();
+                sim.spawn("server", Some(pb.cpu()), move |ctx| {
+                    let vi = pb
+                        .create_vi(ctx, ViAttributes::default(), None, None)
+                        .unwrap();
+                    let buf = pb.malloc(SIZE);
+                    let mh = pb
+                        .register_mem(ctx, buf, SIZE, MemAttributes::default())
+                        .unwrap();
+                    vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, SIZE as u32))
+                        .unwrap();
+                    pb.accept(ctx, &vi, Discriminator(1)).unwrap();
+                    for i in 0..MSGS {
+                        vi.recv_wait(ctx, WaitMode::Poll);
+                        if i + 1 < MSGS {
+                            vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, SIZE as u32))
+                                .unwrap();
+                        }
+                        // Ack-sized reply: the raw analogue of the session
+                        // layer's per-message acknowledgment.
+                        vi.post_send(ctx, Descriptor::send().segment(buf, mh, 17))
+                            .unwrap();
+                        vi.send_wait(ctx, WaitMode::Poll);
+                    }
+                });
+            }
+            {
+                let pa = pa.clone();
+                sim.spawn("client", Some(pa.cpu()), move |ctx| {
+                    let vi = pa
+                        .create_vi(ctx, ViAttributes::default(), None, None)
+                        .unwrap();
+                    pa.connect(ctx, &vi, NodeId(1), Discriminator(1), None)
+                        .unwrap();
+                    let buf = pa.malloc(SIZE);
+                    let mh = pa
+                        .register_mem(ctx, buf, SIZE, MemAttributes::default())
+                        .unwrap();
+                    for _ in 0..MSGS {
+                        vi.post_recv(ctx, Descriptor::recv().segment(buf, mh, SIZE as u32))
+                            .unwrap();
+                        vi.post_send(ctx, Descriptor::send().segment(buf, mh, SIZE as u32))
+                            .unwrap();
+                        vi.recv_wait(ctx, WaitMode::Poll);
+                        vi.send_wait(ctx, WaitMode::Poll);
+                    }
+                });
+            }
+            sim.run_to_completion().events
+        });
+    });
+    g.bench_function("session_64_msgs_1024B", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let cluster = Cluster::new(sim.clone(), Profile::clan(), 2, 1);
+            let (pa, pb) = (cluster.provider(0), cluster.provider(1));
+            {
+                let pb = pb.clone();
+                sim.spawn("rx", Some(pb.cpu()), move |ctx| {
+                    let mut r =
+                        SessionReceiver::new(&pb, ctx, Discriminator(1), SessionParams::default())
+                            .unwrap();
+                    let mut got = 0u64;
+                    while let Some(m) = r.recv(ctx) {
+                        assert_eq!(m.len(), SIZE as usize);
+                        got += 1;
+                    }
+                    assert_eq!(got, MSGS);
+                    r.close(ctx);
+                });
+            }
+            {
+                let pa = pa.clone();
+                sim.spawn("tx", Some(pa.cpu()), move |ctx| {
+                    let mut s = SessionSender::new(
+                        &pa,
+                        ctx,
+                        NodeId(1),
+                        Discriminator(1),
+                        SessionParams::default(),
+                    )
+                    .unwrap();
+                    let payload = vec![0xABu8; SIZE as usize];
+                    for _ in 0..MSGS {
+                        s.send(ctx, &payload);
+                    }
+                    let st = s.close(ctx);
+                    assert_eq!(st.acked, MSGS);
+                    assert_eq!(st.reconnects, 0);
+                });
+            }
+            sim.run_to_completion().events
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -716,6 +835,7 @@ criterion_group!(
     bench_fused_fastpath,
     bench_sharded_engine,
     bench_topo,
-    bench_mpl_layer
+    bench_mpl_layer,
+    bench_session_layer
 );
 criterion_main!(benches);

@@ -395,9 +395,35 @@ pub fn run_episode(idx: usize) -> EpisodeReport {
         sched.macro_events, sched.fuse.hits,
         "{tag}: macro-event census mismatch"
     );
-    // Fold the episode's fault exposure into the suite's `[fabric: ...]`
-    // summary (switch-scoped windows on dumbbell episodes flush frames).
+    // Invariant: node-scoped fault accounting — the per-node split of
+    // the fault-drop bucket never exceeds the fabric total, a plan with
+    // no node windows drains nothing into it, and every node_down /
+    // nic_reset window open is acknowledged by exactly one provider
+    // crash wipe (the audit above already checked the wiped-and-rebuilt
+    // state leaks nothing).
     let fstats = pair.san().stats();
+    let node_dropped: u64 = pair.san().node_fault_dropped().iter().sum();
+    assert!(
+        node_dropped <= fstats.frames_fault_dropped,
+        "{tag}: per-node fault attribution exceeds the fabric total"
+    );
+    if !pair.san().node_faults_installed() {
+        assert_eq!(
+            node_dropped, 0,
+            "{tag}: node-attributed drops without node windows"
+        );
+    }
+    let crash_wipes: u64 = (0..2)
+        .map(|n| {
+            let s = pair.provider(n).stats();
+            s.node_crashes + s.nic_resets
+        })
+        .sum();
+    // Fold the episode's fault exposure into the suite's `[fabric: ...]`
+    // summary (switch-scoped windows on dumbbell episodes flush frames,
+    // node windows wipe providers; chaos streams use raw VIs, so no
+    // sessions recover here).
+    crate::runner::record_crash_health(crash_wipes, 0);
     crate::runner::record_fabric_health(
         pair.san()
             .port_stats()

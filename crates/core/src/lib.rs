@@ -38,6 +38,7 @@ pub mod breakdown;
 pub mod chaos;
 pub mod client_server;
 pub mod cqimpact;
+pub mod crash_bench;
 pub mod dsm_bench;
 pub mod extra;
 pub mod failover_bench;

@@ -372,14 +372,22 @@ pub fn take_shard_runs() -> Vec<ShardRunRecord> {
 pub struct FabricHealth {
     /// Pause-storm watchdog trips across every recorded run.
     pub storm_trips: u64,
-    /// Frames dropped by switch/trunk fault windows (FIFO flushes,
+    /// Frames dropped by switch/trunk/node fault windows (FIFO flushes,
     /// dead-element refusals, no-route drops) across every recorded run.
     pub fault_dropped: u64,
+    /// Node-scoped crash wipes (node_down + nic_reset window opens)
+    /// across every recorded run.
+    pub node_crashes: u64,
+    /// Session-layer channels that survived at least one reconnect
+    /// (journal replay + dedup) across every recorded run.
+    pub sessions_recovered: u64,
 }
 
 static FABRIC_HEALTH: std::sync::Mutex<FabricHealth> = std::sync::Mutex::new(FabricHealth {
     storm_trips: 0,
     fault_dropped: 0,
+    node_crashes: 0,
+    sessions_recovered: 0,
 });
 
 /// Accumulate one run's fabric-robustness counters for the suite summary.
@@ -387,6 +395,16 @@ pub fn record_fabric_health(storm_trips: u64, fault_dropped: u64) {
     let mut h = FABRIC_HEALTH.lock().unwrap();
     h.storm_trips += storm_trips;
     h.fault_dropped += fault_dropped;
+}
+
+/// Accumulate one run's node-crash / session-recovery counters for the
+/// suite summary (the `node_crashes=… sessions_recovered=…` half of the
+/// `[fabric: ...]` roll-up line). Sums are order-independent, so the
+/// totals are deterministic at any worker/shard/fuse setting.
+pub fn record_crash_health(node_crashes: u64, sessions_recovered: u64) {
+    let mut h = FABRIC_HEALTH.lock().unwrap();
+    h.node_crashes += node_crashes;
+    h.sessions_recovered += sessions_recovered;
 }
 
 /// Drain the accumulated fabric-robustness counters.

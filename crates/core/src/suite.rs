@@ -10,9 +10,9 @@ use crate::harness::BASE_SEED;
 use crate::report::Artifact;
 use crate::runner::Job;
 use crate::{
-    base, breakdown, chaos, client_server, cqimpact, dsm_bench, extra, failover_bench, fault_bench,
-    getput, harness, mpl_bench, mvi, nondata, scale, sched_bench, shard_bench, topo_bench,
-    trace_bench, xlate,
+    base, breakdown, chaos, client_server, cqimpact, crash_bench, dsm_bench, extra, failover_bench,
+    fault_bench, getput, harness, mpl_bench, mvi, nondata, scale, sched_bench, shard_bench,
+    topo_bench, trace_bench, xlate,
 };
 use simkit::WaitMode;
 
@@ -615,6 +615,16 @@ fn plan_topo() -> Vec<Job> {
     ]
 }
 
+fn run_crash() -> Vec<Artifact> {
+    let (flows, summary) = crash_bench::node_kill_tables();
+    vec![flows.into(), summary.into()]
+}
+
+fn plan_crash() -> Vec<Job> {
+    // One node-kill run feeds both of its artifacts.
+    vec![job("X-CRASH/node-kill".to_string(), run_crash)]
+}
+
 fn run_failover() -> Vec<Artifact> {
     let (flows, summary) = failover_bench::spine_kill_tables();
     vec![
@@ -810,6 +820,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             plan: plan_failover,
         },
         Experiment {
+            id: "X-CRASH",
+            title: "Extension: node fault domains, heartbeat detection & session recovery",
+            category: DataTransfer,
+            produce: run_crash,
+            plan: plan_crash,
+        },
+        Experiment {
             id: "X-MPL",
             title: "Future work (Sec 5): message-passing layer over VIA",
             category: ProgrammingModel,
@@ -859,6 +876,7 @@ mod tests {
             "X-SHARD",
             "X-TOPO",
             "X-FAILOVER",
+            "X-CRASH",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

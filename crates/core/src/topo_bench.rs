@@ -83,7 +83,18 @@ pub(crate) struct Rig {
 
 impl Rig {
     pub(crate) fn new(topo: Topology, seed: u64, shards: usize, label: impl Into<String>) -> Rig {
-        let profile = Profile::clan();
+        Rig::new_with_profile(topo, Profile::clan(), seed, shards, label)
+    }
+
+    /// Like [`Rig::new`] but with an explicit profile — X-CRASH runs the
+    /// cLAN profile with the heartbeat watchdog enabled.
+    pub(crate) fn new_with_profile(
+        topo: Topology,
+        profile: Profile,
+        seed: u64,
+        shards: usize,
+        label: impl Into<String>,
+    ) -> Rig {
         if shards > 1 {
             let engine = ShardedSim::new_with_map(
                 topo.shard_map(shards),

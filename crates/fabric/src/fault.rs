@@ -88,6 +88,25 @@ pub enum FaultKind {
         /// Added per-traversal latency on every port of the switch.
         extra_latency: SimDuration,
     },
+    /// The whole host is down: its NIC rings, translation tables, and VI
+    /// state are wiped at window open (the attached provider's crash hook
+    /// fires), every frame to or from the node during the window drains to
+    /// [`crate::SanStats::frames_fault_dropped`] and the per-node
+    /// fault-drop counter, and at window close the node reboots with a
+    /// freshly initialized NIC.
+    NodeDown {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// The node's NIC resets: device state (rings, translations, VI
+    /// connection state) is wiped and the link is dead for the window,
+    /// but the host itself stays up. Wire behavior matches
+    /// [`FaultKind::NodeDown`]; the two differ in the error cause the
+    /// attached provider reports and in crash accounting.
+    NicReset {
+        /// The node whose NIC resets.
+        node: NodeId,
+    },
 }
 
 impl FaultKind {
@@ -109,6 +128,24 @@ impl FaultKind {
             self,
             FaultKind::SwitchDown { .. } | FaultKind::TrunkDown { .. }
         )
+    }
+
+    /// True for the kinds that kill a host outright (node crash / NIC
+    /// reset) — the kinds whose window edges fire the attached provider's
+    /// crash and reboot hooks.
+    pub fn is_node_scoped(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::NodeDown { .. } | FaultKind::NicReset { .. }
+        )
+    }
+
+    /// The crashed/resetting node, for node-scoped kinds.
+    pub fn node_scope(&self) -> Option<NodeId> {
+        match self {
+            FaultKind::NodeDown { node } | FaultKind::NicReset { node } => Some(*node),
+            _ => None,
+        }
     }
 }
 
@@ -272,6 +309,19 @@ impl FaultPlan {
         )
     }
 
+    /// Crash node `node` for `duration` starting at `at`: NIC and VI state
+    /// wiped at window open, all frames to/from the node dropped during
+    /// the window, reboot at window close.
+    pub fn node_down(self, node: NodeId, at: SimTime, duration: SimDuration) -> Self {
+        self.window(at, duration, FaultKind::NodeDown { node })
+    }
+
+    /// Reset node `node`'s NIC for `duration` starting at `at`: device
+    /// state wiped and link dead for the window, host survives.
+    pub fn nic_reset(self, node: NodeId, at: SimTime, duration: SimDuration) -> Self {
+        self.window(at, duration, FaultKind::NicReset { node })
+    }
+
     /// Override the reroute delays applied to this plan's switch-scoped
     /// windows (default: [`RerouteParams::default`]).
     pub fn with_reroute(mut self, reroute: RerouteParams) -> Self {
@@ -295,6 +345,11 @@ impl FaultPlan {
     /// True when any window triggers route reconvergence.
     pub fn has_reroute_faults(&self) -> bool {
         self.events.iter().any(|w| w.kind.triggers_reroute())
+    }
+
+    /// True when any window kills a host (node crash or NIC reset).
+    pub fn has_node_faults(&self) -> bool {
+        self.events.iter().any(|w| w.kind.is_node_scoped())
     }
 
     /// Compose a randomized plan from a seeded RNG stream: zero to four
@@ -337,11 +392,13 @@ impl FaultPlan {
     /// Topology-aware [`FaultPlan::randomized`]: on a single-switch shape
     /// it delegates verbatim (identical draw sequence, so existing seeded
     /// plans do not move by a byte); on a multi-switch shape the kind draw
-    /// widens to six and may schedule [`FaultKind::SwitchDown`] and
+    /// widens to eight and may schedule [`FaultKind::SwitchDown`] and
     /// [`FaultKind::TrunkDown`] windows against the topology's actual
-    /// switches and trunks. Switch/trunk windows are capped at a quarter
-    /// of the span so transports with bounded retry budgets can ride out
-    /// the blackhole-plus-reconvergence gap.
+    /// switches and trunks, plus [`FaultKind::NodeDown`] and
+    /// [`FaultKind::NicReset`] host-kill windows. Switch/trunk/node
+    /// windows are capped at a quarter of the span so transports with
+    /// bounded retry budgets — and hosts that must reboot before a
+    /// post-plan recovery arc — can ride out the gap.
     pub fn randomized_topo(
         rng: &mut SimRng,
         base: SimTime,
@@ -361,7 +418,7 @@ impl FaultPlan {
             let duration = SimDuration::from_nanos(rng.below(span.as_nanos() / 2).max(1_000));
             let short = SimDuration::from_nanos(duration.as_nanos().div_ceil(2).max(1_000));
             let node = NodeId(rng.below(nodes as u64) as u32);
-            plan = match rng.below(6) {
+            plan = match rng.below(8) {
                 0 => plan.link_flap(node, at, duration),
                 1 => plan.degrade(
                     node,
@@ -376,10 +433,12 @@ impl FaultPlan {
                     let sw = rng.below(topo.switches() as u64) as u32;
                     plan.switch_down(sw, at, short)
                 }
-                _ => {
+                5 => {
                     let (a, b) = trunks[rng.below(trunks.len() as u64) as usize];
                     plan.trunk_down(a, b, at, short)
                 }
+                6 => plan.node_down(node, at, short),
+                _ => plan.nic_reset(node, at, short),
             };
         }
         plan
@@ -399,6 +458,9 @@ pub(crate) enum HopFault {
     Corrupt,
     /// Frame dropped: degradation-burst loss.
     Lost,
+    /// Frame dropped: the endpoint host is crashed (node down / NIC
+    /// reset) — no NIC exists to source or sink the frame.
+    NodeDead,
 }
 
 /// Runtime fault state, boxed into the SAN once a non-empty plan is
@@ -435,6 +497,13 @@ impl FaultState {
     #[cfg(test)]
     fn any_active(&self) -> bool {
         !self.active.is_empty()
+    }
+
+    /// True while a node-scoped window ([`FaultKind::NodeDown`] or
+    /// [`FaultKind::NicReset`]) covers `node` — the node has no working
+    /// NIC, so frames to or from it die at the fabric edge.
+    pub(crate) fn node_dead(&self, node: NodeId) -> bool {
+        self.active.iter().any(|k| k.node_scope() == Some(node))
     }
 
     /// True while a [`FaultKind::SwitchDown`] window covers switch `sw`.
@@ -492,6 +561,9 @@ impl FaultState {
         for k in &self.active {
             match *k {
                 FaultKind::LinkDown { node } if node == endpoint => return HopFault::Down,
+                FaultKind::NodeDown { node } | FaultKind::NicReset { node } if node == endpoint => {
+                    return HopFault::NodeDead
+                }
                 FaultKind::Degrade {
                     node,
                     extra_latency,
@@ -767,6 +839,77 @@ mod tests {
             }
         }
         assert!(saw_switch_scoped, "64 seeds must draw some switch windows");
+    }
+
+    #[test]
+    fn node_scoped_builders_and_queries() {
+        let t0 = SimTime::ZERO + SimDuration::from_micros(10);
+        let d = SimDuration::from_micros(50);
+        let plan = FaultPlan::new()
+            .node_down(NodeId(1), t0, d)
+            .nic_reset(NodeId(2), t0, d);
+        assert!(plan.has_node_faults());
+        assert!(!plan.has_switch_faults());
+        assert!(!plan.has_reroute_faults());
+        assert!(plan.events()[0].kind.is_node_scoped());
+        assert_eq!(plan.events()[0].kind.node_scope(), Some(NodeId(1)));
+        assert_eq!(plan.events()[1].kind.node_scope(), Some(NodeId(2)));
+        assert!(!FaultKind::LinkDown { node: NodeId(1) }.is_node_scoped());
+
+        let mut st = FaultState::new(1, 3);
+        st.begin(FaultKind::NodeDown { node: NodeId(1) });
+        assert!(st.node_dead(NodeId(1)));
+        assert!(!st.node_dead(NodeId(0)));
+        // Both directions die, control frames included: the NIC is gone.
+        assert!(matches!(st.on_uplink(NodeId(1), true), HopFault::NodeDead));
+        assert!(matches!(
+            st.on_downlink(NodeId(1), false),
+            HopFault::NodeDead
+        ));
+        assert!(matches!(
+            st.on_uplink(NodeId(0), true),
+            HopFault::Pass { .. }
+        ));
+        st.end(FaultKind::NodeDown { node: NodeId(1) });
+        assert!(!st.node_dead(NodeId(1)));
+        st.begin(FaultKind::NicReset { node: NodeId(2) });
+        assert!(st.node_dead(NodeId(2)));
+        assert!(matches!(
+            st.on_downlink(NodeId(2), true),
+            HopFault::NodeDead
+        ));
+        st.end(FaultKind::NicReset { node: NodeId(2) });
+        assert!(!st.any_active());
+    }
+
+    #[test]
+    fn randomized_topo_draws_node_windows_on_multi_switch() {
+        use crate::params::LinkParams;
+        let base = SimTime::ZERO + SimDuration::from_micros(100);
+        let span = SimDuration::from_millis(2);
+        let trunk = LinkParams {
+            bandwidth_bps: 440_000_000,
+            propagation: SimDuration::from_nanos(600),
+            frame_overhead_bytes: 8,
+            mtu: 64 * 1024,
+        };
+        let topo = Topology::fat_tree(3, 2, 2, trunk, crate::topo::PortLimits::default());
+        let nodes = topo.nodes() as u32;
+        let mut saw_node_scoped = false;
+        for seed in 0..64 {
+            let mut rng = SimRng::derive(seed, "topo-chaos-node");
+            let plan = FaultPlan::randomized_topo(&mut rng, base, span, &topo);
+            for w in plan.events() {
+                if let Some(n) = w.kind.node_scope() {
+                    saw_node_scoped = true;
+                    assert!(n.0 < nodes, "victim node must exist");
+                    // Host-kill windows are quarter-span-capped like
+                    // switch windows, so recovery arcs can outlive them.
+                    assert!(w.duration <= span / 4 + SimDuration::from_nanos(1));
+                }
+            }
+        }
+        assert!(saw_node_scoped, "64 seeds must draw some node windows");
     }
 
     #[test]

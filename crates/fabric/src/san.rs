@@ -251,7 +251,18 @@ struct SharedState {
     tracer: Tracer,
     /// Per-destination writer registry for the fused fast path.
     writers: Vec<WriterSet>,
+    /// Per-node split of [`SanStats::frames_fault_dropped`] attributable
+    /// to node-scoped windows: frames that died because this node was
+    /// crashed (as sender, receiver, or in-flight destination).
+    node_fault_dropped: Vec<u64>,
 }
+
+/// Callback fired at a node-scoped fault window edge, on the victim
+/// node's owning shard's engine. `open` is true at window open (the host
+/// crashes: wipe NIC and VI state) and false at window close (the host
+/// reboots). The [`FaultKind`] is the window's kind
+/// ([`FaultKind::NodeDown`] or [`FaultKind::NicReset`]).
+pub type NodeFaultHook = Arc<dyn Fn(&Sim, FaultKind, bool) + Send + Sync>;
 
 /// A frame in flight inside the multi-switch fabric: everything the next
 /// switch hop needs, owned by whichever shard currently holds the frame.
@@ -389,6 +400,17 @@ struct SanInner {
     /// [`TrunkDown`]: FaultKind::TrunkDown
     /// [`PortDegrade`]: FaultKind::PortDegrade
     switch_faults: AtomicBool,
+    /// Set once a plan containing node-scoped windows ([`NodeDown`],
+    /// [`NicReset`]) is installed. The delivery funnel checks the
+    /// destination's liveness only under this flag, so crash-free runs
+    /// pay one relaxed load per delivery.
+    ///
+    /// [`NodeDown`]: FaultKind::NodeDown
+    /// [`NicReset`]: FaultKind::NicReset
+    node_faults: AtomicBool,
+    /// Per-node crash/reboot hooks (registered by the attached provider
+    /// layer); invoked on the victim's owning shard at window edges.
+    node_hooks: Mutex<Vec<Option<NodeFaultHook>>>,
 }
 
 /// What the uplink or downlink stage decided about one frame.
@@ -399,6 +421,8 @@ enum HopOutcome {
     FaultDown,
     Corrupt,
     FaultLost,
+    /// The endpoint host is crashed (node-scoped fault window).
+    NodeDead,
 }
 
 /// Handle to the SAN; cheap to clone.
@@ -591,9 +615,12 @@ impl San {
                     stats: SanStats::default(),
                     tracer: Tracer::disabled(),
                     writers: vec![WriterSet::Empty; nodes],
+                    node_fault_dropped: vec![0; nodes],
                 }),
                 fuse: AtomicBool::new(true),
                 switch_faults: AtomicBool::new(false),
+                node_faults: AtomicBool::new(false),
+                node_hooks: Mutex::new((0..nodes).map(|_| None).collect()),
             }),
         }
     }
@@ -649,6 +676,17 @@ impl San {
                 }
             }
             self.inner.switch_faults.store(true, Ordering::Relaxed);
+        }
+        if plan.has_node_faults() {
+            for w in plan.events() {
+                if let Some(n) = w.kind.node_scope() {
+                    assert!(
+                        (n.0 as usize) < self.inner.nodes,
+                        "fault window names node {n} outside the fabric"
+                    );
+                }
+            }
+            self.inner.node_faults.store(true, Ordering::Relaxed);
         }
         let reroute = plan.reroute();
         for shard in 0..self.inner.sims.len() {
@@ -717,9 +755,21 @@ impl San {
                                     5,
                                 );
                             }
+                            FaultKind::NodeDown { node } => {
+                                sh.tracer
+                                    .record(sim.now(), TracePoint::LinkDown, node.0, None, 6);
+                            }
+                            FaultKind::NicReset { node } => {
+                                sh.tracer
+                                    .record(sim.now(), TracePoint::LinkDown, node.0, None, 7);
+                            }
                             _ => {}
                         }
                     }
+                    // The victim's provider crashes on its owning shard
+                    // only, after the fabric-side window state is in place
+                    // (so the hook observes the node as already dead).
+                    open.fire_node_hook(sim, shard, kind, true);
                 });
                 let close = self.clone();
                 self.inner.sims[shard].call_at_as(
@@ -780,9 +830,30 @@ impl San {
                                         5,
                                     );
                                 }
+                                FaultKind::NodeDown { node } => {
+                                    sh.tracer.record(
+                                        sim.now(),
+                                        TracePoint::LinkUp,
+                                        node.0,
+                                        None,
+                                        6,
+                                    );
+                                }
+                                FaultKind::NicReset { node } => {
+                                    sh.tracer.record(
+                                        sim.now(),
+                                        TracePoint::LinkUp,
+                                        node.0,
+                                        None,
+                                        7,
+                                    );
+                                }
                                 _ => {}
                             }
                         }
+                        // Reboot: fired after the window state is retired,
+                        // so the hook observes a live fabric edge.
+                        close.fire_node_hook(sim, shard, kind, false);
                     },
                 );
                 // Routing reconverges a configurable detection +
@@ -930,12 +1001,52 @@ impl San {
         }
     }
 
+    /// Invoke the registered crash/reboot hook for a node-scoped window
+    /// edge — on the victim's owning shard only, so the host-side wipe
+    /// and reboot happen exactly once per logical edge regardless of how
+    /// many shard replicas flip their window state.
+    fn fire_node_hook(&self, sim: &Sim, shard: usize, kind: FaultKind, open: bool) {
+        let Some(node) = kind.node_scope() else {
+            return;
+        };
+        if self.inner.map.assign(node.0) != shard {
+            return;
+        }
+        let hook = self.inner.node_hooks.lock()[node.index()].clone();
+        if let Some(h) = hook {
+            h(sim, kind, open);
+        }
+    }
+
+    /// Register `node`'s crash/reboot hook, replacing any previous one.
+    /// The attached provider layer calls this at cluster build; the hook
+    /// fires on the node's owning shard at every node-scoped window edge
+    /// scheduled by [`San::install_faults`] — registration must precede
+    /// the window's virtual time.
+    pub fn on_node_fault(&self, node: NodeId, hook: NodeFaultHook) {
+        self.inner.node_hooks.lock()[node.index()] = Some(hook);
+    }
+
     /// True once a plan containing switch-scoped windows is installed.
     /// The fused fast path de-fuses on this (`DefuseCause::Reroute`): a
     /// reconvergence can move any flow's path mid-message, so only the
     /// hop-by-hop general path may carry traffic.
     pub fn switch_faults_installed(&self) -> bool {
         self.inner.switch_faults.load(Ordering::Relaxed)
+    }
+
+    /// True once a plan containing node-scoped windows (node crash / NIC
+    /// reset) is installed. The fused fast path de-fuses on this
+    /// (`DefuseCause::NodeFault`), and the delivery funnel starts
+    /// checking destination liveness at arrival time.
+    pub fn node_faults_installed(&self) -> bool {
+        self.inner.node_faults.load(Ordering::Relaxed)
+    }
+
+    /// Per-node split of [`SanStats::frames_fault_dropped`] attributable
+    /// to node-scoped fault windows, indexed by node id.
+    pub fn node_fault_dropped(&self) -> Vec<u64> {
+        self.inner.shared.lock().node_fault_dropped.clone()
     }
 
     /// True once a non-empty fault plan has been installed on any shard.
@@ -1112,6 +1223,7 @@ impl San {
                         HopFault::Down => outcome = HopOutcome::FaultDown,
                         HopFault::Corrupt => outcome = HopOutcome::Corrupt,
                         HopFault::Lost => outcome = HopOutcome::FaultLost,
+                        HopFault::NodeDead => outcome = HopOutcome::NodeDead,
                     }
                 }
             }
@@ -1159,6 +1271,12 @@ impl San {
                     sh.stats.frames_dropped += 1;
                     // aux = 5: degradation-burst loss on the uplink.
                     sh.tracer.record(now, TracePoint::WireDrop, src.0, msg, 5);
+                }
+                HopOutcome::NodeDead => {
+                    sh.stats.frames_fault_dropped += 1;
+                    sh.node_fault_dropped[src.index()] += 1;
+                    // aux = 10: the source host is crashed.
+                    sh.tracer.record(now, TracePoint::WireDrop, src.0, msg, 10);
                 }
             }
             fold
@@ -1233,6 +1351,7 @@ impl San {
                         // Corruption is rolled once per frame, at ingress.
                         HopFault::Corrupt => unreachable!("corruption rolls at ingress"),
                         HopFault::Lost => outcome = HopOutcome::FaultLost,
+                        HopFault::NodeDead => outcome = HopOutcome::NodeDead,
                     }
                 }
             }
@@ -1262,6 +1381,14 @@ impl San {
                 sh.tracer.record(now, TracePoint::WireDrop, dst.0, msg, 6);
                 return;
             }
+            HopOutcome::NodeDead => {
+                let mut sh = inner.shared.lock();
+                sh.stats.frames_fault_dropped += 1;
+                sh.node_fault_dropped[dst.index()] += 1;
+                // aux = 10: the destination host is crashed.
+                sh.tracer.record(now, TracePoint::WireDrop, dst.0, msg, 10);
+                return;
+            }
         }
         self.schedule_delivery(sim, src, dst, payload_bytes, body, msg, arrive_nic);
     }
@@ -1282,6 +1409,28 @@ impl San {
     ) {
         let san = self.clone();
         sim.call_at_as(EventClass::Fabric, arrive, move |sim| {
+            // Frames already past the downlink when a node-scoped window
+            // opened still arrive during it: the dead NIC sinks them.
+            // Liveness at the arrival instant is a pure function of
+            // virtual time (window edges flip every shard's replica), so
+            // this decision is shard-count-invariant.
+            if san.inner.node_faults.load(Ordering::Relaxed) {
+                let dst_shard = san.inner.map.assign(dst.0);
+                let dead = san.inner.links[dst_shard]
+                    .lock()
+                    .faults
+                    .as_ref()
+                    .is_some_and(|fs| fs.node_dead(dst));
+                if dead {
+                    let mut sh = san.inner.shared.lock();
+                    sh.stats.frames_fault_dropped += 1;
+                    sh.node_fault_dropped[dst.index()] += 1;
+                    // aux = 10: the destination host is crashed.
+                    sh.tracer
+                        .record(sim.now(), TracePoint::WireDrop, dst.0, msg, 10);
+                    return;
+                }
+            }
             let handler = {
                 let mut sh = san.inner.shared.lock();
                 sh.stats.frames_delivered += 1;
@@ -1349,6 +1498,7 @@ impl San {
                         HopFault::Down => outcome = HopOutcome::FaultDown,
                         HopFault::Corrupt => outcome = HopOutcome::Corrupt,
                         HopFault::Lost => outcome = HopOutcome::FaultLost,
+                        HopFault::NodeDead => outcome = HopOutcome::NodeDead,
                     }
                 }
             }
@@ -1382,6 +1532,12 @@ impl San {
                 HopOutcome::FaultLost => {
                     sh.stats.frames_dropped += 1;
                     sh.tracer.record(now, TracePoint::WireDrop, src.0, msg, 5);
+                }
+                HopOutcome::NodeDead => {
+                    sh.stats.frames_fault_dropped += 1;
+                    sh.node_fault_dropped[src.index()] += 1;
+                    // aux = 10: the source host is crashed.
+                    sh.tracer.record(now, TracePoint::WireDrop, src.0, msg, 10);
                 }
             }
         }
@@ -1743,6 +1899,7 @@ impl San {
                         HopFault::Down => outcome = HopOutcome::FaultDown,
                         HopFault::Corrupt => unreachable!("corruption rolls at ingress"),
                         HopFault::Lost => outcome = HopOutcome::FaultLost,
+                        HopFault::NodeDead => outcome = HopOutcome::NodeDead,
                     }
                 }
             }
@@ -1767,6 +1924,15 @@ impl San {
                 let mut sh = inner.shared.lock();
                 sh.stats.frames_dropped += 1;
                 sh.tracer.record(now, TracePoint::WireDrop, dst.0, f.msg, 6);
+                return;
+            }
+            HopOutcome::NodeDead => {
+                let mut sh = inner.shared.lock();
+                sh.stats.frames_fault_dropped += 1;
+                sh.node_fault_dropped[dst.index()] += 1;
+                // aux = 10: the destination host is crashed.
+                sh.tracer
+                    .record(now, TracePoint::WireDrop, dst.0, f.msg, 10);
                 return;
             }
         }

@@ -74,7 +74,7 @@ thread_local! {
         std::cell::Cell::new(FuseTally {
             attempts: 0,
             hits: 0,
-            by_cause: [0; 10],
+            by_cause: [0; 11],
         })
     };
 }
@@ -381,6 +381,10 @@ pub enum DefuseCause {
     /// can move any flow's path mid-message, so the precomputed fused
     /// timing cannot be trusted.
     Reroute,
+    /// Node-scoped fault windows (node crash / NIC reset) are installed:
+    /// a crash wipes NIC and VI state mid-message, so the precomputed
+    /// end-to-end fused timing cannot be trusted for any flow.
+    NodeFault,
     /// Any other disqualifier (lossy link, RDMA kind, outstanding
     /// in-flight sends, unconnected VI, ...).
     Other,
@@ -388,7 +392,7 @@ pub enum DefuseCause {
 
 impl DefuseCause {
     /// Every cause, in display order.
-    pub const ALL: [DefuseCause; 10] = [
+    pub const ALL: [DefuseCause; 11] = [
         DefuseCause::Disabled,
         DefuseCause::FaultWindow,
         DefuseCause::TraceAttached,
@@ -398,6 +402,7 @@ impl DefuseCause {
         DefuseCause::MultiFragment,
         DefuseCause::Topology,
         DefuseCause::Reroute,
+        DefuseCause::NodeFault,
         DefuseCause::Other,
     ];
 
@@ -413,6 +418,7 @@ impl DefuseCause {
             DefuseCause::MultiFragment => "multi-fragment",
             DefuseCause::Topology => "topology",
             DefuseCause::Reroute => "reroute",
+            DefuseCause::NodeFault => "node fault",
             DefuseCause::Other => "other",
         }
     }
@@ -430,7 +436,8 @@ impl DefuseCause {
             DefuseCause::MultiFragment => 6,
             DefuseCause::Topology => 7,
             DefuseCause::Reroute => 8,
-            DefuseCause::Other => 9,
+            DefuseCause::NodeFault => 9,
+            DefuseCause::Other => 10,
         }
     }
 }
@@ -445,7 +452,7 @@ pub struct FuseTally {
     pub attempts: u64,
     /// Messages that ran the fused path end to end.
     pub hits: u64,
-    by_cause: [u64; 10],
+    by_cause: [u64; 11],
 }
 
 impl FuseTally {
@@ -487,7 +494,7 @@ impl FuseTally {
     /// Field-wise difference against an earlier snapshot of the same
     /// monotonic tally.
     pub fn delta_since(&self, earlier: &FuseTally) -> FuseTally {
-        let mut by_cause = [0u64; 10];
+        let mut by_cause = [0u64; 11];
         for (i, slot) in by_cause.iter_mut().enumerate() {
             *slot = self.by_cause[i] - earlier.by_cause[i];
         }

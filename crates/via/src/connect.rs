@@ -8,12 +8,13 @@
 //! is provider bookkeeping.
 
 use fabric::NodeId;
-use simkit::{ProcessCtx, Sim, SimDuration};
+use simkit::{EventClass, ProcessCtx, Sim, SimDuration};
 
 use crate::descriptor::Completion;
+use crate::profile::HeartbeatParams;
 use crate::provider::{Listener, PendingConnReq, Provider};
 use crate::types::{Discriminator, ViId, ViaError, ViaResult};
-use crate::vi::ConnState;
+use crate::vi::{ConnState, ErrorCause};
 use crate::wire::{ConnFrame, Frame, CONN_FRAME_BYTES};
 
 /// Client-side connect (blocking).
@@ -93,13 +94,15 @@ pub(crate) fn connect(
     }
 }
 
-/// Server-side accept (blocking).
+/// Server-side accept (blocking; gives up at `timeout` when one is set).
 pub(crate) fn accept(
     provider: &Provider,
     ctx: &mut ProcessCtx,
     vi_id: ViId,
     disc: Discriminator,
+    timeout: Option<SimDuration>,
 ) -> ViaResult<NodeId> {
+    let deadline = timeout.map(|t| provider.sim.now() + t);
     // Take a parked request, or register as the listener and wait.
     let req: PendingConnReq = loop {
         let token = {
@@ -126,12 +129,20 @@ pub(crate) fn accept(
             );
             token
         };
+        if let Some(d) = deadline {
+            provider
+                .sim
+                .wake_in(d.saturating_duration_since(provider.sim.now()), token);
+        }
         ctx.wait(token);
         let mut st = provider.lock();
         if let Some(listener) = st.listeners.remove(&disc) {
             if let Some(req) = listener.slot {
                 break req;
             }
+        }
+        if deadline.is_some_and(|d| provider.sim.now() >= d) {
+            return Err(ViaError::ConnectFailed); // timed out; listener removed above
         }
         // Spurious resume; loop and re-register.
     };
@@ -176,6 +187,7 @@ pub(crate) fn accept(
         };
         vi.credit_reset();
     }
+    arm_heartbeat(provider, vi_id);
     provider.san.send_control(
         provider.node,
         req.client_node,
@@ -201,7 +213,7 @@ pub(crate) fn disconnect(provider: &Provider, ctx: &mut ProcessCtx, vi_id: ViId)
             ConnState::Connected {
                 peer_node, peer_vi, ..
             } => Some((peer_node, peer_vi)),
-            ConnState::Error => None,
+            ConnState::Error { .. } => None,
             _ => return Err(ViaError::InvalidState),
         }
     };
@@ -221,6 +233,16 @@ pub(crate) fn disconnect(provider: &Provider, ctx: &mut ProcessCtx, vi_id: ViId)
 /// Drop connection state on a VI: outstanding sends complete with
 /// `ConnectionLost`; posted receives stay posted (reusable after
 /// reconnection, as the spec allows).
+///
+/// Idempotent by construction, including on a VI that already transitioned
+/// to `ConnState::Error` (whose descriptors were flushed by the error
+/// transition): every drained collection is empty the second time through,
+/// the keepalive timer handle is *taken* before cancelling (a second call
+/// finds `None`), and the flush loop below emits exactly one completion
+/// per remaining descriptor — never re-flushing what the error path
+/// already delivered. A crash window closing mid-teardown therefore
+/// cannot double-count timers or completions (pinned by
+/// `teardown_during_node_down_is_idempotent` in `tests/crash.rs`).
 pub(crate) fn teardown_local(provider: &Provider, vi_id: ViId) {
     let mut completions = Vec::new();
     {
@@ -228,6 +250,10 @@ pub(crate) fn teardown_local(provider: &Provider, vi_id: ViId) {
         let Some(vi) = st.try_vi_mut(vi_id) else {
             return;
         };
+        if vi.disarm_heartbeat() {
+            st.stats.heartbeat_timers_cancelled += 1;
+        }
+        let vi = st.vi_mut(vi_id);
         vi.conn = ConnState::Idle;
         vi.reassembly.clear();
         vi.delivered.clear();
@@ -263,6 +289,110 @@ pub(crate) fn teardown_local(provider: &Provider, vi_id: ViId) {
     }
     for c in completions {
         crate::transport::deliver_send_completion(provider, vi_id, c);
+    }
+    // A process blocked in a queue wait gets no completion from a clean
+    // teardown (posted receives stay posted), so poke it awake: plain
+    // waits re-park harmlessly, connection-aware waits notice Idle.
+    crate::transport::wake_stranded_waiters(provider, vi_id);
+}
+
+/// Arm the keepalive on a just-connected VI. A no-op when the profile
+/// leaves `heartbeat` at `None` — no timer is created, no state touched —
+/// so heartbeat-free runs are event-for-event identical to builds without
+/// the feature. Called at every `Connected` transition (both the accept
+/// side and the client's accept-frame handler).
+pub(crate) fn arm_heartbeat(provider: &Provider, vi_id: ViId) {
+    let Some(hb) = provider.profile.heartbeat else {
+        return;
+    };
+    let now = provider.sim.now();
+    {
+        let mut st = provider.lock();
+        let Some(vi) = st.try_vi_mut(vi_id) else {
+            return;
+        };
+        if !matches!(vi.conn, ConnState::Connected { .. }) {
+            return;
+        }
+        // The peer is presumed live at connect time: the handshake frame
+        // that drove this transition is itself the first liveness signal.
+        vi.last_heard = now;
+        if vi.disarm_heartbeat() {
+            // Re-connect over a still-armed timer (shouldn't happen — every
+            // teardown disarms — but harmless and counted if it does).
+            st.stats.heartbeat_timers_cancelled += 1;
+        }
+    }
+    schedule_beat(provider, vi_id, hb);
+}
+
+/// Schedule the next keepalive tick one interval out.
+fn schedule_beat(provider: &Provider, vi_id: ViId, hb: HeartbeatParams) {
+    let p = provider.clone();
+    let at = provider.sim.now() + hb.interval;
+    let handle = provider.sim.timer_at(EventClass::Retransmit, at, move |_| {
+        heartbeat_tick(&p, vi_id, hb);
+    });
+    let mut st = provider.lock();
+    let stored = st
+        .try_vi_mut(vi_id)
+        .map(|vi| vi.heartbeat_timer = Some(handle.clone()))
+        .is_some();
+    if stored {
+        st.stats.heartbeat_timers_armed += 1;
+    } else {
+        // VI destroyed between the connected-state check and here.
+        drop(st);
+        handle.cancel();
+    }
+}
+
+/// One keepalive tick: declare the peer dead if its heartbeats stopped,
+/// otherwise emit our own beat and re-arm. The staleness check runs
+/// *before* the send, so a dead peer is detected within
+/// `timeout + interval` of its last frame regardless of traffic.
+fn heartbeat_tick(provider: &Provider, vi_id: ViId, hb: HeartbeatParams) {
+    let now = provider.sim.now();
+    enum Verdict {
+        Dead,
+        Beat(NodeId, ViId),
+        Stop,
+    }
+    let verdict = {
+        let mut st = provider.lock();
+        let Some(vi) = st.try_vi_mut(vi_id) else {
+            return;
+        };
+        vi.heartbeat_timer = None; // this firing consumed it
+        match vi.peer() {
+            // Torn down since arming (the disarm lost the race with this
+            // firing): stop quietly, nothing to watch any more.
+            None => Verdict::Stop,
+            Some((peer_node, peer_vi)) => {
+                if now.saturating_duration_since(vi.last_heard) > hb.timeout {
+                    st.stats.heartbeat_timeouts += 1;
+                    Verdict::Dead
+                } else {
+                    st.stats.heartbeats_sent += 1;
+                    Verdict::Beat(peer_node, peer_vi)
+                }
+            }
+        }
+    };
+    match verdict {
+        Verdict::Stop => {}
+        Verdict::Dead => {
+            crate::transport::fail_connection(provider, vi_id, ErrorCause::PeerDown);
+        }
+        Verdict::Beat(peer_node, peer_vi) => {
+            provider.san.send_control(
+                provider.node,
+                peer_node,
+                CONN_FRAME_BYTES,
+                Box::new(Frame::Conn(ConnFrame::Heartbeat { dst_vi: peer_vi })),
+            );
+            schedule_beat(provider, vi_id, hb);
+        }
     }
 }
 
@@ -301,30 +431,37 @@ pub(crate) fn handle_conn_frame(provider: &Provider, sim: &Sim, frame: ConnFrame
             server_vi,
             max_transfer_size,
         } => {
-            let mut st = provider.lock();
-            let profile_mts = provider.profile.max_transfer_size;
-            if let Some(vi) = st.try_vi_mut(client_vi) {
-                if vi.conn == ConnState::Connecting {
-                    let mtu = vi
-                        .attrs
-                        .max_transfer_size
-                        .min(profile_mts)
-                        .min(max_transfer_size);
-                    vi.conn = ConnState::Connected {
-                        peer_node: server_node,
-                        peer_vi: server_vi,
-                        mtu,
-                    };
-                    vi.credit_reset();
-                    vi.connect_result = Some(Ok(()));
-                    if let Some(token) = vi.connect_waiter {
-                        drop(st);
-                        sim.wake(token);
+            let waiter = {
+                let mut st = provider.lock();
+                let profile_mts = provider.profile.max_transfer_size;
+                match st.try_vi_mut(client_vi) {
+                    Some(vi) if vi.conn == ConnState::Connecting => {
+                        let mtu = vi
+                            .attrs
+                            .max_transfer_size
+                            .min(profile_mts)
+                            .min(max_transfer_size);
+                        vi.conn = ConnState::Connected {
+                            peer_node: server_node,
+                            peer_vi: server_vi,
+                            mtu,
+                        };
+                        vi.credit_reset();
+                        vi.connect_result = Some(Ok(()));
+                        Some(vi.connect_waiter)
                     }
+                    // Late accept after timeout: ignore (the server believes
+                    // it is connected; a real stack would RST — first traffic
+                    // will be dropped by our state checks, which is
+                    // equivalent here).
+                    _ => None,
                 }
-                // Late accept after timeout: ignore (the server believes it
-                // is connected; a real stack would RST — first traffic will
-                // be dropped by our state checks, which is equivalent here).
+            };
+            if let Some(waiter) = waiter {
+                arm_heartbeat(provider, client_vi);
+                if let Some(token) = waiter {
+                    sim.wake(token);
+                }
             }
         }
         ConnFrame::Reject { client_vi } => {
@@ -341,6 +478,15 @@ pub(crate) fn handle_conn_frame(provider: &Provider, sim: &Sim, frame: ConnFrame
         }
         ConnFrame::Disconnect { dst_vi } => {
             teardown_local(provider, dst_vi);
+        }
+        ConnFrame::Heartbeat { dst_vi } => {
+            // Refresh the liveness clock; the peer's watchdog does the rest.
+            let mut st = provider.lock();
+            if let Some(vi) = st.try_vi_mut(dst_vi) {
+                if matches!(vi.conn, ConnState::Connected { .. }) {
+                    vi.last_heard = sim.now();
+                }
+            }
         }
     }
 }

@@ -100,6 +100,13 @@ pub(crate) fn try_fuse_send(
     if !san.is_single_switch() {
         return Err(DefuseCause::Topology);
     }
+    // Node-scoped windows (node_down / nic_reset) can kill either endpoint
+    // inside the precomputed envelope — wiping the very rings and timers
+    // the fold's arithmetic assumed would survive. Attributed separately
+    // from generic fault windows so X-CRASH's ledger names the culprit.
+    if san.node_faults_installed() {
+        return Err(DefuseCause::NodeFault);
+    }
     // Loss could drop the frame (consuming RNG we must not touch early)
     // and fault plans perturb every stage; both void the precomputation.
     if !san.is_lossless() || san.faults_installed() {

@@ -62,6 +62,7 @@ pub mod fastpath;
 pub mod mem;
 pub mod profile;
 pub mod provider;
+pub mod session;
 pub mod transport;
 pub mod types;
 pub mod vi;
@@ -70,9 +71,10 @@ pub(crate) mod wire;
 pub use cq::Cq;
 pub use descriptor::{Completion, DataSegment, DescOp, Descriptor, RemoteSegment};
 pub use mem::MemAttributes;
-pub use profile::{CreditFlow, DataCosts, DataPathKind, Profile, SetupCosts};
+pub use profile::{CreditFlow, DataCosts, DataPathKind, HeartbeatParams, Profile, SetupCosts};
 pub use provider::{AuditReport, Cluster, ProbeEvent, Provider, ProviderStats};
+pub use session::{SessionParams, SessionReceiver, SessionSender, SessionStats, SESSION_HDR_BYTES};
 pub use types::{
     CqId, Discriminator, MemHandle, QueueKind, Reliability, ViAttributes, ViId, ViaError, ViaResult,
 };
-pub use vi::{ConnState, Vi};
+pub use vi::{ConnState, ErrorCause, Vi};

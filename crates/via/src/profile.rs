@@ -113,6 +113,34 @@ pub struct CreditFlow {
     pub initial: u32,
 }
 
+/// Connection keepalive: each side of a connected VI emits a small
+/// heartbeat control frame every `interval` and declares the peer dead —
+/// `ConnState::Error { cause: PeerDown }`, flushing all descriptors —
+/// after `timeout` of silence. Bounded-time crash detection for the
+/// fault-tolerance experiments; `None` (the default on every paper
+/// profile) arms no timers and sends no frames, so heartbeat-free runs
+/// are event-for-event identical to builds without the feature.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatParams {
+    /// Gap between consecutive heartbeat frames on a connected VI.
+    pub interval: SimDuration,
+    /// Silence tolerance before the peer is declared down. Must comfortably
+    /// exceed `interval` (several multiples) so queueing jitter on a loaded
+    /// uplink never masquerades as a crash.
+    pub timeout: SimDuration,
+}
+
+impl HeartbeatParams {
+    /// A conservative default tuned for the cLAN-class fabrics the crash
+    /// experiments run on: 200 µs beat, 4-beat tolerance.
+    pub fn fast() -> Self {
+        HeartbeatParams {
+            interval: SimDuration::from_micros(200),
+            timeout: SimDuration::from_micros(800),
+        }
+    }
+}
+
 /// A complete VIA provider architecture + cost calibration.
 #[derive(Clone, Debug)]
 pub struct Profile {
@@ -147,6 +175,8 @@ pub struct Profile {
     pub nic_tx_ring: usize,
     /// Credit-based receive flow control (reliable modes).
     pub credit_flow: CreditFlow,
+    /// Connection keepalive; `None` (all paper profiles) disables it.
+    pub heartbeat: Option<HeartbeatParams>,
     /// Reliability levels this provider implements.
     pub reliability_levels: &'static [Reliability],
     /// RDMA Write support.
@@ -192,6 +222,7 @@ impl Profile {
                 enabled: true,
                 initial: 1024,
             },
+            heartbeat: None,
             reliability_levels: &[Reliability::Unreliable, Reliability::ReliableDelivery],
             supports_rdma_write: true,
             supports_rdma_read: false,
@@ -259,6 +290,7 @@ impl Profile {
                 enabled: true,
                 initial: 128,
             },
+            heartbeat: None,
             reliability_levels: &[Reliability::Unreliable],
             supports_rdma_write: false,
             supports_rdma_read: false,
@@ -324,6 +356,7 @@ impl Profile {
                 enabled: true,
                 initial: 1024,
             },
+            heartbeat: None,
             reliability_levels: &[
                 Reliability::Unreliable,
                 Reliability::ReliableDelivery,

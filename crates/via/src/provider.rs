@@ -88,6 +88,24 @@ pub struct ProviderStats {
     /// Transmit jobs refused because the NIC descriptor ring was full
     /// (surfaced to the poster as `DescriptorError`).
     pub nic_ring_full: u64,
+    /// Keepalive heartbeat frames emitted.
+    pub heartbeats_sent: u64,
+    /// Keepalive timers armed (initial arms plus periodic re-arms).
+    pub heartbeat_timers_armed: u64,
+    /// Keepalive timers cancelled before firing (teardown / error / crash
+    /// disarmed them). Never exceeds `heartbeat_timers_armed`.
+    pub heartbeat_timers_cancelled: u64,
+    /// Connections declared dead by the keepalive watchdog (no heartbeat
+    /// from the peer within the configured tolerance).
+    pub heartbeat_timeouts: u64,
+    /// Host-scoped crash windows this provider lived through (node_down
+    /// fault windows that wiped and rebooted it).
+    pub node_crashes: u64,
+    /// Device-scoped reset windows this provider lived through (nic_reset
+    /// fault windows: device state wiped, host state preserved).
+    pub nic_resets: u64,
+    /// Transmit jobs killed on the device ring by a crash/reset wipe.
+    pub tx_jobs_wiped: u64,
 }
 
 /// A pending inbound connection request (no listener yet).
@@ -164,6 +182,12 @@ pub(crate) struct ProviderState {
     /// Scripted firmware-stall fault windows (empty unless a fault
     /// experiment installed some via [`Provider::stall_firmware`]).
     pub fw_stalls: FirmwareStalls,
+    /// True inside a node-scoped fault window (node_down / nic_reset):
+    /// the fabric drops every frame to or from this node while set. Local
+    /// operations are *not* gated on it — a crashed host can't call the
+    /// API anyway, and the fabric enforces wire deadness — it exists so
+    /// benchmarks and the session layer can observe the window.
+    pub crashed: bool,
     pub stats: ProviderStats,
 }
 
@@ -413,7 +437,7 @@ impl Provider {
         let initial = self.profile.credit_flow.initial as u64;
         for vi in st.vis.iter().flatten() {
             let tag = format!("node {node} vi {}", vi.id.raw());
-            if vi.conn == ConnState::Error {
+            if matches!(vi.conn, ConnState::Error { .. }) {
                 for (what, count) in [
                     ("in-flight sends", vi.send_inflight.len()),
                     ("posted receives", vi.recv_posted.len()),
@@ -444,6 +468,14 @@ impl Provider {
                 violations.push(format!(
                     "{tag}: credit ledger negative (consumed {} > initial {initial} + seen {})",
                     vi.credits_consumed, vi.credit_seen_total
+                ));
+            }
+            // Keepalives only watch live connections: any teardown, error
+            // transition, or crash wipe must have disarmed the timer.
+            if vi.heartbeat_timer.is_some() && !matches!(vi.conn, ConnState::Connected { .. }) {
+                violations.push(format!(
+                    "{tag}: heartbeat timer armed on a {:?} VI",
+                    vi.conn
                 ));
             }
         }
@@ -477,6 +509,12 @@ impl Provider {
                 st.stats.retx_timers_cancelled, st.stats.retx_timers_armed
             ));
         }
+        if st.stats.heartbeat_timers_cancelled > st.stats.heartbeat_timers_armed {
+            violations.push(format!(
+                "node {node}: {} heartbeat timers cancelled but only {} armed",
+                st.stats.heartbeat_timers_cancelled, st.stats.heartbeat_timers_armed
+            ));
+        }
         // Macro-event ledger: every fuse attempt either committed (one
         // macro-event per hit) or was charged to exactly one de-fuse cause,
         // and the engine never elided events without a fold recording them.
@@ -496,6 +534,80 @@ impl Provider {
             ));
         }
         AuditReport { violations }
+    }
+
+    /// True inside a node-scoped fault window (node_down / nic_reset).
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// A node-scoped fault window opened on this node: wipe the device.
+    ///
+    /// Device state dies — queued transmit jobs, NIC-cached translations,
+    /// scripted firmware stalls, the receive-engine busy horizon, parked
+    /// connection requests. Host-durable state survives (memory
+    /// registrations, CQs, listeners, completed completions): a nic_reset
+    /// leaves the host untouched by definition, and for node_down the
+    /// benchmark process owns re-initialization after reboot. Connected
+    /// VIs fail with a cause matching `kind`; a connect in flight resolves
+    /// to `ConnectionLost` and wakes its waiter. In-flight pipeline stages
+    /// (`nic_tx.busy`, fused windows) drain naturally: each stage re-checks
+    /// VI state and finds the flushed connection.
+    pub(crate) fn crash(&self, kind: fabric::FaultKind) {
+        let cause = match kind {
+            fabric::FaultKind::NicReset { .. } => crate::vi::ErrorCause::NicReset,
+            _ => crate::vi::ErrorCause::NodeDown,
+        };
+        let mut to_fail = Vec::new();
+        let mut waiters = Vec::new();
+        {
+            let mut st = self.lock();
+            st.crashed = true;
+            match kind {
+                fabric::FaultKind::NicReset { .. } => st.stats.nic_resets += 1,
+                _ => st.stats.node_crashes += 1,
+            }
+            st.stats.tx_jobs_wiped += st.nic_tx.queue.clear() as u64;
+            st.xlate.invalidate_all();
+            st.fw_stalls.clear();
+            st.rx_engine_busy = simkit::SimTime::ZERO;
+            st.pending_conn.clear();
+            let mut cancelled = 0u64;
+            for vi in st.vis.iter_mut().flatten() {
+                match vi.conn {
+                    crate::vi::ConnState::Connected { .. } => to_fail.push(vi.id),
+                    crate::vi::ConnState::Connecting => {
+                        vi.connect_result = Some(Err(ViaError::ConnectionLost));
+                        if let Some(token) = vi.connect_waiter {
+                            waiters.push(token);
+                        }
+                    }
+                    _ => {
+                        if vi.disarm_heartbeat() {
+                            cancelled += 1;
+                        }
+                    }
+                }
+            }
+            st.stats.heartbeat_timers_cancelled += cancelled;
+        }
+        // Connected VIs flush through the ordinary error path (which also
+        // disarms their keepalives) so crash and retry-exhaustion leave
+        // byte-identical state behind.
+        for vi_id in to_fail {
+            transport::fail_connection(self, vi_id, cause);
+        }
+        for token in waiters {
+            self.sim.wake(token);
+        }
+    }
+
+    /// The node-scoped fault window closed: the node is back. The wipe
+    /// already happened at crash time, so this just clears the flag — the
+    /// provider is exactly a freshly initialized one plus the host-durable
+    /// state that legitimately survives.
+    pub(crate) fn reboot(&self) {
+        self.lock().crashed = false;
     }
 
     /// Install a firmware-stall fault window: doorbells rung during
@@ -575,6 +687,56 @@ impl Provider {
         }
     }
 
+    /// Like [`Self::queue_wait`], but gives up — returning `None` — the
+    /// moment the VI is observed in any state other than `Connected`.
+    /// Plain `queue_wait` parks unconditionally, which is the right
+    /// semantics for the VIPL surface (completions outlive the
+    /// connection), but a recovery layer needs to notice that the peer
+    /// tore the connection down *while it was blocked*: `teardown_local`
+    /// and `fail_connection` wake stranded waiters precisely so this
+    /// re-check runs (see `transport::wake_stranded_waiters`).
+    pub(crate) fn queue_wait_conn(
+        &self,
+        ctx: &mut ProcessCtx,
+        vi: ViId,
+        send_side: bool,
+        mode: WaitMode,
+    ) -> Option<Completion> {
+        loop {
+            let token = {
+                let mut st = self.lock();
+                let v = st.vi_mut(vi);
+                let connected = matches!(v.conn, crate::vi::ConnState::Connected { .. });
+                let q = if send_side {
+                    &mut v.send_completed
+                } else {
+                    &mut v.recv_completed
+                };
+                if let Some(c) = q.pop_front() {
+                    drop(st);
+                    ctx.busy(self.profile.host.completion_check);
+                    return Some(c);
+                }
+                if !connected {
+                    return None;
+                }
+                let waiter = if send_side {
+                    &mut v.send_waiter
+                } else {
+                    &mut v.recv_waiter
+                };
+                assert!(
+                    waiter.is_none(),
+                    "two processes waiting on the same work queue"
+                );
+                let token = ctx.prepare_wait();
+                *waiter = Some((token, mode));
+                token
+            };
+            ctx.wait_mode(token, mode);
+        }
+    }
+
     // ------------------------------------------------------------------
     // CQ collection.
     // ------------------------------------------------------------------
@@ -633,7 +795,20 @@ impl Provider {
     /// Server side: wait for a connection request on `disc` and accept it
     /// into `vi`. Returns the client's node.
     pub fn accept(&self, ctx: &mut ProcessCtx, vi: &Vi, disc: Discriminator) -> ViaResult<NodeId> {
-        crate::connect::accept(self, ctx, vi.id, disc)
+        crate::connect::accept(self, ctx, vi.id, disc, None)
+    }
+
+    /// Like [`Self::accept`], but gives up with `ConnectFailed` if no
+    /// request arrives within `timeout`. The session layer's linger-close
+    /// uses this to wait for a possibly-dead peer without parking forever.
+    pub fn accept_timeout(
+        &self,
+        ctx: &mut ProcessCtx,
+        vi: &Vi,
+        disc: Discriminator,
+        timeout: Option<SimDuration>,
+    ) -> ViaResult<NodeId> {
+        crate::connect::accept(self, ctx, vi.id, disc, timeout)
     }
 
     /// `VipDisconnect`: tear down `vi`'s connection.
@@ -755,6 +930,7 @@ impl Cluster {
                         release_scheduled: false,
                     },
                     fw_stalls: FirmwareStalls::new(),
+                    crashed: false,
                     stats: ProviderStats::default(),
                 })),
             };
@@ -770,6 +946,23 @@ impl Cluster {
                         .downcast::<Frame>()
                         .expect("non-VIA frame on a VIA SAN");
                     transport::handle_frame(&pc, sim, delivery.src, *frame);
+                }),
+            );
+        }
+        // Node-scoped fault windows (node_down / nic_reset) wipe and
+        // reboot the victim's provider. The fabric fires the hook on the
+        // victim's owning shard, after its own state flip, so the wipe is
+        // ordered identically at every shard count.
+        for p in &providers {
+            let pc = p.clone();
+            san.on_node_fault(
+                p.node,
+                Arc::new(move |_sim, kind, open| {
+                    if open {
+                        pc.crash(kind);
+                    } else {
+                        pc.reboot();
+                    }
                 }),
             );
         }

@@ -447,7 +447,7 @@ pub(crate) fn post_recv(
         // A VI in the error state refuses all posts until the application
         // acknowledges the failure with a disconnect (VIA spec error
         // semantics); Idle is fine — receives may be pre-posted.
-        if vi.conn == ConnState::Error {
+        if matches!(vi.conn, ConnState::Error { .. }) {
             return Err(ViaError::InvalidState);
         }
         if vi.recv_posted.len() >= profile.max_queue_depth {
@@ -1134,7 +1134,9 @@ pub(crate) fn arm_retransmit_at(provider: &Provider, vi_id: ViId, seq: u64, wire
                 }
             };
             match action {
-                RetxAction::Fail => fail_connection(&p, vi_id),
+                RetxAction::Fail => {
+                    fail_connection(&p, vi_id, crate::vi::ErrorCause::RetryExhausted)
+                }
                 RetxAction::Resend => {
                     trace_at(
                         &p,
@@ -1175,12 +1177,14 @@ enum RetxAction {
     Resend,
 }
 
-/// Retry exhaustion: the connection is dead. The VIA spec's VI error
-/// state machine: the VI transitions to Error, **every** outstanding
-/// descriptor — in-flight sends *and* posted receives — is flushed to its
-/// completion queue with an error status, and new posts are refused until
-/// the application disconnects and reconnects.
-fn fail_connection(provider: &Provider, vi_id: ViId) {
+/// The connection is dead (retry exhaustion, keepalive expiry, or a
+/// device/host fault). The VIA spec's VI error state machine: the VI
+/// transitions to Error, **every** outstanding descriptor — in-flight
+/// sends *and* posted receives — is flushed to its completion queue with
+/// an error status, and new posts are refused until the application
+/// disconnects and reconnects. `cause` is recorded in the error state so
+/// recovery layers can tell a dead path from a dead peer.
+pub(crate) fn fail_connection(provider: &Provider, vi_id: ViId, cause: crate::vi::ErrorCause) {
     let now = provider.sim.now();
     let mut send_comps = Vec::new();
     let mut recv_comps = Vec::new();
@@ -1189,10 +1193,14 @@ fn fail_connection(provider: &Provider, vi_id: ViId) {
         let Some(vi) = st.try_vi_mut(vi_id) else {
             return;
         };
-        if vi.conn == ConnState::Error {
+        if matches!(vi.conn, ConnState::Error { .. }) {
             return; // several exhausted timers can race to the same verdict
         }
-        vi.conn = ConnState::Error;
+        vi.conn = ConnState::Error { cause };
+        if vi.disarm_heartbeat() {
+            st.stats.heartbeat_timers_cancelled += 1;
+        }
+        let vi = st.vi_mut(vi_id);
         vi.reassembly.clear();
         vi.parked_recv.clear();
         vi.delivered.clear();
@@ -1243,6 +1251,32 @@ fn fail_connection(provider: &Provider, vi_id: ViId) {
     }
     for c in recv_comps {
         deliver_recv_completion(provider, vi_id, c);
+    }
+    wake_stranded_waiters(provider, vi_id);
+}
+
+/// Wake any process still parked in a queue wait on a VI that just left
+/// `Connected`. Runs *after* the flush completions are delivered, so a
+/// waiter the delivery path already woke (and consumed) is not double
+/// signalled: on the no-fault paths of the existing benchmarks this finds
+/// both waiter slots empty and schedules nothing — keeping those goldens
+/// byte-identical. The wake carries no completion; a plain `queue_wait`
+/// re-parks, while `queue_wait_conn` observes the state change and
+/// returns `None` to its recovery-layer caller.
+pub(crate) fn wake_stranded_waiters(provider: &Provider, vi_id: ViId) {
+    let mut tokens = [None, None];
+    {
+        let mut st = provider.lock();
+        let Some(vi) = st.try_vi_mut(vi_id) else {
+            return;
+        };
+        if !matches!(vi.conn, ConnState::Connected { .. }) {
+            tokens[0] = vi.send_waiter.take().map(|(t, _)| t);
+            tokens[1] = vi.recv_waiter.take().map(|(t, _)| t);
+        }
+    }
+    for t in tokens.into_iter().flatten() {
+        provider.sim.wake(t);
     }
 }
 

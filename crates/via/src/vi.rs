@@ -12,6 +12,26 @@ use crate::transport;
 use crate::types::{CqId, Reliability, ViAttributes, ViId, ViaError, ViaResult};
 use crate::wire::MsgKind;
 
+/// Why a VI entered [`ConnState::Error`] — the transport's post-mortem,
+/// surfaced so recovery layers can distinguish a dead wire from a dead
+/// peer and react accordingly (retry the path vs. wait out a reboot).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCause {
+    /// Retransmission retries exhausted: the path (or the peer) stopped
+    /// acknowledging and the transport gave the connection up.
+    RetryExhausted,
+    /// The keepalive watchdog stopped hearing the peer's heartbeats: the
+    /// remote host is down (crash) or unreachable for longer than the
+    /// configured tolerance.
+    PeerDown,
+    /// This node's NIC was reset under the connection (device-scoped
+    /// fault): rings and translation state were wiped, in-flight work lost.
+    NicReset,
+    /// This node crashed (host-scoped fault): the whole provider's device
+    /// state was wiped; the VI was flushed as part of the wipe.
+    NodeDown,
+}
+
 /// Connection state of a VI.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConnState {
@@ -29,8 +49,12 @@ pub enum ConnState {
         /// Negotiated per-descriptor byte limit.
         mtu: u32,
     },
-    /// Unrecoverable transport error (reliable modes).
-    Error,
+    /// Unrecoverable transport error (reliable modes). `cause` records
+    /// what killed the connection.
+    Error {
+        /// What drove the VI into the error state.
+        cause: ErrorCause,
+    },
 }
 
 /// A send/RDMA descriptor in flight (posted, not yet completed).
@@ -140,6 +164,13 @@ pub(crate) struct ViState {
     /// (the in-order descriptor-reserve heuristic) subtract the pending
     /// count so fused and general runs take identical decisions.
     pub fold_pending: VecDeque<SimTime>,
+    /// Last instant a liveness signal (heartbeat frame) arrived from the
+    /// peer. Only meaningful while the profile's keepalive is enabled and
+    /// the VI is connected.
+    pub last_heard: SimTime,
+    /// The armed keepalive timer, if any. Disarmed at teardown / error /
+    /// crash so a dead connection never keeps the event loop alive.
+    pub heartbeat_timer: Option<simkit::TimerHandle>,
 }
 
 /// Jacobson/Karels smoothed-RTT estimator driving the adaptive
@@ -293,6 +324,8 @@ impl ViState {
             credits_granted_total: 0,
             cq_overflows: 0,
             fold_pending: VecDeque::new(),
+            last_heard: SimTime::ZERO,
+            heartbeat_timer: None,
         }
     }
 
@@ -329,6 +362,14 @@ impl ViState {
         self.credit_seen_total = 0;
         self.credit_waiting.clear();
         self.credits_granted_total = self.recv_posted.len() as u64;
+    }
+
+    /// Disarm the keepalive timer, if armed. Returns whether a pending
+    /// firing was actually cancelled (an already-fired timer disarms to a
+    /// no-op). Safe to call repeatedly: the handle is taken, so a second
+    /// call finds nothing to cancel.
+    pub(crate) fn disarm_heartbeat(&mut self) -> bool {
+        self.heartbeat_timer.take().is_some_and(|t| t.cancel())
     }
 
     /// Sender-side credits still available under `initial` assumed credits.

@@ -97,6 +97,14 @@ pub(crate) enum ConnFrame {
         /// VI on the receiving node.
         dst_vi: ViId,
     },
+    /// Periodic keepalive (both directions, only when the profile enables
+    /// heartbeats). Receipt refreshes the destination VI's liveness clock;
+    /// silence past the configured tolerance drives the VI into
+    /// `ConnState::Error { cause: PeerDown }`.
+    Heartbeat {
+        /// VI on the receiving node.
+        dst_vi: ViId,
+    },
 }
 
 /// An RDMA-read request travelling initiator → responder.

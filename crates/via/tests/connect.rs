@@ -339,7 +339,12 @@ fn retry_exhaustion_drives_vi_to_error_then_reconnect_recovers() {
                 .unwrap();
             let comp = vi.send_wait(ctx, WaitMode::Block);
             assert_eq!(comp.status, Err(ViaError::ConnectionLost));
-            assert_eq!(vi.conn_state(), ConnState::Error);
+            assert_eq!(
+                vi.conn_state(),
+                ConnState::Error {
+                    cause: via::ErrorCause::RetryExhausted
+                }
+            );
             // An errored VI refuses all work until the owner clears it.
             let d = Descriptor::send().segment(buf, mh, 64);
             assert_eq!(vi.post_send(ctx, d), Err(ViaError::InvalidState));

@@ -708,7 +708,12 @@ fn retry_exhaustion_kills_connection() {
     sim.run_to_completion();
     let (status, conn) = ch.expect_result();
     assert_eq!(status, Err(ViaError::ConnectionLost));
-    assert_eq!(conn, via::ConnState::Error);
+    assert_eq!(
+        conn,
+        via::ConnState::Error {
+            cause: via::ErrorCause::RetryExhausted
+        }
+    );
     assert_eq!(pa.stats().retransmissions, 3);
 }
 

@@ -119,6 +119,12 @@ impl FirmwareStalls {
         self.windows.push((at, at + duration));
     }
 
+    /// Forget every installed window (a firmware reset: the device-side
+    /// scheduler restarts with a clean stall script).
+    pub fn clear(&mut self) {
+        self.windows.clear();
+    }
+
     /// Extra service delay for a doorbell being serviced at `now`: zero
     /// outside every window, otherwise the time left until the latest
     /// covering window closes (overlapping stalls extend each other).

@@ -49,6 +49,15 @@ impl<T> DescRing<T> {
         self.items.pop_front()
     }
 
+    /// Drop every queued item (a device reset wiping the ring), returning
+    /// how many died. The high-water mark and rejected-push count survive:
+    /// they describe the ring's history, not its contents.
+    pub fn clear(&mut self) -> usize {
+        let n = self.items.len();
+        self.items.clear();
+        n
+    }
+
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.items.len()

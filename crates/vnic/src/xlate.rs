@@ -276,6 +276,14 @@ impl XlateEngine {
     pub fn invalidate_range(&mut self, first: u64, last: u64) {
         self.tlb.invalidate_range(first, last);
     }
+
+    /// Drop every cached translation (a device reset: the NIC's
+    /// translation table is wiped wholesale). Counters survive — they
+    /// describe history, and the cold refills after the reset show up as
+    /// honest misses.
+    pub fn invalidate_all(&mut self) {
+        self.tlb.invalidate_all();
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("usage: run_suite [--list | --all | <id>...] [--jobs <n>] [--shards <n>] [--no-fuse] [--csv <dir>] [--json <dir>] [--trace <dir>]");
-        println!("       ids: T1 F1-F2 F3 F4 F5 CQ F6 F7 X-MDS X-ASY X-RDMA X-PIP X-MTU X-REL X-GETPUT X-SCALE X-SCHED X-TRACE X-FAULT X-CHAOS X-SHARD X-TOPO X-FAILOVER");
+        println!("       ids: T1 F1-F2 F3 F4 F5 CQ F6 F7 X-MDS X-ASY X-RDMA X-PIP X-MTU X-REL X-GETPUT X-SCALE X-SCHED X-TRACE X-FAULT X-CHAOS X-SHARD X-TOPO X-FAILOVER X-CRASH");
         println!("       --jobs <n>: worker threads (default: VIBE_JOBS env, else all cores; 1 = serial)");
         println!("       --shards <n>: engine shards for sharded experiments (default: VIBE_SHARDS env, else 1)");
         println!("       --no-fuse: disable the fused message-lifecycle fast path (same as VIBE_FUSE=0; artifacts are byte-identical either way)");
@@ -155,8 +155,11 @@ fn main() {
     // worker/shard/fuse setting — a PR diff of this line shows when the
     // suite's fault exposure changed.
     println!(
-        "[fabric: storm_trips={} fault_dropped={}]",
-        run.fabric_health.storm_trips, run.fabric_health.fault_dropped,
+        "[fabric: storm_trips={} fault_dropped={} node_crashes={} sessions_recovered={}]",
+        run.fabric_health.storm_trips,
+        run.fabric_health.fault_dropped,
+        run.fabric_health.node_crashes,
+        run.fabric_health.sessions_recovered,
     );
     println!(
         "[suite: {} jobs on {} workers x {} shards, {:.2}s wall, {:.2}s serial-equivalent, {:.2}x speedup, {:.1}M events/s]",

@@ -120,6 +120,18 @@ fn x_failover_matches_golden() {
 }
 
 #[test]
+fn x_crash_matches_golden() {
+    // The node-fault-domain extension: a scripted node kill mid-stream on
+    // the 64-node fat-tree with the heartbeat watchdog armed. Pins
+    // per-session delivery/replay/reconnect telemetry, peer-down
+    // detection latencies, the reconnect-storm size and the victim's
+    // fault-drop accounting; regenerating it re-runs the exactly-once
+    // session-conservation oracle. CI diffs it across the full
+    // VIBE_JOBS x VIBE_SHARDS x VIBE_FUSE matrix.
+    check("X-CRASH");
+}
+
+#[test]
 fn x_fault_matches_golden() {
     // The fault-injection extension: pins recovery latencies, degraded
     // goodput, firmware-stall penalties and the full error/reconnect
